@@ -1,0 +1,94 @@
+//! The basic matching cell (§III-A, Fig. 2a/2b).
+//!
+//! A cell stores match bits, mask bits (posted-receive variant only), a
+//! valid bit, and the software tag. Its combinational outputs are the
+//! match-AND-valid bit, the tag (muxed upward by priority logic), and the
+//! valid bit for flow control. Data shifts cell-to-cell under enables
+//! computed by the block (see [`crate::block`]).
+
+use crate::engine::AlpuKind;
+use crate::match_types::{masked_eq, Entry, Probe};
+
+/// One hardware cell: either empty (valid=0) or holding an [`Entry`].
+///
+/// Modeled as `Option<Entry>` — `None` is an invalid cell, which by
+/// construction "cannot produce a valid match".
+pub type Cell = Option<Entry>;
+
+/// The combinational match function of one cell.
+///
+/// * Posted-receive variant (Fig. 2a): the **stored** mask marks the
+///   receive's wildcard bits; the probe is an explicit incoming header.
+/// * Unexpected-message variant (Fig. 2b): the mask arrives **with the
+///   probe** (the receive being posted); stored entries are explicit
+///   headers.
+#[inline]
+pub fn cell_matches(kind: AlpuKind, entry: &Entry, probe: Probe) -> bool {
+    match kind {
+        AlpuKind::PostedReceive => masked_eq(entry.word, probe.word, entry.mask),
+        AlpuKind::Unexpected => masked_eq(entry.word, probe.word, probe.mask),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_types::{MatchWord, Tag};
+
+    fn recv(ctx: u16, src: Option<u16>, tag: Option<u16>, t: Tag) -> Entry {
+        Entry::mpi_recv(ctx, src, tag, t)
+    }
+
+    #[test]
+    fn posted_cell_uses_stored_mask() {
+        let e = recv(4, None, Some(9), 1); // ANY_SOURCE stored
+        assert!(cell_matches(
+            AlpuKind::PostedReceive,
+            &e,
+            Probe::exact(MatchWord::mpi(4, 123, 9))
+        ));
+        assert!(!cell_matches(
+            AlpuKind::PostedReceive,
+            &e,
+            Probe::exact(MatchWord::mpi(4, 123, 8))
+        ));
+    }
+
+    #[test]
+    fn posted_cell_ignores_probe_mask() {
+        // Headers are always explicit; even if a probe carried a mask, the
+        // posted variant must not consult it.
+        let e = recv(4, Some(1), Some(9), 1);
+        let p = Probe {
+            word: MatchWord::mpi(4, 2, 9),
+            mask: crate::match_types::MaskWord::ANY_SOURCE,
+        };
+        assert!(!cell_matches(AlpuKind::PostedReceive, &e, p));
+    }
+
+    #[test]
+    fn unexpected_cell_uses_probe_mask() {
+        let hdr = Entry::mpi_header(4, 123, 9, 2);
+        assert!(cell_matches(
+            AlpuKind::Unexpected,
+            &hdr,
+            Probe::recv(4, None, Some(9))
+        ));
+        assert!(!cell_matches(
+            AlpuKind::Unexpected,
+            &hdr,
+            Probe::recv(4, Some(99), Some(9))
+        ));
+        assert!(cell_matches(
+            AlpuKind::Unexpected,
+            &hdr,
+            Probe::recv(4, Some(123), None)
+        ));
+    }
+
+    #[test]
+    fn empty_cell_is_none() {
+        let c: Cell = None;
+        assert!(c.is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! The golden reference model: an ordered list with MPI match semantics.
+//!
+//! This is exactly what an MPI implementation does in software — walk a
+//! linear list oldest-first, return the first entry that matches, delete
+//! it. The cycle-level [`engine::Alpu`](crate::engine::Alpu) must be
+//! observationally equivalent to this model; the property-test suite
+//! drives both with identical command streams and compares every response.
+
+use crate::cell::cell_matches;
+use crate::engine::AlpuKind;
+use crate::match_types::{Entry, Probe, Tag};
+
+/// An ordered match list: index 0 is the *oldest* (highest priority) entry.
+#[derive(Clone, Debug, Default)]
+pub struct GoldenList {
+    entries: Vec<Entry>,
+    capacity: usize,
+    kind: AlpuKind,
+}
+
+impl GoldenList {
+    /// Empty list with a capacity bound (mirrors the ALPU's cell count).
+    pub fn new(capacity: usize, kind: AlpuKind) -> GoldenList {
+        GoldenList {
+            entries: Vec::new(),
+            capacity,
+            kind,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remaining insert capacity.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Append a new (youngest) entry. Returns `false` when full.
+    pub fn insert(&mut self, e: Entry) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push(e);
+        true
+    }
+
+    /// Probe the list: first (oldest) match wins and is removed; its tag is
+    /// returned.
+    pub fn probe(&mut self, p: Probe) -> Option<Tag> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| cell_matches(self.kind, e, p))?;
+        Some(self.entries.remove(idx).tag)
+    }
+
+    /// Probe without removing (for assertions).
+    pub fn peek(&self, p: Probe) -> Option<Tag> {
+        self.entries
+            .iter()
+            .find(|e| cell_matches(self.kind, e, p))
+            .map(|e| e.tag)
+    }
+
+    /// Clear all entries (RESET).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Entries oldest-first (for equivalence checks).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_types::MatchWord;
+
+    fn posted() -> GoldenList {
+        GoldenList::new(8, AlpuKind::PostedReceive)
+    }
+
+    #[test]
+    fn first_match_wins_and_is_removed() {
+        let mut g = posted();
+        g.insert(Entry::mpi_recv(1, Some(2), Some(3), 100));
+        g.insert(Entry::mpi_recv(1, Some(2), Some(3), 200));
+        let hdr = Probe::exact(MatchWord::mpi(1, 2, 3));
+        assert_eq!(g.probe(hdr), Some(100));
+        assert_eq!(g.probe(hdr), Some(200));
+        assert_eq!(g.probe(hdr), None);
+    }
+
+    #[test]
+    fn ordering_beats_specificity() {
+        // A wildcard receive posted *before* an exact one must win — the
+        // MPI ordering constraint the paper contrasts with LPM routing.
+        let mut g = posted();
+        g.insert(Entry::mpi_recv(1, None, Some(3), 1)); // ANY_SOURCE, older
+        g.insert(Entry::mpi_recv(1, Some(2), Some(3), 2)); // exact, newer
+        assert_eq!(g.probe(Probe::exact(MatchWord::mpi(1, 2, 3))), Some(1));
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let mut g = GoldenList::new(2, AlpuKind::PostedReceive);
+        assert!(g.insert(Entry::mpi_recv(1, Some(1), Some(1), 0)));
+        assert!(g.insert(Entry::mpi_recv(1, Some(1), Some(1), 1)));
+        assert!(!g.insert(Entry::mpi_recv(1, Some(1), Some(1), 2)));
+        assert_eq!(g.free(), 0);
+    }
+
+    #[test]
+    fn unexpected_kind_uses_probe_mask() {
+        let mut g = GoldenList::new(8, AlpuKind::Unexpected);
+        g.insert(Entry::mpi_header(1, 5, 9, 77));
+        // Receive with ANY_SOURCE matches the stored header.
+        assert_eq!(g.probe(Probe::recv(1, None, Some(9))), Some(77));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut g = posted();
+        g.insert(Entry::mpi_recv(1, Some(1), Some(1), 0));
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.free(), 8);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut g = posted();
+        g.insert(Entry::mpi_recv(1, Some(2), Some(3), 5));
+        let p = Probe::exact(MatchWord::mpi(1, 2, 3));
+        assert_eq!(g.peek(p), Some(5));
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Match words, masks, tags, and the MPI field layout.
+//!
+//! The prototype in the paper uses a 42-bit match width with a mask bit for
+//! every match bit — "adequate to support an MPI implementation supporting
+//! the full specification on a 32K node system" (§VI-A). We use the same
+//! width with this field layout:
+//!
+//! ```text
+//!   41        31 30          16 15           0
+//!  +------------+--------------+--------------+
+//!  | context:11 |  source:15   |   tag:16     |
+//!  +------------+--------------+--------------+
+//! ```
+//!
+//! 15 source bits cover 32K ranks; 11 context bits cover 2K live
+//! communicators; 16 tag bits match the prototype's match-width budget.
+
+/// Number of significant match bits.
+pub const MATCH_WIDTH: u32 = 42;
+
+/// All-ones over the match width.
+pub const MATCH_MASK: u64 = (1 << MATCH_WIDTH) - 1;
+
+const TAG_SHIFT: u32 = 0;
+const TAG_BITS: u32 = 16;
+const SRC_SHIFT: u32 = 16;
+const SRC_BITS: u32 = 15;
+const CTX_SHIFT: u32 = 31;
+const CTX_BITS: u32 = 11;
+
+/// The bits being matched (an incoming header's {context, source, tag}, or
+/// a posted receive's non-wildcard values).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct MatchWord(pub u64);
+
+/// Per-bit "don't care" flags. A set bit means *ignore this bit* when
+/// comparing — the wildcard encoding for `MPI_ANY_SOURCE` / `MPI_ANY_TAG`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MaskWord(pub u64);
+
+/// The software-defined cookie returned on a match. The paper's
+/// recommendation (§IV-C) — and this repository's convention — is a pointer
+/// to the corresponding queue entry in NIC RAM (a 20-bit local-RAM pointer
+/// in the simulated configuration; 16 bits in the FPGA prototype).
+pub type Tag = u32;
+
+impl MatchWord {
+    /// Build from the MPI matching triplet.
+    pub fn mpi(context: u16, source: u16, tag: u16) -> MatchWord {
+        debug_assert!(context < (1 << CTX_BITS), "context out of range");
+        debug_assert!(source < (1 << SRC_BITS), "source rank out of range");
+        MatchWord(
+            ((context as u64) << CTX_SHIFT)
+                | ((source as u64) << SRC_SHIFT)
+                | ((tag as u64) << TAG_SHIFT),
+        )
+    }
+
+    /// Extract the context field.
+    pub fn context(self) -> u16 {
+        ((self.0 >> CTX_SHIFT) & ((1 << CTX_BITS) - 1)) as u16
+    }
+
+    /// Extract the source field.
+    pub fn source(self) -> u16 {
+        ((self.0 >> SRC_SHIFT) & ((1 << SRC_BITS) - 1)) as u16
+    }
+
+    /// Extract the tag field.
+    pub fn tag(self) -> u16 {
+        ((self.0 >> TAG_SHIFT) & ((1 << TAG_BITS) - 1)) as u16
+    }
+}
+
+impl MaskWord {
+    /// No wildcards: every bit significant.
+    pub const EXACT: MaskWord = MaskWord(0);
+
+    /// Mask covering the source field (`MPI_ANY_SOURCE`).
+    pub const ANY_SOURCE: MaskWord = MaskWord(((1 << SRC_BITS) - 1) << SRC_SHIFT);
+
+    /// Mask covering the tag field (`MPI_ANY_TAG`).
+    pub const ANY_TAG: MaskWord = MaskWord(((1 << TAG_BITS) - 1) << TAG_SHIFT);
+
+    /// Combine wildcard masks.
+    pub fn union(self, other: MaskWord) -> MaskWord {
+        MaskWord(self.0 | other.0)
+    }
+
+    /// Build the mask for a receive: wildcard source and/or tag.
+    pub fn for_recv(any_source: bool, any_tag: bool) -> MaskWord {
+        let mut m = MaskWord::EXACT;
+        if any_source {
+            m = m.union(MaskWord::ANY_SOURCE);
+        }
+        if any_tag {
+            m = m.union(MaskWord::ANY_TAG);
+        }
+        m
+    }
+}
+
+/// Do `a` and `b` agree on every bit the mask does *not* cover?
+#[inline]
+pub fn masked_eq(a: MatchWord, b: MatchWord, mask: MaskWord) -> bool {
+    (a.0 ^ b.0) & !mask.0 & MATCH_MASK == 0
+}
+
+/// A stored ALPU entry: match bits, mask bits, software tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Entry {
+    /// The stored match bits.
+    pub word: MatchWord,
+    /// Stored wildcard mask. Used by the posted-receive ALPU; the
+    /// unexpected-message ALPU stores explicit headers and ignores it.
+    pub mask: MaskWord,
+    /// Software cookie returned on match.
+    pub tag: Tag,
+}
+
+impl Entry {
+    /// A posted receive: explicit context, optional (wildcardable) source
+    /// and tag, plus the software cookie.
+    pub fn mpi_recv(context: u16, source: Option<u16>, tag: Option<u16>, cookie: Tag) -> Entry {
+        Entry {
+            word: MatchWord::mpi(context, source.unwrap_or(0), tag.unwrap_or(0)),
+            mask: MaskWord::for_recv(source.is_none(), tag.is_none()),
+            tag: cookie,
+        }
+    }
+
+    /// An unexpected-message record: the explicit header triplet.
+    pub fn mpi_header(context: u16, source: u16, tag: u16, cookie: Tag) -> Entry {
+        Entry {
+            word: MatchWord::mpi(context, source, tag),
+            mask: MaskWord::EXACT,
+            tag: cookie,
+        }
+    }
+
+    /// An entry with an arbitrary per-bit mask — the full generality the
+    /// hardware provides ("a mask bit for every match bit allows maximum
+    /// configurability and supports protocols beyond MPI, such as
+    /// Portals", §VI-A footnote 7). Bits outside the match width are
+    /// ignored.
+    pub fn with_mask(word: u64, mask: u64, cookie: Tag) -> Entry {
+        Entry {
+            word: MatchWord(word & MATCH_MASK),
+            mask: MaskWord(mask & MATCH_MASK),
+            tag: cookie,
+        }
+    }
+}
+
+/// A probe presented to the match array.
+///
+/// For the posted-receive ALPU the probe is an incoming header: fully
+/// explicit, `mask` unused. For the unexpected-message ALPU the probe is a
+/// receive being posted: `mask` carries its wildcards (the paper's
+/// "reverse lookup", §II).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Probe {
+    /// Value bits of the probe.
+    pub word: MatchWord,
+    /// Probe-side wildcard mask (unexpected ALPU only).
+    pub mask: MaskWord,
+}
+
+impl Probe {
+    /// A fully explicit probe (incoming header).
+    pub fn exact(word: MatchWord) -> Probe {
+        Probe {
+            word,
+            mask: MaskWord::EXACT,
+        }
+    }
+
+    /// A receive-side probe with wildcards.
+    pub fn recv(context: u16, source: Option<u16>, tag: Option<u16>) -> Probe {
+        Probe {
+            word: MatchWord::mpi(context, source.unwrap_or(0), tag.unwrap_or(0)),
+            mask: MaskWord::for_recv(source.is_none(), tag.is_none()),
+        }
+    }
+
+    /// A probe with an arbitrary per-bit mask (Portals-style matching).
+    pub fn with_mask(word: u64, mask: u64) -> Probe {
+        Probe {
+            word: MatchWord(word & MATCH_MASK),
+            mask: MaskWord(mask & MATCH_MASK),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrip() {
+        let w = MatchWord::mpi(0x7FF, 0x7FFF, 0xFFFF);
+        assert_eq!(w.context(), 0x7FF);
+        assert_eq!(w.source(), 0x7FFF);
+        assert_eq!(w.tag(), 0xFFFF);
+        assert_eq!(w.0 & !MATCH_MASK, 0, "word fits in 42 bits");
+    }
+
+    #[test]
+    fn fields_do_not_overlap() {
+        assert_eq!(MatchWord::mpi(1, 0, 0).0 & MatchWord::mpi(0, 1, 0).0, 0);
+        assert_eq!(MatchWord::mpi(0, 1, 0).0 & MatchWord::mpi(0, 0, 1).0, 0);
+        assert_eq!(
+            MaskWord::ANY_SOURCE.0 & MaskWord::ANY_TAG.0,
+            0,
+            "wildcard masks are disjoint"
+        );
+    }
+
+    #[test]
+    fn masked_eq_exact() {
+        let a = MatchWord::mpi(3, 5, 9);
+        assert!(masked_eq(a, MatchWord::mpi(3, 5, 9), MaskWord::EXACT));
+        assert!(!masked_eq(a, MatchWord::mpi(3, 5, 8), MaskWord::EXACT));
+        assert!(!masked_eq(a, MatchWord::mpi(3, 6, 9), MaskWord::EXACT));
+        assert!(!masked_eq(a, MatchWord::mpi(4, 5, 9), MaskWord::EXACT));
+    }
+
+    #[test]
+    fn masked_eq_wildcards() {
+        let hdr = MatchWord::mpi(3, 5, 9);
+        // ANY_SOURCE: source differences ignored, tag still significant.
+        let r = MatchWord::mpi(3, 0, 9);
+        assert!(masked_eq(hdr, r, MaskWord::ANY_SOURCE));
+        assert!(!masked_eq(MatchWord::mpi(3, 5, 8), r, MaskWord::ANY_SOURCE));
+        // ANY_TAG.
+        let r2 = MatchWord::mpi(3, 5, 0);
+        assert!(masked_eq(hdr, r2, MaskWord::ANY_TAG));
+        assert!(!masked_eq(MatchWord::mpi(3, 6, 9), r2, MaskWord::ANY_TAG));
+        // Both wildcards: only context matters.
+        let both = MaskWord::for_recv(true, true);
+        assert!(masked_eq(hdr, MatchWord::mpi(3, 0, 0), both));
+        assert!(!masked_eq(hdr, MatchWord::mpi(2, 0, 0), both));
+    }
+
+    #[test]
+    fn recv_entry_encodes_wildcards() {
+        let e = Entry::mpi_recv(1, None, Some(7), 99);
+        assert_eq!(e.mask, MaskWord::ANY_SOURCE);
+        assert_eq!(e.tag, 99);
+        let e2 = Entry::mpi_recv(1, Some(2), None, 0);
+        assert_eq!(e2.mask, MaskWord::ANY_TAG);
+        let e3 = Entry::mpi_recv(1, None, None, 0);
+        assert_eq!(e3.mask, MaskWord::ANY_SOURCE.union(MaskWord::ANY_TAG));
+    }
+
+    #[test]
+    fn header_entry_is_exact() {
+        assert_eq!(Entry::mpi_header(1, 2, 3, 0).mask, MaskWord::EXACT);
+    }
+
+    #[test]
+    fn probe_constructors() {
+        assert_eq!(Probe::exact(MatchWord::mpi(1, 2, 3)).mask, MaskWord::EXACT);
+        assert_eq!(Probe::recv(1, None, Some(3)).mask, MaskWord::ANY_SOURCE);
+    }
+}

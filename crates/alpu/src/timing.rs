@@ -1,0 +1,67 @@
+//! Pipeline timing (§V-D and Tables IV/V).
+//!
+//! The prototype pipeline has six stages — request fanout, per-cell match,
+//! intra-block priority mux, inter-block priority mux, delete fanout,
+//! delete — with the inter-block stage taking one *or two* cycles
+//! "depending on the circuit parameters". The parameter in question is the
+//! depth of the inter-block tree: every configuration in Tables IV/V with
+//! more than 8 blocks reports a 7-cycle latency, and every configuration
+//! with 8 or fewer blocks reports 6. Pipelining does not allow execution
+//! overlap, so a new match is accepted every `match_latency` cycles;
+//! inserts are accepted every other cycle.
+
+/// Cycle-level timing parameters of one ALPU configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineTiming {
+    /// Full match pipeline latency in cycles (6 or 7); also the match
+    /// initiation interval, since execution does not overlap.
+    pub match_latency: u64,
+    /// Cycles between accepted inserts ("inserts ... on every other clock
+    /// cycle").
+    pub insert_interval: u64,
+    /// Cycles to pop and decode one command from the command FIFO.
+    pub command_cycles: u64,
+}
+
+impl PipelineTiming {
+    /// Derive timing from the array geometry.
+    pub fn for_geometry(total_cells: usize, block_size: usize) -> PipelineTiming {
+        let blocks = total_cells / block_size;
+        let match_latency = if blocks > 8 { 7 } else { 6 };
+        PipelineTiming {
+            match_latency,
+            insert_interval: 2,
+            command_cycles: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The latencies of Tables IV and V, keyed by (total cells, block size).
+    #[test]
+    fn reproduces_table_iv_and_v_latencies() {
+        let expect = [
+            ((256, 8), 7),
+            ((256, 16), 7),
+            ((256, 32), 6),
+            ((128, 8), 7),
+            ((128, 16), 6),
+            ((128, 32), 6),
+        ];
+        for ((cells, block), lat) in expect {
+            assert_eq!(
+                PipelineTiming::for_geometry(cells, block).match_latency,
+                lat,
+                "cells={cells} block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_every_other_cycle() {
+        assert_eq!(PipelineTiming::for_geometry(256, 16).insert_interval, 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Differential testing: the cycle-level ALPU engine must be
+//! observationally equivalent to the golden ordered-list model under
+//! arbitrary command/probe sequences.
+//!
+//! Strategy: generate a random script of insert batches, probes, and
+//! resets; drive the engine through its real command/response protocol
+//! (START INSERT → INSERTs → STOP INSERT, headers through the header
+//! FIFO), apply the same operations to a [`GoldenList`], and compare every
+//! response and the final surviving entries.
+
+use mpiq_alpu::{
+    Alpu, AlpuConfig, AlpuKind, Command, Entry, GoldenList, MatchWord, Probe, Response,
+};
+use proptest::prelude::*;
+
+/// A compact, generatable description of an entry.
+#[derive(Clone, Copy, Debug)]
+struct EntrySpec {
+    ctx: u16,
+    src: Option<u16>,
+    tag: Option<u16>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ProbeSpec {
+    ctx: u16,
+    src: u16,
+    tag: u16,
+    /// For the unexpected variant: wildcards on the probe side.
+    any_src: bool,
+    any_tag: bool,
+}
+
+#[derive(Clone, Debug)]
+enum Action {
+    InsertBatch(Vec<EntrySpec>),
+    Probe(ProbeSpec),
+    Reset,
+}
+
+fn entry_spec() -> impl Strategy<Value = EntrySpec> {
+    (
+        0u16..3,
+        prop_oneof![Just(None), (0u16..6).prop_map(Some)],
+        prop_oneof![Just(None), (0u16..6).prop_map(Some)],
+    )
+        .prop_map(|(ctx, src, tag)| EntrySpec { ctx, src, tag })
+}
+
+fn probe_spec() -> impl Strategy<Value = ProbeSpec> {
+    (0u16..3, 0u16..6, 0u16..6, any::<bool>(), any::<bool>()).prop_map(
+        |(ctx, src, tag, any_src, any_tag)| ProbeSpec {
+            ctx,
+            src,
+            tag,
+            any_src,
+            any_tag,
+        },
+    )
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => prop::collection::vec(entry_spec(), 1..12).prop_map(Action::InsertBatch),
+        8 => probe_spec().prop_map(Action::Probe),
+        1 => Just(Action::Reset),
+    ]
+}
+
+fn make_entry(kind: AlpuKind, s: EntrySpec, cookie: u32) -> Entry {
+    match kind {
+        AlpuKind::PostedReceive => Entry::mpi_recv(s.ctx, s.src, s.tag, cookie),
+        // Unexpected entries are explicit headers: resolve wildcards to 0.
+        AlpuKind::Unexpected => {
+            Entry::mpi_header(s.ctx, s.src.unwrap_or(0), s.tag.unwrap_or(0), cookie)
+        }
+    }
+}
+
+fn make_probe(kind: AlpuKind, s: ProbeSpec) -> Probe {
+    match kind {
+        // Headers probing the posted-receive unit are always explicit.
+        AlpuKind::PostedReceive => Probe::exact(MatchWord::mpi(s.ctx, s.src, s.tag)),
+        AlpuKind::Unexpected => Probe::recv(
+            s.ctx,
+            (!s.any_src).then_some(s.src),
+            (!s.any_tag).then_some(s.tag),
+        ),
+    }
+}
+
+/// Pump the engine until idle, panicking if it wedges.
+fn quiesce(a: &mut Alpu) {
+    a.run_to_idle(1_000_000);
+}
+
+fn run_script(kind: AlpuKind, total: usize, block: usize, script: Vec<Action>) {
+    let mut engine = Alpu::new(AlpuConfig::new(total, block, kind));
+    let mut golden = GoldenList::new(total, kind);
+    let mut cookie = 0u32;
+
+    for (step, act) in script.into_iter().enumerate() {
+        match act {
+            Action::InsertBatch(specs) => {
+                engine.push_command(Command::StartInsert).unwrap();
+                quiesce_insert_ack(&mut engine, &golden, step);
+                // Respect the advertised free count, like real firmware.
+                let free = engine.free();
+                for s in specs.into_iter().take(free) {
+                    let e = make_entry(kind, s, cookie);
+                    cookie += 1;
+                    engine.push_command(Command::Insert(e)).unwrap();
+                    assert!(golden.insert(e), "golden full but engine had space");
+                }
+                engine.push_command(Command::StopInsert).unwrap();
+                quiesce(&mut engine);
+            }
+            Action::Probe(s) => {
+                let p = make_probe(kind, s);
+                engine.push_header(p).unwrap();
+                quiesce(&mut engine);
+                let got = engine.pop_response();
+                let want = golden.probe(p);
+                match (got, want) {
+                    (Some(Response::MatchSuccess { tag }), Some(w)) => {
+                        assert_eq!(tag, w, "step {step}: wrong winner")
+                    }
+                    (Some(Response::MatchFailure), None) => {}
+                    other => panic!("step {step}: engine/golden diverge: {other:?}"),
+                }
+            }
+            Action::Reset => {
+                engine.push_command(Command::Reset).unwrap();
+                quiesce(&mut engine);
+                golden.reset();
+            }
+        }
+        assert_eq!(
+            engine.occupied(),
+            golden.len(),
+            "step {step}: occupancy diverged"
+        );
+        assert_eq!(engine.pop_response(), None, "step {step}: stray response");
+    }
+
+    // Final state: identical surviving entries in identical priority order.
+    let engine_entries = engine.array().entries_oldest_first();
+    assert_eq!(engine_entries.as_slice(), golden.entries());
+}
+
+/// Wait for the StartAck; nothing else may arrive while quiesced.
+fn quiesce_insert_ack(a: &mut Alpu, golden: &GoldenList, step: usize) {
+    a.advance(64);
+    match a.pop_response() {
+        Some(Response::StartAck { free }) => {
+            assert_eq!(free as usize, golden.free(), "step {step}: free count")
+        }
+        other => panic!("step {step}: expected StartAck, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn posted_engine_equals_golden(script in prop::collection::vec(action(), 1..40)) {
+        run_script(AlpuKind::PostedReceive, 32, 8, script);
+    }
+
+    #[test]
+    fn unexpected_engine_equals_golden(script in prop::collection::vec(action(), 1..40)) {
+        run_script(AlpuKind::Unexpected, 32, 8, script);
+    }
+
+    #[test]
+    fn posted_engine_equals_golden_small_blocks(script in prop::collection::vec(action(), 1..40)) {
+        run_script(AlpuKind::PostedReceive, 16, 2, script);
+    }
+
+    #[test]
+    fn posted_engine_equals_golden_single_block(script in prop::collection::vec(action(), 1..30)) {
+        run_script(AlpuKind::PostedReceive, 16, 16, script);
+    }
+
+    #[test]
+    fn engine_capacity_never_exceeded(script in prop::collection::vec(action(), 1..60)) {
+        let mut engine = Alpu::new(AlpuConfig::new(16, 4, AlpuKind::PostedReceive));
+        let mut cookie = 0u32;
+        for act in script {
+            match act {
+                Action::InsertBatch(specs) => {
+                    engine.push_command(Command::StartInsert).unwrap();
+                    engine.advance(64);
+                    let free = match engine.pop_response() {
+                        Some(Response::StartAck { free }) => free as usize,
+                        other => panic!("expected StartAck, got {other:?}"),
+                    };
+                    prop_assert_eq!(free, engine.free());
+                    for s in specs.into_iter().take(free) {
+                        let e = make_entry(AlpuKind::PostedReceive, s, cookie);
+                        cookie += 1;
+                        engine.push_command(Command::Insert(e)).unwrap();
+                    }
+                    engine.push_command(Command::StopInsert).unwrap();
+                    engine.run_to_idle(1_000_000);
+                }
+                Action::Probe(s) => {
+                    engine
+                        .push_header(make_probe(AlpuKind::PostedReceive, s))
+                        .unwrap();
+                    engine.run_to_idle(1_000_000);
+                    engine.pop_response();
+                }
+                Action::Reset => {
+                    engine.push_command(Command::Reset).unwrap();
+                    engine.run_to_idle(1_000_000);
+                }
+            }
+            prop_assert!(engine.occupied() <= 16);
+        }
+    }
+}

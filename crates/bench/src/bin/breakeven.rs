@@ -1,0 +1,67 @@
+//! The §VI-B break-even ablation: at what posted-queue length does the
+//! ALPU overhead pay for itself? The paper reports a break-even of about
+//! 5 entries and an ~80 ns zero-length penalty, suggesting "the MPI
+//! library could be optimized to not use the ALPU until the list is at
+//! least 5 entries long".
+
+use mpiq_bench::{preposted_latency, run_parallel, NicVariant, PrepostedPoint};
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("usize"))
+        .unwrap_or(16);
+    let points: Vec<(NicVariant, usize)> = (0..=max)
+        .flat_map(|q| {
+            [
+                (NicVariant::Baseline, q),
+                (NicVariant::Alpu128, q),
+                (NicVariant::Alpu256, q),
+            ]
+        })
+        .collect();
+    let rows = run_parallel(points.clone(), 0, |&(v, q)| {
+        preposted_latency(
+            v,
+            PrepostedPoint {
+                queue_len: q,
+                fraction: 1.0,
+                msg_size: 0,
+            },
+        )
+        .latency
+    });
+
+    println!("queue_len,baseline_us,alpu128_us,alpu256_us,alpu128_delta_ns");
+    let mut breakeven = None;
+    for q in 0..=max {
+        let get = |v: NicVariant| {
+            points
+                .iter()
+                .zip(&rows)
+                .find(|((pv, pq), _)| *pv == v && *pq == q)
+                .map(|(_, &t)| t)
+                .expect("present")
+        };
+        let b = get(NicVariant::Baseline);
+        let a128 = get(NicVariant::Alpu128);
+        let a256 = get(NicVariant::Alpu256);
+        let delta_ns = a128.as_ns_f64() - b.as_ns_f64();
+        println!(
+            "{q},{:.4},{:.4},{:.4},{:.1}",
+            b.as_us_f64(),
+            a128.as_us_f64(),
+            a256.as_us_f64(),
+            delta_ns
+        );
+        if breakeven.is_none() && delta_ns <= 0.0 {
+            breakeven = Some(q);
+        }
+    }
+    eprintln!(
+        "breakeven: ALPU-128 pays for itself at queue length {:?} (paper: ~5); \
+         zero-length penalty {:.0} ns (paper: ~80)",
+        breakeven,
+        rows[1].as_ns_f64() - rows[0].as_ns_f64()
+    );
+}

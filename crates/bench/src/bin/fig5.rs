@@ -1,0 +1,184 @@
+//! Regenerates Figure 5: message latency vs. posted-receive queue length
+//! and fraction of the queue traversed, for the baseline NIC and the
+//! 128-/256-entry ALPU NICs.
+//!
+//! ```text
+//! cargo run --release -p mpiq-bench --bin fig5 -- [--config all|baseline|alpu128|alpu256]
+//!     [--max-queue 500] [--step 25] [--fractions 0,0.25,0.5,0.75,1.0]
+//!     [--sizes 0,1024,8192] [--threads 0] [--json results/fig5.json]
+//! ```
+
+use mpiq_bench::{preposted_latency, run_parallel, NicVariant, PrepostedPoint};
+use mpiq_bench::report::{write_json, CsvRow};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    queue_len: usize,
+    fraction: f64,
+    msg_size: u32,
+    latency_us: f64,
+    sw_traversed: u64,
+    rx_l1_misses: u64,
+}
+
+impl CsvRow for Row {
+    fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.4},{},{}",
+            self.config,
+            self.queue_len,
+            self.fraction,
+            self.msg_size,
+            self.latency_us,
+            self.sw_traversed,
+            self.rx_l1_misses
+        )
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let variants: Vec<NicVariant> = match args.config.as_str() {
+        "all" => NicVariant::ALL.to_vec(),
+        s => vec![s.parse().unwrap_or_else(|e| panic!("{e}"))],
+    };
+
+    let mut points = Vec::new();
+    for &v in &variants {
+        for &size in &args.sizes {
+            for &f in &args.fractions {
+                for q in (0..=args.max_queue).step_by(args.step) {
+                    points.push((
+                        v,
+                        PrepostedPoint {
+                            queue_len: q,
+                            fraction: f,
+                            msg_size: size,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    eprintln!(
+        "fig5: {} points across {} config(s), {} thread(s)",
+        points.len(),
+        variants.len(),
+        if args.threads == 0 { "auto".to_string() } else { args.threads.to_string() }
+    );
+
+    let rows: Vec<Row> = run_parallel(points, args.threads, |&(v, p)| {
+        let r = preposted_latency(v, p);
+        Row {
+            config: v.label().to_string(),
+            queue_len: p.queue_len,
+            fraction: p.fraction,
+            msg_size: p.msg_size,
+            latency_us: r.latency.as_us_f64(),
+            sw_traversed: r.sw_traversed,
+            rx_l1_misses: r.rx_l1_misses,
+        }
+    });
+
+    println!("config,queue_len,fraction,msg_size,latency_us,sw_traversed,rx_l1_misses");
+    for r in &rows {
+        println!("{}", r.csv());
+    }
+    if let Some(path) = &args.json {
+        write_json(std::path::Path::new(path), &rows).expect("write json");
+        eprintln!("fig5: wrote {path}");
+    }
+
+    if args.plot {
+        let mut series = Vec::new();
+        for (v, glyph) in variants.iter().zip(['B', 'a', 'A', 'x', 'y']) {
+            series.push(mpiq_bench::ascii_plot::Series {
+                label: v.label().to_string(),
+                glyph,
+                points: rows
+                    .iter()
+                    .filter(|r| {
+                        r.config == v.label() && r.fraction == 1.0 && r.msg_size == args.sizes[0]
+                    })
+                    .map(|r| (r.queue_len as f64, r.latency_us))
+                    .collect(),
+            });
+        }
+        eprintln!(
+            "
+Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
+{}",
+            args.sizes[0],
+            mpiq_bench::ascii_plot::render(&series, 72, 20, "queue length", "latency (us)")
+        );
+    }
+
+    // Headline summary (paper §VI-B shape checks).
+    for &v in &variants {
+        let at = |q: usize| {
+            rows.iter()
+                .find(|r| {
+                    r.config == v.label()
+                        && r.queue_len == q
+                        && r.fraction == 1.0
+                        && r.msg_size == args.sizes[0]
+                })
+                .map(|r| r.latency_us)
+        };
+        if let (Some(l0), Some(lmax)) = (at(0), at(args.max_queue)) {
+            eprintln!(
+                "fig5[{}]: latency {:.2}us @len 0 -> {:.2}us @len {} (full traversal)",
+                v.label(),
+                l0,
+                lmax,
+                args.max_queue
+            );
+        }
+    }
+}
+
+struct Args {
+    plot: bool,
+    config: String,
+    max_queue: usize,
+    step: usize,
+    fractions: Vec<f64>,
+    sizes: Vec<u32>,
+    threads: usize,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            plot: false,
+            config: "all".into(),
+            max_queue: 500,
+            step: 25,
+            fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            sizes: vec![0, 1024, 8192],
+            threads: 0,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+            match flag.as_str() {
+                "--plot" => a.plot = true,
+                "--config" => a.config = val(),
+                "--max-queue" => a.max_queue = val().parse().expect("usize"),
+                "--step" => a.step = val().parse().expect("usize"),
+                "--fractions" => {
+                    a.fractions = val().split(',').map(|s| s.parse().expect("f64")).collect()
+                }
+                "--sizes" => a.sizes = val().split(',').map(|s| s.parse().expect("u32")).collect(),
+                "--threads" => a.threads = val().parse().expect("usize"),
+                "--json" => a.json = Some(val()),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        a
+    }
+}

@@ -1,0 +1,131 @@
+//! Regenerates Figure 6: message latency (including receive-posting time)
+//! vs. unexpected-queue length for the three NIC configurations.
+//!
+//! ```text
+//! cargo run --release -p mpiq-bench --bin fig6 -- [--max-queue 400] [--step 20]
+//!     [--sizes 64,1024] [--threads 0] [--json results/fig6.json]
+//! ```
+
+use mpiq_bench::report::{write_json, CsvRow};
+use mpiq_bench::{run_parallel, unexpected_latency, NicVariant, UnexpectedPoint};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    queue_len: usize,
+    msg_size: u32,
+    latency_us: f64,
+    sw_traversed: u64,
+}
+
+impl CsvRow for Row {
+    fn csv(&self) -> String {
+        format!(
+            "{},{},{},{:.4},{}",
+            self.config, self.queue_len, self.msg_size, self.latency_us, self.sw_traversed
+        )
+    }
+}
+
+fn main() {
+    let mut max_queue = 400usize;
+    let mut step = 20usize;
+    let mut sizes: Vec<u32> = vec![64, 1024];
+    let mut threads = 0usize;
+    let mut json: Option<String> = None;
+    let mut plot = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--plot" => {
+                plot = true;
+                continue;
+            }
+            "--max-queue" => max_queue = val().parse().expect("usize"),
+            "--step" => step = val().parse().expect("usize"),
+            "--sizes" => sizes = val().split(',').map(|s| s.parse().expect("u32")).collect(),
+            "--threads" => threads = val().parse().expect("usize"),
+            "--json" => json = Some(val()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let mut points = Vec::new();
+    for v in NicVariant::ALL {
+        for &size in &sizes {
+            for q in (0..=max_queue).step_by(step) {
+                points.push((
+                    v,
+                    UnexpectedPoint {
+                        queue_len: q,
+                        msg_size: size,
+                    },
+                ));
+            }
+        }
+    }
+    eprintln!("fig6: {} points", points.len());
+
+    let rows: Vec<Row> = run_parallel(points, threads, |&(v, p)| {
+        let r = unexpected_latency(v, p);
+        Row {
+            config: v.label().to_string(),
+            queue_len: p.queue_len,
+            msg_size: p.msg_size,
+            latency_us: r.latency.as_us_f64(),
+            sw_traversed: r.sw_traversed,
+        }
+    });
+
+    println!("config,queue_len,msg_size,latency_us,sw_traversed");
+    for r in &rows {
+        println!("{}", r.csv());
+    }
+    if let Some(path) = &json {
+        write_json(std::path::Path::new(path), &rows).expect("write json");
+        eprintln!("fig6: wrote {path}");
+    }
+
+    if plot {
+        let mut series = Vec::new();
+        for (v, glyph) in NicVariant::ALL.iter().zip(['B', 'a', 'A']) {
+            series.push(mpiq_bench::ascii_plot::Series {
+                label: v.label().to_string(),
+                glyph,
+                points: rows
+                    .iter()
+                    .filter(|r| r.config == v.label() && r.msg_size == sizes[0])
+                    .map(|r| (r.queue_len as f64, r.latency_us))
+                    .collect(),
+            });
+        }
+        eprintln!(
+            "
+Fig. 6: latency vs unexpected-queue length ({} B messages)
+{}",
+            sizes[0],
+            mpiq_bench::ascii_plot::render(&series, 72, 20, "unexpected queue length", "latency (us)")
+        );
+    }
+
+    // Crossover summary: first queue length where the ALPU clearly wins.
+    for alpu in [NicVariant::Alpu128, NicVariant::Alpu256] {
+        let size = sizes[0];
+        let crossover = (0..=max_queue).step_by(step).find(|&q| {
+            let base = rows
+                .iter()
+                .find(|r| r.config == "baseline" && r.queue_len == q && r.msg_size == size);
+            let a = rows
+                .iter()
+                .find(|r| r.config == alpu.label() && r.queue_len == q && r.msg_size == size);
+            matches!((base, a), (Some(b), Some(a)) if a.latency_us + 0.2 < b.latency_us)
+        });
+        eprintln!(
+            "fig6[{}]: clear advantage starts at queue length {:?} (paper: ~70)",
+            alpu.label(),
+            crossover
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Result emission: CSV to stdout/files plus JSON dumps for downstream
+//! plotting.
+
+use serde::Serialize;
+use std::fmt::Display;
+use std::io::Write;
+use std::path::Path;
+
+/// Write rows as CSV to any writer. `header` is the comma-joined column
+/// list; each row supplies its cells.
+pub fn write_csv<W: Write, R: CsvRow>(mut out: W, header: &str, rows: &[R]) -> std::io::Result<()> {
+    writeln!(out, "{header}")?;
+    for r in rows {
+        writeln!(out, "{}", r.csv())?;
+    }
+    Ok(())
+}
+
+/// A row that can render itself as CSV cells.
+pub trait CsvRow {
+    /// Comma-joined cells for this row.
+    fn csv(&self) -> String;
+}
+
+/// Serialize rows as pretty JSON into `path` (creating parent dirs).
+pub fn write_json<R: Serialize>(path: &Path, rows: &[R]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let f = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(f, rows)?;
+    Ok(())
+}
+
+/// Join any displayable cells with commas.
+pub fn cells<D: Display>(items: &[D]) -> String {
+    items
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row(u32, f64);
+    impl CsvRow for Row {
+        fn csv(&self) -> String {
+            format!("{},{}", self.0, self.1)
+        }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, "a,b", &[Row(1, 2.5), Row(3, 4.0)]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2.5\n3,4\n");
+    }
+
+    #[test]
+    fn cells_joins() {
+        assert_eq!(cells(&[1, 2, 3]), "1,2,3");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("mpiq_bench_test");
+        let path = dir.join("out.json");
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        write_json(&path, &[R { x: 1 }, R { x: 2 }]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,94 @@
+//! Core configurations — Table III of the paper, as code.
+
+use mpiq_dessim::{Clock, Time};
+use mpiq_memsim::MemSystemConfig;
+
+/// Microarchitectural parameters of one modeled core.
+///
+/// Field names follow Table III. Parameters the timing model abstracts away
+/// (fetch-queue depth, commit width) are retained for documentation and for
+/// deriving effective issue bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Fetch queue depth (Table III; folded into issue bandwidth).
+    pub fetch_q: u32,
+    /// Maximum uops issued per cycle.
+    pub issue_width: u32,
+    /// Maximum uops committed per cycle.
+    pub commit_width: u32,
+    /// Register-update-unit (in-flight window) size.
+    pub ruu_size: u32,
+    /// Number of integer ALUs.
+    pub int_units: u32,
+    /// Number of cache ports (loads/stores issued per cycle).
+    pub mem_ports: u32,
+    /// Core clock.
+    pub clock: Clock,
+    /// Memory system (caches + DRAM) this core loads/stores through.
+    pub mem: MemSystemConfig,
+    /// One local-bus transaction (NIC local bus: 20 ns in §V-B).
+    pub bus_latency: Time,
+}
+
+impl CoreConfig {
+    /// The NIC's embedded processor (Table III, "NIC Processor" column —
+    /// PowerPC 440 class): 500 MHz, 4-issue with 2 integer units, RUU 16,
+    /// one memory port, 32 KB 64-way L1, no L2.
+    pub fn nic_ppc440() -> CoreConfig {
+        CoreConfig {
+            fetch_q: 2,
+            issue_width: 4,
+            commit_width: 4,
+            ruu_size: 16,
+            int_units: 2,
+            mem_ports: 1,
+            clock: Clock::from_mhz(500),
+            mem: MemSystemConfig::nic(),
+            bus_latency: Time::from_ns(20),
+        }
+    }
+
+    /// The host processor (Table III, "CPU" column — Opteron class):
+    /// 2 GHz, 8-issue with 4 integer units, RUU 64, 3 memory ports,
+    /// 64 KB 2-way L1, 512 KB L2.
+    pub fn host_opteron() -> CoreConfig {
+        CoreConfig {
+            fetch_q: 4,
+            issue_width: 8,
+            commit_width: 4,
+            ruu_size: 64,
+            int_units: 4,
+            mem_ports: 3,
+            clock: Clock::from_hz(2_000_000_000),
+            mem: MemSystemConfig::host(),
+            bus_latency: Time::from_ns(20),
+        }
+    }
+
+    /// Effective integer issue bandwidth per cycle: bounded by both the
+    /// issue width and the number of integer units.
+    pub fn int_width(&self) -> u32 {
+        self.issue_width.min(self.int_units).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values() {
+        let nic = CoreConfig::nic_ppc440();
+        assert_eq!(nic.clock.period(), Time::from_ps(2000));
+        assert_eq!(nic.int_width(), 2);
+        assert_eq!(nic.ruu_size, 16);
+        assert_eq!(nic.mem_ports, 1);
+
+        let host = CoreConfig::host_opteron();
+        assert_eq!(host.clock.period(), Time::from_ps(500));
+        assert_eq!(host.int_width(), 4);
+        assert_eq!(host.ruu_size, 64);
+        assert!(host.mem.l2.is_some());
+        assert!(nic.mem.l2.is_none());
+    }
+}

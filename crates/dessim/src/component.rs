@@ -1,0 +1,137 @@
+//! The component model: simulation actors and their execution context.
+
+use crate::event::{InPort, OutPort, Payload};
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::Time;
+use crate::trace::TraceRing;
+
+/// Identifies a component within one [`Simulation`](crate::Simulation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ComponentId(pub u32);
+
+/// A simulation actor.
+///
+/// Components own their state and react to events. All interaction with the
+/// outside world goes through the [`Ctx`] passed to each call; a component
+/// can never touch another component directly, which is what makes the
+/// kernel deterministic and borrow-check-friendly.
+pub trait Component: 'static {
+    /// Handle one delivered event. May emit events on output ports, post
+    /// self-wakeups, mutate stats, and draw random numbers via `ctx`.
+    fn on_event(&mut self, ev: crate::event::Event, ctx: &mut Ctx<'_>);
+
+    /// Called once when the simulation starts (before any event). Default:
+    /// nothing.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Expose the component for downcasting (harness inspection between
+    /// runs). Override with `Some(self)` to opt in.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable variant of [`Component::as_any`].
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// A pending emission recorded by a `Ctx` during one handler invocation.
+pub(crate) enum Emission {
+    /// Route via the wiring table: (src, out port) -> (dst, in port, latency).
+    Output {
+        port: OutPort,
+        payload: Payload,
+        extra_delay: Time,
+    },
+    /// Direct send to a known component, bypassing wiring.
+    Direct {
+        dst: ComponentId,
+        port: InPort,
+        payload: Payload,
+        delay: Time,
+    },
+}
+
+/// Execution context handed to a component while it runs.
+///
+/// Emissions are buffered and committed by the scheduler after the handler
+/// returns, in emission order, preserving determinism.
+pub struct Ctx<'a> {
+    pub(crate) now: Time,
+    pub(crate) me: ComponentId,
+    pub(crate) emissions: Vec<Emission>,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) stats: &'a mut Stats,
+    pub(crate) stop_requested: &'a mut bool,
+    pub(crate) trace: &'a mut TraceRing,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    pub fn me(&self) -> ComponentId {
+        self.me
+    }
+
+    /// Emit on an output port; delivery time is `now + link latency`.
+    pub fn emit(&mut self, port: OutPort, payload: Payload) {
+        self.emit_after(port, payload, Time::ZERO);
+    }
+
+    /// Emit on an output port with an additional delay on top of the link
+    /// latency (e.g. serialization time).
+    pub fn emit_after(&mut self, port: OutPort, payload: Payload, extra_delay: Time) {
+        self.emissions.push(Emission::Output {
+            port,
+            payload,
+            extra_delay,
+        });
+    }
+
+    /// Send directly to a component, bypassing the wiring table. Useful for
+    /// replies where the requester's id traveled inside the payload.
+    pub fn send_to(&mut self, dst: ComponentId, port: InPort, payload: Payload, delay: Time) {
+        self.emissions.push(Emission::Direct {
+            dst,
+            port,
+            payload,
+            delay,
+        });
+    }
+
+    /// Schedule a wake-up event to myself after `delay`.
+    pub fn wake_me(&mut self, port: InPort, payload: Payload, delay: Time) {
+        self.send_to(self.me, port, payload, delay);
+    }
+
+    /// The simulation-wide deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The global statistics registry.
+    pub fn stats(&mut self) -> &mut Stats {
+        self.stats
+    }
+
+    /// Ask the scheduler to stop after this handler returns (pending
+    /// emissions are still enqueued but not executed).
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Append to the simulation trace ring (no-op unless tracing was
+    /// enabled via [`Simulation::enable_tracing`](crate::Simulation::enable_tracing)).
+    pub fn trace(&mut self, what: impl Into<String>) {
+        if self.trace.enabled() {
+            let (now, me) = (self.now, self.me);
+            self.trace.push(now, me, what);
+        }
+    }
+}

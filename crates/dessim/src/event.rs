@@ -1,0 +1,94 @@
+//! Events and dynamically typed payloads.
+
+use crate::component::ComponentId;
+use crate::time::Time;
+use std::any::Any;
+use std::fmt;
+
+/// An input port on a component. Pure label; meaning is component-defined.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct InPort(pub u16);
+
+/// An output port on a component. Pure label; wired via
+/// [`Simulation::connect`](crate::Simulation::connect).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OutPort(pub u16);
+
+/// A dynamically typed event payload.
+///
+/// Components in different crates exchange values without sharing a common
+/// payload enum: the sender wraps any `'static` value, the receiver
+/// [`downcast`](Payload::downcast)s it back. Wrong-type downcasts return the
+/// payload so callers can try other types or fail loudly.
+pub struct Payload(Box<dyn Any>);
+
+impl Payload {
+    /// Wrap a value.
+    pub fn new<T: 'static>(v: T) -> Payload {
+        Payload(Box::new(v))
+    }
+
+    /// An empty payload for pure "wake up" events.
+    pub fn empty() -> Payload {
+        Payload::new(())
+    }
+
+    /// Recover the concrete value, or get `self` back on type mismatch.
+    pub fn downcast<T: 'static>(self) -> Result<Box<T>, Payload> {
+        self.0.downcast::<T>().map_err(Payload)
+    }
+
+    /// Borrow the concrete value if the type matches.
+    pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+
+    /// Does this payload hold a `T`?
+    pub fn is<T: 'static>(&self) -> bool {
+        self.0.is::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload(<{:?}>)", (*self.0).type_id())
+    }
+}
+
+/// A delivered event, handed to [`Component::on_event`](crate::Component::on_event).
+#[derive(Debug)]
+pub struct Event {
+    /// Delivery time (equals `ctx.now()` during handling).
+    pub time: Time,
+    /// Receiving component.
+    pub dst: ComponentId,
+    /// Input port the event arrived on.
+    pub port: InPort,
+    /// The data.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = Payload::new(17u32);
+        assert!(p.is::<u32>());
+        assert_eq!(p.downcast_ref::<u32>(), Some(&17));
+        assert_eq!(*p.downcast::<u32>().unwrap(), 17);
+    }
+
+    #[test]
+    fn payload_wrong_type_is_recoverable() {
+        let p = Payload::new("hello");
+        let p = p.downcast::<u32>().unwrap_err();
+        assert_eq!(*p.downcast::<&str>().unwrap(), "hello");
+    }
+
+    #[test]
+    fn empty_payload_is_unit() {
+        assert!(Payload::empty().is::<()>());
+    }
+}

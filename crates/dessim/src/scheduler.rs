@@ -1,0 +1,614 @@
+//! The event scheduler / simulation executive.
+
+use crate::calendar::CalendarQueue;
+use crate::component::{Component, ComponentId, Ctx, Emission};
+use crate::event::{Event, InPort, OutPort, Payload};
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::Time;
+use crate::trace::TraceRing;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One scheduled event in the heap. Ordered by (time, seq): the sequence
+/// number breaks ties deterministically in insertion order.
+struct Scheduled {
+    time: Time,
+    seq: u64,
+    dst: ComponentId,
+    port: InPort,
+    payload: Payload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A wired link: (src component, out port) -> (dst component, in port, latency).
+#[derive(Clone, Copy)]
+struct Link {
+    dst: ComponentId,
+    port: InPort,
+    latency: Time,
+}
+
+/// The pending-event set: a binary heap by default, or a calendar queue
+/// (see [`crate::calendar`]) when selected via
+/// [`Simulation::use_calendar_queue`].
+enum Pending {
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+    Calendar(CalendarQueue<(ComponentId, InPort, Payload)>),
+}
+
+impl Pending {
+    fn push(&mut self, ev: Scheduled) {
+        match self {
+            Pending::Heap(h) => h.push(Reverse(ev)),
+            Pending::Calendar(c) => c.push(ev.time, ev.seq, (ev.dst, ev.port, ev.payload)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled> {
+        match self {
+            Pending::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            Pending::Calendar(c) => c.pop().map(|(time, seq, (dst, port, payload))| Scheduled {
+                time,
+                seq,
+                dst,
+                port,
+                payload,
+            }),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            Pending::Heap(h) => h.peek().map(|Reverse(ev)| ev.time),
+            // The calendar has no cheap peek; pop and re-push would break
+            // amortization, so run_until handles Calendar via pop+check.
+            Pending::Calendar(_) => None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Pending::Heap(h) => h.is_empty(),
+            Pending::Calendar(c) => c.is_empty(),
+        }
+    }
+}
+
+/// The simulation executive: owns components, wiring, the event heap,
+/// virtual time, the RNG, and the statistics registry.
+pub struct Simulation {
+    components: Vec<Box<dyn Component>>,
+    names: Vec<String>,
+    wiring: HashMap<(ComponentId, OutPort), Link>,
+    heap: Pending,
+    now: Time,
+    seq: u64,
+    rng: SimRng,
+    stats: Stats,
+    trace: TraceRing,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Simulation {
+    /// Create an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Simulation {
+        Simulation {
+            components: Vec::new(),
+            names: Vec::new(),
+            wiring: HashMap::new(),
+            heap: Pending::Heap(BinaryHeap::new()),
+            now: Time::ZERO,
+            seq: 0,
+            rng: SimRng::new(seed),
+            stats: Stats::new(),
+            trace: TraceRing::disabled(),
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Register a component; the returned id addresses it in wiring and
+    /// direct sends.
+    pub fn add_component<C: Component>(&mut self, name: &str, c: C) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(Box::new(c));
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Wire `src.out_port` to `dst.in_port` with the given link latency.
+    /// Re-connecting an already wired output port replaces the link.
+    pub fn connect(
+        &mut self,
+        src: ComponentId,
+        out_port: OutPort,
+        dst: ComponentId,
+        in_port: InPort,
+        latency: Time,
+    ) {
+        assert!(
+            (dst.0 as usize) < self.components.len(),
+            "connect: unknown destination component"
+        );
+        self.wiring.insert(
+            (src, out_port),
+            Link {
+                dst,
+                port: in_port,
+                latency,
+            },
+        );
+    }
+
+    /// Switch the pending-event set to a calendar queue (Brown 1988).
+    /// Only valid before any event is posted; same delivery order as the
+    /// default heap.
+    pub fn use_calendar_queue(&mut self) {
+        assert!(
+            self.heap.is_empty() && self.seq == 0,
+            "select the scheduler before posting events"
+        );
+        self.heap = Pending::Calendar(CalendarQueue::new());
+    }
+
+    /// Schedule an event for delivery `delay` after the current time.
+    pub fn post(&mut self, dst: ComponentId, port: InPort, payload: Payload, delay: Time) {
+        let time = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            dst,
+            port,
+            payload,
+        });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable view of the statistics registry.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable view of the statistics registry (e.g. for resetting between
+    /// measurement phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Registered name of a component.
+    pub fn name_of(&self, id: ComponentId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Keep the last `capacity` [`Ctx::trace`] records for debugging.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = TraceRing::with_capacity(capacity);
+    }
+
+    /// The trace ring (render with
+    /// [`TraceRing::render`](crate::trace::TraceRing::render)).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Render the retained trace with component names resolved.
+    pub fn render_trace(&self) -> String {
+        self.trace
+            .render(|id| self.names[id.0 as usize].clone())
+    }
+
+    /// Downcast a component to its concrete type, if it opted in via
+    /// [`Component::as_any`]. For harness inspection between runs.
+    pub fn component<C: Component>(&self, id: ComponentId) -> Option<&C> {
+        self.components[id.0 as usize].as_any()?.downcast_ref()
+    }
+
+    /// Mutable variant of [`Simulation::component`].
+    pub fn component_mut<C: Component>(&mut self, id: ComponentId) -> Option<&mut C> {
+        self.components[id.0 as usize].as_any_mut()?.downcast_mut()
+    }
+
+    /// Run until the heap is empty or a component requested a stop.
+    /// Returns the number of events processed by this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(Time::MAX)
+    }
+
+    /// Run events with `time <= horizon`; time advances to the last
+    /// delivered event (not to the horizon itself if the heap runs dry).
+    pub fn run_until(&mut self, horizon: Time) -> u64 {
+        self.start_components();
+        let mut delivered = 0u64;
+        let mut stop = false;
+        while !stop {
+            // Fast-path peek on the heap; the calendar pops then checks.
+            if let Some(t) = self.heap.peek_time() {
+                if t > horizon {
+                    break;
+                }
+            }
+            let Some(ev) = self.heap.pop() else {
+                break;
+            };
+            if ev.time > horizon {
+                // Calendar path: re-admit the overshoot event.
+                self.heap.push(ev);
+                break;
+            }
+            debug_assert!(ev.time >= self.now, "time must be monotone");
+            self.now = ev.time;
+            self.dispatch(ev, &mut stop);
+            delivered += 1;
+        }
+        self.events_processed += delivered;
+        delivered
+    }
+
+    /// Run exactly one event if one is pending. Returns `false` if idle.
+    pub fn step(&mut self) -> bool {
+        self.start_components();
+        let Some(ev) = self.heap.pop() else {
+            return false;
+        };
+        self.now = ev.time;
+        let mut stop = false;
+        self.dispatch(ev, &mut stop);
+        self.events_processed += 1;
+        true
+    }
+
+    fn start_components(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.components.len() {
+            let id = ComponentId(i as u32);
+            let mut stop = false;
+            let mut ctx = Ctx {
+                now: self.now,
+                me: id,
+                emissions: Vec::new(),
+                rng: &mut self.rng,
+                stats: &mut self.stats,
+                stop_requested: &mut stop,
+                trace: &mut self.trace,
+            };
+            self.components[i].on_start(&mut ctx);
+            let emissions = ctx.emissions;
+            self.commit(id, emissions);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Scheduled, stop: &mut bool) {
+        let id = ev.dst;
+        let idx = id.0 as usize;
+        assert!(idx < self.components.len(), "event for unknown component");
+        let mut ctx = Ctx {
+            now: self.now,
+            me: id,
+            emissions: Vec::new(),
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            stop_requested: stop,
+            trace: &mut self.trace,
+        };
+        let event = Event {
+            time: ev.time,
+            dst: id,
+            port: ev.port,
+            payload: ev.payload,
+        };
+        self.components[idx].on_event(event, &mut ctx);
+        let emissions = ctx.emissions;
+        self.commit(id, emissions);
+    }
+
+    fn commit(&mut self, src: ComponentId, emissions: Vec<Emission>) {
+        for e in emissions {
+            match e {
+                Emission::Output {
+                    port,
+                    payload,
+                    extra_delay,
+                } => {
+                    let link = *self
+                        .wiring
+                        .get(&(src, port))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "component `{}` emitted on unwired output port {:?}",
+                                self.names[src.0 as usize], port
+                            )
+                        });
+                    self.post(link.dst, link.port, payload, link.latency + extra_delay);
+                }
+                Emission::Direct {
+                    dst,
+                    port,
+                    payload,
+                    delay,
+                } => self.post(dst, port, payload, delay),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts events and forwards `n-1` copies of itself.
+    struct Counter {
+        seen: Vec<(Time, u64)>,
+    }
+    impl Component for Counter {
+        fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            let n = *ev.payload.downcast::<u64>().unwrap();
+            self.seen.push((ctx.now(), n));
+            if n > 0 {
+                ctx.wake_me(InPort(0), Payload::new(n - 1), Time::from_ns(5));
+            }
+        }
+    }
+
+    #[test]
+    fn self_wakeups_advance_time() {
+        let mut sim = Simulation::new(1);
+        let c = sim.add_component("ctr", Counter { seen: vec![] });
+        sim.post(c, InPort(0), Payload::new(3u64), Time::from_ns(2));
+        sim.run();
+        assert_eq!(sim.now(), Time::from_ns(2 + 3 * 5));
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    struct Recorder {
+        log: std::rc::Rc<std::cell::RefCell<Vec<(Time, u32)>>>,
+        tag: u32,
+    }
+    impl Component for Recorder {
+        fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            let _ = ev;
+            self.log.borrow_mut().push((ctx.now(), self.tag));
+        }
+    }
+
+    #[test]
+    fn ties_break_in_post_order() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let a = sim.add_component(
+            "a",
+            Recorder {
+                log: log.clone(),
+                tag: 1,
+            },
+        );
+        let b = sim.add_component(
+            "b",
+            Recorder {
+                log: log.clone(),
+                tag: 2,
+            },
+        );
+        // Post b first, then a, at the same timestamp: delivery order must
+        // match post order regardless of component ids.
+        sim.post(b, InPort(0), Payload::empty(), Time::from_ns(10));
+        sim.post(a, InPort(0), Payload::empty(), Time::from_ns(10));
+        sim.run();
+        let got: Vec<u32> = log.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(got, vec![2, 1]);
+    }
+
+    #[test]
+    fn wiring_routes_with_latency() {
+        struct Fwd;
+        impl Component for Fwd {
+            fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                let n = *ev.payload.downcast::<u64>().unwrap();
+                if n > 0 {
+                    ctx.emit(OutPort(0), Payload::new(n - 1));
+                }
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let a = sim.add_component("a", Fwd);
+        let b = sim.add_component("b", Fwd);
+        sim.connect(a, OutPort(0), b, InPort(0), Time::from_ns(100));
+        sim.connect(b, OutPort(0), a, InPort(0), Time::from_ns(100));
+        sim.post(a, InPort(0), Payload::new(4u64), Time::ZERO);
+        sim.run();
+        // 4 hops of 100 ns each.
+        assert_eq!(sim.now(), Time::from_ns(400));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new(0);
+        let c = sim.add_component("ctr", Counter { seen: vec![] });
+        sim.post(c, InPort(0), Payload::new(100u64), Time::ZERO);
+        let n = sim.run_until(Time::from_ns(12));
+        // events at t=0,5,10 are <= 12ns; t=15 is not.
+        assert_eq!(n, 3);
+        assert_eq!(sim.now(), Time::from_ns(10));
+        // Remaining events still run afterwards.
+        sim.run();
+        assert_eq!(sim.events_processed(), 101);
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        struct Stopper {
+            after: u64,
+        }
+        impl Component for Stopper {
+            fn on_event(&mut self, _ev: Event, ctx: &mut Ctx<'_>) {
+                if self.after == 0 {
+                    ctx.stop();
+                } else {
+                    self.after -= 1;
+                    ctx.wake_me(InPort(0), Payload::empty(), Time::NS);
+                }
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let c = sim.add_component("s", Stopper { after: 5 });
+        sim.post(c, InPort(0), Payload::empty(), Time::ZERO);
+        let n = sim.run();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn on_start_runs_once_before_events() {
+        struct Starter {
+            started: u32,
+        }
+        impl Component for Starter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.started += 1;
+                ctx.wake_me(InPort(0), Payload::empty(), Time::NS);
+            }
+            fn on_event(&mut self, _ev: Event, ctx: &mut Ctx<'_>) {
+                ctx.stats().add("starter.events", 1);
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let _ = sim.add_component("s", Starter { started: 0 });
+        sim.run();
+        assert_eq!(sim.stats().get("starter.events"), 1);
+        sim.run(); // idempotent: start hooks don't fire again
+        assert_eq!(sim.stats().get("starter.events"), 1);
+    }
+
+    #[test]
+    fn tracing_records_component_activity() {
+        struct Chatty;
+        impl Component for Chatty {
+            fn on_event(&mut self, _ev: Event, ctx: &mut Ctx<'_>) {
+                ctx.trace("handled an event");
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let c = sim.add_component("chatty", Chatty);
+        sim.enable_tracing(8);
+        sim.post(c, InPort(0), Payload::empty(), Time::from_ns(3));
+        sim.run();
+        let rendered = sim.render_trace();
+        assert!(rendered.contains("chatty"));
+        assert!(rendered.contains("handled an event"));
+        assert!(rendered.contains("3ns"));
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        struct Chatty;
+        impl Component for Chatty {
+            fn on_event(&mut self, _ev: Event, ctx: &mut Ctx<'_>) {
+                ctx.trace("never retained");
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let c = sim.add_component("chatty", Chatty);
+        sim.post(c, InPort(0), Payload::empty(), Time::ZERO);
+        sim.run();
+        assert_eq!(sim.trace().records().count(), 0);
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap_delivery_order() {
+        // A fan-out/fan-in workload with many simultaneous events; both
+        // schedulers must produce identical logs.
+        fn run(calendar: bool) -> Vec<(Time, u64)> {
+            struct Pinger {
+                log: std::rc::Rc<std::cell::RefCell<Vec<(Time, u64)>>>,
+                id: u64,
+            }
+            impl Component for Pinger {
+                fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                    let hops = *ev.payload.downcast::<u64>().unwrap();
+                    self.log.borrow_mut().push((ctx.now(), self.id * 1000 + hops));
+                    if hops > 0 {
+                        // Uneven delays exercise bucket spread.
+                        let d = Time::from_ns(3 + (hops * self.id) % 40);
+                        ctx.wake_me(InPort(0), Payload::new(hops - 1), d);
+                    }
+                }
+            }
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let mut sim = Simulation::new(5);
+            if calendar {
+                sim.use_calendar_queue();
+            }
+            for id in 1..=6u64 {
+                let c = sim.add_component(
+                    &format!("p{id}"),
+                    Pinger {
+                        log: log.clone(),
+                        id,
+                    },
+                );
+                sim.post(c, InPort(0), Payload::new(30u64), Time::from_ns(id));
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn calendar_queue_respects_run_until_horizon() {
+        let mut sim = Simulation::new(0);
+        sim.use_calendar_queue();
+        let c = sim.add_component("ctr", Counter { seen: vec![] });
+        sim.post(c, InPort(0), Payload::new(100u64), Time::ZERO);
+        let n = sim.run_until(Time::from_ns(12));
+        assert_eq!(n, 3);
+        sim.run();
+        assert_eq!(sim.events_processed(), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "unwired output port")]
+    fn unwired_emit_panics_with_component_name() {
+        struct Bad;
+        impl Component for Bad {
+            fn on_event(&mut self, _ev: Event, ctx: &mut Ctx<'_>) {
+                ctx.emit(OutPort(7), Payload::empty());
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let c = sim.add_component("bad", Bad);
+        sim.post(c, InPort(0), Payload::empty(), Time::ZERO);
+        sim.run();
+    }
+}

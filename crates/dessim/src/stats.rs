@@ -1,0 +1,117 @@
+//! A global statistics registry.
+//!
+//! Experiments read hardware-internal counters (cache misses, FIFO
+//! occupancy highwater marks, ALPU match counts) after — or between —
+//! simulation phases. Components publish into a flat string-keyed counter
+//! space; the convention is dotted paths like `"nic0.l1.miss"`.
+
+use std::collections::BTreeMap;
+
+/// Counter registry. Uses a `BTreeMap` so that dumps are deterministically
+/// ordered.
+#[derive(Default, Debug, Clone)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Empty registry.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Add `v` to counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += v;
+        } else {
+            self.counters.insert(key.to_string(), v);
+        }
+    }
+
+    /// Increment by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Overwrite a counter (for gauges like "current occupancy").
+    pub fn set(&mut self, key: &str, v: u64) {
+        self.counters.insert(key.to_string(), v);
+    }
+
+    /// Track a maximum (highwater gauges).
+    pub fn set_max(&mut self, key: &str, v: u64) {
+        let e = self.counters.entry(key.to_string()).or_insert(0);
+        *e = (*e).max(v);
+    }
+
+    /// Read a counter; absent counters read zero.
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum all counters whose key starts with `prefix` (e.g. every node's
+    /// L1 misses via prefix `"nic"` + suffix filtering by the caller).
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterate `(key, value)` in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Remove every counter (between measurement phases).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_incr_get() {
+        let mut s = Stats::new();
+        s.incr("a.b");
+        s.add("a.b", 4);
+        assert_eq!(s.get("a.b"), 5);
+        assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn set_and_set_max() {
+        let mut s = Stats::new();
+        s.set("g", 10);
+        s.set("g", 3);
+        assert_eq!(s.get("g"), 3);
+        s.set_max("m", 5);
+        s.set_max("m", 2);
+        s.set_max("m", 9);
+        assert_eq!(s.get("m"), 9);
+    }
+
+    #[test]
+    fn prefix_sum_and_ordered_iter() {
+        let mut s = Stats::new();
+        s.add("nic0.l1.miss", 2);
+        s.add("nic1.l1.miss", 3);
+        s.add("cpu0.l1.miss", 7);
+        assert_eq!(s.sum_prefix("nic"), 5);
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["cpu0.l1.miss", "nic0.l1.miss", "nic1.l1.miss"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Stats::new();
+        s.incr("x");
+        s.clear();
+        assert_eq!(s.get("x"), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Virtual time.
+//!
+//! Simulated time is measured in integer **picoseconds**. Picoseconds give
+//! exact representations for every clock in the modeled system (a 2 GHz host
+//! core has a 500 ps period, the 500 MHz NIC core 2000 ps, the ~112 MHz FPGA
+//! prototype ~8929 ps) and leave headroom for ~5 hours of simulated time in
+//! a `u64`, far beyond anything the experiments need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in picoseconds.
+///
+/// `Time` is used both as an absolute timestamp and as a duration; the
+/// arithmetic provided is the natural one for both readings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The zero timestamp / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as an "infinite" horizon.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// One picosecond.
+    pub const PS: Time = Time(1);
+    /// One nanosecond.
+    pub const NS: Time = Time(1_000);
+    /// One microsecond.
+    pub const US: Time = Time(1_000_000);
+    /// One millisecond.
+    pub const MS: Time = Time(1_000_000_000);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Picosecond count.
+    #[inline]
+    pub const fn ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time as (truncated) whole nanoseconds.
+    #[inline]
+    pub const fn ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Time as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Time as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction: `max(self - rhs, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0ps")
+        } else if ps.is_multiple_of(1_000_000_000) {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1_000) {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_us(3).ns(), 3_000);
+        assert_eq!(Time::from_ps(1500).ns(), 1); // truncation
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!(a + b, Time::from_ns(14));
+        assert_eq!(a - b, Time::from_ns(6));
+        assert_eq!(a * 3, Time::from_ns(30));
+        assert_eq!(a / 2, Time::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Time = (1..=4).map(Time::from_ns).sum();
+        assert_eq!(total, Time::from_ns(10));
+    }
+
+    #[test]
+    fn display_picks_coarsest_exact_unit() {
+        assert_eq!(Time::ZERO.to_string(), "0ps");
+        assert_eq!(Time::from_ns(200).to_string(), "200ns");
+        assert_eq!(Time::from_us(13).to_string(), "13us");
+        assert_eq!(Time::from_ps(1_500).to_string(), "1500ps");
+        assert_eq!(Time::from_ps(2_000_000_000).to_string(), "2ms");
+    }
+
+    #[test]
+    fn as_float_conversions() {
+        assert_eq!(Time::from_ns(1500).as_us_f64(), 1.5);
+        assert_eq!(Time::from_ps(2500).as_ns_f64(), 2.5);
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(Time::MAX.checked_add(Time::PS), None);
+        assert_eq!(Time::ZERO.checked_add(Time::MAX), Some(Time::MAX));
+    }
+}

@@ -1,0 +1,141 @@
+//! Event tracing: a bounded ring of recent simulation activity.
+//!
+//! Debugging a distributed protocol deadlock needs to answer "what were
+//! the last N things that happened, and when?". Components append
+//! [`TraceRecord`]s through [`Ctx::trace`](crate::Ctx); the ring keeps the
+//! most recent `capacity` records and renders them in time order.
+//! Tracing is off (zero-capacity) by default and costs one branch when
+//! disabled.
+
+use crate::component::ComponentId;
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// One traced happening.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub time: Time,
+    /// Which component reported it.
+    pub who: ComponentId,
+    /// Free-form description.
+    pub what: String,
+}
+
+/// A bounded trace ring.
+#[derive(Debug, Default)]
+pub struct TraceRing {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A disabled ring (capacity 0).
+    pub fn disabled() -> TraceRing {
+        TraceRing::default()
+    }
+
+    /// A ring keeping the last `capacity` records.
+    pub fn with_capacity(capacity: usize) -> TraceRing {
+        TraceRing {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Is tracing active?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Append a record (dropping the oldest when full).
+    pub fn push(&mut self, time: Time, who: ComponentId, what: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            who,
+            what: what.into(),
+        });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained records, one per line.
+    pub fn render(&self, name_of: impl Fn(ComponentId) -> String) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+        }
+        for r in &self.records {
+            out.push_str(&format!("{:>12} {:<12} {}\n", r.time.to_string(), name_of(r.who), r.what));
+        }
+        out
+    }
+
+    /// Clear everything (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_drops_everything() {
+        let mut r = TraceRing::disabled();
+        r.push(Time::ZERO, ComponentId(0), "x");
+        assert_eq!(r.records().count(), 0);
+        assert!(!r.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = TraceRing::with_capacity(3);
+        for i in 0..5u64 {
+            r.push(Time::from_ns(i), ComponentId(0), format!("e{i}"));
+        }
+        let whats: Vec<&str> = r.records().map(|x| x.what.as_str()).collect();
+        assert_eq!(whats, vec!["e2", "e3", "e4"]);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn render_includes_drop_marker_and_names() {
+        let mut r = TraceRing::with_capacity(1);
+        r.push(Time::from_ns(1), ComponentId(7), "a");
+        r.push(Time::from_ns(2), ComponentId(7), "b");
+        let s = r.render(|id| format!("c{}", id.0));
+        assert!(s.contains("1 earlier records dropped"));
+        assert!(s.contains("c7"));
+        assert!(s.contains('b'));
+        assert!(!s.contains(" a\n"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = TraceRing::with_capacity(2);
+        r.push(Time::ZERO, ComponentId(0), "x");
+        r.clear();
+        assert_eq!(r.records().count(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! `mpiq-fpga` — structural FPGA resource and timing estimation for the
+//! ALPU prototype (Tables IV and V).
+//!
+//! The paper prototyped the ALPU in JHDL and mapped it to a Xilinx
+//! Virtex-II Pro 100 (-5). We cannot run the Xilinx tool chain, so this
+//! crate substitutes a *structural composition model*: the unit's LUT/FF
+//! counts are built up hierarchically from its primitives (per-cell
+//! storage and compare logic, per-block request registers and priority-mux
+//! trees, global control), and the clock estimate comes from the depth of
+//! the worst pipeline stage. Primitive cost constants are calibrated
+//! against the twelve synthesis results the paper reports; the *structure*
+//! (what scales with cells, with blocks, with block size, and why the two
+//! ALPU variants differ) is derived from the design in §III.
+//!
+//! See [`mod@estimate`] for the model and [`tables`] for regenerating
+//! Tables IV/V side by side with the published values.
+
+pub mod estimate;
+pub mod primitives;
+pub mod tables;
+
+pub use estimate::{estimate, ResourceEstimate};
+pub use tables::{paper_table, render_table, TableRow, Variant};

@@ -1,0 +1,85 @@
+//! Primitive cost constants for the Virtex-II Pro (-5) target.
+//!
+//! Structure comes from the design; magnitudes are calibrated against the
+//! twelve synthesis results of Tables IV/V (match width 42, tag width 16,
+//! a mask bit per match bit). Where a constant has an obvious structural
+//! identity it is written as such.
+
+/// Match width of the prototype (bits).
+pub const MATCH_WIDTH: u32 = 42;
+
+/// Tag width of the prototype (bits).
+pub const TAG_WIDTH: u32 = 16;
+
+/// Flip-flops per posted-receive cell: stored match bits + stored mask
+/// bits + tag + valid (Fig. 2a).
+pub const FF_PER_POSTED_CELL: f64 = (MATCH_WIDTH + MATCH_WIDTH + TAG_WIDTH + 1) as f64;
+
+/// Flip-flops per unexpected-message cell: stored match bits + tag +
+/// valid — the mask arrives with the probe and is not stored (Fig. 2b).
+pub const FF_PER_UNEXPECTED_CELL: f64 = (MATCH_WIDTH + TAG_WIDTH + 1) as f64;
+
+/// Additional pipeline flip-flops per cell (registered match result and
+/// enable staging). Calibrated.
+pub const FF_PER_CELL_PIPE: f64 = 0.78;
+
+/// Per-block flip-flops independent of block size: the registered copy of
+/// the incoming request (42 match bits) plus control staging (§III-B
+/// "a registered version of the incoming request (to facilitate timing)").
+pub const FF_PER_BLOCK_POSTED: f64 = 71.5;
+
+/// The unexpected variant also registers the probe's 42 mask bits in each
+/// block, hence one extra match-width register per block.
+pub const FF_PER_BLOCK_UNEXPECTED: f64 = FF_PER_BLOCK_POSTED + MATCH_WIDTH as f64;
+
+/// Per-block flip-flops per priority-tree level (the encoded match
+/// location and tag staging grow with `log2(block size)`). Calibrated.
+pub const FF_PER_BLOCK_TREE_LEVEL: f64 = 3.86;
+
+/// Global control flip-flops (state machine, FIFO pointers): posted
+/// variant. Calibrated.
+pub const FF_GLOBAL_POSTED: f64 = 198.0;
+
+/// Global control flip-flops: unexpected variant (narrower result path).
+pub const FF_GLOBAL_UNEXPECTED: f64 = 112.0;
+
+/// LUTs per cell: the masked comparator (one LUT4 covers two masked bit
+/// compares: 21 LUTs), its AND-reduce tree, the shift/insert data steering
+/// and valid/enable logic. Calibrated total.
+pub const LUT_PER_CELL: f64 = 66.45;
+
+/// LUTs per cell *per cell-in-block*: the "space available" scan each cell
+/// performs over the remainder of its block grows linearly with block
+/// size. Calibrated.
+pub const LUT_PER_CELL_PER_BLOCKSIZE: f64 = 0.124;
+
+/// LUTs per block for inter-block glue (flow control, match-location
+/// combine): posted variant. Calibrated.
+pub const LUT_PER_BLOCK_POSTED: f64 = 3.32;
+
+/// LUTs per block, unexpected variant.
+pub const LUT_PER_BLOCK_UNEXPECTED: f64 = 2.38;
+
+/// Slice packing: a Virtex-II slice holds 2 LUTs and 2 FFs, but control
+/// sets and carry chains prevent dense sharing. Fitted shares of LUTs and
+/// FFs that each demand their own slice half.
+pub const SLICE_PER_LUT: f64 = 0.174;
+
+/// See [`SLICE_PER_LUT`].
+pub const SLICE_PER_FF: f64 = 0.4363;
+
+/// Fixed pipeline-stage delay floor, ns: request fanout / cell compare /
+/// delete fanout stages as constrained in the prototype (the paper
+/// constrained the clock to 9 ns and reports ~112 MHz for small blocks).
+pub const STAGE_FLOOR_NS: f64 = 8.89;
+
+/// Intra-block priority tree: base routing + setup delay, ns. Calibrated.
+pub const TREE_BASE_NS: f64 = 4.4;
+
+/// Intra-block priority tree: delay per 2-to-1 mux level, ns. Calibrated.
+pub const TREE_LEVEL_NS: f64 = 1.1;
+
+/// Conservative FPGA→ASIC clock scaling the paper applies (§VI-A): "a 5x
+/// increase from FPGA to standard cell ASIC is an extremely conservative
+/// estimate".
+pub const ASIC_SPEEDUP: f64 = 5.0;

@@ -1,0 +1,123 @@
+//! The published Tables IV/V and side-by-side rendering against the model.
+
+use crate::estimate::estimate;
+
+/// Which ALPU variant a table describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Table IV: the posted-receives ALPU.
+    PostedReceive,
+    /// Table V: the unexpected-messages ALPU.
+    Unexpected,
+}
+
+/// One row of Table IV/V as published.
+#[derive(Clone, Copy, Debug)]
+pub struct TableRow {
+    /// Total cells.
+    pub total_cells: usize,
+    /// Cells per block.
+    pub block_size: usize,
+    /// 4-input LUTs reported by the Xilinx tools.
+    pub luts: u64,
+    /// Flip-flops reported.
+    pub ffs: u64,
+    /// Slices reported.
+    pub slices: u64,
+    /// Clock reported, MHz.
+    pub mhz: f64,
+    /// Match pipeline latency, cycles.
+    pub latency: u64,
+}
+
+/// The published values of Table IV (posted receives) or Table V
+/// (unexpected messages).
+pub fn paper_table(variant: Variant) -> Vec<TableRow> {
+    let rows: &[(usize, usize, u64, u64, u64, f64, u64)] = match variant {
+        Variant::PostedReceive => &[
+            (256, 8, 17_372, 28_908, 15_766, 112.5, 7),
+            (256, 16, 17_573, 27_656, 15_090, 111.4, 7),
+            (256, 32, 18_054, 26_971, 14_742, 100.2, 6),
+            (128, 8, 8_687, 14_562, 7_945, 111.5, 7),
+            (128, 16, 8_786, 13_897, 7_606, 112.1, 6),
+            (128, 32, 9_025, 13_605, 7_431, 100.6, 6),
+        ],
+        Variant::Unexpected => &[
+            (256, 8, 17_339, 19_414, 11_562, 112.1, 7),
+            (256, 16, 17_556, 17_490, 10_631, 111.9, 7),
+            (256, 32, 18_045, 16_469, 10_350, 100.9, 6),
+            (128, 8, 8_672, 9_773, 5_806, 111.2, 7),
+            (128, 16, 8_777, 8_771, 5_356, 112.1, 6),
+            (128, 32, 9_020, 8_311, 5_215, 100.6, 6),
+        ],
+    };
+    rows.iter()
+        .map(
+            |&(total_cells, block_size, luts, ffs, slices, mhz, latency)| TableRow {
+                total_cells,
+                block_size,
+                luts,
+                ffs,
+                slices,
+                mhz,
+                latency,
+            },
+        )
+        .collect()
+}
+
+/// Render one table: the model's estimates beside the published values.
+pub fn render_table(variant: Variant) -> String {
+    let title = match variant {
+        Variant::PostedReceive => "Table IV: Posted Receives ALPU prototypes",
+        Variant::Unexpected => "Table V: Unexpected Messages ALPU prototypes",
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(
+        "cells block |   LUTs (paper)    FFs (paper)  Slices (paper) |  MHz (paper) | lat (paper)\n",
+    );
+    out.push_str(&"-".repeat(96));
+    out.push('\n');
+    for row in paper_table(variant) {
+        let e = estimate(variant, row.total_cells, row.block_size);
+        out.push_str(&format!(
+            "{:5} {:5} | {:6} ({:6})  {:6} ({:6})  {:6} ({:6}) | {:5.1} ({:5.1}) | {:3} ({:3})\n",
+            row.total_cells,
+            row.block_size,
+            e.luts,
+            row.luts,
+            e.ffs,
+            row.ffs,
+            e.slices,
+            row.slices,
+            e.mhz,
+            row.mhz,
+            e.latency,
+            row.latency,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_six_rows_each() {
+        assert_eq!(paper_table(Variant::PostedReceive).len(), 6);
+        assert_eq!(paper_table(Variant::Unexpected).len(), 6);
+    }
+
+    #[test]
+    fn render_contains_all_configurations() {
+        let t = render_table(Variant::PostedReceive);
+        for cells in ["256", "128"] {
+            assert!(t.contains(cells));
+        }
+        assert!(t.contains("Table IV"));
+        let t5 = render_table(Variant::Unexpected);
+        assert!(t5.contains("Table V"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Banked DRAM with open-row (page-mode) state and contention.
+//!
+//! Each bank remembers its open row and the time it becomes free. An access
+//! that hits the open row pays only column access time; a closed bank pays
+//! activate + column; a conflicting open row pays precharge + activate +
+//! column. Requests to a busy bank queue behind it (FCFS per bank), which
+//! is exactly the "contention for open rows" effect the paper models.
+
+use mpiq_dessim::Time;
+
+/// DRAM device timing and geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct DramConfig {
+    /// Number of independent banks.
+    pub banks: u64,
+    /// Bytes per row (per bank).
+    pub row_bytes: u64,
+    /// Column access on an open-row hit.
+    pub row_hit: Time,
+    /// Activate + column access when the bank is idle/closed.
+    pub row_closed: Time,
+    /// Precharge + activate + column when another row is open.
+    pub row_conflict: Time,
+    /// Data burst occupancy per access (bank busy time beyond latency).
+    pub burst: Time,
+}
+
+impl DramConfig {
+    /// DRAM behind the NIC processor, calibrated so that L1-miss-to-memory
+    /// latency lands in Table III's 30–32 NIC cycles (60–64 ns at 500 MHz)
+    /// including the controller/base path in
+    /// [`crate::hierarchy::MemSystemConfig::nic`].
+    pub fn nic() -> DramConfig {
+        DramConfig {
+            banks: 4,
+            row_bytes: 2 * 1024,
+            row_hit: Time::from_ns(10),
+            row_closed: Time::from_ns(12),
+            row_conflict: Time::from_ns(14),
+            burst: Time::from_ns(4),
+        }
+    }
+
+    /// DRAM behind the host CPU, calibrated to Table III's 85–90 host
+    /// cycles (42.5–45 ns at 2 GHz) total with the host base path.
+    pub fn host() -> DramConfig {
+        DramConfig {
+            banks: 8,
+            row_bytes: 4 * 1024,
+            row_hit: Time::from_ps(7_500),
+            row_closed: Time::from_ns(9),
+            row_conflict: Time::from_ns(10),
+            burst: Time::from_ns(2),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Time,
+}
+
+/// The DRAM device model.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+    stalls: u64,
+}
+
+impl Dram {
+    /// All banks closed and idle.
+    pub fn new(cfg: DramConfig) -> Dram {
+        Dram {
+            cfg,
+            banks: vec![Bank::default(); cfg.banks as usize],
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+            stalls: 0,
+        }
+    }
+
+    #[inline]
+    fn map(&self, addr: u64) -> (usize, u64) {
+        // Row-interleaved mapping: consecutive rows rotate across banks so
+        // streaming accesses exploit bank parallelism.
+        let row_global = addr / self.cfg.row_bytes;
+        let bank = (row_global % self.cfg.banks) as usize;
+        let row = row_global / self.cfg.banks;
+        (bank, row)
+    }
+
+    /// Issue one access at time `now`; returns its completion time.
+    pub fn access(&mut self, addr: u64, now: Time) -> Time {
+        let (bank_idx, row) = self.map(addr);
+        let bank = &mut self.banks[bank_idx];
+
+        let start = now.max(bank.busy_until);
+        if start > now {
+            self.stalls += 1;
+        }
+        let latency = match bank.open_row {
+            Some(r) if r == row => {
+                self.row_hits += 1;
+                self.cfg.row_hit
+            }
+            Some(_) => {
+                self.row_conflicts += 1;
+                self.cfg.row_conflict
+            }
+            None => {
+                self.row_misses += 1;
+                self.cfg.row_closed
+            }
+        };
+        bank.open_row = Some(row);
+        let done = start + latency;
+        bank.busy_until = done + self.cfg.burst;
+        done
+    }
+
+    /// Row-buffer hits so far.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+    /// Closed-bank activations so far.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+    /// Open-row conflicts so far.
+    pub fn row_conflicts(&self) -> u64 {
+        self.row_conflicts
+    }
+    /// Accesses that had to wait for a busy bank.
+    pub fn bank_stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Close all rows, clear busy state and statistics.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = Bank::default();
+        }
+        self.row_hits = 0;
+        self.row_misses = 0;
+        self.row_conflicts = 0;
+        self.stalls = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            banks: 2,
+            row_bytes: 1024,
+            row_hit: Time::from_ns(10),
+            row_closed: Time::from_ns(12),
+            row_conflict: Time::from_ns(14),
+            burst: Time::from_ns(4),
+        }
+    }
+
+    #[test]
+    fn closed_then_hit_then_conflict() {
+        let mut d = Dram::new(cfg());
+        let t0 = Time::ZERO;
+        // First touch: bank closed.
+        let t1 = d.access(0, t0);
+        assert_eq!(t1, Time::from_ns(12));
+        // Same row, after the bank is free: open-row hit.
+        let t2 = d.access(64, Time::from_us(1));
+        assert_eq!(t2, Time::from_us(1) + Time::from_ns(10));
+        // Different row, same bank (row stride = row_bytes * banks).
+        let t3 = d.access(2048, Time::from_us(2));
+        assert_eq!(t3, Time::from_us(2) + Time::from_ns(14));
+        assert_eq!(d.row_hits(), 1);
+        assert_eq!(d.row_misses(), 1);
+        assert_eq!(d.row_conflicts(), 1);
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut d = Dram::new(cfg());
+        let t1 = d.access(0, Time::ZERO); // done at 12ns, busy till 16ns
+        assert_eq!(t1, Time::from_ns(12));
+        let t2 = d.access(64, Time::ZERO); // same bank, must wait till 16ns
+        assert_eq!(t2, Time::from_ns(16 + 10));
+        assert_eq!(d.bank_stalls(), 1);
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut d = Dram::new(cfg());
+        let t1 = d.access(0, Time::ZERO); // bank 0
+        let t2 = d.access(1024, Time::ZERO); // bank 1 (next row -> next bank)
+        assert_eq!(t1, Time::from_ns(12));
+        assert_eq!(t2, Time::from_ns(12));
+        assert_eq!(d.bank_stalls(), 0);
+    }
+
+    #[test]
+    fn reset_closes_rows() {
+        let mut d = Dram::new(cfg());
+        d.access(0, Time::ZERO);
+        d.reset();
+        let t = d.access(64, Time::ZERO);
+        assert_eq!(t, Time::from_ns(12), "row must be closed after reset");
+    }
+}

@@ -1,0 +1,318 @@
+//! Composition of caches + DRAM into a processor's memory system.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use mpiq_dessim::{Clock, Time};
+
+/// Kind of access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read (load / instruction fetch).
+    Read,
+    /// Write (store).
+    Write,
+}
+
+/// Full memory-system configuration for one processor.
+#[derive(Clone, Copy, Debug)]
+pub struct MemSystemConfig {
+    /// The clock of the core this memory system serves; converts cache
+    /// hit-cycle counts into time.
+    pub core_clock: Clock,
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// Optional unified L2.
+    pub l2: Option<CacheConfig>,
+    /// Fixed controller/interconnect latency added to every DRAM access.
+    pub base: Time,
+    /// DRAM device timing.
+    pub dram: DramConfig,
+    /// Next-line prefetch on L1 read misses: fetch line N+1 alongside
+    /// line N, overlapped (it costs DRAM bank occupancy, not load
+    /// latency). One of the §VII "traverse queues quickly with fewer
+    /// hardware resources" directions.
+    pub prefetch_next_line: bool,
+}
+
+impl MemSystemConfig {
+    /// The NIC processor's memory system (Table III: 32K 64-way L1, no L2,
+    /// 30–32 cycles to main memory at 500 MHz).
+    pub fn nic() -> MemSystemConfig {
+        MemSystemConfig {
+            core_clock: Clock::from_mhz(500),
+            l1: CacheConfig::nic_l1(),
+            l2: None,
+            base: Time::from_ns(50),
+            dram: DramConfig::nic(),
+            prefetch_next_line: false,
+        }
+    }
+
+    /// The host CPU's memory system (Table III: 64K 2-way L1, 512K L2,
+    /// 85–90 cycles to main memory at 2 GHz).
+    pub fn host() -> MemSystemConfig {
+        MemSystemConfig {
+            core_clock: Clock::from_hz(2_000_000_000),
+            l1: CacheConfig::host_l1(),
+            l2: Some(CacheConfig::host_l2()),
+            base: Time::from_ns(35),
+            dram: DramConfig::host(),
+            prefetch_next_line: false,
+        }
+    }
+}
+
+/// Result of one memory-system access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemOutcome {
+    /// Load-to-use / store-commit latency.
+    pub latency: Time,
+    /// Did the L1 satisfy it?
+    pub l1_hit: bool,
+}
+
+/// A processor's view of memory: L1 → (L2) → DRAM, timing-only.
+#[derive(Clone, Debug)]
+pub struct MemSystem {
+    cfg: MemSystemConfig,
+    l1: Cache,
+    l2: Option<Cache>,
+    dram: Dram,
+    prefetches: u64,
+}
+
+impl MemSystem {
+    /// Build with cold caches and closed DRAM rows.
+    pub fn new(cfg: MemSystemConfig) -> MemSystem {
+        MemSystem {
+            cfg,
+            l1: Cache::new(cfg.l1),
+            l2: cfg.l2.map(Cache::new),
+            dram: Dram::new(cfg.dram),
+            prefetches: 0,
+        }
+    }
+
+    /// The configuration used to build this system.
+    pub fn config(&self) -> MemSystemConfig {
+        self.cfg
+    }
+
+    /// Perform one access at time `now`, returning its latency. Dirty
+    /// evictions consume DRAM bank time (affecting later accesses through
+    /// open-row and busy-bank state) but are posted — they do not add to
+    /// this access's latency.
+    pub fn access(&mut self, addr: u64, kind: Access, now: Time) -> MemOutcome {
+        let is_write = kind == Access::Write;
+        let clk = self.cfg.core_clock;
+        let l1 = self.l1.access(addr, is_write);
+        if l1.hit {
+            return MemOutcome {
+                latency: clk.cycles(self.cfg.l1.hit_cycles),
+                l1_hit: true,
+            };
+        }
+        if let Some(wb) = l1.writeback {
+            // Write the victim down. If there is an L2 it absorbs it;
+            // otherwise it goes to DRAM as a posted write.
+            match &mut self.l2 {
+                Some(l2) => {
+                    let out = l2.access(wb, true);
+                    if let Some(wb2) = out.writeback {
+                        self.dram.access(wb2, now);
+                    }
+                }
+                None => {
+                    self.dram.access(wb, now);
+                }
+            }
+        }
+        if let Some(l2) = &mut self.l2 {
+            let out = l2.access(addr, is_write);
+            if out.hit {
+                return MemOutcome {
+                    latency: clk.cycles(self.cfg.l2.expect("l2 cfg").hit_cycles),
+                    l1_hit: false,
+                };
+            }
+            if let Some(wb2) = out.writeback {
+                self.dram.access(wb2, now);
+            }
+        }
+        let issue = now + self.cfg.base;
+        let done = self.dram.access(addr, issue);
+        if self.cfg.prefetch_next_line && kind == Access::Read {
+            // Fetch the next line too, overlapped with the demand miss:
+            // it consumes bank time and L1 space but not load latency.
+            let next = addr + self.cfg.l1.line_bytes;
+            if !self.l1.contains(next) {
+                self.dram.access(next, issue);
+                self.prefetches += 1;
+                let out = self.l1.access(next, false);
+                if let Some(wb) = out.writeback {
+                    self.dram.access(wb, done);
+                }
+            }
+        }
+        MemOutcome {
+            latency: done - now,
+            l1_hit: false,
+        }
+    }
+
+    /// Prefetches issued so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// Immutable view of the L1 (statistics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Immutable view of the L2, if configured.
+    pub fn l2(&self) -> Option<&Cache> {
+        self.l2.as_ref()
+    }
+
+    /// Immutable view of the DRAM (statistics).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Reset statistics on every level, keeping contents warm.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        if let Some(l2) = &mut self.l2 {
+            l2.reset_stats();
+        }
+    }
+
+    /// Cold-start everything (flush caches, close rows, zero stats).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l1.reset_stats();
+        if let Some(l2) = &mut self.l2 {
+            l2.flush();
+            l2.reset_stats();
+        }
+        self.dram.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nic_l1_hit_costs_two_cycles() {
+        let mut m = MemSystem::new(MemSystemConfig::nic());
+        m.access(0x100, Access::Read, Time::ZERO); // warm
+        let out = m.access(0x100, Access::Read, Time::from_us(1));
+        assert!(out.l1_hit);
+        assert_eq!(out.latency, Time::from_ns(4)); // 2 cycles @ 500 MHz
+    }
+
+    #[test]
+    fn nic_miss_latency_lands_in_table_iii_band() {
+        // Table III: 30-32 NIC cycles to main memory = 60-64 ns at 500 MHz.
+        let mut m = MemSystem::new(MemSystemConfig::nic());
+        let mut lats = Vec::new();
+        for i in 0..64u64 {
+            let out = m.access(0x10_0000 + i * 4096, Access::Read, Time::from_us(i));
+            assert!(!out.l1_hit);
+            lats.push(out.latency);
+        }
+        for l in lats {
+            assert!(
+                l >= Time::from_ns(60) && l <= Time::from_ns(64),
+                "NIC miss latency {l} outside 60-64 ns band"
+            );
+        }
+    }
+
+    #[test]
+    fn host_miss_latency_lands_in_table_iii_band() {
+        // Table III: 85-90 host cycles = 42.5-45 ns at 2 GHz.
+        let mut m = MemSystem::new(MemSystemConfig::host());
+        for i in 0..64u64 {
+            // Large stride so L1, L2 and row buffers all miss.
+            let out = m.access(i * (1 << 20), Access::Read, Time::from_us(i));
+            assert!(!out.l1_hit);
+            assert!(
+                out.latency >= Time::from_ps(42_500) && out.latency <= Time::from_ns(45),
+                "host miss latency {} outside 42.5-45 ns band",
+                out.latency
+            );
+        }
+    }
+
+    #[test]
+    fn host_l2_catches_l1_misses() {
+        let mut m = MemSystem::new(MemSystemConfig::host());
+        // Touch a working set bigger than L1 (64K) but smaller than L2 (512K).
+        let lines = 128 * 1024 / 64;
+        for round in 0..2 {
+            for i in 0..lines {
+                m.access(i * 64, Access::Read, Time::from_us(round * 100));
+            }
+        }
+        // Second round: everything should be at worst an L2 hit (≤ 10 cycles
+        // = 5 ns), definitely not DRAM (> 40 ns).
+        let out = m.access(0, Access::Read, Time::from_ms(1));
+        assert!(out.latency <= Time::from_ns(5), "latency {}", out.latency);
+    }
+
+    #[test]
+    fn dirty_evictions_do_not_inflate_read_latency() {
+        let mut m = MemSystem::new(MemSystemConfig::nic());
+        // Dirty the whole L1.
+        let lines = 32 * 1024 / 64;
+        for i in 0..lines {
+            m.access(i * 64, Access::Write, Time::ZERO);
+        }
+        // A miss that evicts a dirty line still sees the 60-64 ns band
+        // (plus possibly a busy bank, but we space it far in time).
+        let out = m.access(1 << 22, Access::Read, Time::from_ms(5));
+        assert!(
+            out.latency <= Time::from_ns(64),
+            "writeback leaked into read latency: {}",
+            out.latency
+        );
+        assert!(m.l1().writebacks() >= 1);
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_streaming_misses_into_hits() {
+        let mut cfg = MemSystemConfig::nic();
+        cfg.prefetch_next_line = true;
+        let mut m = MemSystem::new(cfg);
+        // Stream 64 consecutive lines far apart in time: with next-line
+        // prefetch, every other access hits.
+        let mut hits = 0;
+        for i in 0..64u64 {
+            let out = m.access(0x70_0000 + i * 64, Access::Read, Time::from_us(i));
+            hits += u64::from(out.l1_hit);
+        }
+        assert!(hits >= 31, "prefetch should cover alternate lines: {hits}");
+        assert!(m.prefetches() >= 31);
+        // Without it: zero hits.
+        let mut m2 = MemSystem::new(MemSystemConfig::nic());
+        let mut hits2 = 0;
+        for i in 0..64u64 {
+            let out = m2.access(0x70_0000 + i * 64, Access::Read, Time::from_us(i));
+            hits2 += u64::from(out.l1_hit);
+        }
+        assert_eq!(hits2, 0);
+    }
+
+    #[test]
+    fn flush_cold_starts() {
+        let mut m = MemSystem::new(MemSystemConfig::nic());
+        m.access(0, Access::Read, Time::ZERO);
+        m.flush();
+        let out = m.access(0, Access::Read, Time::ZERO);
+        assert!(!out.l1_hit);
+        assert_eq!(m.l1().misses(), 1);
+    }
+}

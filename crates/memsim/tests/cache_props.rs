@@ -1,0 +1,95 @@
+//! Property tests on the cache model: residency and capacity laws that
+//! must hold for any access sequence.
+
+use mpiq_memsim::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+fn count_resident(c: &Cache, lines: &[u64]) -> usize {
+    lines.iter().filter(|&&l| c.contains(l)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any access, the accessed line is resident; the total resident
+    /// population never exceeds capacity; hits + misses == accesses.
+    #[test]
+    fn residency_and_capacity_laws(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            line_bytes: 32,
+            assoc: 4,
+            hit_cycles: 1,
+        };
+        let mut c = Cache::new(cfg);
+        let all_lines: Vec<u64> = (0..64).map(|i| i * 32).collect();
+        for &(line, write) in &accesses {
+            let addr = line * 32;
+            c.access(addr, write);
+            prop_assert!(c.contains(addr), "just-accessed line must be resident");
+            let resident = count_resident(&c, &all_lines);
+            prop_assert!(
+                resident <= (cfg.size_bytes / cfg.line_bytes) as usize,
+                "resident {resident} exceeds capacity"
+            );
+        }
+        prop_assert_eq!(c.hits() + c.misses(), accesses.len() as u64);
+    }
+
+    /// A working set no larger than one set's associativity never misses
+    /// after the first touch, regardless of access order (true LRU has no
+    /// anomalies within a set).
+    #[test]
+    fn within_set_working_set_never_thrashes(
+        order in prop::collection::vec(0usize..4, 1..200)
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            line_bytes: 32,
+            assoc: 4,
+            hit_cycles: 1,
+        };
+        let sets = cfg.sets();
+        let mut c = Cache::new(cfg);
+        // Four lines, all mapping to set 0.
+        let lines: Vec<u64> = (0..4).map(|i| i * 32 * sets).collect();
+        for &l in &lines {
+            c.access(l, false);
+        }
+        c.reset_stats();
+        for &i in &order {
+            prop_assert!(c.access(lines[i], false).hit);
+        }
+        prop_assert_eq!(c.misses(), 0);
+    }
+
+    /// Writebacks only ever happen for previously written lines.
+    #[test]
+    fn writebacks_require_prior_writes(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 32,
+            assoc: 2,
+            hit_cycles: 1,
+        };
+        let mut c = Cache::new(cfg);
+        let mut ever_written = std::collections::HashSet::new();
+        for &(line, write) in &accesses {
+            let addr = line * 32;
+            if write {
+                ever_written.insert(addr);
+            }
+            let out = c.access(addr, write);
+            if let Some(wb) = out.writeback {
+                prop_assert!(
+                    ever_written.contains(&wb),
+                    "writeback of never-written line {wb:#x}"
+                );
+            }
+        }
+    }
+}

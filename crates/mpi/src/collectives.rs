@@ -1,0 +1,155 @@
+//! Collective operations built from point-to-point — the same way the
+//! paper's prototype builds `MPI_Barrier` (Fig. 4's "built from other MPI
+//! functions"). An extension beyond the paper's subset, using the
+//! textbook algorithms contemporary MPI implementations used.
+//!
+//! All collective traffic runs on [`CTX_INTERNAL`] with tags in the upper
+//! half of the tag space (`0x8000 |`), so it can never interfere with
+//! user point-to-point matching or with barrier rounds. Each collective
+//! call takes an `instance` number that must be unique per call site per
+//! pair of communicating collectives in flight (scripts are sequential,
+//! so an incrementing counter per rank suffices).
+//!
+//! Data *contents* are not modeled (payloads are synthetic); what these
+//! produce is the exact message pattern — counts, sizes, dependencies —
+//! which is what the NIC-level evaluation cares about.
+
+use crate::script::ScriptBuilder;
+use crate::types::CTX_INTERNAL;
+
+/// Tag for collective `instance`, message index `k`.
+fn ctag(instance: u16, k: u16) -> u16 {
+    0x8000 | ((instance.wrapping_mul(97).wrapping_add(k)) & 0x7FFF)
+}
+
+/// Binomial-tree broadcast from `root` (the MPICH algorithm).
+///
+/// Emits the ops for rank `me` of `n`; every rank must call with the same
+/// `root`, `len`, and `instance`.
+pub fn bcast(b: &mut ScriptBuilder, me: u32, n: u32, root: u32, len: u32, instance: u16) {
+    assert!(me < n && root < n);
+    if n <= 1 {
+        return;
+    }
+    let relative = (me + n - root) % n;
+    let mut mask = 1u32;
+    // Receive from the parent (non-root ranks).
+    while mask < n {
+        if relative & mask != 0 {
+            let src = (me + n - mask) % n;
+            let s = b.irecv_ctx(Some(src as u16), CTX_INTERNAL, Some(ctag(instance, 0)), len);
+            b.wait(s);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children.
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = (me + mask) % n;
+            let s = b.isend_ctx(dst, CTX_INTERNAL, ctag(instance, 0), len);
+            b.wait(s);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Binomial-tree reduction to `root` (message pattern of MPICH's reduce;
+/// the combining computation itself is not modeled).
+pub fn reduce(b: &mut ScriptBuilder, me: u32, n: u32, root: u32, len: u32, instance: u16) {
+    assert!(me < n && root < n);
+    if n <= 1 {
+        return;
+    }
+    let relative = (me + n - root) % n;
+    let mut mask = 1u32;
+    while mask < n {
+        if relative & mask == 0 {
+            let src_rel = relative | mask;
+            if src_rel < n {
+                let src = (src_rel + root) % n;
+                let s =
+                    b.irecv_ctx(Some(src as u16), CTX_INTERNAL, Some(ctag(instance, 1)), len);
+                b.wait(s);
+            }
+        } else {
+            let dst = ((relative & !mask) + root) % n;
+            let s = b.isend_ctx(dst, CTX_INTERNAL, ctag(instance, 1), len);
+            b.wait(s);
+            break;
+        }
+        mask <<= 1;
+    }
+}
+
+/// All-reduce as reduce-to-0 followed by broadcast-from-0.
+pub fn allreduce(b: &mut ScriptBuilder, me: u32, n: u32, len: u32, instance: u16) {
+    reduce(b, me, n, 0, len, instance.wrapping_mul(2));
+    bcast(b, me, n, 0, len, instance.wrapping_mul(2).wrapping_add(1));
+}
+
+/// Linear gather to `root`: every non-root sends one message; the root
+/// receives `n-1`, distinguished by per-source tags.
+pub fn gather(b: &mut ScriptBuilder, me: u32, n: u32, root: u32, len: u32, instance: u16) {
+    assert!(me < n && root < n);
+    if me == root {
+        let slots: Vec<usize> = (0..n)
+            .filter(|&r| r != root)
+            .map(|r| {
+                b.irecv_ctx(
+                    Some(r as u16),
+                    CTX_INTERNAL,
+                    Some(ctag(instance, 2 + r as u16)),
+                    len,
+                )
+            })
+            .collect();
+        b.wait_all(slots);
+    } else {
+        let s = b.isend_ctx(root, CTX_INTERNAL, ctag(instance, 2 + me as u16), len);
+        b.wait(s);
+    }
+}
+
+/// Linear scatter from `root`: the root sends one message per rank.
+pub fn scatter(b: &mut ScriptBuilder, me: u32, n: u32, root: u32, len: u32, instance: u16) {
+    assert!(me < n && root < n);
+    if me == root {
+        let slots: Vec<usize> = (0..n)
+            .filter(|&r| r != root)
+            .map(|r| b.isend_ctx(r, CTX_INTERNAL, ctag(instance, 2 + r as u16), len))
+            .collect();
+        b.wait_all(slots);
+    } else {
+        let s = b.irecv_ctx(
+            Some(root as u16),
+            CTX_INTERNAL,
+            Some(ctag(instance, 2 + me as u16)),
+            len,
+        );
+        b.wait(s);
+    }
+}
+
+/// Linear all-to-all: every rank sends to and receives from every other
+/// rank, fully overlapped. The pattern that builds the deepest transient
+/// queues — a natural ALPU stress.
+pub fn alltoall(b: &mut ScriptBuilder, me: u32, n: u32, len: u32, instance: u16) {
+    assert!(me < n);
+    let mut slots = Vec::new();
+    for peer in 0..n {
+        if peer == me {
+            continue;
+        }
+        // Tag by sender so receives are unambiguous.
+        slots.push(b.irecv_ctx(
+            Some(peer as u16),
+            CTX_INTERNAL,
+            Some(ctag(instance, 2 + peer as u16)),
+            len,
+        ));
+        slots.push(b.isend_ctx(peer, CTX_INTERNAL, ctag(instance, 2 + me as u16), len));
+    }
+    b.wait_all(slots);
+}

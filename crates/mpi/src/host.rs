@@ -1,0 +1,108 @@
+//! The host CPU as a DES component.
+//!
+//! Per §V-C the host only dispatches requests and waits for completions,
+//! so it is modeled as a thin component: it steps its [`AppProgram`] at
+//! startup and on every completion, charging a fixed dispatch cost per
+//! issued request.
+
+use crate::app::{AppProgram, HostState, Mpi, PORT_COMPLETION, PORT_TIMER};
+use crate::types::MpiStatus;
+use mpiq_dessim::prelude::*;
+use mpiq_nic::Completion;
+use std::collections::HashMap;
+
+/// A host running one application rank.
+pub struct Host {
+    state: HostState,
+    program: Option<Box<dyn AppProgram>>,
+}
+
+impl Host {
+    /// Build a host for `rank` of `size`, attached to `nic`.
+    pub fn new(
+        rank: u32,
+        size: u32,
+        nic: ComponentId,
+        dispatch_cost: Time,
+        bus_latency: Time,
+        program: Box<dyn AppProgram>,
+    ) -> Host {
+        Host {
+            state: HostState {
+                rank,
+                size,
+                nic,
+                next_seq: 0,
+                completed: HashMap::new(),
+                done: false,
+                dispatch_cost,
+                bus_latency,
+                issued_this_step: 0,
+            },
+            program: Some(program),
+        }
+    }
+
+    /// Has the program called `finish`?
+    pub fn done(&self) -> bool {
+        self.state.done
+    }
+
+    /// Completions received so far (diagnostics).
+    pub fn completions(&self) -> usize {
+        self.state.completed.len()
+    }
+
+    fn step_program(&mut self, ctx: &mut Ctx<'_>) {
+        if self.state.done {
+            return;
+        }
+        let mut program = self.program.take().expect("program present");
+        self.state.issued_this_step = 0;
+        {
+            let mut mpi = Mpi {
+                st: &mut self.state,
+                ctx,
+            };
+            program.step(&mut mpi);
+        }
+        self.program = Some(program);
+    }
+}
+
+impl Component for Host {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.step_program(ctx);
+    }
+
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev.port {
+            PORT_COMPLETION => {
+                let comp = *ev
+                    .payload
+                    .downcast::<Completion>()
+                    .expect("completion payload");
+                self.state.completed.insert(
+                    comp.req,
+                    MpiStatus {
+                        source: comp.source,
+                        tag: comp.tag,
+                        len: comp.len,
+                        cancelled: comp.cancelled,
+                    },
+                );
+            }
+            PORT_TIMER => {}
+            other => panic!("host received event on unknown port {other:?}"),
+        }
+        self.step_program(ctx);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,426 @@
+//! A sequential script interpreter: blocking-feeling MPI programs on top
+//! of the polled [`AppProgram`] model.
+//!
+//! `MPI_Send`, `MPI_Recv`, `MPI_Wait`, `MPI_Waitall` and `MPI_Barrier` are
+//! "built from other MPI functions" in the paper's prototype (Fig. 4);
+//! here they are built from `Isend`/`Irecv`/`Test` exactly the same way:
+//! a [`Script`] is a list of [`Op`]s executed in order, suspending on
+//! waits until the completion that unblocks them arrives.
+//!
+//! `Mark` ops record timestamps into a shared [`MarkLog`] — the
+//! measurement hooks the benchmark harnesses read after a run.
+
+use crate::app::{AppProgram, Mpi, Request};
+use crate::types::CTX_INTERNAL;
+use mpiq_dessim::Time;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Timestamp log shared between a script and its harness.
+pub type MarkLog = Rc<RefCell<Vec<(u32, Time)>>>;
+
+/// Create an empty mark log.
+pub fn mark_log() -> MarkLog {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// Status log shared between a script and its harness: `(id, status)`
+/// records appended by [`Op::Status`].
+pub type StatusLog = Rc<RefCell<Vec<(u32, crate::types::MpiStatus)>>>;
+
+/// Create an empty status log.
+pub fn status_log() -> StatusLog {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// One script operation.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// `MPI_Isend` into a slot.
+    Isend {
+        /// Destination rank.
+        dst: u32,
+        /// Communicator context (user traffic: [`crate::types::CTX_WORLD`]).
+        ctx: u16,
+        /// Tag.
+        tag: u16,
+        /// Payload bytes.
+        len: u32,
+        /// Slot to store the request handle.
+        slot: usize,
+    },
+    /// `MPI_Irecv` into a slot.
+    Irecv {
+        /// Source rank or `MPI_ANY_SOURCE`.
+        src: Option<u16>,
+        /// Communicator context.
+        ctx: u16,
+        /// Tag or `MPI_ANY_TAG`.
+        tag: Option<u16>,
+        /// Buffer bytes.
+        len: u32,
+        /// Slot to store the request handle.
+        slot: usize,
+    },
+    /// `MPI_Wait` on a slot.
+    Wait {
+        /// Slot to wait on.
+        slot: usize,
+    },
+    /// `MPI_Waitany`: proceed once *any* of the slots completes.
+    WaitAny {
+        /// Slots to race.
+        slots: Vec<usize>,
+    },
+    /// `MPI_Cancel` on a slot's request (receives only).
+    Cancel {
+        /// Slot whose request to cancel.
+        slot: usize,
+    },
+    /// `MPI_Iprobe` into a slot (wait it, then read its status: a
+    /// `cancelled` status means `flag == false`).
+    Iprobe {
+        /// Source filter.
+        src: Option<u16>,
+        /// Tag filter.
+        tag: Option<u16>,
+        /// Slot for the answer.
+        slot: usize,
+    },
+    /// `MPI_Waitall` on several slots.
+    WaitAll {
+        /// Slots to wait on.
+        slots: Vec<usize>,
+    },
+    /// `MPI_Barrier` on `MPI_COMM_WORLD` (dissemination algorithm over
+    /// the internal context).
+    Barrier,
+    /// Record `(id, now)` into the mark log.
+    Mark {
+        /// Mark identifier.
+        id: u32,
+    },
+    /// Pause the script for a fixed simulated duration (settle phases in
+    /// benchmarks — e.g. letting ALPU insert sessions drain).
+    Sleep {
+        /// How long to sleep.
+        dur: Time,
+    },
+    /// Record the `MPI_Status` of a completed request into the status
+    /// log as `(id, status)`. The slot must already be complete (place
+    /// after its `Wait`).
+    Status {
+        /// Slot whose status to record.
+        slot: usize,
+        /// Identifier written alongside.
+        id: u32,
+    },
+}
+
+#[derive(Debug)]
+struct BarrierRound {
+    send: Request,
+    recv: Request,
+}
+
+/// The interpreter state for one rank's script.
+pub struct Script {
+    ops: Vec<Op>,
+    pc: usize,
+    slots: HashMap<usize, Request>,
+    barrier_instance: u16,
+    barrier_round: u32,
+    barrier_pending: Option<BarrierRound>,
+    sleep_until: Option<Time>,
+    marks: MarkLog,
+    statuses: StatusLog,
+}
+
+impl Script {
+    /// Build from explicit ops.
+    pub fn new(ops: Vec<Op>, marks: MarkLog) -> Script {
+        Script {
+            ops,
+            pc: 0,
+            slots: HashMap::new(),
+            barrier_instance: 0,
+            barrier_round: 0,
+            barrier_pending: None,
+            sleep_until: None,
+            marks,
+            statuses: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Attach a status log for [`Op::Status`] records.
+    pub fn with_status_log(mut self, log: StatusLog) -> Script {
+        self.statuses = log;
+        self
+    }
+
+    /// Fluent builder.
+    pub fn builder() -> ScriptBuilder {
+        ScriptBuilder::default()
+    }
+
+    /// Dissemination barrier: returns `true` when this rank has finished
+    /// the barrier.
+    fn poll_barrier(&mut self, mpi: &mut Mpi<'_, '_>) -> bool {
+        let n = mpi.size();
+        if n <= 1 {
+            self.barrier_instance = self.barrier_instance.wrapping_add(1);
+            return true;
+        }
+        let rounds = (n as f64).log2().ceil() as u32;
+        loop {
+            if self.barrier_round >= rounds {
+                self.barrier_round = 0;
+                self.barrier_instance = self.barrier_instance.wrapping_add(1);
+                return true;
+            }
+            if self.barrier_pending.is_none() {
+                let dist = 1u32 << self.barrier_round;
+                let me = mpi.rank();
+                let to = (me + dist) % n;
+                let from = (me + n - dist) % n;
+                // Tag encodes (instance, round) so concurrent barriers
+                // cannot cross-match.
+                let tag = self
+                    .barrier_instance
+                    .wrapping_mul(32)
+                    .wrapping_add(self.barrier_round as u16)
+                    & 0x7FFF;
+                let send = mpi.isend_ctx(to, CTX_INTERNAL, tag, 0);
+                let recv = mpi.irecv_ctx(Some(from as u16), CTX_INTERNAL, Some(tag), 0);
+                self.barrier_pending = Some(BarrierRound { send, recv });
+            }
+            let pend = self.barrier_pending.as_ref().expect("just set");
+            if mpi.test(pend.send) && mpi.test(pend.recv) {
+                self.barrier_pending = None;
+                self.barrier_round += 1;
+            } else {
+                return false;
+            }
+        }
+    }
+}
+
+impl AppProgram for Script {
+    fn step(&mut self, mpi: &mut Mpi<'_, '_>) {
+        while self.pc < self.ops.len() {
+            match self.ops[self.pc].clone() {
+                Op::Isend {
+                    dst,
+                    ctx,
+                    tag,
+                    len,
+                    slot,
+                } => {
+                    let r = mpi.isend_ctx(dst, ctx, tag, len);
+                    self.slots.insert(slot, r);
+                    self.pc += 1;
+                }
+                Op::Irecv {
+                    src,
+                    ctx,
+                    tag,
+                    len,
+                    slot,
+                } => {
+                    let r = mpi.irecv_ctx(src, ctx, tag, len);
+                    self.slots.insert(slot, r);
+                    self.pc += 1;
+                }
+                Op::Wait { slot } => {
+                    let r = self.slots[&slot];
+                    if mpi.test(r) {
+                        self.pc += 1;
+                    } else {
+                        return;
+                    }
+                }
+                Op::WaitAny { slots } => {
+                    if slots.iter().any(|s| mpi.test(self.slots[s])) {
+                        self.pc += 1;
+                    } else {
+                        return;
+                    }
+                }
+                Op::Cancel { slot } => {
+                    let r = self.slots[&slot];
+                    mpi.cancel(r);
+                    self.pc += 1;
+                }
+                Op::Iprobe { src, tag, slot } => {
+                    let r = mpi.iprobe(src, tag);
+                    self.slots.insert(slot, r);
+                    self.pc += 1;
+                }
+                Op::WaitAll { slots } => {
+                    if slots.iter().all(|s| mpi.test(self.slots[s])) {
+                        self.pc += 1;
+                    } else {
+                        return;
+                    }
+                }
+                Op::Barrier => {
+                    if self.poll_barrier(mpi) {
+                        self.pc += 1;
+                    } else {
+                        return;
+                    }
+                }
+                Op::Mark { id } => {
+                    let now = mpi.now();
+                    self.marks.borrow_mut().push((id, now));
+                    self.pc += 1;
+                }
+                Op::Status { slot, id } => {
+                    let r = self.slots[&slot];
+                    let st = mpi
+                        .status(r)
+                        .expect("Op::Status requires a completed request");
+                    self.statuses.borrow_mut().push((id, st));
+                    self.pc += 1;
+                }
+                Op::Sleep { dur } => match self.sleep_until {
+                    None => {
+                        self.sleep_until = Some(mpi.now() + dur);
+                        mpi.wake_after(dur);
+                        return;
+                    }
+                    Some(until) => {
+                        if mpi.now() >= until {
+                            self.sleep_until = None;
+                            self.pc += 1;
+                        } else {
+                            return; // spurious wake (a completion arrived)
+                        }
+                    }
+                },
+            }
+        }
+        mpi.finish();
+    }
+}
+
+/// Fluent construction of scripts with automatic slot allocation.
+#[derive(Default)]
+pub struct ScriptBuilder {
+    ops: Vec<Op>,
+    next_slot: usize,
+}
+
+impl ScriptBuilder {
+    /// `MPI_Isend`; returns the slot for a later wait.
+    pub fn isend(&mut self, dst: u32, tag: u16, len: u32) -> usize {
+        self.isend_ctx(dst, crate::types::CTX_WORLD, tag, len)
+    }
+
+    /// `MPI_Isend` on an explicit context (collectives machinery).
+    pub fn isend_ctx(&mut self, dst: u32, ctx: u16, tag: u16, len: u32) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.ops.push(Op::Isend {
+            dst,
+            ctx,
+            tag,
+            len,
+            slot,
+        });
+        slot
+    }
+
+    /// `MPI_Irecv`; returns the slot for a later wait.
+    pub fn irecv(&mut self, src: Option<u16>, tag: Option<u16>, len: u32) -> usize {
+        self.irecv_ctx(src, crate::types::CTX_WORLD, tag, len)
+    }
+
+    /// `MPI_Irecv` on an explicit context (collectives machinery).
+    pub fn irecv_ctx(&mut self, src: Option<u16>, ctx: u16, tag: Option<u16>, len: u32) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.ops.push(Op::Irecv {
+            src,
+            ctx,
+            tag,
+            len,
+            slot,
+        });
+        slot
+    }
+
+    /// `MPI_Wait`.
+    pub fn wait(&mut self, slot: usize) -> &mut Self {
+        self.ops.push(Op::Wait { slot });
+        self
+    }
+
+    /// `MPI_Waitall`.
+    pub fn wait_all(&mut self, slots: Vec<usize>) -> &mut Self {
+        self.ops.push(Op::WaitAll { slots });
+        self
+    }
+
+    /// `MPI_Waitany`.
+    pub fn wait_any(&mut self, slots: Vec<usize>) -> &mut Self {
+        self.ops.push(Op::WaitAny { slots });
+        self
+    }
+
+    /// `MPI_Cancel` on a slot's request.
+    pub fn cancel(&mut self, slot: usize) -> &mut Self {
+        self.ops.push(Op::Cancel { slot });
+        self
+    }
+
+    /// `MPI_Iprobe`; returns the slot carrying the answer.
+    pub fn iprobe(&mut self, src: Option<u16>, tag: Option<u16>) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.ops.push(Op::Iprobe { src, tag, slot });
+        slot
+    }
+
+    /// Blocking `MPI_Send` = `Isend` + `Wait`.
+    pub fn send(&mut self, dst: u32, tag: u16, len: u32) -> &mut Self {
+        let s = self.isend(dst, tag, len);
+        self.wait(s)
+    }
+
+    /// Blocking `MPI_Recv` = `Irecv` + `Wait`.
+    pub fn recv(&mut self, src: Option<u16>, tag: Option<u16>, len: u32) -> &mut Self {
+        let s = self.irecv(src, tag, len);
+        self.wait(s)
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// Record a timestamp.
+    pub fn mark(&mut self, id: u32) -> &mut Self {
+        self.ops.push(Op::Mark { id });
+        self
+    }
+
+    /// Pause for a fixed simulated duration.
+    pub fn sleep(&mut self, dur: Time) -> &mut Self {
+        self.ops.push(Op::Sleep { dur });
+        self
+    }
+
+    /// Record a completed slot's status.
+    pub fn status(&mut self, slot: usize, id: u32) -> &mut Self {
+        self.ops.push(Op::Status { slot, id });
+        self
+    }
+
+    /// Finish, attaching the mark log.
+    pub fn build(&mut self, marks: MarkLog) -> Script {
+        Script::new(std::mem::take(&mut self.ops), marks)
+    }
+}

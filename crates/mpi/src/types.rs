@@ -1,0 +1,74 @@
+//! Shared MPI-level types and constants.
+
+/// The `MPI_COMM_WORLD` context id. User point-to-point traffic lives
+/// here.
+pub const CTX_WORLD: u16 = 1;
+
+/// Context reserved for internal traffic (barriers and other collectives)
+/// so it can never match user receives — the "system-assigned message tag
+/// provides a safe message passing context" property from §II.
+pub const CTX_INTERNAL: u16 = 0;
+
+/// Wildcard source marker for the convenience APIs (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<u16> = None;
+
+/// Wildcard tag marker (`MPI_ANY_TAG`).
+pub const ANY_TAG: Option<u16> = None;
+
+/// Basic MPI datatypes (the prototype supports "only basic MPI
+/// Datatypes", §V-C). Lengths in bytes multiply the element count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Datatype {
+    /// `MPI_BYTE`.
+    Byte,
+    /// `MPI_INT` (4 bytes).
+    Int,
+    /// `MPI_DOUBLE` (8 bytes).
+    Double,
+}
+
+impl Datatype {
+    /// Size in bytes of one element.
+    pub fn size(self) -> u32 {
+        match self {
+            Datatype::Byte => 1,
+            Datatype::Int => 4,
+            Datatype::Double => 8,
+        }
+    }
+
+    /// Buffer length for `count` elements.
+    pub fn extent(self, count: u32) -> u32 {
+        self.size() * count
+    }
+}
+
+/// Completion status of a receive — the useful subset of `MPI_Status`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MpiStatus {
+    /// Actual source rank (wildcards resolved).
+    pub source: u16,
+    /// Actual tag.
+    pub tag: u16,
+    /// Bytes delivered.
+    pub len: u32,
+    /// The request was cancelled (`MPI_Cancel`) rather than matched.
+    pub cancelled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_extents() {
+        assert_eq!(Datatype::Byte.extent(10), 10);
+        assert_eq!(Datatype::Int.extent(10), 40);
+        assert_eq!(Datatype::Double.extent(3), 24);
+    }
+
+    #[test]
+    fn contexts_are_distinct() {
+        assert_ne!(CTX_WORLD, CTX_INTERNAL);
+    }
+}

@@ -1,0 +1,134 @@
+//! Script-interpreter tests: sleep semantics, status recording, slot
+//! reuse, barrier instance isolation.
+
+use mpiq_dessim::Time;
+use mpiq_mpi::script::{mark_log, status_log};
+use mpiq_mpi::{AppProgram, Cluster, ClusterConfig, MpiStatus, Script};
+use mpiq_nic::NicConfig;
+
+fn two_rank(p0: Script, p1: Script) -> Cluster {
+    Cluster::new(
+        ClusterConfig::new(NicConfig::baseline()),
+        vec![Box::new(p0) as Box<dyn AppProgram>, Box::new(p1)],
+    )
+}
+
+#[test]
+fn sleep_pauses_for_at_least_the_duration() {
+    let marks = mark_log();
+    let mut b0 = Script::builder();
+    b0.mark(0);
+    b0.sleep(Time::from_us(123));
+    b0.mark(1);
+    let p0 = b0.build(marks.clone());
+    let p1 = Script::builder().build(mark_log());
+    two_rank(p0, p1).run();
+    let m = marks.borrow();
+    assert!(m[1].1 - m[0].1 >= Time::from_us(123));
+}
+
+#[test]
+fn sleep_is_not_cut_short_by_completions() {
+    // A completion arriving mid-sleep steps the program (spurious wake);
+    // the sleep must still hold until its deadline.
+    let marks = mark_log();
+    let mut b0 = Script::builder();
+    let r = b0.irecv(Some(1), Some(1), 0);
+    b0.mark(0);
+    b0.sleep(Time::from_us(500));
+    b0.mark(1);
+    b0.wait(r);
+    let p0 = b0.build(marks.clone());
+    let mut b1 = Script::builder();
+    b1.send(0, 1, 0); // arrives ~1 us in, far before the sleep ends
+    let p1 = b1.build(mark_log());
+    two_rank(p0, p1).run();
+    let m = marks.borrow();
+    assert!(
+        m[1].1 - m[0].1 >= Time::from_us(500),
+        "completion must not cut the sleep short: slept {}",
+        m[1].1 - m[0].1
+    );
+}
+
+#[test]
+fn status_records_resolved_wildcards() {
+    let statuses = status_log();
+    let mut b0 = Script::builder();
+    let r = b0.irecv(None, None, 64); // ANY/ANY
+    b0.wait(r);
+    b0.status(r, 42);
+    let p0 = b0.build(mark_log()).with_status_log(statuses.clone());
+    let mut b1 = Script::builder();
+    b1.send(0, 77, 64);
+    let p1 = b1.build(mark_log());
+    two_rank(p0, p1).run();
+    assert_eq!(
+        statuses.borrow()[0],
+        (42, MpiStatus { source: 1, tag: 77, len: 64, cancelled: false })
+    );
+}
+
+#[test]
+fn consecutive_barriers_use_distinct_instances() {
+    // Rank 0 races ahead to barrier i+1 while rank 1 is still leaving
+    // barrier i; instance-tagged rounds must not cross-match.
+    let marks = mark_log();
+    let programs: Vec<Box<dyn AppProgram>> = (0..2)
+        .map(|r| {
+            let mut b = Script::builder();
+            for i in 0..20 {
+                b.barrier();
+                if r == 0 {
+                    b.mark(i);
+                }
+            }
+            Box::new(b.build(marks.clone())) as Box<dyn AppProgram>
+        })
+        .collect();
+    let mut c = Cluster::new(ClusterConfig::new(NicConfig::baseline()), programs);
+    c.run();
+    let m = marks.borrow();
+    assert_eq!(m.len(), 20);
+    for w in m.windows(2) {
+        assert!(w[0].1 < w[1].1, "barriers must serialize");
+    }
+}
+
+#[test]
+fn interleaved_slots_resolve_independently() {
+    let statuses = status_log();
+    let mut b0 = Script::builder();
+    let a = b0.irecv(Some(1), Some(1), 16);
+    let b = b0.irecv(Some(1), Some(2), 32);
+    let c = b0.irecv(Some(1), Some(3), 48);
+    // Wait out of posting order.
+    b0.wait(c);
+    b0.status(c, 3);
+    b0.wait(a);
+    b0.status(a, 1);
+    b0.wait(b);
+    b0.status(b, 2);
+    let p0 = b0.build(mark_log()).with_status_log(statuses.clone());
+    let mut b1 = Script::builder();
+    b1.send(0, 1, 16);
+    b1.send(0, 2, 32);
+    b1.send(0, 3, 48);
+    let p1 = b1.build(mark_log());
+    two_rank(p0, p1).run();
+    let got = statuses.borrow().clone();
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0].0, 3);
+    assert_eq!(got[0].1.len, 48);
+    assert_eq!(got[1].0, 1);
+    assert_eq!(got[2].0, 2);
+}
+
+#[test]
+fn empty_script_finishes_immediately() {
+    let p0 = Script::builder().build(mark_log());
+    let p1 = Script::builder().build(mark_log());
+    let mut c = two_rank(p0, p1);
+    c.run();
+    assert_eq!(c.now(), Time::ZERO);
+}

@@ -1,0 +1,175 @@
+//! The crossbar fabric component.
+
+use crate::message::{Message, NodeId};
+use mpiq_dessim::prelude::*;
+
+/// Input port on the fabric where all NICs inject.
+pub const PORT_FROM_NIC: InPort = InPort(0);
+
+/// Output port index delivering to node `n` is `PORT_TO_NIC + n`.
+pub const PORT_TO_NIC: u16 = 0;
+
+/// Network parameters (Table III: 200 ns wire latency).
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Propagation latency for any message.
+    pub wire_latency: Time,
+    /// Link bandwidth in bytes per nanosecond (serialization).
+    pub bytes_per_ns: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            wire_latency: Time::from_ns(200),
+            // Red Storm-class injection bandwidth, ~2 GB/s.
+            bytes_per_ns: 2,
+        }
+    }
+}
+
+/// A full crossbar: every injected [`Message`] is delivered to its
+/// destination's output port after wire latency plus serialization delay.
+/// Each destination link serializes (per-destination busy window), which
+/// models receive-side contention; per-(src,dst) ordering is preserved
+/// because injections are timestamped in send order and the busy window is
+/// FIFO.
+pub struct Fabric {
+    cfg: NetConfig,
+    nodes: u32,
+    busy_until: Vec<Time>,
+}
+
+impl Fabric {
+    /// A fabric connecting `nodes` NICs.
+    pub fn new(cfg: NetConfig, nodes: u32) -> Fabric {
+        Fabric {
+            cfg,
+            nodes,
+            busy_until: vec![Time::ZERO; nodes as usize],
+        }
+    }
+
+    /// Serialization time for a message of `bytes`.
+    fn serialize(&self, bytes: u64) -> Time {
+        Time::from_ps(bytes * 1000 / self.cfg.bytes_per_ns)
+    }
+
+    /// Output port for a destination node.
+    pub fn out_port(dst: NodeId) -> OutPort {
+        OutPort(PORT_TO_NIC + dst as u16)
+    }
+}
+
+impl Component for Fabric {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        let msg = *ev
+            .payload
+            .downcast::<Message>()
+            .expect("fabric accepts Message payloads only");
+        let dst = msg.header.dst_node;
+        assert!(dst < self.nodes, "message to unknown node {dst}");
+        let ser = self.serialize(msg.wire_bytes());
+        let start = ctx.now().max(self.busy_until[dst as usize]);
+        let deliver = start + ser + self.cfg.wire_latency;
+        self.busy_until[dst as usize] = start + ser;
+        ctx.stats().incr("net.messages");
+        ctx.stats().add("net.bytes", msg.wire_bytes());
+        ctx.emit_after(Self::out_port(dst), Payload::new(msg), deliver - ctx.now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgHeader, MsgKind};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn msg(dst: NodeId, len: u32, seq: u64) -> Message {
+        Message {
+            header: MsgHeader {
+                src_node: 0,
+                dst_node: dst,
+                dst_rank: dst,
+                context: 0,
+                src_rank: 0,
+                tag: 0,
+                payload_len: len,
+                kind: MsgKind::Eager,
+                seq,
+            },
+            payload: Message::test_payload(len as usize, 0),
+        }
+    }
+
+    struct Sink {
+        got: DeliveryLog,
+    }
+    impl Component for Sink {
+        fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            let m = ev.payload.downcast::<Message>().unwrap();
+            self.got.borrow_mut().push((ctx.now(), m.header.seq));
+        }
+    }
+
+    type DeliveryLog = Rc<RefCell<Vec<(Time, u64)>>>;
+
+    fn build(nodes: u32) -> (Simulation, ComponentId, Vec<DeliveryLog>) {
+        let mut sim = Simulation::new(7);
+        let fab = sim.add_component("net", Fabric::new(NetConfig::default(), nodes));
+        let mut logs = Vec::new();
+        for n in 0..nodes {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let sink = sim.add_component(&format!("sink{n}"), Sink { got: log.clone() });
+            sim.connect(fab, Fabric::out_port(n), sink, InPort(0), Time::ZERO);
+            logs.push(log);
+        }
+        (sim, fab, logs)
+    }
+
+    #[test]
+    fn zero_payload_message_takes_wire_latency_plus_header_time() {
+        let (mut sim, fab, logs) = build(2);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
+        sim.run();
+        let (t, seq) = logs[1].borrow()[0];
+        assert_eq!(seq, 1);
+        // 32 header bytes at 2 B/ns = 16 ns, + 200 ns wire.
+        assert_eq!(t, Time::from_ns(216));
+    }
+
+    #[test]
+    fn bandwidth_scales_with_length() {
+        let (mut sim, fab, logs) = build(2);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 4096, 1)), Time::ZERO);
+        sim.run();
+        let (t, _) = logs[1].borrow()[0];
+        assert_eq!(t, Time::from_ns(200 + (4096 + 32) / 2));
+    }
+
+    #[test]
+    fn same_destination_serializes_and_preserves_order() {
+        let (mut sim, fab, logs) = build(2);
+        for seq in 0..4 {
+            sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 1000, seq)), Time::ZERO);
+        }
+        sim.run();
+        let got = logs[1].borrow();
+        let seqs: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "ordering violated");
+        // Each 1032-byte message serializes for 516 ns on the shared link.
+        assert_eq!(got[0].0, Time::from_ns(716));
+        assert_eq!(got[1].0, Time::from_ns(716 + 516));
+    }
+
+    #[test]
+    fn different_destinations_do_not_contend() {
+        let (mut sim, fab, logs) = build(3);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 1000, 0)), Time::ZERO);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(2, 1000, 1)), Time::ZERO);
+        sim.run();
+        assert_eq!(logs[1].borrow()[0].0, Time::from_ns(716));
+        assert_eq!(logs[2].borrow()[0].0, Time::from_ns(716));
+    }
+}

@@ -1,0 +1,14 @@
+//! `mpiq-net` — the simple network model.
+//!
+//! The paper's simulation environment uses "a simple network" with a
+//! 200 ns wire latency (Table III). This crate provides that: message
+//! headers and payloads ([`message`]) and a full-crossbar fabric component
+//! ([`fabric`]) that delivers messages after wire latency plus
+//! bandwidth-limited serialization, preserving per-(source, destination)
+//! ordering — the property MPI's ordering semantics are built on.
+
+pub mod fabric;
+pub mod message;
+
+pub use fabric::{Fabric, NetConfig, PORT_FROM_NIC, PORT_TO_NIC};
+pub use message::{Message, MsgHeader, MsgKind, NodeId};

@@ -1,0 +1,188 @@
+//! NIC configuration.
+
+use mpiq_cpusim::CoreConfig;
+use mpiq_dessim::Time;
+
+/// Configuration for one ALPU instance attached to the NIC.
+#[derive(Clone, Copy, Debug)]
+pub struct AlpuSetup {
+    /// Total cells (128 or 256 in the paper's experiments).
+    pub total_cells: usize,
+    /// Cells per block.
+    pub block_size: usize,
+    /// Don't bother inserting into the ALPU until the software queue is at
+    /// least this long (§IV-B: "the software must only use it when the
+    /// queue is adequately long"). 0 = always use.
+    pub engage_threshold: usize,
+    /// While the NIC has other work pending, batch at least this many
+    /// entries per insert session; an idle NIC flushes any tail.
+    pub insert_batch_min: usize,
+}
+
+impl AlpuSetup {
+    /// The paper's 128-entry configuration (block size 16).
+    pub fn cells128() -> AlpuSetup {
+        AlpuSetup {
+            total_cells: 128,
+            block_size: 16,
+            engage_threshold: 0,
+            insert_batch_min: 8,
+        }
+    }
+
+    /// The paper's 256-entry configuration (block size 16).
+    pub fn cells256() -> AlpuSetup {
+        AlpuSetup {
+            total_cells: 256,
+            block_size: 16,
+            engage_threshold: 0,
+            insert_batch_min: 8,
+        }
+    }
+}
+
+/// Software matching strategy for the posted-receive queue (§II).
+///
+/// `HashBins` is the alternative the paper discusses and rejects: faster
+/// lookup for exact receives, but every *post* pays hashing and
+/// second-structure maintenance, wildcard receives fall back to a side
+/// list every probe must walk, and ordering needs sequence stamps.
+/// Mutually exclusive with the posted-receive ALPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwMatch {
+    /// The linear list every published MPI implementation uses (§II).
+    LinearList,
+    /// Hash-binned exact receives + wildcard side list.
+    HashBins {
+        /// Number of hash buckets (power of two recommended).
+        bins: usize,
+    },
+}
+
+/// Full NIC configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NicConfig {
+    /// The embedded processor (Table III "NIC Processor" by default).
+    pub core: CoreConfig,
+    /// Posted-receive ALPU, if present.
+    pub posted_alpu: Option<AlpuSetup>,
+    /// Unexpected-message ALPU, if present.
+    pub unexpected_alpu: Option<AlpuSetup>,
+    /// ALPU clock in MHz. The paper projects the FPGA prototype to
+    /// ~500 MHz as an ASIC — the same clock as the NIC core (§VI-A).
+    pub alpu_mhz: u64,
+    /// DMA engine bandwidth, bytes per nanosecond.
+    pub dma_bytes_per_ns: u64,
+    /// Fixed DMA setup cost (descriptor writes, engine kick).
+    pub dma_setup: Time,
+    /// Messages with payloads at or below this go eager; larger ones use
+    /// rendezvous.
+    pub eager_threshold: u32,
+    /// Local bus transaction delay (§V-B: 20 ns).
+    pub bus_latency: Time,
+    /// Bytes of NIC memory per queue entry. 80 bytes matches the knee the
+    /// paper observes: the traversal cost jumps once the queue footprint
+    /// exceeds the 32 KB L1, at roughly 400 entries (§VI-B) — 400 × 80 B
+    /// = 32 KB.
+    pub entry_bytes: u64,
+    /// Fixed host-visible completion delivery cost (completion record
+    /// write + host pickup).
+    pub completion_cost: Time,
+    /// Software matching strategy for the posted-receive queue.
+    pub sw_match: SwMatch,
+    /// MPI processes sharing this NIC (footnote 1 of the paper: "the
+    /// prototype design only supports ... a single process, but extending
+    /// it to support a limited number of processes is straightforward").
+    /// Implemented by folding the local process id into the high bits of
+    /// the match word's context field; limited to 8.
+    pub ranks_per_node: u32,
+}
+
+impl NicConfig {
+    /// The baseline NIC: embedded processor only, no ALPUs — "similar in
+    /// nature to what will be in the Red Storm system" (§VI-B).
+    pub fn baseline() -> NicConfig {
+        NicConfig {
+            core: CoreConfig::nic_ppc440(),
+            posted_alpu: None,
+            unexpected_alpu: None,
+            alpu_mhz: 500,
+            dma_bytes_per_ns: 4,
+            dma_setup: Time::from_ns(60),
+            eager_threshold: 2048,
+            bus_latency: Time::from_ns(20),
+            entry_bytes: 80,
+            completion_cost: Time::from_ns(50),
+            sw_match: SwMatch::LinearList,
+            ranks_per_node: 1,
+        }
+    }
+
+    /// Baseline NIC with a next-line prefetcher on the embedded
+    /// processor's L1 — a software-visible-hardware alternative in the
+    /// §VII "traverse queues quickly with fewer hardware resources"
+    /// direction (no ALPUs).
+    pub fn with_prefetch() -> NicConfig {
+        let mut cfg = NicConfig::baseline();
+        cfg.core.mem.prefetch_next_line = true;
+        cfg
+    }
+
+    /// Baseline NIC with hash-binned posted-receive matching (the §II
+    /// alternative; no ALPUs).
+    pub fn with_hash(bins: usize) -> NicConfig {
+        NicConfig {
+            sw_match: SwMatch::HashBins { bins },
+            ..NicConfig::baseline()
+        }
+    }
+
+    /// Baseline plus ALPUs of `cells` entries on both queues.
+    pub fn with_alpus(cells: usize) -> NicConfig {
+        let setup = match cells {
+            128 => AlpuSetup::cells128(),
+            256 => AlpuSetup::cells256(),
+            _ => AlpuSetup {
+                total_cells: cells,
+                block_size: 16.min(cells),
+                engage_threshold: 0,
+                insert_batch_min: 8,
+            },
+        };
+        NicConfig {
+            posted_alpu: Some(setup),
+            unexpected_alpu: Some(setup),
+            ..NicConfig::baseline()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_no_alpus() {
+        let c = NicConfig::baseline();
+        assert!(c.posted_alpu.is_none());
+        assert!(c.unexpected_alpu.is_none());
+        assert_eq!(c.bus_latency, Time::from_ns(20));
+    }
+
+    #[test]
+    fn with_alpus_sets_both() {
+        let c = NicConfig::with_alpus(128);
+        assert_eq!(c.posted_alpu.unwrap().total_cells, 128);
+        assert_eq!(c.unexpected_alpu.unwrap().total_cells, 128);
+        let c = NicConfig::with_alpus(256);
+        assert_eq!(c.posted_alpu.unwrap().total_cells, 256);
+    }
+
+    #[test]
+    fn custom_cell_count_picks_sane_block() {
+        let c = NicConfig::with_alpus(64);
+        assert_eq!(c.posted_alpu.unwrap().block_size, 16);
+        let c = NicConfig::with_alpus(8);
+        assert_eq!(c.posted_alpu.unwrap().block_size, 8);
+    }
+}

@@ -1,0 +1,1504 @@
+//! The NIC firmware: the MPI engine of §V-C, with the ALPU management
+//! heuristics of §IV.
+//!
+//! The firmware executes functionally in Rust; timing comes from running
+//! emitted micro-op traces on the embedded [`Core`] and from explicit
+//! interactions with the cycle-level [`Alpu`]s. Each externally triggered
+//! activity is a [`WorkItem`]; the NIC component serializes items on the
+//! (single) embedded processor.
+//!
+//! Protocol summary:
+//!
+//! * **Eager** (payload ≤ threshold): header+payload in one message. On a
+//!   posted-queue match the Rx DMA moves the payload to the user buffer;
+//!   unmatched payloads are buffered in NIC memory on the unexpected
+//!   queue.
+//! * **Rendezvous**: the request carries only the header. The receiver
+//!   replies with a clear-to-send on match; the sender then DMAs the data
+//!   across; the receiver DMAs it to the user buffer on arrival.
+//!
+//! ALPU usage follows §IV-B/C/D: the software keeps the full queues (the
+//! ALPU returns a *key* into them), an insert session moves the
+//! not-yet-inserted tail into the unit in batches, every match-eligible
+//! header is answered by exactly one MATCH response which the firmware
+//! pairs with its message, and a failed hardware match falls back to a
+//! software search of the tail only.
+
+use crate::config::{NicConfig, SwMatch};
+use crate::hashmatch::PostedIndex;
+use crate::dma::Dma;
+use crate::host_iface::{Completion, HostRequest, ReqId};
+use crate::queues::{Key, NicQueue};
+use mpiq_alpu::{Alpu, AlpuConfig, AlpuKind, Command, Entry, MatchWord, Probe, Response, Tag};
+use mpiq_cpusim::{Core, TraceBuilder};
+use mpiq_dessim::{Clock, Time};
+use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// NIC memory map (addresses feed the cache model).
+mod layout {
+    /// Posted-receive queue entries.
+    pub const POSTED_BASE: u64 = 0x10_0000;
+    /// Unexpected queue entries.
+    pub const UNEXP_BASE: u64 = 0x20_0000;
+    /// Rx ring buffers.
+    pub const RXBUF_BASE: u64 = 0x30_0000;
+    /// Host request mailbox.
+    pub const MAILBOX_BASE: u64 = 0x40_0000;
+    /// Pending-send records.
+    pub const SENDQ_BASE: u64 = 0x50_0000;
+    /// Hash-bin headers (hash matching strategy only).
+    pub const HASHBIN_BASE: u64 = 0x60_0000;
+}
+
+/// One unit of work for the embedded processor.
+#[derive(Clone, Debug)]
+pub enum WorkItem {
+    /// A message arrived from the network. `probed` records whether the
+    /// hardware delivered a header copy to the posted-receive ALPU at
+    /// arrival time (the firmware must read exactly one response per
+    /// probed header).
+    Rx {
+        /// The arrived message.
+        msg: Message,
+        /// Whether the posted-receive ALPU saw a copy of this header.
+        probed: bool,
+    },
+    /// The host dispatched a request.
+    Host(HostRequest),
+    /// Move not-yet-inserted queue tails into the ALPUs (insert session).
+    AlpuUpdate,
+}
+
+/// Externally visible effects of processing one work item.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Messages to inject into the fabric, with their injection times.
+    pub tx: Vec<(Time, Message)>,
+    /// Completions to deliver to the host, with their delivery times.
+    pub completions: Vec<(Time, Completion)>,
+}
+
+/// A posted receive as the NIC stores it.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvEntry {
+    req: ReqId,
+    word: MatchWord,
+    mask: mpiq_alpu::MaskWord,
+    len: u32,
+    /// Tombstone: the receive was cancelled (or already consumed via a
+    /// ghost-hit re-match) while its copy still sits in the ALPU, which
+    /// has no DELETE command (Table I). Ghosts are skipped by software
+    /// search and reclaimed when the hardware matches them.
+    ghost: bool,
+}
+
+/// An unexpected message as the NIC stores it.
+#[derive(Clone, Debug)]
+struct UnexpEntry {
+    header: MsgHeader,
+}
+
+/// A parked rendezvous send awaiting its clear-to-send.
+#[derive(Clone, Copy, Debug)]
+struct SendEntry {
+    req: ReqId,
+    dst: NodeId,
+    context: u16,
+    tag: u16,
+    len: u32,
+    token: u64,
+    addr: u64,
+}
+
+/// A matched rendezvous awaiting its data message.
+#[derive(Clone, Copy, Debug)]
+struct RndvExpect {
+    req: ReqId,
+    len: u32,
+    src_rank: u16,
+    tag: u16,
+}
+
+/// An ALPU plus its clock-domain bookkeeping and response stashes.
+pub struct AlpuPort {
+    alpu: Alpu,
+    clock: Clock,
+    synced_to: Time,
+    /// StartAcks popped while looking for a match response.
+    stash_start_ack: VecDeque<u32>,
+    /// Match responses popped while looking for a StartAck.
+    stash_match: VecDeque<Response>,
+}
+
+impl AlpuPort {
+    fn new(cells: usize, block: usize, kind: AlpuKind, mhz: u64) -> AlpuPort {
+        AlpuPort {
+            alpu: Alpu::new(AlpuConfig::new(cells, block, kind)),
+            clock: Clock::from_mhz(mhz),
+            synced_to: Time::ZERO,
+            stash_start_ack: VecDeque::new(),
+            stash_match: VecDeque::new(),
+        }
+    }
+
+    /// Advance the unit's clock domain up to `now`.
+    pub fn sync(&mut self, now: Time) {
+        if now <= self.synced_to {
+            return;
+        }
+        let cycles = self.clock.cycles_in(now - self.synced_to);
+        self.alpu.advance(cycles);
+        self.synced_to += self.clock.cycles(cycles);
+    }
+
+    /// Push a header probe (hardware copy path) at time `now`.
+    pub fn push_probe(&mut self, probe: Probe, now: Time) {
+        self.sync(now);
+        // The hardware FIFO is deep enough in practice; on overflow the
+        // hardware would backpressure the copy path. Model: spin the unit
+        // forward until space frees (rare).
+        let mut t = now;
+        while self.alpu.push_header(probe).is_err() {
+            self.alpu.tick();
+            t += self.clock.period();
+            self.synced_to = t;
+        }
+    }
+
+    /// Blocking pop of the next *match* response at/after `now`; returns
+    /// the response and the time it was available. StartAcks encountered
+    /// on the way are stashed.
+    fn pop_match_response(&mut self, now: Time) -> (Response, Time) {
+        if let Some(r) = self.stash_match.pop_front() {
+            return (r, now);
+        }
+        self.sync(now);
+        let mut t = now;
+        loop {
+            match self.alpu.pop_response() {
+                Some(Response::StartAck { free }) => self.stash_start_ack.push_back(free),
+                Some(r) => return (r, t),
+                None => {
+                    self.alpu.tick();
+                    t += self.clock.period();
+                    self.synced_to = t;
+                    assert!(
+                        t < now + Time::from_us(100),
+                        "ALPU match response never arrived"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Blocking pop of a StartAck at/after `now`. Match responses
+    /// encountered on the way are stashed for their owners.
+    fn pop_start_ack(&mut self, now: Time) -> (u32, Time) {
+        if let Some(free) = self.stash_start_ack.pop_front() {
+            return (free, now);
+        }
+        self.sync(now);
+        let mut t = now;
+        loop {
+            match self.alpu.pop_response() {
+                Some(Response::StartAck { free }) => return (free, t),
+                Some(r) => self.stash_match.push_back(r),
+                None => {
+                    self.alpu.tick();
+                    t += self.clock.period();
+                    self.synced_to = t;
+                    assert!(t < now + Time::from_us(100), "StartAck never arrived");
+                }
+            }
+        }
+    }
+
+    /// Is the unit safe to open an insert session against? (§IV-C race:
+    /// a failure computed before the inserts must not be paired with the
+    /// post-insert tail.)
+    fn probe_quiescent(&mut self, now: Time) -> bool {
+        self.sync(now);
+        self.stash_match.is_empty() && self.alpu.probe_quiescent()
+    }
+
+    /// Push a command, spinning the unit forward if its FIFO is full.
+    fn push_command(&mut self, cmd: Command, now: Time) -> Time {
+        self.sync(now);
+        let mut t = now;
+        while self.alpu.push_command(cmd).is_err() {
+            self.alpu.tick();
+            t += self.clock.period();
+            self.synced_to = t;
+        }
+        t
+    }
+
+    /// Read-only access for assertions and diagnostics.
+    pub fn alpu(&self) -> &Alpu {
+        &self.alpu
+    }
+}
+
+/// Firmware statistics relevant to the experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FwStats {
+    /// Posted-queue entries visited by software search.
+    pub posted_entries_traversed: u64,
+    /// Unexpected-queue entries visited by software search.
+    pub unexpected_entries_traversed: u64,
+    /// Headers resolved by the posted ALPU.
+    pub posted_alpu_hits: u64,
+    /// Receives resolved by the unexpected ALPU.
+    pub unexpected_alpu_hits: u64,
+    /// Messages that arrived with no matching receive.
+    pub unexpected_arrivals: u64,
+    /// ALPU insert-session count.
+    pub insert_sessions: u64,
+    /// Receives cancelled while ALPU-resident (tombstoned).
+    pub ghosted_cancels: u64,
+    /// Hardware matches that landed on tombstones and were re-matched in
+    /// software.
+    pub ghost_rematches: u64,
+    /// Full RESET+rebuild purges forced by tombstone buildup.
+    pub alpu_purges: u64,
+}
+
+/// The firmware: all NIC-resident MPI state plus the hardware ports.
+pub struct Firmware {
+    cfg: NicConfig,
+    node: NodeId,
+    posted: NicQueue<RecvEntry>,
+    unexpected: NicQueue<UnexpEntry>,
+    send_park: Vec<SendEntry>,
+    rndv_expect: HashMap<(NodeId, u64), RndvExpect>,
+    wire_seq: u64,
+    host_seq: u64,
+    dma_rx: Dma,
+    dma_tx: Dma,
+    /// Posted-receive ALPU, if configured.
+    pub posted_alpu: Option<AlpuPort>,
+    /// Unexpected-message ALPU, if configured.
+    pub unexpected_alpu: Option<AlpuPort>,
+    /// Hash index over the posted queue (hash matching strategy only).
+    posted_index: Option<PostedIndex>,
+    /// Live tombstones in the posted ALPU (see [`RecvEntry::ghost`]).
+    posted_ghosts: usize,
+    stats: FwStats,
+}
+
+impl Firmware {
+    /// Build the firmware for `node` under `cfg`.
+    pub fn new(node: NodeId, cfg: NicConfig) -> Firmware {
+        let mk = |setup: Option<crate::config::AlpuSetup>, kind| {
+            setup.map(|s| AlpuPort::new(s.total_cells, s.block_size, kind, cfg.alpu_mhz))
+        };
+        let posted_index = match cfg.sw_match {
+            SwMatch::LinearList => None,
+            SwMatch::HashBins { bins } => {
+                assert!(
+                    cfg.posted_alpu.is_none(),
+                    "hash matching and the posted-receive ALPU are mutually exclusive"
+                );
+                Some(PostedIndex::new(bins))
+            }
+        };
+        Firmware {
+            node,
+            posted: NicQueue::new(layout::POSTED_BASE, cfg.entry_bytes),
+            unexpected: NicQueue::new(layout::UNEXP_BASE, cfg.entry_bytes),
+            send_park: Vec::new(),
+            rndv_expect: HashMap::new(),
+            wire_seq: 0,
+            host_seq: 0,
+            dma_rx: Dma::new(cfg.dma_bytes_per_ns, cfg.dma_setup),
+            dma_tx: Dma::new(cfg.dma_bytes_per_ns, cfg.dma_setup),
+            posted_alpu: mk(cfg.posted_alpu, AlpuKind::PostedReceive),
+            unexpected_alpu: mk(cfg.unexpected_alpu, AlpuKind::Unexpected),
+            posted_index,
+            posted_ghosts: 0,
+            stats: FwStats::default(),
+            cfg,
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> FwStats {
+        self.stats
+    }
+
+    /// Posted-queue length (diagnostics/benchmarks).
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Unexpected-queue length (diagnostics/benchmarks).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Is the posted-receive ALPU currently worth probing? Always, at the
+    /// default `engage_threshold` of 0; with a nonzero threshold this is
+    /// the §VI-B optimization ("not use the ALPU until the list is at
+    /// least 5 entries long"): headers bypass the unit while it holds
+    /// nothing and the queue is short, eliminating the interaction
+    /// penalty.
+    pub fn posted_engaged(&self) -> bool {
+        match (&self.posted_alpu, self.cfg.posted_alpu) {
+            (Some(_), Some(s)) => {
+                self.posted.alpu_prefix() > 0 || self.posted.len() >= s.engage_threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// Same engagement rule for the unexpected-message ALPU.
+    fn unexpected_engaged(&self) -> bool {
+        match (&self.unexpected_alpu, self.cfg.unexpected_alpu) {
+            (Some(_), Some(s)) => {
+                self.unexpected.alpu_prefix() > 0 || self.unexpected.len() >= s.engage_threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// Advance both ALPU clock domains to `now` (test/diagnostic hook:
+    /// lets in-flight insert commands drain so quiescent-state invariants
+    /// can be checked).
+    pub fn sync_hardware(&mut self, now: Time) {
+        if let Some(p) = &mut self.posted_alpu {
+            p.sync(now);
+        }
+        if let Some(p) = &mut self.unexpected_alpu {
+            p.sync(now);
+        }
+    }
+
+    /// Node hosting a global rank (block distribution).
+    fn node_of(&self, rank: u32) -> NodeId {
+        rank / self.cfg.ranks_per_node
+    }
+
+    /// Local process id of a global rank on its node.
+    fn pid_of(&self, rank: u32) -> u16 {
+        (rank % self.cfg.ranks_per_node) as u16
+    }
+
+    /// Effective matching context: the user context with the destination
+    /// process's local id folded into the high bits, so co-located
+    /// processes' queues cannot cross-match (the footnote-1 extension).
+    fn eff_ctx(&self, context: u16, dst_rank: u32) -> u16 {
+        if self.cfg.ranks_per_node <= 1 {
+            return context;
+        }
+        debug_assert!(context < 256, "contexts limited to 8 bits with multi-process NICs");
+        debug_assert!(self.cfg.ranks_per_node <= 8, "at most 8 processes per NIC");
+        context | (self.pid_of(dst_rank) << 8)
+    }
+
+    /// The match word an incoming header probes with.
+    fn header_word(&self, h: &MsgHeader) -> MatchWord {
+        MatchWord::mpi(self.eff_ctx(h.context, h.dst_rank), h.src_rank, h.tag)
+    }
+
+    /// Hardware path: an incoming header is copied to the posted-receive
+    /// ALPU's header FIFO the moment it arrives (Fig. 1), independent of
+    /// when the processor gets to it. Returns whether a copy was
+    /// delivered (the processor "can disable the delivery of duplicate
+    /// information ... until it is initialized", §IV-C).
+    pub fn header_arrival(&mut self, msg: &Message, now: Time) -> bool {
+        if !matches!(msg.header.kind, MsgKind::Eager | MsgKind::RndvRequest) {
+            return false; // protocol messages don't probe the match queues
+        }
+        if !self.posted_engaged() {
+            return false;
+        }
+        let probe = Probe::exact(self.header_word(&msg.header));
+        let port = self.posted_alpu.as_mut().expect("engaged implies present");
+        port.push_probe(probe, now);
+        true
+    }
+
+    /// Process one work item starting at `now` on `core`; returns the
+    /// finish time and the external effects.
+    pub fn process(&mut self, item: WorkItem, now: Time, core: &mut Core) -> (Time, Effects) {
+        let mut fx = Effects::default();
+        let end = match item {
+            WorkItem::Rx { msg, probed } => self.do_rx(msg, probed, now, core, &mut fx),
+            WorkItem::Host(req) => self.do_host(req, now, core, &mut fx),
+            WorkItem::AlpuUpdate => self.do_update(now, core, &mut fx),
+        };
+        (end, fx)
+    }
+
+    /// Would an insert session do anything right now? §IV-B: "the software
+    /// ... should attempt to conglomerate insertions" — while the NIC has
+    /// other work pending (`idle == false`), wait for at least
+    /// `insert_batch_min` stragglers; an idle NIC flushes any tail.
+    pub fn update_needed(&self, idle: bool) -> bool {
+        if self.purge_needed() {
+            return true;
+        }
+        let posted = match (&self.posted_alpu, self.cfg.posted_alpu) {
+            (Some(p), Some(s)) => {
+                self.posted.tail_len() > 0
+                    && p.alpu.free() > 0
+                    && self.posted.len() >= s.engage_threshold
+                    && (idle || self.posted.tail_len() >= s.insert_batch_min)
+            }
+            _ => false,
+        };
+        let unexp = match (&self.unexpected_alpu, self.cfg.unexpected_alpu) {
+            (Some(p), Some(s)) => {
+                self.unexpected.tail_len() > 0
+                    && p.alpu.free() > 0
+                    && self.unexpected.len() >= s.engage_threshold
+                    && (idle || self.unexpected.tail_len() >= s.insert_batch_min)
+            }
+            _ => false,
+        };
+        posted || unexp
+    }
+
+    // ------------------------------------------------------------------
+    // Rx path
+    // ------------------------------------------------------------------
+
+    fn do_rx(
+        &mut self,
+        msg: Message,
+        probed: bool,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        // Poll + header pickup from the rx ring.
+        let rxslot = layout::RXBUF_BASE + (msg.header.seq % 64) * 128;
+        let t = now
+            + core
+                .run(
+                    &TraceBuilder::new().int(10).load(rxslot).load(rxslot + 64).build(),
+                    now,
+                )
+                .elapsed;
+        match msg.header.kind {
+            MsgKind::Eager | MsgKind::RndvRequest => {
+                self.rx_match_eligible(msg, probed, t, core, fx)
+            }
+            MsgKind::RndvReply { token } => self.rx_rndv_reply(msg, token, t, core, fx),
+            MsgKind::RndvData { token } => self.rx_rndv_data(msg, token, t, core, fx),
+        }
+    }
+
+    /// Eager or rendezvous-request header: match against the posted
+    /// receive queue (hardware first if present, then the software tail).
+    fn rx_match_eligible(
+        &mut self,
+        msg: Message,
+        probed: bool,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let h = msg.header;
+        let probe_word = self.header_word(&h);
+        let mut t = now;
+
+        let mut matched: Option<Key> = None;
+        let mut software_from = 0usize;
+        // Set when the correct match is an ALPU-resident entry the
+        // hardware did not delete (ghost-hit re-match): consume it
+        // logically, leave a tombstone.
+        let mut ghost_consume: Option<Key> = None;
+
+        if probed {
+            let port = self
+                .posted_alpu
+                .as_mut()
+                .expect("probed headers imply an ALPU");
+            // Read the response the hardware computed for this header
+            // (§IV-D: one response per header, in order).
+            let (resp, t_resp) = port.pop_match_response(t);
+            t = t_resp;
+            // §IV-D: the processor "should first retrieve the copy of the
+            // data provided to it and then retrieve the response" — four
+            // uncached local-bus reads (header copy, then status+tag).
+            t += core
+                .run(
+                    &TraceBuilder::new()
+                        .bus_read()
+                        .bus_read()
+                        .bus_read()
+                        .bus_read()
+                        .int(4)
+                        .build(),
+                    t,
+                )
+                .elapsed;
+            match resp {
+                Response::MatchSuccess { tag } => {
+                    let key = tag as Key;
+                    let pos = self
+                        .posted
+                        .iter()
+                        .position(|it| it.key == key)
+                        .expect("ALPU cookie references a live entry");
+                    if self.posted.get(pos).val.ghost {
+                        // The hardware matched a tombstone (cancelled or
+                        // already-consumed entry it still held). Reclaim
+                        // it and redo the match in software over the FULL
+                        // queue — the hardware's next candidate is
+                        // unknowable without a DELETE command.
+                        self.stats.ghost_rematches += 1;
+                        self.posted_ghosts -= 1;
+                        let item = self.posted.remove_key(key);
+                        t += core
+                            .run(&TraceBuilder::new().load(item.addr).int(12).build(), t)
+                            .elapsed;
+                        let mut visited = Vec::new();
+                        let hit = self.posted.find_from(
+                            0,
+                            |e| {
+                                !e.ghost
+                                    && mpiq_alpu::match_types::masked_eq(
+                                        e.word, probe_word, e.mask,
+                                    )
+                            },
+                            &mut visited,
+                        );
+                        self.stats.posted_entries_traversed += visited.len() as u64;
+                        let mut tb = TraceBuilder::new();
+                        for addr in &visited {
+                            tb = tb.load_chain(*addr).int(12);
+                        }
+                        t += core.run(&tb.build(), t).elapsed;
+                        match hit {
+                            Some((pos, zkey)) => {
+                                if self.posted.get(pos).in_alpu {
+                                    // Consumed logically but still in the
+                                    // hardware: becomes a ghost itself.
+                                    ghost_consume = Some(zkey);
+                                }
+                                matched = Some(zkey);
+                            }
+                            None => {
+                                matched = None;
+                                software_from = usize::MAX; // already searched everything
+                            }
+                        }
+                    } else {
+                        matched = Some(key);
+                        self.stats.posted_alpu_hits += 1;
+                    }
+                }
+                Response::MatchFailure => {
+                    software_from = self.posted.alpu_prefix();
+                }
+                Response::StartAck { .. } => unreachable!("stashed by pop_match_response"),
+            }
+        }
+
+        if matched.is_none() && software_from != usize::MAX {
+            let (hit, visited, hash_overhead) = match &self.posted_index {
+                Some(index) => {
+                    // Hash strategy: bin walk + mandatory wildcard walk.
+                    let p = index.probe(probe_word);
+                    (p.hit, p.visited, 10u32)
+                }
+                None => {
+                    // Linear list (whole list in the baseline, tail only
+                    // after an ALPU miss).
+                    let mut visited = Vec::new();
+                    let hit = self.posted.find_from(
+                        software_from,
+                        |e| {
+                            !e.ghost
+                                && mpiq_alpu::match_types::masked_eq(e.word, probe_word, e.mask)
+                        },
+                        &mut visited,
+                    );
+                    (hit.map(|(_, key)| key), visited, 0)
+                }
+            };
+            self.stats.posted_entries_traversed += visited.len() as u64;
+            let mut tb = TraceBuilder::new().int(hash_overhead);
+            for addr in &visited {
+                tb = tb.load_chain(*addr).int(12);
+            }
+            t += core.run(&tb.build(), t).elapsed;
+            matched = hit;
+        }
+
+        match matched {
+            Some(key) => {
+                // Direct access to the entry + unlink. A ghost-consume
+                // keeps the entry as a tombstone (its hardware copy is
+                // still live); everything else unlinks for real.
+                let item = if ghost_consume == Some(key) {
+                    let pos = self
+                        .posted
+                        .iter()
+                        .position(|it| it.key == key)
+                        .expect("ghost target is live");
+                    let copy = self.posted.get(pos).clone();
+                    self.posted_mark_ghost(key);
+                    copy
+                } else {
+                    self.posted.remove_key(key)
+                };
+                t += core
+                    .run(
+                        &TraceBuilder::new()
+                            .load(item.addr)
+                            .int(8)
+                            .store(item.addr)
+                            .build(),
+                        t,
+                    )
+                    .elapsed;
+                if let Some(index) = &mut self.posted_index {
+                    // Hash maintenance on every successful match: scan the
+                    // bin to unlink, then write the bin header back.
+                    let rm = index.remove(key);
+                    let mut tb = TraceBuilder::new().int(10);
+                    for addr in rm.iter().take(8) {
+                        tb = tb.load(*addr);
+                    }
+                    let bin = layout::HASHBIN_BASE
+                        + (index.bin_index(probe_word) as u64) * 64;
+                    tb = tb.store(bin);
+                    t += core.run(&tb.build(), t).elapsed;
+                }
+                // If the entry was ALPU-resident the hardware already
+                // deleted its copy at match time. Hardware occupancy can
+                // transiently trail the software prefix by the number of
+                // still-unread MATCH SUCCESS responses (back-to-back
+                // probes resolve in hardware before firmware catches up);
+                // the two reconverge at quiesce (`check_invariants`).
+                let entry = item.val;
+                match h.kind {
+                    MsgKind::Eager => {
+                        let comp = Completion {
+                            req: entry.req,
+                            source: h.src_rank,
+                            tag: h.tag,
+                            // Truncate to the posted buffer, like MPI does.
+                            len: h.payload_len.min(entry.len),
+                            cancelled: false,
+                        };
+                        if h.payload_len > 0 {
+                            // DMA payload to the user buffer.
+                            let (_, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                            fx.completions.push((done + self.cfg.completion_cost, comp));
+                        } else {
+                            fx.completions.push((t + self.cfg.completion_cost, comp));
+                        }
+                        t += core.run(&TraceBuilder::new().int(10).build(), t).elapsed;
+                    }
+                    MsgKind::RndvRequest => {
+                        // Clear-to-send back to the sender; data will
+                        // arrive as RndvData carrying our token.
+                        self.rndv_expect.insert(
+                            (h.src_node, h.seq),
+                            RndvExpect {
+                                req: entry.req,
+                                len: h.payload_len,
+                                src_rank: h.src_rank,
+                                tag: h.tag,
+                            },
+                        );
+                        t += core.run(&TraceBuilder::new().int(14).build(), t).elapsed;
+                        let reply = self.make_msg(
+                            h.src_rank as u32,
+                            entry.req.rank,
+                            h.context,
+                            h.tag,
+                            0,
+                            MsgKind::RndvReply { token: h.seq },
+                        );
+                        let at = self.inject(reply.wire_bytes(), t);
+                        fx.tx.push((at, reply));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            None => {
+                // Unexpected: append to the unexpected queue; eager
+                // payloads are buffered in NIC memory by the Rx DMA.
+                self.stats.unexpected_arrivals += 1;
+                let (_, addr) = self.unexpected.push(UnexpEntry { header: h });
+                t += core
+                    .run(
+                        &TraceBuilder::new()
+                            .int(10)
+                            .store(addr)
+                            .store(addr + 32)
+                            .build(),
+                        t,
+                    )
+                    .elapsed;
+                if h.kind == MsgKind::Eager && h.payload_len > 0 {
+                    self.dma_rx.transfer(h.payload_len as u64, t);
+                }
+            }
+        }
+        t
+    }
+
+    fn rx_rndv_reply(
+        &mut self,
+        msg: Message,
+        token: u64,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        // Find the parked send (short list scan).
+        let mut tb = TraceBuilder::new().int(8);
+        let pos = self
+            .send_park
+            .iter()
+            .position(|s| s.token == token && s.dst / self.cfg.ranks_per_node == msg.header.src_node);
+        for entry in self.send_park.iter().take(pos.unwrap_or(0) + 1) {
+            tb = tb.load_chain(entry.addr).int(6);
+        }
+        let mut t = now + core.run(&tb.build(), now).elapsed;
+        let park = self.send_park.remove(pos.expect("rndv reply for unknown send"));
+        // DMA the payload from host memory and ship it.
+        let (_, dma_done) = self.dma_tx.transfer(park.len as u64, t);
+        t += core.run(&TraceBuilder::new().int(10).build(), t).elapsed;
+        let data = Message {
+            header: MsgHeader {
+                src_node: self.node,
+                dst_node: self.node_of(park.dst),
+                dst_rank: park.dst,
+                context: park.context,
+                src_rank: park.req.rank as u16,
+                tag: park.tag,
+                payload_len: park.len,
+                kind: MsgKind::RndvData { token },
+                seq: self.next_seq(),
+            },
+            payload: Message::test_payload(park.len as usize, token as u8),
+        };
+        let at = dma_done.max(t);
+        fx.tx.push((at, data));
+        // Local send completion once the data left.
+        fx.completions.push((
+            at + self.cfg.completion_cost,
+            Completion {
+                req: park.req,
+                source: park.req.rank as u16,
+                tag: park.tag,
+                len: park.len,
+                cancelled: false,
+            },
+        ));
+        t
+    }
+
+    fn rx_rndv_data(
+        &mut self,
+        msg: Message,
+        token: u64,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let mut t = now + core.run(&TraceBuilder::new().int(12).build(), now).elapsed;
+        let exp = self
+            .rndv_expect
+            .remove(&(msg.header.src_node, token))
+            .expect("rndv data for unknown token");
+        let (_, done) = self.dma_rx.transfer(exp.len as u64, t);
+        t += core.run(&TraceBuilder::new().int(6).build(), t).elapsed;
+        fx.completions.push((
+            done + self.cfg.completion_cost,
+            Completion {
+                req: exp.req,
+                source: exp.src_rank,
+                tag: exp.tag,
+                len: exp.len,
+                cancelled: false,
+            },
+        ));
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Host request path
+    // ------------------------------------------------------------------
+
+    fn do_host(
+        &mut self,
+        req: HostRequest,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        // Pick the request out of the mailbox.
+        let slot = layout::MAILBOX_BASE + (self.host_seq % 16) * 64;
+        self.host_seq += 1;
+        let t = now
+            + core
+                .run(&TraceBuilder::new().int(8).load(slot).build(), now)
+                .elapsed;
+        match req {
+            HostRequest::CancelRecv { target } => self.do_cancel(target, t, core, fx),
+            HostRequest::Probe {
+                req,
+                src,
+                context,
+                tag,
+            } => self.do_probe(req, src, context, tag, t, core, fx),
+            HostRequest::PostSend {
+                req,
+                dst,
+                context,
+                tag,
+                len,
+            } => self.do_post_send(req, dst, context, tag, len, t, core, fx),
+            HostRequest::PostRecv {
+                req,
+                src,
+                context,
+                tag,
+                len,
+            } => self.do_post_recv(req, src, context, tag, len, t, core, fx),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_post_send(
+        &mut self,
+        req: ReqId,
+        dst: NodeId,
+        context: u16,
+        tag: u16,
+        len: u32,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let mut t = now + core.run(&TraceBuilder::new().int(12).build(), now).elapsed;
+        if len <= self.cfg.eager_threshold {
+            // Eager: DMA payload from host, send header+payload.
+            let msg = self.make_msg(dst, req.rank, context, tag, len, MsgKind::Eager);
+            let at = if len > 0 {
+                let (_, done) = self.dma_tx.transfer(len as u64, t);
+                done
+            } else {
+                self.inject(msg.wire_bytes(), t)
+            };
+            fx.completions.push((
+                at + self.cfg.completion_cost,
+                Completion {
+                    req,
+                    source: req.rank as u16,
+                    tag,
+                    len,
+                    cancelled: false,
+                },
+            ));
+            fx.tx.push((at, msg));
+            t += core.run(&TraceBuilder::new().int(6).bus_write().build(), t).elapsed;
+        } else {
+            // Rendezvous: header-only request; park the send.
+            let msg = self.make_msg(dst, req.rank, context, tag, len, MsgKind::RndvRequest);
+            let token = msg.header.seq;
+            let addr = layout::SENDQ_BASE + (self.send_park.len() as u64) * 64;
+            self.send_park.push(SendEntry {
+                req,
+                dst,
+                context,
+                tag,
+                len,
+                token,
+                addr,
+            });
+            t += core
+                .run(&TraceBuilder::new().int(8).store(addr).build(), t)
+                .elapsed;
+            let at = self.inject(msg.wire_bytes(), t);
+            fx.tx.push((at, msg));
+        }
+        t
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_post_recv(
+        &mut self,
+        req: ReqId,
+        src: Option<u16>,
+        context: u16,
+        tag: Option<u16>,
+        len: u32,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let probe = Probe::recv(self.eff_ctx(context, req.rank), src, tag);
+        let mut t = now;
+        let mut matched: Option<Key> = None;
+        let mut software_from = 0usize;
+
+        if self.unexpected_engaged() {
+            let port = self
+                .unexpected_alpu
+                .as_mut()
+                .expect("engaged implies present");
+            // Hardware copy of the new receive probes the unexpected unit.
+            port.push_probe(probe, t);
+            let (resp, t_resp) = port.pop_match_response(t);
+            t = t_resp;
+            // Same §IV-D response-retrieval sequence as the Rx path.
+            t += core
+                .run(
+                    &TraceBuilder::new()
+                        .bus_read()
+                        .bus_read()
+                        .bus_read()
+                        .bus_read()
+                        .int(4)
+                        .build(),
+                    t,
+                )
+                .elapsed;
+            match resp {
+                Response::MatchSuccess { tag } => {
+                    matched = Some(tag as Key);
+                    self.stats.unexpected_alpu_hits += 1;
+                }
+                Response::MatchFailure => software_from = self.unexpected.alpu_prefix(),
+                Response::StartAck { .. } => unreachable!(),
+            }
+        }
+
+        if matched.is_none() {
+            let mut visited = Vec::new();
+            let k = self.cfg.ranks_per_node;
+            let hit = self.unexpected.find_from(
+                software_from,
+                |e| {
+                    let h = &e.header;
+                    let ectx = if k <= 1 {
+                        h.context
+                    } else {
+                        h.context | (((h.dst_rank % k) as u16) << 8)
+                    };
+                    mpiq_alpu::match_types::masked_eq(
+                        MatchWord::mpi(ectx, h.src_rank, h.tag),
+                        probe.word,
+                        probe.mask,
+                    )
+                },
+                &mut visited,
+            );
+            self.stats.unexpected_entries_traversed += visited.len() as u64;
+            let mut tb = TraceBuilder::new();
+            for addr in &visited {
+                tb = tb.load_chain(*addr).int(12);
+            }
+            t += core.run(&tb.build(), t).elapsed;
+            matched = hit.map(|(_, key)| key);
+        }
+
+        match matched {
+            Some(key) => {
+                let item = self.unexpected.remove_key(key);
+                let h = item.val.header;
+                t += core
+                    .run(
+                        &TraceBuilder::new()
+                            .load(item.addr)
+                            .int(10)
+                            .store(item.addr)
+                            .build(),
+                        t,
+                    )
+                    .elapsed;
+                match h.kind {
+                    MsgKind::Eager => {
+                        // Buffered payload → user buffer.
+                        let comp = Completion {
+                            req,
+                            source: h.src_rank,
+                            tag: h.tag,
+                            len: h.payload_len.min(len),
+                            cancelled: false,
+                        };
+                        if h.payload_len > 0 {
+                            let (_, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                            fx.completions.push((done + self.cfg.completion_cost, comp));
+                        } else {
+                            fx.completions.push((t + self.cfg.completion_cost, comp));
+                        }
+                    }
+                    MsgKind::RndvRequest => {
+                        self.rndv_expect.insert(
+                            (h.src_node, h.seq),
+                            RndvExpect {
+                                req,
+                                len: h.payload_len,
+                                src_rank: h.src_rank,
+                                tag: h.tag,
+                            },
+                        );
+                        let reply = self.make_msg(
+                            h.src_rank as u32,
+                            req.rank,
+                            h.context,
+                            h.tag,
+                            0,
+                            MsgKind::RndvReply { token: h.seq },
+                        );
+                        let at = self.inject(reply.wire_bytes(), t);
+                        fx.tx.push((at, reply));
+                    }
+                    _ => unreachable!("only match-eligible headers are queued"),
+                }
+            }
+            None => {
+                // Post it: append to the posted-receive queue.
+                let (key, addr) = self.posted.push(RecvEntry {
+                    req,
+                    word: probe.word,
+                    mask: probe.mask,
+                    len,
+                    ghost: false,
+                });
+                t += core
+                    .run(
+                        &TraceBuilder::new()
+                            .int(10)
+                            .store(addr)
+                            .store(addr + 32)
+                            .build(),
+                        t,
+                    )
+                    .elapsed;
+                if let Some(index) = &mut self.posted_index {
+                    // The insertion cost the paper calls prohibitive
+                    // (§II): hash the triplet, read-modify-write the bin
+                    // header, link the entry in.
+                    index.insert(key, addr, probe.word, probe.mask);
+                    let bin =
+                        layout::HASHBIN_BASE + (index.bin_index(probe.word) as u64) * 64;
+                    t += core
+                        .run(
+                            &TraceBuilder::new()
+                                .int(24)
+                                .load_chain(bin)
+                                .store(bin)
+                                .store(addr + 48)
+                                .build(),
+                            t,
+                        )
+                        .elapsed;
+                }
+            }
+        }
+        t
+    }
+
+    /// `MPI_Iprobe`: peek the unexpected queue without consuming. The
+    /// unexpected ALPU cannot help here — its matches *delete* the
+    /// matched cell (the delete is baked into the pipeline, §III-B) — so
+    /// probing is always a software walk, ALPU or not. The completion's
+    /// `cancelled` flag carries `flag == false`.
+    #[allow(clippy::too_many_arguments)]
+    fn do_probe(
+        &mut self,
+        req: ReqId,
+        src: Option<u16>,
+        context: u16,
+        tag: Option<u16>,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let probe = Probe::recv(self.eff_ctx(context, req.rank), src, tag);
+        let mut visited = Vec::new();
+        let k = self.cfg.ranks_per_node;
+        let hit = self.unexpected.find_from(
+            0,
+            |e| {
+                let h = &e.header;
+                let ectx = if k <= 1 {
+                    h.context
+                } else {
+                    h.context | (((h.dst_rank % k) as u16) << 8)
+                };
+                mpiq_alpu::match_types::masked_eq(
+                    MatchWord::mpi(ectx, h.src_rank, h.tag),
+                    probe.word,
+                    probe.mask,
+                )
+            },
+            &mut visited,
+        );
+        self.stats.unexpected_entries_traversed += visited.len() as u64;
+        let mut tb = TraceBuilder::new().int(8);
+        for addr in &visited {
+            tb = tb.load_chain(*addr).int(12);
+        }
+        let t = now + core.run(&tb.build(), now).elapsed;
+        let comp = match hit {
+            Some((pos, _)) => {
+                let h = self.unexpected.get(pos).val.header;
+                Completion {
+                    req,
+                    source: h.src_rank,
+                    tag: h.tag,
+                    len: h.payload_len,
+                    cancelled: false,
+                }
+            }
+            None => Completion {
+                req,
+                source: 0,
+                tag: 0,
+                len: 0,
+                cancelled: true, // flag == false: nothing waiting
+            },
+        };
+        fx.completions.push((t + self.cfg.completion_cost, comp));
+        t
+    }
+
+    /// Tombstone an ALPU-resident posted receive (see [`RecvEntry::ghost`]).
+    fn posted_mark_ghost(&mut self, key: Key) {
+        self.posted.update_key(key, |e| e.ghost = true);
+        self.posted_ghosts += 1;
+    }
+
+    /// Live tombstone count (diagnostics).
+    pub fn posted_ghost_count(&self) -> usize {
+        self.posted_ghosts
+    }
+
+    /// `MPI_Cancel` on a posted receive (§II's wildcard-workaround
+    /// ingredient). Entries still in software unlink immediately;
+    /// ALPU-resident entries become tombstones because Table I offers no
+    /// DELETE command — they are reclaimed when the hardware matches
+    /// them.
+    fn do_cancel(
+        &mut self,
+        target: ReqId,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let mut visited = Vec::new();
+        let hit = self
+            .posted
+            .find_from(0, |e| !e.ghost && e.req == target, &mut visited);
+        let mut tb = TraceBuilder::new().int(8);
+        for addr in &visited {
+            tb = tb.load_chain(*addr).int(10);
+        }
+        let mut t = now + core.run(&tb.build(), now).elapsed;
+        let Some((pos, key)) = hit else {
+            // Already matched (or never existed): the normal completion
+            // stands; the cancel is a no-op.
+            return t;
+        };
+        let item = self.posted.get(pos);
+        let tag = item.val.word.tag();
+        let in_alpu = item.in_alpu;
+        let addr = item.addr;
+        if in_alpu {
+            self.posted_mark_ghost(key);
+            self.stats.ghosted_cancels += 1;
+            t += core.run(&TraceBuilder::new().int(6).store(addr).build(), t).elapsed;
+        } else {
+            self.posted.remove_key(key);
+            if let Some(index) = &mut self.posted_index {
+                let rm = index.remove(key);
+                let mut tb = TraceBuilder::new().int(10);
+                for a in rm.iter().take(8) {
+                    tb = tb.load(*a);
+                }
+                t += core.run(&tb.build(), t).elapsed;
+            }
+            t += core.run(&TraceBuilder::new().int(6).store(addr).build(), t).elapsed;
+        }
+        fx.completions.push((
+            t + self.cfg.completion_cost,
+            Completion {
+                req: target,
+                source: 0,
+                tag,
+                len: 0,
+                cancelled: true,
+            },
+        ));
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // ALPU insert sessions (§IV-C)
+    // ------------------------------------------------------------------
+
+    /// Tombstones the hardware can never reclaim on its own (cancelled
+    /// receives that nothing will match) eventually poison the unit:
+    /// Table I has no DELETE command. Past a quarter of the capacity,
+    /// firmware pays for a RESET + full rebuild.
+    fn purge_needed(&self) -> bool {
+        match (&self.posted_alpu, self.cfg.posted_alpu) {
+            (Some(_), Some(s)) => self.posted_ghosts > s.total_cells / 4,
+            _ => false,
+        }
+    }
+
+    /// RESET the posted ALPU and drop tombstones; the subsequent insert
+    /// session (same update item) re-fills it from the live queue.
+    fn purge_posted(&mut self, now: Time, core: &mut Core) -> Time {
+        let port = self.posted_alpu.as_mut().expect("purge implies ALPU");
+        if !port.probe_quiescent(now) {
+            return now; // retry on a later update
+        }
+        let mut t = port.push_command(Command::Reset, now);
+        t += core.run(&TraceBuilder::new().int(6).bus_write().build(), t).elapsed;
+        port.sync(t + Time::from_ns(20));
+        // Tombstones are gone for good; live entries all become tail.
+        let dead: Vec<Key> = self
+            .posted
+            .iter()
+            .filter(|it| it.val.ghost)
+            .map(|it| it.key)
+            .collect();
+        let mut tb = TraceBuilder::new().int(8);
+        for key in dead {
+            let item = self.posted.remove_key(key);
+            tb = tb.store(item.addr);
+        }
+        self.posted.clear_alpu_marks();
+        self.posted_ghosts = 0;
+        self.stats.alpu_purges += 1;
+        t + core.run(&tb.build(), t).elapsed
+    }
+
+    fn do_update(&mut self, now: Time, core: &mut Core, _fx: &mut Effects) -> Time {
+        let mut t = now;
+        if self.purge_needed() {
+            t = self.purge_posted(t, core);
+        }
+        if let (Some(setup), Some(_)) = (self.cfg.posted_alpu, self.posted_alpu.as_ref()) {
+            if self.posted.len() >= setup.engage_threshold && self.posted.tail_len() > 0 {
+                t = Self::insert_session_posted(
+                    &mut self.posted,
+                    self.posted_alpu.as_mut().expect("checked"),
+                    &mut self.stats,
+                    t,
+                    core,
+                );
+            }
+        }
+        if let (Some(setup), Some(_)) = (self.cfg.unexpected_alpu, self.unexpected_alpu.as_ref()) {
+            if self.unexpected.len() >= setup.engage_threshold && self.unexpected.tail_len() > 0 {
+                t = Self::insert_session_unexpected(
+                    &mut self.unexpected,
+                    self.unexpected_alpu.as_mut().expect("checked"),
+                    &mut self.stats,
+                    self.cfg.ranks_per_node,
+                    t,
+                    core,
+                );
+            }
+        }
+        t
+    }
+
+    fn insert_session_posted(
+        queue: &mut NicQueue<RecvEntry>,
+        port: &mut AlpuPort,
+        stats: &mut FwStats,
+        now: Time,
+        core: &mut Core,
+    ) -> Time {
+        // §IV-C: never insert across an in-flight probe — a MATCH FAILURE
+        // computed before these inserts must pair with the pre-insert
+        // tail. Defer the session; the NIC re-schedules an update once the
+        // pending probe work drains.
+        if !port.probe_quiescent(now) {
+            return now + core.run(&TraceBuilder::new().int(4).build(), now).elapsed;
+        }
+        let mut t = now + core.run(&TraceBuilder::new().int(6).bus_write().build(), now).elapsed;
+        t = port.push_command(Command::StartInsert, t);
+        let (free, t_ack) = port.pop_start_ack(t);
+        t = t_ack;
+        t += core.run(&TraceBuilder::new().bus_read().build(), t).elapsed;
+        // Abort if a probe slipped in while we waited for the ack:
+        // nothing has been inserted yet, so a just-computed failure still
+        // pairs with the current tail. Retry the session later.
+        if !port.stash_match.is_empty()
+            || port.alpu.responses_pending() > 0
+            || port.alpu.headers_pending() > 0
+        {
+            t = port.push_command(Command::StopInsert, t);
+            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
+        }
+        if free == 0 {
+            t = port.push_command(Command::StopInsert, t);
+            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
+        }
+        stats.insert_sessions += 1;
+        let batch = queue.take_for_alpu(free as usize);
+        let cmds: Vec<(u64, Command)> = batch
+            .iter()
+            .map(|(key, addr, e)| {
+                (
+                    *addr,
+                    Command::Insert(Entry {
+                        word: e.word,
+                        mask: e.mask,
+                        tag: *key as Tag,
+                    }),
+                )
+            })
+            .collect();
+        for (addr, cmd) in cmds {
+            // Read the entry, then two posted bus writes per insert
+            // (match+mask words, tag).
+            t += core
+                .run(
+                    &TraceBuilder::new().load(addr).int(4).bus_write().bus_write().build(),
+                    t,
+                )
+                .elapsed;
+            t = port.push_command(cmd, t);
+        }
+        t = port.push_command(Command::StopInsert, t);
+        t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed
+    }
+
+    fn insert_session_unexpected(
+        queue: &mut NicQueue<UnexpEntry>,
+        port: &mut AlpuPort,
+        stats: &mut FwStats,
+        ranks_per_node: u32,
+        now: Time,
+        core: &mut Core,
+    ) -> Time {
+        // §IV-C: never insert across an in-flight probe — a MATCH FAILURE
+        // computed before these inserts must pair with the pre-insert
+        // tail. Defer the session; the NIC re-schedules an update once the
+        // pending probe work drains.
+        if !port.probe_quiescent(now) {
+            return now + core.run(&TraceBuilder::new().int(4).build(), now).elapsed;
+        }
+        let mut t = now + core.run(&TraceBuilder::new().int(6).bus_write().build(), now).elapsed;
+        t = port.push_command(Command::StartInsert, t);
+        let (free, t_ack) = port.pop_start_ack(t);
+        t = t_ack;
+        t += core.run(&TraceBuilder::new().bus_read().build(), t).elapsed;
+        // Abort if a probe slipped in while we waited for the ack:
+        // nothing has been inserted yet, so a just-computed failure still
+        // pairs with the current tail. Retry the session later.
+        if !port.stash_match.is_empty()
+            || port.alpu.responses_pending() > 0
+            || port.alpu.headers_pending() > 0
+        {
+            t = port.push_command(Command::StopInsert, t);
+            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
+        }
+        if free == 0 {
+            t = port.push_command(Command::StopInsert, t);
+            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
+        }
+        stats.insert_sessions += 1;
+        let batch = queue.take_for_alpu(free as usize);
+        let cmds: Vec<(u64, Command)> = batch
+            .iter()
+            .map(|(key, addr, e)| {
+                let h = &e.header;
+                let ectx = if ranks_per_node <= 1 {
+                    h.context
+                } else {
+                    h.context | (((h.dst_rank % ranks_per_node) as u16) << 8)
+                };
+                (
+                    *addr,
+                    Command::Insert(Entry::mpi_header(
+                        ectx,
+                        h.src_rank,
+                        h.tag,
+                        *key as Tag,
+                    )),
+                )
+            })
+            .collect();
+        for (addr, cmd) in cmds {
+            t += core
+                .run(
+                    &TraceBuilder::new().load(addr).int(4).bus_write().bus_write().build(),
+                    t,
+                )
+                .elapsed;
+            t = port.push_command(cmd, t);
+        }
+        t = port.push_command(Command::StopInsert, t);
+        t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.wire_seq;
+        self.wire_seq += 1;
+        s
+    }
+
+    fn make_msg(
+        &mut self,
+        dst_rank: u32,
+        src_rank: u32,
+        context: u16,
+        tag: u16,
+        len: u32,
+        kind: MsgKind,
+    ) -> Message {
+        let seq = self.next_seq();
+        Message {
+            header: MsgHeader {
+                src_node: self.node,
+                dst_node: self.node_of(dst_rank),
+                dst_rank,
+                context,
+                src_rank: src_rank as u16,
+                tag,
+                payload_len: len,
+                kind,
+                seq,
+            },
+            payload: match kind {
+                MsgKind::Eager => Message::test_payload(len as usize, seq as u8),
+                _ => bytes::Bytes::new(),
+            },
+        }
+    }
+
+    /// Serialize a header-only (or already-DMAed) message through the Tx
+    /// engine so per-destination ordering is preserved even when payload
+    /// DMAs of earlier messages are still draining.
+    fn inject(&mut self, wire_bytes: u64, t: Time) -> Time {
+        let (_, done) = self.dma_tx.transfer(wire_bytes.min(Message::HEADER_BYTES), t);
+        done
+    }
+}
+
+/// Check the software/hardware shadowing invariants. Only meaningful when
+/// the ALPUs are quiescent (no insert commands in flight).
+pub fn check_invariants(fw: &Firmware) {
+    assert!(fw.posted.check_prefix_invariant());
+    assert!(fw.unexpected.check_prefix_invariant());
+    if let Some(p) = &fw.posted_alpu {
+        assert_eq!(p.alpu.occupied(), fw.posted.alpu_prefix());
+    }
+    if let Some(p) = &fw.unexpected_alpu {
+        assert_eq!(p.alpu.occupied(), fw.unexpected.alpu_prefix());
+    }
+}

@@ -1,0 +1,132 @@
+//! The host ⇄ NIC interface: request and completion records.
+//!
+//! "The main processor is only required to dispatch message requests to
+//! the NIC and wait for request completion" (§V-C). Requests travel from
+//! the host component to the NIC over the local bus; completions travel
+//! back the same way.
+
+use mpiq_net::NodeId;
+
+/// Host-visible request identifier: `(rank, sequence)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ReqId {
+    /// Issuing rank (== node id in this single-process-per-node model).
+    pub rank: u32,
+    /// Per-rank monotone sequence number.
+    pub seq: u64,
+}
+
+/// A request dispatched by the host to its NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostRequest {
+    /// Post a send (`MPI_Isend`).
+    PostSend {
+        /// Request id for completion reporting.
+        req: ReqId,
+        /// Destination process's global rank (the NIC maps ranks to
+        /// nodes; equals the node id when one process runs per node).
+        dst: NodeId,
+        /// Communicator context.
+        context: u16,
+        /// Message tag.
+        tag: u16,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// Non-blocking probe of the unexpected queue (`MPI_Iprobe`): reports
+    /// whether a matching message has already arrived, without consuming
+    /// it. Answered by a completion whose `cancelled` flag encodes
+    /// `flag == false` (no matching message).
+    Probe {
+        /// Request id for the answer.
+        req: ReqId,
+        /// Explicit source rank or `MPI_ANY_SOURCE`.
+        src: Option<u16>,
+        /// Communicator context.
+        context: u16,
+        /// Explicit tag or `MPI_ANY_TAG`.
+        tag: Option<u16>,
+    },
+    /// Cancel a previously posted receive (`MPI_Cancel`). If the receive
+    /// is still posted it completes with `cancelled = true`; if it has
+    /// already matched, the cancel is a no-op (the normal completion
+    /// stands).
+    CancelRecv {
+        /// The receive request to cancel.
+        target: ReqId,
+    },
+    /// Post a receive (`MPI_Irecv`).
+    PostRecv {
+        /// Request id for completion reporting.
+        req: ReqId,
+        /// Explicit source rank, or `None` for `MPI_ANY_SOURCE`.
+        src: Option<u16>,
+        /// Communicator context.
+        context: u16,
+        /// Explicit tag, or `None` for `MPI_ANY_TAG`.
+        tag: Option<u16>,
+        /// Receive buffer length.
+        len: u32,
+    },
+}
+
+impl HostRequest {
+    /// The request id this request concerns.
+    pub fn req(&self) -> ReqId {
+        match *self {
+            HostRequest::PostSend { req, .. }
+            | HostRequest::PostRecv { req, .. }
+            | HostRequest::Probe { req, .. } => req,
+            HostRequest::CancelRecv { target } => target,
+        }
+    }
+}
+
+/// A completion record the NIC writes back to the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The finished request.
+    pub req: ReqId,
+    /// For receives: the actual source rank and tag of the matched
+    /// message (wildcard resolution); mirrors `MPI_Status`.
+    pub source: u16,
+    /// Matched tag.
+    pub tag: u16,
+    /// Bytes delivered.
+    pub len: u32,
+    /// The request was cancelled rather than matched (`MPI_Cancel`).
+    pub cancelled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_extraction() {
+        let r = ReqId { rank: 2, seq: 9 };
+        let s = HostRequest::PostSend {
+            req: r,
+            dst: 1,
+            context: 1,
+            tag: 0,
+            len: 0,
+        };
+        assert_eq!(s.req(), r);
+        let v = HostRequest::PostRecv {
+            req: r,
+            src: None,
+            context: 1,
+            tag: None,
+            len: 0,
+        };
+        assert_eq!(v.req(), r);
+    }
+
+    #[test]
+    fn req_ids_order_by_rank_then_seq() {
+        let a = ReqId { rank: 0, seq: 5 };
+        let b = ReqId { rank: 1, seq: 0 };
+        assert!(a < b);
+    }
+}

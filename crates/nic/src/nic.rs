@@ -1,0 +1,202 @@
+//! The NIC as a discrete-event component.
+//!
+//! Serializes [`WorkItem`]s on the single embedded processor: events
+//! (network arrivals, host requests) enqueue work; the component processes
+//! one item at a time, scheduling a self-wakeup at the item's finish time.
+//! Hardware that runs concurrently with the processor — the ALPUs' header
+//! copy path and the DMA engines — acts at event time or through
+//! firmware-computed completion timestamps.
+
+use crate::config::NicConfig;
+use crate::firmware::{Firmware, WorkItem};
+use crate::host_iface::HostRequest;
+use mpiq_cpusim::Core;
+use mpiq_dessim::prelude::*;
+use mpiq_net::{Message, NodeId};
+use std::collections::VecDeque;
+
+/// Input port: messages from the fabric.
+pub const PORT_NET_RX: InPort = InPort(0);
+/// Input port: requests from the host.
+pub const PORT_HOST_REQ: InPort = InPort(1);
+/// Self-wakeup port (internal).
+pub const PORT_WAKE: InPort = InPort(2);
+/// Output port: messages to the fabric.
+pub const PORT_NET_TX: OutPort = OutPort(0);
+/// Output port: completions to the host of local process 0.
+pub const PORT_HOST_COMP: OutPort = OutPort(1);
+
+/// Completion port for the host of local process `pid`
+/// (multi-process-per-node NICs; `host_comp_port(0) == PORT_HOST_COMP`).
+pub fn host_comp_port(pid: u32) -> OutPort {
+    OutPort(1 + pid as u16)
+}
+
+/// One NIC: firmware + embedded core + work-item scheduler.
+pub struct Nic {
+    node: NodeId,
+    ranks_per_node: u32,
+    fw: Firmware,
+    core: Core,
+    work: VecDeque<WorkItem>,
+    busy: bool,
+    update_queued: bool,
+    stat_prefix: String,
+    /// Time-weighted queue-occupancy accumulation (for the application
+    /// queue-characterization study, after refs [8,9]).
+    last_sample: Time,
+    posted_integral: u64,
+    unexpected_integral: u64,
+}
+
+impl Nic {
+    /// Build the NIC for `node`.
+    pub fn new(node: NodeId, cfg: NicConfig) -> Nic {
+        Nic {
+            node,
+            ranks_per_node: cfg.ranks_per_node.max(1),
+            fw: Firmware::new(node, cfg),
+            core: Core::new(cfg.core),
+            work: VecDeque::new(),
+            busy: false,
+            update_queued: false,
+            stat_prefix: format!("nic{node}"),
+            last_sample: Time::ZERO,
+            posted_integral: 0,
+            unexpected_integral: 0,
+        }
+    }
+
+    /// Accumulate queue-depth ∫len·dt up to `now` (piecewise constant
+    /// between work items). Units: entry·nanoseconds.
+    fn sample_occupancy(&mut self, now: Time) {
+        let dt = now.saturating_sub(self.last_sample).ns();
+        self.posted_integral += self.fw.posted_len() as u64 * dt;
+        self.unexpected_integral += self.fw.unexpected_len() as u64 * dt;
+        self.last_sample = now;
+    }
+
+    /// The node this NIC serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The firmware state (queues, ALPUs, statistics).
+    pub fn firmware(&self) -> &Firmware {
+        &self.fw
+    }
+
+    /// The embedded core (cache statistics).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    fn try_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.busy {
+            return;
+        }
+        if self.work.is_empty() {
+            // Idle NIC: flush any not-yet-inserted tails into the ALPUs.
+            if self.fw.update_needed(true) && !self.update_queued {
+                self.work.push_back(WorkItem::AlpuUpdate);
+                self.update_queued = true;
+            } else {
+                return;
+            }
+        }
+        let item = self.work.pop_front().expect("checked nonempty");
+        if matches!(item, WorkItem::AlpuUpdate) {
+            self.update_queued = false;
+        }
+        let now = ctx.now();
+        self.sample_occupancy(now);
+        let (end, fx) = self.fw.process(item, now, &mut self.core);
+        debug_assert!(end >= now);
+        for (at, msg) in fx.tx {
+            ctx.emit_after(PORT_NET_TX, Payload::new(msg), at.saturating_sub(now));
+        }
+        for (at, comp) in fx.completions {
+            // Route to the issuing process's host.
+            let pid = comp.req.rank % self.ranks_per_node;
+            ctx.emit_after(host_comp_port(pid), Payload::new(comp), at.saturating_sub(now));
+        }
+        // Batch-aware update scheduling (§IV-B).
+        if !self.update_queued && self.fw.update_needed(self.work.is_empty()) {
+            self.work.push_back(WorkItem::AlpuUpdate);
+            self.update_queued = true;
+        }
+        self.busy = true;
+        ctx.wake_me(PORT_WAKE, Payload::empty(), end - now);
+        self.publish_stats(ctx);
+    }
+
+    fn publish_stats(&self, ctx: &mut Ctx<'_>) {
+        let s = ctx.stats();
+        let p = &self.stat_prefix;
+        let fw = self.fw.stats();
+        s.set(&format!("{p}.l1.misses"), self.core.mem().l1().misses());
+        s.set(&format!("{p}.l1.hits"), self.core.mem().l1().hits());
+        s.set(&format!("{p}.posted.traversed"), fw.posted_entries_traversed);
+        s.set(
+            &format!("{p}.unexpected.traversed"),
+            fw.unexpected_entries_traversed,
+        );
+        s.set(&format!("{p}.posted.alpu_hits"), fw.posted_alpu_hits);
+        s.set(
+            &format!("{p}.unexpected.alpu_hits"),
+            fw.unexpected_alpu_hits,
+        );
+        s.set(&format!("{p}.unexpected.arrivals"), fw.unexpected_arrivals);
+        s.set(&format!("{p}.insert_sessions"), fw.insert_sessions);
+        s.set_max(&format!("{p}.posted.len_max"), self.fw.posted_len() as u64);
+        s.set_max(
+            &format!("{p}.unexpected.len_max"),
+            self.fw.unexpected_len() as u64,
+        );
+        s.set(&format!("{p}.posted.occ_integral"), self.posted_integral);
+        s.set(
+            &format!("{p}.unexpected.occ_integral"),
+            self.unexpected_integral,
+        );
+        s.set(&format!("{p}.sampled_until_ns"), self.last_sample.ns());
+    }
+}
+
+impl Component for Nic {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev.port {
+            PORT_NET_RX => {
+                let msg = *ev
+                    .payload
+                    .downcast::<Message>()
+                    .expect("NET_RX carries Message");
+                // Hardware header-copy path fires at arrival time,
+                // regardless of processor occupancy (Fig. 1).
+                let probed = self.fw.header_arrival(&msg, ctx.now());
+                self.work.push_back(WorkItem::Rx { msg, probed });
+                self.try_start(ctx);
+            }
+            PORT_HOST_REQ => {
+                let req = *ev
+                    .payload
+                    .downcast::<HostRequest>()
+                    .expect("HOST_REQ carries HostRequest");
+                self.work.push_back(WorkItem::Host(req));
+                self.try_start(ctx);
+            }
+            PORT_WAKE => {
+                self.busy = false;
+                self.try_start(ctx);
+            }
+            other => panic!("nic{}: event on unknown port {other:?}", self.node),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,297 @@
+//! The NIC-resident software queues (§V-C) and their memory layout.
+//!
+//! Every queue entry occupies a slot of NIC memory whose *address* matters
+//! to the simulation: queue traversal emits pointer-chase loads of these
+//! addresses, which is how the cache-capacity knee of Fig. 5/6 arises.
+//! A slab allocator hands out stable (key, address) pairs; the queue keeps
+//! items in MPI order.
+//!
+//! When an ALPU shadows a queue, the items it holds always form a *prefix*
+//! of the software queue (inserts go oldest-first, ALPU deletions only hit
+//! that prefix, software-tail matches only hit the suffix) — this is the
+//! "pointer to the start of the portion of the list that has not been
+//! entered into the ALPU" from §IV-B, kept here as a count.
+
+use std::collections::VecDeque;
+
+/// Stable identifier of a queue entry; doubles as the ALPU tag cookie.
+pub type Key = u32;
+
+/// Slab address allocator for queue entries.
+#[derive(Clone, Debug)]
+pub struct AddrAlloc {
+    base: u64,
+    entry_bytes: u64,
+    free: Vec<Key>,
+    next: Key,
+}
+
+impl AddrAlloc {
+    /// Allocator handing out `entry_bytes`-sized slots from `base`.
+    pub fn new(base: u64, entry_bytes: u64) -> AddrAlloc {
+        AddrAlloc {
+            base,
+            entry_bytes,
+            free: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Allocate a slot.
+    pub fn alloc(&mut self) -> (Key, u64) {
+        let key = self.free.pop().unwrap_or_else(|| {
+            let k = self.next;
+            self.next += 1;
+            k
+        });
+        (key, self.addr_of(key))
+    }
+
+    /// Release a slot for reuse.
+    pub fn release(&mut self, key: Key) {
+        self.free.push(key);
+    }
+
+    /// Address of a slot.
+    pub fn addr_of(&self, key: Key) -> u64 {
+        self.base + key as u64 * self.entry_bytes
+    }
+}
+
+/// One queue item: payload plus its NIC-memory identity and ALPU shadow
+/// state.
+#[derive(Clone, Debug)]
+pub struct Item<T> {
+    /// Stable key (== ALPU tag cookie).
+    pub key: Key,
+    /// NIC-memory address of the entry (for traversal loads).
+    pub addr: u64,
+    /// Is this entry currently resident in the ALPU?
+    pub in_alpu: bool,
+    /// The payload.
+    pub val: T,
+}
+
+/// An MPI-ordered queue of NIC entries.
+#[derive(Clone, Debug)]
+pub struct NicQueue<T> {
+    items: VecDeque<Item<T>>,
+    alloc: AddrAlloc,
+    in_alpu: usize,
+}
+
+impl<T> NicQueue<T> {
+    /// Empty queue whose entries live at `base` in NIC memory.
+    pub fn new(base: u64, entry_bytes: u64) -> NicQueue<T> {
+        NicQueue {
+            items: VecDeque::new(),
+            alloc: AddrAlloc::new(base, entry_bytes),
+            in_alpu: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Entries currently shadowed in the ALPU (always a prefix).
+    pub fn alpu_prefix(&self) -> usize {
+        self.in_alpu
+    }
+
+    /// Entries not yet inserted into the ALPU.
+    pub fn tail_len(&self) -> usize {
+        self.items.len() - self.in_alpu
+    }
+
+    /// Append a new (youngest) entry; returns its key and address.
+    pub fn push(&mut self, val: T) -> (Key, u64) {
+        let (key, addr) = self.alloc.alloc();
+        self.items.push_back(Item {
+            key,
+            addr,
+            in_alpu: false,
+            val,
+        });
+        (key, addr)
+    }
+
+    /// Find the first entry from position `from` (inclusive) satisfying
+    /// `pred`; returns `(position, key)`. `visited` receives the address
+    /// of every entry inspected, *including* the match — the traversal
+    /// trace.
+    pub fn find_from<F: Fn(&T) -> bool>(
+        &self,
+        from: usize,
+        pred: F,
+        visited: &mut Vec<u64>,
+    ) -> Option<(usize, Key)> {
+        for (i, item) in self.items.iter().enumerate().skip(from) {
+            visited.push(item.addr);
+            if pred(&item.val) {
+                return Some((i, item.key));
+            }
+        }
+        None
+    }
+
+    /// Remove the entry with `key`; returns it. Panics on unknown keys
+    /// (firmware invariant: ALPU cookies always reference live entries).
+    pub fn remove_key(&mut self, key: Key) -> Item<T> {
+        let pos = self
+            .items
+            .iter()
+            .position(|it| it.key == key)
+            .unwrap_or_else(|| panic!("queue entry {key} not found"));
+        self.remove_at(pos)
+    }
+
+    /// Remove the entry at `pos`.
+    pub fn remove_at(&mut self, pos: usize) -> Item<T> {
+        let item = self.items.remove(pos).expect("position in range");
+        if item.in_alpu {
+            self.in_alpu -= 1;
+        }
+        self.alloc.release(item.key);
+        item
+    }
+
+    /// Borrow the item at `pos`.
+    pub fn get(&self, pos: usize) -> &Item<T> {
+        &self.items[pos]
+    }
+
+    /// Mutate the payload of the entry with `key` in place (keeps
+    /// position, address, and ALPU-residency untouched).
+    pub fn update_key(&mut self, key: Key, f: impl FnOnce(&mut T)) {
+        let item = self
+            .items
+            .iter_mut()
+            .find(|it| it.key == key)
+            .unwrap_or_else(|| panic!("queue entry {key} not found"));
+        f(&mut item.val);
+    }
+
+    /// Mark up to `k` tail entries as ALPU-resident; returns
+    /// `(key, addr, &val)` for each so the caller can build the hardware
+    /// INSERT commands.
+    pub fn take_for_alpu(&mut self, k: usize) -> Vec<(Key, u64, &T)> {
+        let start = self.in_alpu;
+        let n = k.min(self.items.len() - start);
+        for item in self.items.iter_mut().skip(start).take(n) {
+            item.in_alpu = true;
+        }
+        self.in_alpu += n;
+        self.items
+            .iter()
+            .skip(start)
+            .take(n)
+            .map(|it| (it.key, it.addr, &it.val))
+            .collect()
+    }
+
+    /// Iterate all items in MPI order.
+    pub fn iter(&self) -> impl Iterator<Item = &Item<T>> {
+        self.items.iter()
+    }
+
+    /// Drop all ALPU-residency marks (after a hardware RESET the unit is
+    /// empty; everything becomes tail again).
+    pub fn clear_alpu_marks(&mut self) {
+        for item in self.items.iter_mut() {
+            item.in_alpu = false;
+        }
+        self.in_alpu = 0;
+    }
+
+    /// Debug invariant: ALPU-resident entries form a prefix.
+    pub fn check_prefix_invariant(&self) -> bool {
+        let boundary = self
+            .items
+            .iter()
+            .position(|it| !it.in_alpu)
+            .unwrap_or(self.items.len());
+        boundary == self.in_alpu && self.items.iter().skip(boundary).all(|it| !it.in_alpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_stable_and_distinct() {
+        let mut q: NicQueue<u32> = NicQueue::new(0x1000, 64);
+        let (k0, a0) = q.push(10);
+        let (k1, a1) = q.push(11);
+        assert_ne!(a0, a1);
+        assert_eq!(q.get(0).key, k0);
+        assert_eq!(q.get(1).key, k1);
+        assert_eq!(a1 - a0, 64);
+    }
+
+    #[test]
+    fn slots_are_reused_after_release() {
+        let mut q: NicQueue<u32> = NicQueue::new(0, 64);
+        let (k0, a0) = q.push(1);
+        q.remove_key(k0);
+        let (_k1, a1) = q.push(2);
+        assert_eq!(a0, a1, "released slot must be reused");
+    }
+
+    #[test]
+    fn find_from_records_traversal() {
+        let mut q: NicQueue<u32> = NicQueue::new(0, 64);
+        for v in 0..5 {
+            q.push(v);
+        }
+        let mut visited = Vec::new();
+        let hit = q.find_from(0, |&v| v == 3, &mut visited);
+        assert_eq!(hit.map(|(p, _)| p), Some(3));
+        assert_eq!(visited.len(), 4, "visited includes the match");
+        // From an offset, earlier entries are skipped.
+        visited.clear();
+        let miss = q.find_from(4, |&v| v == 3, &mut visited);
+        assert_eq!(miss, None);
+        assert_eq!(visited.len(), 1);
+    }
+
+    #[test]
+    fn alpu_prefix_accounting() {
+        let mut q: NicQueue<u32> = NicQueue::new(0, 64);
+        for v in 0..6 {
+            q.push(v);
+        }
+        let taken = q.take_for_alpu(4);
+        assert_eq!(taken.len(), 4);
+        assert_eq!(q.alpu_prefix(), 4);
+        assert_eq!(q.tail_len(), 2);
+        assert!(q.check_prefix_invariant());
+        // Removing an ALPU-resident entry shrinks the prefix.
+        let key0 = q.get(0).key;
+        q.remove_key(key0);
+        assert_eq!(q.alpu_prefix(), 3);
+        assert!(q.check_prefix_invariant());
+        // Removing a tail entry does not.
+        let key_tail = q.get(q.len() - 1).key;
+        q.remove_key(key_tail);
+        assert_eq!(q.alpu_prefix(), 3);
+        assert_eq!(q.tail_len(), 1);
+        assert!(q.check_prefix_invariant());
+    }
+
+    #[test]
+    fn take_for_alpu_clamps_to_tail() {
+        let mut q: NicQueue<u32> = NicQueue::new(0, 64);
+        q.push(0);
+        q.push(1);
+        assert_eq!(q.take_for_alpu(10).len(), 2);
+        assert_eq!(q.take_for_alpu(10).len(), 0);
+    }
+}

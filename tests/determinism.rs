@@ -1,0 +1,77 @@
+//! Repeatability guarantees: identical inputs produce bit-identical
+//! simulations, across configurations and parallel sweep execution.
+
+use mpiq::dessim::Time;
+use mpiq::mpi::script::mark_log;
+use mpiq::mpi::{AppProgram, Cluster, ClusterConfig, Script};
+use mpiq::nic::NicConfig;
+use mpiq_bench::{preposted_latency, run_parallel, NicVariant, PrepostedPoint};
+
+fn workload(nic: NicConfig) -> Vec<(u32, Time)> {
+    let marks = mark_log();
+    let mut b0 = Script::builder();
+    b0.barrier();
+    for i in 0..20u16 {
+        b0.isend(1, i, (i as u32) * 100);
+    }
+    b0.recv(Some(1), Some(99), 0);
+    b0.mark(0);
+    let p0 = b0.build(marks.clone());
+
+    let mut b1 = Script::builder();
+    for i in (0..20u16).rev() {
+        b1.irecv(Some(0), Some(i), 2000);
+    }
+    b1.barrier();
+    b1.sleep(Time::from_us(50));
+    b1.send(0, 99, 0);
+    b1.mark(1);
+    let p1 = b1.build(marks.clone());
+
+    let mut c = Cluster::new(
+        ClusterConfig::new(nic),
+        vec![
+            Box::new(p0) as Box<dyn AppProgram>,
+            Box::new(p1) as Box<dyn AppProgram>,
+        ],
+    );
+    c.run();
+    let mut m = marks.borrow().clone();
+    m.sort();
+    m
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for nic in [NicConfig::baseline(), NicConfig::with_alpus(128)] {
+        assert_eq!(workload(nic), workload(nic));
+    }
+}
+
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    let points: Vec<PrepostedPoint> = (0..8)
+        .map(|i| PrepostedPoint {
+            queue_len: i * 30,
+            fraction: 0.5,
+            msg_size: 64,
+        })
+        .collect();
+    let serial = run_parallel(points.clone(), 1, |&p| {
+        preposted_latency(NicVariant::Alpu128, p).latency
+    });
+    let parallel = run_parallel(points, 8, |&p| {
+        preposted_latency(NicVariant::Alpu128, p).latency
+    });
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn timing_differs_but_results_match_across_configs() {
+    let base = workload(NicConfig::baseline());
+    let alpu = workload(NicConfig::with_alpus(256));
+    assert_eq!(base.len(), alpu.len());
+    // Same marks present; times legitimately differ.
+    let ids = |v: &[(u32, Time)]| v.iter().map(|&(i, _)| i).collect::<Vec<_>>();
+    assert_eq!(ids(&base), ids(&alpu));
+}
