@@ -71,7 +71,11 @@ pub struct CellArray {
     cells: Vec<Cell>,
     block_size: usize,
     kind: AlpuKind,
-    /// Fast-path flag: no holes below data, compaction is a no-op.
+    /// Maintained count of valid cells, so `occupied()` is O(1). Kept
+    /// exact by `insert`/`delete_shift`/`reset`.
+    len: usize,
+    /// Maintained compactness flag, so `is_compact()` is O(1). Invariant:
+    /// always equals the O(n) hole scan (checked in debug builds).
     compact: bool,
 }
 
@@ -89,6 +93,7 @@ impl CellArray {
             cells: vec![None; total],
             block_size,
             kind,
+            len: 0,
             compact: true,
         }
     }
@@ -108,9 +113,14 @@ impl CellArray {
         self.cells.len() / self.block_size
     }
 
-    /// Number of valid entries.
+    /// Number of valid entries (O(1); maintained counter).
     pub fn occupied(&self) -> usize {
-        self.cells.iter().filter(|c| c.is_some()).count()
+        debug_assert_eq!(
+            self.len,
+            self.cells.iter().filter(|c| c.is_some()).count(),
+            "occupancy counter out of sync with the valid bits"
+        );
+        self.len
     }
 
     /// Number of free cells.
@@ -123,10 +133,38 @@ impl CellArray {
         self.kind
     }
 
-    /// Combinational match: per-block priority trees, then the inter-block
-    /// tree. Returns `(cell index, tag)` of the oldest (highest-index)
-    /// matching valid cell.
+    /// Combinational match: returns `(cell index, tag)` of the oldest
+    /// (highest-index) matching valid cell.
+    ///
+    /// The hardware computes this through per-block priority-mux trees
+    /// followed by an inter-block tree — modeled literally in
+    /// [`CellArray::match_probe_mux`]. Because each tree level always
+    /// selects its higher-order input, the composed trees reduce to
+    /// "highest matching index wins", which this hot path computes with
+    /// a single allocation-free descending scan. The two paths are
+    /// asserted identical in debug builds and in the unit tests.
     pub fn match_probe(&self, probe: Probe) -> Option<(usize, Tag)> {
+        let result = if self.len == 0 {
+            None
+        } else {
+            self.cells.iter().enumerate().rev().find_map(|(i, c)| {
+                c.as_ref()
+                    .filter(|e| cell_matches(self.kind, e, probe))
+                    .map(|e| (i, e.tag))
+            })
+        };
+        debug_assert_eq!(
+            result,
+            self.match_probe_mux(probe),
+            "scan shortcut diverged from the mux-tree model"
+        );
+        result
+    }
+
+    /// The hardware-literal match path: per-block priority trees, then
+    /// the inter-block tree (Fig. 2c). Allocates per level; used as the
+    /// reference model for [`CellArray::match_probe`].
+    pub fn match_probe_mux(&self, probe: Probe) -> Option<(usize, Tag)> {
         let bs = self.block_size;
         let nblocks = self.num_blocks();
         // Per-block winners.
@@ -167,7 +205,13 @@ impl CellArray {
             self.cells[i] = self.cells[i - 1];
         }
         self.cells[0] = None;
-        // A delete can't introduce a hole, so compactness is unchanged.
+        self.len -= 1;
+        // A delete can't introduce a hole; it *can* remove the last one
+        // (a hole shifting into the now-empty bottom region), so a
+        // non-compact array must be re-examined.
+        if !self.compact {
+            self.compact = self.scan_is_compact();
+        }
     }
 
     /// Insert a new entry at cell 0. Fails if cell 0 is still occupied
@@ -178,6 +222,7 @@ impl CellArray {
             return false;
         }
         self.cells[0] = Some(e);
+        self.len += 1;
         // The new entry sits at the bottom; if the cell above is empty
         // there is now (or may be) a hole to migrate upward.
         if self.cells.len() > 1 && self.cells[1].is_none() {
@@ -195,36 +240,55 @@ impl CellArray {
             return false;
         }
         let n = self.cells.len();
-        // Decide all moves against the pre-cycle state: destination `i`
+        // Moves are decided against the pre-cycle state: destination `i`
         // receives from `i-1`. A cell is never both source and destination
-        // (sources are occupied, destinations empty), so the moves commute.
-        let mut moves: Vec<usize> = Vec::new();
-        for i in 1..n {
+        // (sources are occupied, destinations empty), so walking from the
+        // top and skipping past each performed move applies exactly the
+        // pre-state move set with no scratch buffer: after a move into
+        // `i`, cell `i-1` was occupied pre-cycle and so cannot also be a
+        // destination.
+        let mut moved = false;
+        let mut i = n - 1;
+        while i >= 1 {
             if self.cells[i].is_none() && self.cells[i - 1].is_some() {
                 let same_block = (i / self.block_size) == ((i - 1) / self.block_size);
-                let block_lowest = i % self.block_size == 0;
+                let block_lowest = i.is_multiple_of(self.block_size);
                 if same_block || block_lowest {
-                    moves.push(i);
+                    self.cells[i] = self.cells[i - 1].take();
+                    moved = true;
+                    i -= 1; // `i-1` was a pre-state source, never a destination
                 }
             }
+            if i == 0 {
+                break;
+            }
+            i -= 1;
         }
-        if moves.is_empty() {
+        if !moved {
             self.compact = true;
             return false;
         }
-        for &i in &moves {
-            self.cells[i] = self.cells[i - 1].take();
-        }
         // Check if fully compacted now: no empty cell below an occupied one.
-        self.compact = !(1..n).any(|i| self.cells[i].is_some() && self.cells[i - 1].is_none());
+        self.compact = self.scan_is_compact();
         // Note: `compact` here means "no holes"; an occupied cell 0 with
         // everything above full is also compact.
         true
     }
 
     /// True when no hole separates occupied cells (all data packed at the
-    /// top of the chain).
+    /// top of the chain). O(1): returns the maintained flag, which every
+    /// mutation keeps exact (verified against the scan in debug builds).
     pub fn is_compact(&self) -> bool {
+        debug_assert_eq!(
+            self.compact,
+            self.scan_is_compact(),
+            "compactness flag out of sync with the cell state"
+        );
+        self.compact
+    }
+
+    /// The O(n) hole scan defining compactness.
+    fn scan_is_compact(&self) -> bool {
         let n = self.cells.len();
         !(1..n).any(|i| self.cells[i].is_none() && self.cells[i - 1].is_some())
     }
@@ -234,6 +298,7 @@ impl CellArray {
         for c in &mut self.cells {
             *c = None;
         }
+        self.len = 0;
         self.compact = true;
     }
 

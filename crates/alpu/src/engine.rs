@@ -291,17 +291,81 @@ impl Alpu {
             && self.state == State::Match
     }
 
-    /// Advance `n` cycles. Idle periods are skipped in O(1).
+    /// Advance `n` cycles, bit-identically to calling [`Alpu::tick`] `n`
+    /// times, but fast-forwarding analytically through stretches where
+    /// per-cycle stepping cannot observe anything:
+    ///
+    /// * **Idle** (and externally *frozen* — result-FIFO backpressure or
+    ///   insert mode with an empty command FIFO): nothing evolves, so the
+    ///   remaining cycles are consumed in O(1).
+    /// * **Op in flight over a compact array**: compaction is a no-op and
+    ///   only the countdown decrements, so the pipeline jumps straight to
+    ///   the op's completion cycle.
+    ///
+    /// Only while the array holds a migrating hole does this fall back to
+    /// per-cycle stepping, because compaction moves data every clock.
     pub fn advance(&mut self, n: u64) {
-        if self.idle() {
-            self.stats.cycles += n;
-            return;
-        }
-        for i in 0..n {
-            self.tick();
+        let mut left = n;
+        while left > 0 {
             if self.idle() {
-                self.stats.cycles += n - i - 1;
+                self.stats.cycles += left;
                 return;
+            }
+            if !self.array.is_compact() {
+                // A hole is migrating: compaction does real work each
+                // clock, so this cycle must be stepped faithfully.
+                self.tick();
+                left -= 1;
+                continue;
+            }
+            if self.op.is_some() {
+                // Compact array: compact_step is a no-op and the only
+                // per-cycle change is the countdown. Jump to completion.
+                let jump = left.min(self.op_cycles_left);
+                self.stats.cycles += jump;
+                self.stats.busy_cycles += jump;
+                self.op_cycles_left -= jump;
+                left -= jump;
+                if self.op_cycles_left == 0 {
+                    let op = self.op.take().expect("counted down a live op");
+                    self.complete(op);
+                }
+                continue;
+            }
+            if self.frozen() {
+                // Nothing schedulable: the unit is stalled on external
+                // flow control (result FIFO full, or insert mode waiting
+                // on the processor). No internal transition can occur
+                // until the environment acts, so the remaining cycles
+                // only advance the clock.
+                self.stats.cycles += left;
+                return;
+            }
+            // Pipeline empty and something is eligible: one real tick
+            // lets the scheduler start it.
+            self.tick();
+            left -= 1;
+        }
+    }
+
+    /// True when, with the pipeline empty and the array compact, a tick
+    /// would change nothing but the cycle counter: the scheduler (see
+    /// [`Alpu::tick`]'s call to `schedule`) has no eligible work. This is
+    /// exactly the per-state condition under which `schedule` starts no
+    /// operation and performs no state transition.
+    fn frozen(&self) -> bool {
+        debug_assert!(self.op.is_none());
+        let result_full = self.result_fifo.len() >= self.cfg.result_fifo_depth;
+        match self.state {
+            // Defensive: the ReadCommand arm of `schedule` flips back to
+            // Match, which is a transition — never frozen.
+            State::ReadCommand => false,
+            State::Match => {
+                self.cmd_fifo.is_empty() && (result_full || self.header_fifo.is_empty())
+            }
+            State::Insert => {
+                self.cmd_fifo.is_empty()
+                    && (result_full || (self.held.is_none() && self.header_fifo.is_empty()))
             }
         }
     }

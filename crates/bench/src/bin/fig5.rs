@@ -9,10 +9,8 @@
 //! ```
 
 use mpiq_bench::{preposted_latency, run_parallel, NicVariant, PrepostedPoint};
-use mpiq_bench::report::{write_json, CsvRow};
-use serde::Serialize;
+use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
 
-#[derive(Serialize)]
 struct Row {
     config: String,
     queue_len: usize,
@@ -21,6 +19,20 @@ struct Row {
     latency_us: f64,
     sw_traversed: u64,
     rx_l1_misses: u64,
+}
+
+impl JsonRow for Row {
+    fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("config", json_str(&self.config)),
+            ("queue_len", self.queue_len.to_string()),
+            ("fraction", json_f64(self.fraction)),
+            ("msg_size", self.msg_size.to_string()),
+            ("latency_us", json_f64(self.latency_us)),
+            ("sw_traversed", self.sw_traversed.to_string()),
+            ("rx_l1_misses", self.rx_l1_misses.to_string()),
+        ]
+    }
 }
 
 impl CsvRow for Row {

@@ -6,17 +6,27 @@
 //!     [--sizes 64,1024] [--threads 0] [--json results/fig6.json]
 //! ```
 
-use mpiq_bench::report::{write_json, CsvRow};
+use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
 use mpiq_bench::{run_parallel, unexpected_latency, NicVariant, UnexpectedPoint};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     config: String,
     queue_len: usize,
     msg_size: u32,
     latency_us: f64,
     sw_traversed: u64,
+}
+
+impl JsonRow for Row {
+    fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("config", json_str(&self.config)),
+            ("queue_len", self.queue_len.to_string()),
+            ("msg_size", self.msg_size.to_string()),
+            ("latency_us", json_f64(self.latency_us)),
+            ("sw_traversed", self.sw_traversed.to_string()),
+        ]
+    }
 }
 
 impl CsvRow for Row {

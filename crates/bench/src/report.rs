@@ -1,7 +1,7 @@
 //! Result emission: CSV to stdout/files plus JSON dumps for downstream
-//! plotting.
+//! plotting. JSON is emitted through the local [`JsonRow`] trait so the
+//! crate has no serialization dependency.
 
-use serde::Serialize;
 use std::fmt::Display;
 use std::io::Write;
 use std::path::Path;
@@ -22,13 +22,60 @@ pub trait CsvRow {
     fn csv(&self) -> String;
 }
 
-/// Serialize rows as pretty JSON into `path` (creating parent dirs).
-pub fn write_json<R: Serialize>(path: &Path, rows: &[R]) -> std::io::Result<()> {
+/// A row that can render itself as a JSON object.
+pub trait JsonRow {
+    /// `(key, rendered JSON value)` pairs, in output order. Values must
+    /// already be valid JSON fragments — use [`json_str`] for strings.
+    fn fields(&self) -> Vec<(&'static str, String)>;
+}
+
+/// Render a string as a JSON string literal (quoted and escaped).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float as a JSON number (JSON has no NaN/inf; map to null).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serialize rows as pretty-printed JSON into `path` (creating parent
+/// directories as needed).
+pub fn write_json<R: JsonRow>(path: &Path, rows: &[R]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let f = std::fs::File::create(path)?;
-    serde_json::to_writer_pretty(f, rows)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(f, "  {{")?;
+        let fields = r.fields();
+        for (j, (key, value)) in fields.iter().enumerate() {
+            let comma = if j + 1 < fields.len() { "," } else { "" };
+            writeln!(f, "    {}: {value}{comma}", json_str(key))?;
+        }
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(f, "  }}{comma}")?;
+    }
+    writeln!(f, "]")?;
     Ok(())
 }
 
@@ -65,16 +112,31 @@ mod tests {
     }
 
     #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
     fn json_roundtrip() {
-        let dir = std::env::temp_dir().join("mpiq_bench_test");
-        let path = dir.join("out.json");
-        #[derive(Serialize)]
         struct R {
             x: u32,
+            name: &'static str,
         }
-        write_json(&path, &[R { x: 1 }, R { x: 2 }]).unwrap();
+        impl JsonRow for R {
+            fn fields(&self) -> Vec<(&'static str, String)> {
+                vec![("x", self.x.to_string()), ("name", json_str(self.name))]
+            }
+        }
+        let dir = std::env::temp_dir().join("mpiq_bench_test");
+        let path = dir.join("out.json");
+        write_json(&path, &[R { x: 1, name: "a" }, R { x: 2, name: "b" }]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"x\": 1"));
+        assert!(text.contains("\"x\": 1"), "{text}");
+        assert!(text.contains("\"name\": \"b\""), "{text}");
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

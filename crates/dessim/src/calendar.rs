@@ -93,13 +93,15 @@ impl<T> CalendarQueue<T> {
         }
     }
 
-    /// Remove and return the earliest event (ties by `seq`).
-    pub fn pop(&mut self) -> Option<(Time, u64, T)> {
+    /// Find the bucket holding the earliest pending event, advancing the
+    /// `day`/`day_start` cursor to its window. The cursor is pure scan
+    /// state: a following `pop` (or another peek) re-finds the same
+    /// bucket at offset 0, so locating never perturbs delivery order.
+    fn locate_min(&mut self) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
         let nb = self.buckets.len();
-        let year = self.bucket_width * nb as u64;
         loop {
             // Scan up to one full year from the current day.
             for offset in 0..nb {
@@ -108,15 +110,9 @@ impl<T> CalendarQueue<T> {
                 let window_end = window_start + self.bucket_width;
                 if let Some(top) = self.buckets[b].peek() {
                     if top.time.ps() < window_end {
-                        let slot = self.buckets[b].pop().expect("peeked");
-                        self.len -= 1;
                         self.day = b;
                         self.day_start = window_start;
-                        self.last_popped = slot.time.ps();
-                        if self.len < self.buckets.len() / 2 && self.buckets.len() > 16 {
-                            self.resize(self.buckets.len() / 2);
-                        }
-                        return Some((slot.time, slot.seq, slot.value));
+                        return Some(b);
                     }
                 }
             }
@@ -130,8 +126,27 @@ impl<T> CalendarQueue<T> {
                 .expect("len > 0");
             self.day_start = min - (min % self.bucket_width);
             self.day = ((min / self.bucket_width) % nb as u64) as usize;
-            let _ = year;
         }
+    }
+
+    /// Time of the earliest event without removing it. Costs one bucket
+    /// scan, but the scan position it establishes is reused verbatim by
+    /// the following `pop`, so a peek+pop pair does the work once.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        let b = self.locate_min()?;
+        Some(self.buckets[b].peek().expect("located bucket is nonempty").time)
+    }
+
+    /// Remove and return the earliest event (ties by `seq`).
+    pub fn pop(&mut self) -> Option<(Time, u64, T)> {
+        let b = self.locate_min()?;
+        let slot = self.buckets[b].pop().expect("located bucket is nonempty");
+        self.len -= 1;
+        self.last_popped = slot.time.ps();
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > 16 {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some((slot.time, slot.seq, slot.value))
     }
 
     fn resize(&mut self, new_buckets: usize) {
@@ -244,6 +259,32 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut rng = SimRng::new(7);
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..3_000 {
+            if rng.gen_bool(0.55) || q.is_empty() {
+                let t = now + rng.gen_range(2_000_000);
+                q.push(Time::from_ps(t), seq, seq);
+                seq += 1;
+            } else {
+                // Peeking twice then popping must agree and not disturb order.
+                let peeked = q.peek_time().expect("nonempty");
+                assert_eq!(q.peek_time(), Some(peeked));
+                let (t, _, _) = q.pop().expect("nonempty");
+                assert_eq!(t, peeked);
+                now = t.ps();
+            }
+        }
+        while let Some(peeked) = q.peek_time() {
+            assert_eq!(q.pop().map(|(t, _, _)| t), Some(peeked));
+        }
+        assert!(q.peek_time().is_none());
     }
 
     #[test]

@@ -20,38 +20,87 @@ pub struct OutPort(pub u16);
 /// payload enum: the sender wraps any `'static` value, the receiver
 /// [`downcast`](Payload::downcast)s it back. Wrong-type downcasts return the
 /// payload so callers can try other types or fail loudly.
-pub struct Payload(Box<dyn Any>);
+///
+/// The two payload types that dominate event counts — unit "wake up"
+/// markers and bare `u64`s — are stored inline, so the hot self-wakeup
+/// path allocates nothing. Everything else is boxed as before; the
+/// `downcast`/`is` semantics are identical across representations.
+pub struct Payload(Repr);
+
+enum Repr {
+    /// `()` — pure wake-up events ([`Payload::empty`]).
+    Empty,
+    /// A bare `u64`, common for counters and cookies.
+    U64(u64),
+    /// Any other `'static` value.
+    Boxed(Box<dyn Any>),
+}
 
 impl Payload {
-    /// Wrap a value.
+    /// Wrap a value. `()` and `u64` are stored inline (no allocation).
     pub fn new<T: 'static>(v: T) -> Payload {
-        Payload(Box::new(v))
+        // Runtime type dispatch stands in for specialization: the checks
+        // compile to TypeId comparisons and the common cases skip the box.
+        let mut v = Some(v);
+        let slot: &mut dyn Any = &mut v;
+        if let Some(unit) = slot.downcast_mut::<Option<()>>() {
+            unit.take();
+            return Payload(Repr::Empty);
+        }
+        if let Some(word) = slot.downcast_mut::<Option<u64>>() {
+            return Payload(Repr::U64(word.take().expect("just wrapped")));
+        }
+        Payload(Repr::Boxed(Box::new(v.take().expect("just wrapped"))))
     }
 
-    /// An empty payload for pure "wake up" events.
+    /// An empty payload for pure "wake up" events. Allocation-free.
     pub fn empty() -> Payload {
-        Payload::new(())
+        Payload(Repr::Empty)
     }
 
     /// Recover the concrete value, or get `self` back on type mismatch.
     pub fn downcast<T: 'static>(self) -> Result<Box<T>, Payload> {
-        self.0.downcast::<T>().map_err(Payload)
+        match self.0 {
+            // `Box<()>` is a zero-sized allocation: free.
+            Repr::Empty => (Box::new(()) as Box<dyn Any>)
+                .downcast::<T>()
+                .map_err(|_| Payload(Repr::Empty)),
+            Repr::U64(v) => (Box::new(v) as Box<dyn Any>)
+                .downcast::<T>()
+                .map_err(|_| Payload(Repr::U64(v))),
+            Repr::Boxed(b) => b.downcast::<T>().map_err(|b| Payload(Repr::Boxed(b))),
+        }
     }
 
     /// Borrow the concrete value if the type matches.
     pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
-        self.0.downcast_ref::<T>()
+        match &self.0 {
+            Repr::Empty => {
+                static UNIT: () = ();
+                (&UNIT as &dyn Any).downcast_ref::<T>()
+            }
+            Repr::U64(v) => (v as &dyn Any).downcast_ref::<T>(),
+            Repr::Boxed(b) => b.downcast_ref::<T>(),
+        }
     }
 
     /// Does this payload hold a `T`?
     pub fn is<T: 'static>(&self) -> bool {
-        self.0.is::<T>()
+        match &self.0 {
+            Repr::Empty => std::any::TypeId::of::<T>() == std::any::TypeId::of::<()>(),
+            Repr::U64(_) => std::any::TypeId::of::<T>() == std::any::TypeId::of::<u64>(),
+            Repr::Boxed(b) => b.is::<T>(),
+        }
     }
 }
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Payload(<{:?}>)", (*self.0).type_id())
+        match &self.0 {
+            Repr::Empty => write!(f, "Payload(())"),
+            Repr::U64(v) => write!(f, "Payload({v}u64)"),
+            Repr::Boxed(b) => write!(f, "Payload(<{:?}>)", (**b).type_id()),
+        }
     }
 }
 

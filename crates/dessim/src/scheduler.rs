@@ -8,7 +8,7 @@ use crate::stats::Stats;
 use crate::time::Time;
 use crate::trace::TraceRing;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// One scheduled event in the heap. Ordered by (time, seq): the sequence
 /// number breaks ties deterministically in insertion order.
@@ -77,9 +77,9 @@ impl Pending {
     fn peek_time(&mut self) -> Option<Time> {
         match self {
             Pending::Heap(h) => h.peek().map(|Reverse(ev)| ev.time),
-            // The calendar has no cheap peek; pop and re-push would break
-            // amortization, so run_until handles Calendar via pop+check.
-            Pending::Calendar(_) => None,
+            // The calendar peek advances its internal scan cursor, which
+            // the following pop then reuses — peek+pop scans once.
+            Pending::Calendar(c) => c.peek_time(),
         }
     }
 
@@ -96,7 +96,9 @@ impl Pending {
 pub struct Simulation {
     components: Vec<Box<dyn Component>>,
     names: Vec<String>,
-    wiring: HashMap<(ComponentId, OutPort), Link>,
+    /// Outgoing links, indexed `[component][out_port]` — a flat lookup on
+    /// the per-emission hot path (out-port numbers are small and dense).
+    wiring: Vec<Vec<Option<Link>>>,
     heap: Pending,
     now: Time,
     seq: u64,
@@ -113,7 +115,7 @@ impl Simulation {
         Simulation {
             components: Vec::new(),
             names: Vec::new(),
-            wiring: HashMap::new(),
+            wiring: Vec::new(),
             heap: Pending::Heap(BinaryHeap::new()),
             now: Time::ZERO,
             seq: 0,
@@ -131,6 +133,7 @@ impl Simulation {
         let id = ComponentId(self.components.len() as u32);
         self.components.push(Box::new(c));
         self.names.push(name.to_string());
+        self.wiring.push(Vec::new());
         id
     }
 
@@ -148,14 +151,19 @@ impl Simulation {
             (dst.0 as usize) < self.components.len(),
             "connect: unknown destination component"
         );
-        self.wiring.insert(
-            (src, out_port),
-            Link {
-                dst,
-                port: in_port,
-                latency,
-            },
-        );
+        let ports = self
+            .wiring
+            .get_mut(src.0 as usize)
+            .expect("connect: unknown source component");
+        let slot = out_port.0 as usize;
+        if ports.len() <= slot {
+            ports.resize(slot + 1, None);
+        }
+        ports[slot] = Some(Link {
+            dst,
+            port: in_port,
+            latency,
+        });
     }
 
     /// Switch the pending-event set to a calendar queue (Brown 1988).
@@ -250,7 +258,8 @@ impl Simulation {
         let mut delivered = 0u64;
         let mut stop = false;
         while !stop {
-            // Fast-path peek on the heap; the calendar pops then checks.
+            // Both schedulers peek cheaply, so overshoot events past the
+            // horizon stay in place instead of being popped and re-pushed.
             if let Some(t) = self.heap.peek_time() {
                 if t > horizon {
                     break;
@@ -259,11 +268,7 @@ impl Simulation {
             let Some(ev) = self.heap.pop() else {
                 break;
             };
-            if ev.time > horizon {
-                // Calendar path: re-admit the overshoot event.
-                self.heap.push(ev);
-                break;
-            }
+            debug_assert!(ev.time <= horizon, "peek_time bounds the popped event");
             debug_assert!(ev.time >= self.now, "time must be monotone");
             self.now = ev.time;
             self.dispatch(ev, &mut stop);
@@ -341,9 +346,10 @@ impl Simulation {
                     payload,
                     extra_delay,
                 } => {
-                    let link = *self
-                        .wiring
-                        .get(&(src, port))
+                    let link = self.wiring[src.0 as usize]
+                        .get(port.0 as usize)
+                        .copied()
+                        .flatten()
                         .unwrap_or_else(|| {
                             panic!(
                                 "component `{}` emitted on unwired output port {:?}",

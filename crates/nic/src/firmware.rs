@@ -157,12 +157,12 @@ impl AlpuPort {
         self.sync(now);
         // The hardware FIFO is deep enough in practice; on overflow the
         // hardware would backpressure the copy path. Model: spin the unit
-        // forward until space frees (rare).
-        let mut t = now;
+        // forward until space frees (rare). Ticks land on the unit's own
+        // clock edges, so time advances from the last synced cycle
+        // boundary — never from the (possibly mid-cycle) `now`.
         while self.alpu.push_header(probe).is_err() {
             self.alpu.tick();
-            t += self.clock.period();
-            self.synced_to = t;
+            self.synced_to += self.clock.period();
         }
     }
 
@@ -174,17 +174,17 @@ impl AlpuPort {
             return (r, now);
         }
         self.sync(now);
-        let mut t = now;
         loop {
             match self.alpu.pop_response() {
                 Some(Response::StartAck { free }) => self.stash_start_ack.push_back(free),
-                Some(r) => return (r, t),
+                // A response found without spinning was ready at `now`;
+                // one found by spinning becomes visible at the clock edge.
+                Some(r) => return (r, self.synced_to.max(now)),
                 None => {
                     self.alpu.tick();
-                    t += self.clock.period();
-                    self.synced_to = t;
+                    self.synced_to += self.clock.period();
                     assert!(
-                        t < now + Time::from_us(100),
+                        self.synced_to < now + Time::from_us(100),
                         "ALPU match response never arrived"
                     );
                 }
@@ -199,16 +199,17 @@ impl AlpuPort {
             return (free, now);
         }
         self.sync(now);
-        let mut t = now;
         loop {
             match self.alpu.pop_response() {
-                Some(Response::StartAck { free }) => return (free, t),
+                Some(Response::StartAck { free }) => return (free, self.synced_to.max(now)),
                 Some(r) => self.stash_match.push_back(r),
                 None => {
                     self.alpu.tick();
-                    t += self.clock.period();
-                    self.synced_to = t;
-                    assert!(t < now + Time::from_us(100), "StartAck never arrived");
+                    self.synced_to += self.clock.period();
+                    assert!(
+                        self.synced_to < now + Time::from_us(100),
+                        "StartAck never arrived"
+                    );
                 }
             }
         }
@@ -223,15 +224,15 @@ impl AlpuPort {
     }
 
     /// Push a command, spinning the unit forward if its FIFO is full.
+    /// Returns when the write landed: `now` if the FIFO had room, else
+    /// the clock edge that freed a slot.
     fn push_command(&mut self, cmd: Command, now: Time) -> Time {
         self.sync(now);
-        let mut t = now;
         while self.alpu.push_command(cmd).is_err() {
             self.alpu.tick();
-            t += self.clock.period();
-            self.synced_to = t;
+            self.synced_to += self.clock.period();
         }
-        t
+        self.synced_to.max(now)
     }
 
     /// Read-only access for assertions and diagnostics.

@@ -1,0 +1,404 @@
+//! Minimal offline shim for the `criterion` crate.
+//!
+//! Supports the subset this workspace's benches use: `Criterion`,
+//! benchmark groups with `sample_size`/`throughput`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched` /
+//! `iter_batched_ref`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of the real crate's statistical machinery it times each
+//! routine directly: per-sample iteration counts are calibrated so one
+//! sample takes ~1 ms of wall clock, then the median across samples is
+//! reported. When invoked with `--test` (as `cargo test --benches`
+//! does) every benchmark runs a single iteration as a smoke test.
+
+use std::fmt;
+use std::hint::black_box as bb;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are grouped; the shim sizes all batches the same.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state; batches of the full sample size.
+    SmallInput,
+    /// Large per-iteration state; the shim treats it like `SmallInput`.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Identifier `function_name/parameter` for one benchmark point.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Wall-clock nanoseconds each sample should roughly take.
+const TARGET_SAMPLE_NS: f64 = 1_000_000.0;
+/// Upper bound on calibrated iterations per sample.
+const MAX_ITERS: u64 = 1 << 20;
+
+/// Collects per-iteration timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, quick: bool) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+            quick,
+        }
+    }
+
+    /// Time `routine`, called in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            bb(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                bb(routine());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            if elapsed >= TARGET_SAMPLE_NS || iters >= MAX_ITERS {
+                break elapsed / iters as f64;
+            }
+            iters *= 2;
+        };
+        self.samples.push(per_iter);
+        for _ in 1..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                bb(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`, passing
+    /// each input by mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        if self.quick {
+            let mut input = setup();
+            bb(routine(&mut input));
+            self.samples.push(0.0);
+            return;
+        }
+        // Calibrate: grow the batch until one timed pass is long enough.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs.iter_mut() {
+                bb(routine(input));
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            drop(inputs);
+            if elapsed >= TARGET_SAMPLE_NS || iters >= 1 << 14 {
+                break elapsed / iters as f64;
+            }
+            iters *= 2;
+        };
+        self.samples.push(per_iter);
+        for _ in 1..self.sample_count {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs.iter_mut() {
+                bb(routine(input));
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but consumes each input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut routine = move |input: &mut Option<I>| routine(input.take().expect("input reused"));
+        self.iter_batched_ref(move || Some(setup()), &mut routine, size);
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn report(group: Option<&str>, id: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if samples.is_empty() {
+        println!("bench {full:<50} (no samples)");
+        return;
+    }
+    if samples.len() == 1 && samples[0] == 0.0 {
+        println!("bench {full:<50} ok (test mode)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => fmt_rate(n as f64 / (median / 1e9), "elem"),
+        Throughput::Bytes(n) => fmt_rate(n as f64 / (median / 1e9), "B"),
+    });
+    match rate {
+        Some(rate) => println!(
+            "bench {full:<50} {:>12}/iter  [{} .. {}]  {rate}",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+        ),
+        None => println!(
+            "bench {full:<50} {:>12}/iter  [{} .. {}]",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+        ),
+    }
+}
+
+/// Benchmark driver; entry point created by `criterion_main!`.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench binaries with `--test`:
+        // execute one iteration per benchmark as a smoke test.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(20, self.quick);
+        f(&mut b);
+        report(None, &id.id, &mut b.samples, None);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing sample-size and throughput
+/// settings; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timing samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a routine under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_count, self.criterion.quick);
+        f(&mut b);
+        report(Some(&self.name), &id.id, &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_count, self.criterion.quick);
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &mut b.samples, self.throughput);
+        self
+    }
+
+    /// End the group (all reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Define a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut b = Bencher::new(5, false);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn batched_ref_gets_fresh_inputs() {
+        let mut b = Bencher::new(3, false);
+        b.iter_batched_ref(
+            || vec![1u32, 2, 3],
+            |v| {
+                // Routine may mutate; every call must see a fresh input.
+                assert_eq!(v.len(), 3);
+                v.clear();
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher::new(50, true);
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_chain_compiles_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("shim_selftest");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("noop", 4usize), &4usize, |b, &n| {
+            b.iter(|| bb(n * 2));
+        });
+        g.bench_function("plain", |b| b.iter(|| bb(1 + 1)));
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| bb(3 * 3)));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(12.34), "12.3 ns");
+        assert_eq!(fmt_time(12_340.0), "12.34 µs");
+        assert_eq!(fmt_time(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_rate(2.5e6, "elem"), "2.50 Melem/s");
+    }
+}
