@@ -23,7 +23,7 @@
 
 use crate::cell::{cell_matches, Cell};
 use crate::engine::AlpuKind;
-use crate::match_types::{Entry, Probe, Tag};
+use crate::match_types::{Entry, MatchWord, Probe, Tag, MATCH_WIDTH};
 
 /// A binary 2-to-1 priority-mux tree over `matched` flags, returning the
 /// highest matching index and its tag — the hardware structure of
@@ -300,6 +300,33 @@ impl CellArray {
         }
         self.len = 0;
         self.compact = true;
+    }
+
+    /// Fault injection: flip one bit of a stored match word. `sel` picks
+    /// among the occupied cells (reduced modulo occupancy, oldest first)
+    /// and `bit` picks the bit (reduced modulo the match width). Only the
+    /// match *value* is disturbed — validity bits are untouched, so the
+    /// occupancy and compactness invariants still hold; what breaks is the
+    /// match outcome, which is exactly what a parity check over the cell
+    /// state exists to catch. Returns `false` on an empty array (nothing
+    /// to corrupt).
+    pub fn flip_word_bit(&mut self, sel: u64, bit: u32) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let nth = (sel % self.len as u64) as usize;
+        let idx = self
+            .cells
+            .iter()
+            .enumerate()
+            .rev()
+            .filter(|(_, c)| c.is_some())
+            .nth(nth)
+            .map(|(i, _)| i)
+            .expect("nth < len occupied cells");
+        let e = self.cells[idx].as_mut().expect("selected an occupied cell");
+        e.word = MatchWord(e.word.0 ^ (1u64 << (bit % MATCH_WIDTH)));
+        true
     }
 
     /// Entries in priority order (oldest first) — for equivalence checks

@@ -159,6 +159,8 @@ pub struct AlpuStats {
     pub cycles: u64,
     /// Result-FIFO occupancy highwater.
     pub result_fifo_highwater: usize,
+    /// Cycles lost to injected pipeline stalls.
+    pub stall_cycles: u64,
 }
 
 /// One Associative List Processing Unit.
@@ -177,6 +179,15 @@ pub struct Alpu {
     cmd_fifo: VecDeque<Command>,
     result_fifo: VecDeque<Response>,
     stats: AlpuStats,
+    /// Injected-fault state: remaining cycles of a transient pipeline
+    /// stall. While nonzero, ticks advance the clock and nothing else —
+    /// no compaction, no scheduling, no op progress.
+    stall_cycles: u64,
+    /// Sticky parity-error flag: set when fault injection corrupts a
+    /// stored cell. Models the parity check over the cell state that the
+    /// firmware reads to decide the unit can no longer be trusted. Cleared
+    /// only by [`Alpu::hard_reset`].
+    parity_error: bool,
 }
 
 impl Alpu {
@@ -193,6 +204,8 @@ impl Alpu {
             cmd_fifo: VecDeque::new(),
             result_fifo: VecDeque::new(),
             stats: AlpuStats::default(),
+            stall_cycles: 0,
+            parity_error: false,
             cfg,
         }
     }
@@ -280,10 +293,52 @@ impl Alpu {
             && !matches!(self.op, Some(Op::Match { .. }))
     }
 
+    /// Fault injection: freeze the control pipeline for `cycles` clocks.
+    /// Stall cycles accumulate if injected while one is already pending.
+    pub fn inject_stall(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+    }
+
+    /// Fault injection: flip a bit of a stored match word (see
+    /// [`CellArray::flip_word_bit`]) and latch the parity-error flag.
+    /// Returns whether a cell was actually corrupted (no-op when empty).
+    pub fn inject_bit_flip(&mut self, sel: u64, bit: u32) -> bool {
+        let hit = self.array.flip_word_bit(sel, bit);
+        if hit {
+            self.parity_error = true;
+        }
+        hit
+    }
+
+    /// Sticky parity verdict over the cell state. Once set, match results
+    /// are untrustworthy until a [`Alpu::hard_reset`].
+    pub fn parity_error(&self) -> bool {
+        self.parity_error
+    }
+
+    /// The reset pin: wipe the unit back to its power-on state — cell
+    /// array, all three FIFOs, any in-flight or held operation, pending
+    /// stall, and the parity flag. Unlike [`Command::Reset`] this does not
+    /// travel through the command FIFO, so it works even when the FIFO is
+    /// wedged. Cumulative stats survive (they are observation, not state).
+    pub fn hard_reset(&mut self) {
+        self.array.reset();
+        self.header_fifo.clear();
+        self.cmd_fifo.clear();
+        self.result_fifo.clear();
+        self.held = None;
+        self.op = None;
+        self.op_cycles_left = 0;
+        self.stall_cycles = 0;
+        self.parity_error = false;
+        self.state = State::Match;
+    }
+
     /// True when the unit has nothing to do: pipeline empty, no queued
     /// work, array fully compacted.
     pub fn idle(&self) -> bool {
-        self.op.is_none()
+        self.stall_cycles == 0
+            && self.op.is_none()
             && self.held.is_none()
             && self.header_fifo.is_empty()
             && self.cmd_fifo.is_empty()
@@ -307,6 +362,17 @@ impl Alpu {
     pub fn advance(&mut self, n: u64) {
         let mut left = n;
         while left > 0 {
+            if self.stall_cycles > 0 {
+                // An injected stall: each stalled tick only moves the
+                // clock and the countdown, so the whole stretch collapses
+                // into one jump.
+                let jump = left.min(self.stall_cycles);
+                self.stall_cycles -= jump;
+                self.stats.cycles += jump;
+                self.stats.stall_cycles += jump;
+                left -= jump;
+                continue;
+            }
             if self.idle() {
                 self.stats.cycles += left;
                 return;
@@ -383,6 +449,13 @@ impl Alpu {
 
     /// Advance exactly one clock cycle.
     pub fn tick(&mut self) {
+        if self.stall_cycles > 0 {
+            // Stalled: the clock advances, nothing else does.
+            self.stall_cycles -= 1;
+            self.stats.cycles += 1;
+            self.stats.stall_cycles += 1;
+            return;
+        }
         self.stats.cycles += 1;
         // Compaction logic runs every cycle, concurrent with the pipeline.
         self.array.compact_step();
@@ -797,6 +870,89 @@ mod tests {
         a.advance(1_000_000);
         assert_eq!(a.stats().cycles, 1_000_000);
         assert_eq!(a.stats().busy_cycles, 0);
+    }
+
+    #[test]
+    fn injected_stall_delays_match_completion() {
+        let mut a = small();
+        load(&mut a, &[recv(5, 1)]);
+        a.inject_stall(10);
+        a.push_header(hdr(5)).unwrap();
+        // 10 stalled cycles + 6-cycle match: not done at 15, done at 16.
+        a.advance(15);
+        assert_eq!(a.pop_response(), None);
+        a.advance(1);
+        assert_eq!(a.pop_response(), Some(Response::MatchSuccess { tag: 1 }));
+        assert_eq!(a.stats().stall_cycles, 10);
+    }
+
+    #[test]
+    fn stall_advance_matches_per_cycle_ticks() {
+        let build = |a: &mut Alpu| {
+            load(a, &[recv(1, 1), recv(2, 2)]);
+            a.inject_stall(7);
+            a.push_header(hdr(1)).unwrap();
+            a.push_header(hdr(9)).unwrap();
+            a.push_command(Command::StartInsert).unwrap();
+        };
+        let mut fast = small();
+        let mut slow = small();
+        build(&mut fast);
+        build(&mut slow);
+        fast.advance(100);
+        for _ in 0..100 {
+            slow.tick();
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.state(), slow.state());
+        assert_eq!(fast.responses_pending(), slow.responses_pending());
+        assert_eq!(
+            fast.array().entries_oldest_first(),
+            slow.array().entries_oldest_first()
+        );
+    }
+
+    #[test]
+    fn bit_flip_latches_parity_and_breaks_matching() {
+        let mut a = small();
+        load(&mut a, &[recv(5, 1)]);
+        assert!(!a.parity_error());
+        assert!(a.inject_bit_flip(0, 3)); // flips a tag bit of the entry
+        assert!(a.parity_error());
+        a.push_header(hdr(5)).unwrap();
+        a.advance(20);
+        // The stored word no longer equals the header: a false miss.
+        assert_eq!(a.pop_response(), Some(Response::MatchFailure));
+    }
+
+    #[test]
+    fn bit_flip_on_empty_unit_is_a_no_op() {
+        let mut a = small();
+        assert!(!a.inject_bit_flip(7, 7));
+        assert!(!a.parity_error());
+    }
+
+    #[test]
+    fn hard_reset_restores_power_on_state() {
+        let mut a = small();
+        load(&mut a, &[recv(1, 1), recv(2, 2)]);
+        a.inject_bit_flip(0, 0);
+        a.inject_stall(1000);
+        a.push_header(hdr(1)).unwrap();
+        a.push_command(Command::StartInsert).unwrap();
+        a.hard_reset();
+        assert!(a.idle());
+        assert!(!a.parity_error());
+        assert_eq!(a.occupied(), 0);
+        assert_eq!(a.headers_pending(), 0);
+        assert_eq!(a.commands_pending(), 0);
+        assert_eq!(a.responses_pending(), 0);
+        assert_eq!(a.state(), State::Match);
+        // The unit is usable again immediately.
+        load(&mut a, &[recv(3, 3)]);
+        a.push_header(hdr(3)).unwrap();
+        a.advance(20);
+        assert_eq!(a.pop_response(), Some(Response::MatchSuccess { tag: 3 }));
     }
 
     #[test]

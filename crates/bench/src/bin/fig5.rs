@@ -6,10 +6,18 @@
 //! cargo run --release -p mpiq-bench --bin fig5 -- [--config all|baseline|alpu128|alpu256]
 //!     [--max-queue 500] [--step 25] [--fractions 0,0.25,0.5,0.75,1.0]
 //!     [--sizes 0,1024,8192] [--threads 0] [--json results/fig5.json]
+//!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
 //! ```
+//!
+//! With `--faults`, every point runs under the given deterministic fault
+//! schedule and the rows carry extra injection/recovery columns; without
+//! it, the output is byte-identical to the pre-fault harness.
 
-use mpiq_bench::{preposted_latency, run_parallel, NicVariant, PrepostedPoint};
 use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
+use mpiq_bench::{
+    preposted_latency_cfg, run_parallel, FaultCounters, NicVariant, PrepostedPoint,
+};
+use mpiq_dessim::FaultConfig;
 
 struct Row {
     config: String,
@@ -19,11 +27,12 @@ struct Row {
     latency_us: f64,
     sw_traversed: u64,
     rx_l1_misses: u64,
+    faults: Option<FaultCounters>,
 }
 
 impl JsonRow for Row {
     fn fields(&self) -> Vec<(&'static str, String)> {
-        vec![
+        let mut f = vec![
             ("config", json_str(&self.config)),
             ("queue_len", self.queue_len.to_string()),
             ("fraction", json_f64(self.fraction)),
@@ -31,13 +40,17 @@ impl JsonRow for Row {
             ("latency_us", json_f64(self.latency_us)),
             ("sw_traversed", self.sw_traversed.to_string()),
             ("rx_l1_misses", self.rx_l1_misses.to_string()),
-        ]
+        ];
+        if let Some(fc) = &self.faults {
+            f.extend(fc.json_fields());
+        }
+        f
     }
 }
 
 impl CsvRow for Row {
     fn csv(&self) -> String {
-        format!(
+        let base = format!(
             "{},{},{},{},{:.4},{},{}",
             self.config,
             self.queue_len,
@@ -46,7 +59,11 @@ impl CsvRow for Row {
             self.latency_us,
             self.sw_traversed,
             self.rx_l1_misses
-        )
+        );
+        match &self.faults {
+            Some(fc) => format!("{base},{}", fc.csv()),
+            None => base,
+        }
     }
 }
 
@@ -81,8 +98,13 @@ fn main() {
         if args.threads == 0 { "auto".to_string() } else { args.threads.to_string() }
     );
 
-    let rows: Vec<Row> = run_parallel(points, args.threads, |&(v, p)| {
-        let r = preposted_latency(v, p);
+    let faults = args.faults;
+    let rows: Vec<Row> = run_parallel(points, args.threads, move |&(v, p)| {
+        let mut cfg = v.config();
+        if let Some(f) = faults {
+            cfg = cfg.with_faults(f);
+        }
+        let r = preposted_latency_cfg(cfg, p);
         Row {
             config: v.label().to_string(),
             queue_len: p.queue_len,
@@ -91,10 +113,16 @@ fn main() {
             latency_us: r.latency.as_us_f64(),
             sw_traversed: r.sw_traversed,
             rx_l1_misses: r.rx_l1_misses,
+            faults: faults.map(|_| r.faults),
         }
     });
 
-    println!("config,queue_len,fraction,msg_size,latency_us,sw_traversed,rx_l1_misses");
+    let mut header =
+        "config,queue_len,fraction,msg_size,latency_us,sw_traversed,rx_l1_misses".to_string();
+    if faults.is_some() {
+        header = format!("{header},{}", FaultCounters::CSV_HEADER);
+    }
+    println!("{header}");
     for r in &rows {
         println!("{}", r.csv());
     }
@@ -160,6 +188,7 @@ struct Args {
     sizes: Vec<u32>,
     threads: usize,
     json: Option<String>,
+    faults: Option<FaultConfig>,
 }
 
 impl Args {
@@ -173,6 +202,7 @@ impl Args {
             sizes: vec![0, 1024, 8192],
             threads: 0,
             json: None,
+            faults: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -188,6 +218,9 @@ impl Args {
                 "--sizes" => a.sizes = val().split(',').map(|s| s.parse().expect("u32")).collect(),
                 "--threads" => a.threads = val().parse().expect("usize"),
                 "--json" => a.json = Some(val()),
+                "--faults" => {
+                    a.faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}")))
+                }
                 other => panic!("unknown flag {other}"),
             }
         }

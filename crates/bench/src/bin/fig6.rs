@@ -4,10 +4,18 @@
 //! ```text
 //! cargo run --release -p mpiq-bench --bin fig6 -- [--max-queue 400] [--step 20]
 //!     [--sizes 64,1024] [--threads 0] [--json results/fig6.json]
+//!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
 //! ```
+//!
+//! With `--faults`, every point runs under the given deterministic fault
+//! schedule and the rows carry extra injection/recovery columns; without
+//! it, the output is byte-identical to the pre-fault harness.
 
 use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
-use mpiq_bench::{run_parallel, unexpected_latency, NicVariant, UnexpectedPoint};
+use mpiq_bench::{
+    run_parallel, unexpected_latency_cfg, FaultCounters, NicVariant, UnexpectedPoint,
+};
+use mpiq_dessim::FaultConfig;
 
 struct Row {
     config: String,
@@ -15,26 +23,35 @@ struct Row {
     msg_size: u32,
     latency_us: f64,
     sw_traversed: u64,
+    faults: Option<FaultCounters>,
 }
 
 impl JsonRow for Row {
     fn fields(&self) -> Vec<(&'static str, String)> {
-        vec![
+        let mut f = vec![
             ("config", json_str(&self.config)),
             ("queue_len", self.queue_len.to_string()),
             ("msg_size", self.msg_size.to_string()),
             ("latency_us", json_f64(self.latency_us)),
             ("sw_traversed", self.sw_traversed.to_string()),
-        ]
+        ];
+        if let Some(fc) = &self.faults {
+            f.extend(fc.json_fields());
+        }
+        f
     }
 }
 
 impl CsvRow for Row {
     fn csv(&self) -> String {
-        format!(
+        let base = format!(
             "{},{},{},{:.4},{}",
             self.config, self.queue_len, self.msg_size, self.latency_us, self.sw_traversed
-        )
+        );
+        match &self.faults {
+            Some(fc) => format!("{base},{}", fc.csv()),
+            None => base,
+        }
     }
 }
 
@@ -45,6 +62,7 @@ fn main() {
     let mut threads = 0usize;
     let mut json: Option<String> = None;
     let mut plot = false;
+    let mut faults: Option<FaultConfig> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
@@ -58,6 +76,7 @@ fn main() {
             "--sizes" => sizes = val().split(',').map(|s| s.parse().expect("u32")).collect(),
             "--threads" => threads = val().parse().expect("usize"),
             "--json" => json = Some(val()),
+            "--faults" => faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}"))),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -78,18 +97,27 @@ fn main() {
     }
     eprintln!("fig6: {} points", points.len());
 
-    let rows: Vec<Row> = run_parallel(points, threads, |&(v, p)| {
-        let r = unexpected_latency(v, p);
+    let rows: Vec<Row> = run_parallel(points, threads, move |&(v, p)| {
+        let mut cfg = v.config();
+        if let Some(f) = faults {
+            cfg = cfg.with_faults(f);
+        }
+        let r = unexpected_latency_cfg(cfg, p);
         Row {
             config: v.label().to_string(),
             queue_len: p.queue_len,
             msg_size: p.msg_size,
             latency_us: r.latency.as_us_f64(),
             sw_traversed: r.sw_traversed,
+            faults: faults.map(|_| r.faults),
         }
     });
 
-    println!("config,queue_len,msg_size,latency_us,sw_traversed");
+    let mut header = "config,queue_len,msg_size,latency_us,sw_traversed".to_string();
+    if faults.is_some() {
+        header = format!("{header},{}", FaultCounters::CSV_HEADER);
+    }
+    println!("{header}");
     for r in &rows {
         println!("{}", r.csv());
     }

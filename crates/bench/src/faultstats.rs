@@ -1,0 +1,102 @@
+//! Fault/recovery accounting for benchmark reports.
+//!
+//! Collects the injection and recovery counters a faulted run leaves in
+//! the cluster statistics registry into one flat struct the report
+//! writers can append to their rows. A fault-free run collects all
+//! zeros, and the report writers omit the columns entirely in that case
+//! so existing Fig. 5/6 outputs stay byte-identical.
+
+use crate::report::cells;
+use mpiq_mpi::Cluster;
+
+/// Injection and recovery totals for one benchmark run, summed across
+/// every NIC in the cluster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Wire faults the fabric injected (drops + duplicates + corruptions).
+    pub injected: u64,
+    /// Frames the link layer re-sent (go-back-N windows, counted per frame).
+    pub retransmits: u64,
+    /// ALPU hard resets (quarantine events).
+    pub alpu_resets: u64,
+    /// Matches served by software while an ALPU was quarantined.
+    pub alpu_fallbacks: u64,
+    /// Quarantined ALPUs brought back after their cooldown.
+    pub alpu_reengagements: u64,
+}
+
+impl FaultCounters {
+    /// Gather the counters from a finished run.
+    pub fn collect(cluster: &Cluster) -> FaultCounters {
+        let stats = cluster.stats();
+        let suffix_sum = |suffix: &str| {
+            stats
+                .iter()
+                .filter(|(k, _)| k.ends_with(suffix))
+                .map(|(_, v)| v)
+                .sum()
+        };
+        FaultCounters {
+            injected: stats.sum_prefix("net.faults."),
+            retransmits: suffix_sum(".link.retransmits"),
+            alpu_resets: suffix_sum(".alpu.resets"),
+            alpu_fallbacks: suffix_sum(".alpu.fallbacks"),
+            alpu_reengagements: suffix_sum(".alpu.reengagements"),
+        }
+    }
+
+    /// True when nothing fault-related happened (fault-free runs).
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+
+    /// The extra CSV column names, comma-joined (matches [`Self::csv`]).
+    pub const CSV_HEADER: &'static str =
+        "faults_injected,retransmits,alpu_resets,alpu_fallbacks,alpu_reengagements";
+
+    /// The extra CSV cells (matches [`Self::CSV_HEADER`]).
+    pub fn csv(&self) -> String {
+        cells(&[
+            self.injected,
+            self.retransmits,
+            self.alpu_resets,
+            self.alpu_fallbacks,
+            self.alpu_reengagements,
+        ])
+    }
+
+    /// The extra JSON fields, in CSV column order.
+    pub fn json_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("faults_injected", self.injected.to_string()),
+            ("retransmits", self.retransmits.to_string()),
+            ("alpu_resets", self.alpu_resets.to_string()),
+            ("alpu_fallbacks", self.alpu_fallbacks.to_string()),
+            ("alpu_reengagements", self.alpu_reengagements.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_detection_and_rendering() {
+        let z = FaultCounters::default();
+        assert!(z.is_zero());
+        assert_eq!(z.csv(), "0,0,0,0,0");
+        let c = FaultCounters {
+            injected: 3,
+            retransmits: 2,
+            ..FaultCounters::default()
+        };
+        assert!(!c.is_zero());
+        assert_eq!(c.csv(), "3,2,0,0,0");
+        assert_eq!(c.json_fields()[0], ("faults_injected", "3".to_string()));
+        assert_eq!(
+            FaultCounters::CSV_HEADER.split(',').count(),
+            c.json_fields().len()
+        );
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod appsim;
 pub mod ascii_plot;
+pub mod faultstats;
 pub mod gap;
 pub mod postloop;
 pub mod preposted;
@@ -22,6 +23,7 @@ pub mod sweep;
 pub mod unexpected;
 pub mod wildcard;
 
+pub use faultstats::FaultCounters;
 pub use postloop::{postloop_rtt, PostLoopPoint};
 pub use preposted::{preposted_latency, preposted_latency_cfg, PrepostedPoint};
 pub use sweep::run_parallel;

@@ -6,6 +6,7 @@
 //! traversal depth `floor(fraction * queue_len)` matches the sender's
 //! probe message; latency is half the sender-measured round trip.
 
+use crate::faultstats::FaultCounters;
 use crate::NicVariant;
 use mpiq_dessim::Time;
 use mpiq_mpi::script::mark_log;
@@ -39,6 +40,8 @@ pub struct PrepostedResult {
     pub sw_traversed: u64,
     /// NIC L1 misses on the receiving NIC (whole run).
     pub rx_l1_misses: u64,
+    /// Fault-injection and recovery totals (all zero on fault-free runs).
+    pub faults: FaultCounters,
 }
 
 /// Run one point and return its measurements. Deterministic: equal inputs
@@ -109,6 +112,7 @@ pub fn preposted_latency_cfg(nic: mpiq_nic::NicConfig, p: PrepostedPoint) -> Pre
         latency: rtt / 2,
         sw_traversed: fw.posted_entries_traversed,
         rx_l1_misses: cluster.nic(1).core().mem().l1().misses(),
+        faults: FaultCounters::collect(&cluster),
     }
 }
 

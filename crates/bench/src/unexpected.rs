@@ -8,6 +8,7 @@
 //! ALPU's advantage only emerges once the software search outgrows the
 //! flight-time window (the ≈70-entry crossover of Fig. 6).
 
+use crate::faultstats::FaultCounters;
 use crate::NicVariant;
 use mpiq_dessim::Time;
 use mpiq_mpi::script::mark_log;
@@ -37,6 +38,8 @@ pub struct UnexpectedResult {
     pub latency: Time,
     /// Unexpected-queue entries visited by software search (whole run).
     pub sw_traversed: u64,
+    /// Fault-injection and recovery totals (all zero on fault-free runs).
+    pub faults: FaultCounters,
 }
 
 /// Run one point.
@@ -101,6 +104,7 @@ pub fn unexpected_latency_cfg(nic: mpiq_nic::NicConfig, p: UnexpectedPoint) -> U
     UnexpectedResult {
         latency: total / (ITERS - WARMUP) as u64,
         sw_traversed: fw.unexpected_entries_traversed,
+        faults: FaultCounters::collect(&cluster),
     }
 }
 

@@ -1,0 +1,269 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultConfig`] describes *what* can go wrong (message drops,
+//! duplications, corruption on the wire; bit-flips and command-FIFO
+//! stalls in an offload unit) and with what probability; a [`FaultPlan`]
+//! turns that description into a reproducible stream of concrete fault
+//! decisions. Every decision is drawn from a private SplitMix64 stream
+//! derived from `(config seed, site id)`, never from the simulation's
+//! shared RNG — so enabling faults cannot perturb any other randomized
+//! choice, and two runs with the same seed make bit-identical decisions
+//! at every injection site regardless of event interleaving.
+//!
+//! Sites (one plan per fabric, one per offload unit) each get their own
+//! stream id, keeping decisions at different sites uncorrelated.
+
+use crate::rng::SimRng;
+
+/// Probabilities and seed for a fault campaign. `FaultConfig::none()`
+/// (the `Default`) disables everything; injection sites must be zero-cost
+/// in that case.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed; all per-site streams derive from it.
+    pub seed: u64,
+    /// Probability a wire message is dropped.
+    pub drop_p: f64,
+    /// Probability a wire message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a wire message arrives with a failed CRC.
+    pub corrupt_p: f64,
+    /// Probability, per queued probe, of a bit-flip in the unit's cells.
+    pub flip_p: f64,
+    /// Probability, per pushed command, of a transient pipeline stall.
+    pub stall_p: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// No faults. Every probability zero.
+    pub const fn none() -> FaultConfig {
+        FaultConfig {
+            seed: 1,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            corrupt_p: 0.0,
+            flip_p: 0.0,
+            stall_p: 0.0,
+        }
+    }
+
+    /// True if any fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.net_active() || self.alpu_active()
+    }
+
+    /// True if any wire-level fault class can fire.
+    pub fn net_active(&self) -> bool {
+        self.drop_p > 0.0 || self.dup_p > 0.0 || self.corrupt_p > 0.0
+    }
+
+    /// True if any offload-unit fault class can fire.
+    pub fn alpu_active(&self) -> bool {
+        self.flip_p > 0.0 || self.stall_p > 0.0
+    }
+}
+
+/// Parse `seed=N,drop=P,dup=P,corrupt=P,flip=P,stall=P` (any subset, any
+/// order; omitted fields default to the `none()` values).
+impl std::str::FromStr for FaultConfig {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::none();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v.parse().map_err(|_| format!("bad probability `{v}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability `{v}` outside [0,1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => cfg.seed = val.parse().map_err(|_| format!("bad seed `{val}`"))?,
+                "drop" => cfg.drop_p = prob(val)?,
+                "dup" => cfg.dup_p = prob(val)?,
+                "corrupt" => cfg.corrupt_p = prob(val)?,
+                "flip" => cfg.flip_p = prob(val)?,
+                "stall" => cfg.stall_p = prob(val)?,
+                other => {
+                    return Err(format!(
+                        "unknown fault key `{other}` (want seed|drop|dup|corrupt|flip|stall)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// The three independent verdicts for one wire message. Rolled in a fixed
+/// order with a fixed number of RNG draws, so the decision stream for
+/// message *n* does not depend on the outcomes for messages `0..n`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireFault {
+    pub drop: bool,
+    pub duplicate: bool,
+    pub corrupt: bool,
+}
+
+/// A bit-flip target inside an offload unit: an occupied-cell selector
+/// (reduced modulo occupancy by the unit) and a bit index within the
+/// cell's match word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlipTarget {
+    pub cell_sel: u64,
+    pub bit: u32,
+}
+
+/// A reproducible stream of fault decisions for one injection site.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SimRng,
+}
+
+/// Stall durations drawn per command, in unit clock cycles. The upper
+/// bound is deliberately above typical firmware spin budgets so that some
+/// stalls are survivable and some force a quarantine.
+const STALL_MIN_CYCLES: u64 = 512;
+const STALL_MAX_CYCLES: u64 = 8192;
+
+impl FaultPlan {
+    /// Plan for injection site `site`, derived from `cfg.seed`. Distinct
+    /// sites get uncorrelated streams; the same `(seed, site)` pair always
+    /// yields the same stream.
+    pub fn new(cfg: FaultConfig, site: u64) -> FaultPlan {
+        // One fork step per site id separates the streams; the xor keeps
+        // site 0 from replaying the raw seed stream.
+        let mut base = SimRng::new(cfg.seed ^ 0xa076_1d64_78bd_642f);
+        let mut rng = SimRng::new(base.next_u64() ^ site.wrapping_mul(0xe703_7ed1_a0b4_28db));
+        rng.next_u64(); // burn one step to decouple from the mix constant
+        FaultPlan { cfg, rng }
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Roll the wire-fault verdicts for the next message (three Bernoulli
+    /// draws, always consumed).
+    pub fn roll_wire(&mut self) -> WireFault {
+        WireFault {
+            drop: self.rng.gen_bool(self.cfg.drop_p),
+            duplicate: self.rng.gen_bool(self.cfg.dup_p),
+            corrupt: self.rng.gen_bool(self.cfg.corrupt_p),
+        }
+    }
+
+    /// Roll a possible bit-flip for the next queued probe. Consumes a
+    /// fixed three draws whether or not the flip fires.
+    pub fn roll_flip(&mut self) -> Option<FlipTarget> {
+        let fire = self.rng.gen_bool(self.cfg.flip_p);
+        let cell_sel = self.rng.next_u64();
+        let bit = self.rng.gen_range(64) as u32;
+        fire.then_some(FlipTarget { cell_sel, bit })
+    }
+
+    /// Roll a possible pipeline stall for the next pushed command, in unit
+    /// clock cycles. Consumes a fixed two draws.
+    pub fn roll_stall(&mut self) -> Option<u64> {
+        let fire = self.rng.gen_bool(self.cfg.stall_p);
+        let cycles = STALL_MIN_CYCLES + self.rng.gen_range(STALL_MAX_CYCLES - STALL_MIN_CYCLES);
+        fire.then_some(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        let cfg = FaultConfig::none();
+        assert!(!cfg.is_active());
+        assert_eq!(cfg, FaultConfig::default());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let cfg: FaultConfig = "seed=42,drop=0.01,dup=0.005,corrupt=0.002,flip=0.1,stall=0.2"
+            .parse()
+            .unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.drop_p, 0.01);
+        assert_eq!(cfg.dup_p, 0.005);
+        assert_eq!(cfg.corrupt_p, 0.002);
+        assert_eq!(cfg.flip_p, 0.1);
+        assert_eq!(cfg.stall_p, 0.2);
+        assert!(cfg.is_active() && cfg.net_active() && cfg.alpu_active());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("drop".parse::<FaultConfig>().is_err());
+        assert!("drop=2.0".parse::<FaultConfig>().is_err());
+        assert!("warp=0.1".parse::<FaultConfig>().is_err());
+        assert!("seed=x".parse::<FaultConfig>().is_err());
+    }
+
+    #[test]
+    fn plans_are_reproducible_per_site() {
+        let cfg: FaultConfig = "seed=7,drop=0.5,dup=0.5,corrupt=0.5".parse().unwrap();
+        let mut a = FaultPlan::new(cfg, 3);
+        let mut b = FaultPlan::new(cfg, 3);
+        for _ in 0..200 {
+            assert_eq!(a.roll_wire(), b.roll_wire());
+        }
+    }
+
+    #[test]
+    fn sites_are_uncorrelated() {
+        let cfg: FaultConfig = "seed=7,drop=0.5".parse().unwrap();
+        let mut a = FaultPlan::new(cfg, 0);
+        let mut b = FaultPlan::new(cfg, 1);
+        let same = (0..256)
+            .filter(|_| a.roll_wire().drop == b.roll_wire().drop)
+            .count();
+        // Two fair-coin streams should agree about half the time.
+        assert!((64..=192).contains(&same), "suspicious agreement: {same}");
+    }
+
+    #[test]
+    fn drop_rate_close_to_requested() {
+        let cfg: FaultConfig = "seed=11,drop=0.01".parse().unwrap();
+        let mut plan = FaultPlan::new(cfg, 0);
+        let n = 100_000;
+        let drops = (0..n).filter(|_| plan.roll_wire().drop).count();
+        let rate = drops as f64 / n as f64;
+        assert!((0.005..0.02).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn stall_cycles_bounded() {
+        let cfg: FaultConfig = "seed=5,stall=1.0".parse().unwrap();
+        let mut plan = FaultPlan::new(cfg, 0);
+        for _ in 0..1_000 {
+            let c = plan.roll_stall().unwrap();
+            assert!((STALL_MIN_CYCLES..STALL_MAX_CYCLES).contains(&c));
+        }
+    }
+
+    #[test]
+    fn inactive_plan_never_fires() {
+        let mut plan = FaultPlan::new(FaultConfig::none(), 0);
+        for _ in 0..1_000 {
+            assert_eq!(plan.roll_wire(), WireFault::default());
+            assert!(plan.roll_flip().is_none());
+            assert!(plan.roll_stall().is_none());
+        }
+    }
+}

@@ -48,6 +48,7 @@ pub mod calendar;
 pub mod clock;
 pub mod component;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;
@@ -58,6 +59,7 @@ pub use calendar::CalendarQueue;
 pub use clock::Clock;
 pub use component::{Component, ComponentId, Ctx};
 pub use event::{Event, InPort, OutPort, Payload};
+pub use fault::{FaultConfig, FaultPlan, FlipTarget, WireFault};
 pub use rng::SimRng;
 pub use scheduler::Simulation;
 pub use stats::Stats;

@@ -69,6 +69,21 @@ impl Stats {
     pub fn clear(&mut self) {
         self.counters.clear();
     }
+
+    /// Render every counter as a JSON object with deterministically sorted
+    /// keys. Two registries with equal contents produce byte-identical
+    /// output, which is what determinism checks diff.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +120,15 @@ mod tests {
         assert_eq!(s.sum_prefix("nic"), 5);
         let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["cpu0.l1.miss", "nic0.l1.miss", "nic1.l1.miss"]);
+    }
+
+    #[test]
+    fn json_dump_is_sorted_and_stable() {
+        let mut s = Stats::new();
+        s.add("b", 2);
+        s.add("a", 1);
+        assert_eq!(s.to_json(), r#"{"a":1,"b":2}"#);
+        assert_eq!(Stats::new().to_json(), "{}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::app::{AppProgram, PORT_COMPLETION};
 use crate::host::Host;
 use mpiq_dessim::prelude::*;
+use mpiq_dessim::FaultConfig;
 use mpiq_net::{Fabric, NetConfig, PORT_FROM_NIC};
 use mpiq_nic::{host_comp_port, Nic, NicConfig, PORT_HOST_REQ, PORT_NET_RX, PORT_NET_TX};
 
@@ -29,6 +30,15 @@ impl ClusterConfig {
             host_dispatch: Time::from_ns(40),
         }
     }
+
+    /// Arm deterministic fault injection everywhere it applies: the
+    /// fabric (drops/duplicates/corruption) and every NIC's ALPUs (bit
+    /// flips, command stalls). Network-side faults force the NICs' link
+    /// reliability layer on.
+    pub fn with_faults(mut self, faults: FaultConfig) -> ClusterConfig {
+        self.nic = self.nic.with_faults(faults);
+        self
+    }
 }
 
 /// A built cluster: run it, then inspect NICs and statistics.
@@ -50,7 +60,10 @@ impl Cluster {
         let k = cfg.nic.ranks_per_node.max(1);
         let nodes = n.div_ceil(k);
         let mut sim = Simulation::new(cfg.seed);
-        let fabric = sim.add_component("net", Fabric::new(cfg.net, nodes));
+        let fabric = sim.add_component(
+            "net",
+            Fabric::with_faults(cfg.net, nodes, cfg.nic.faults),
+        );
         let mut nics = Vec::new();
         let mut node_nics = Vec::new();
         for node in 0..nodes {

@@ -1,6 +1,7 @@
 //! The crossbar fabric component.
 
 use crate::message::{Message, NodeId};
+use mpiq_dessim::fault::{FaultConfig, FaultPlan};
 use mpiq_dessim::prelude::*;
 
 /// Input port on the fabric where all NICs inject.
@@ -28,47 +29,60 @@ impl Default for NetConfig {
     }
 }
 
+/// Fault-plan stream id for the fabric's injection site.
+const FABRIC_FAULT_SITE: u64 = 0;
+
 /// A full crossbar: every injected [`Message`] is delivered to its
 /// destination's output port after wire latency plus serialization delay.
 /// Each destination link serializes (per-destination busy window), which
 /// models receive-side contention; per-(src,dst) ordering is preserved
 /// because injections are timestamped in send order and the busy window is
 /// FIFO.
+///
+/// With an active [`FaultConfig`], each injected message rolls (in fixed
+/// order) a drop, duplication, and corruption verdict from a fabric-private
+/// deterministic stream: dropped messages vanish (counted), duplicated
+/// messages are delivered twice back-to-back, corrupted messages arrive
+/// with `link.crc_ok == false`.
 pub struct Fabric {
     cfg: NetConfig,
     nodes: u32,
     busy_until: Vec<Time>,
+    faults: Option<FaultPlan>,
 }
 
 impl Fabric {
-    /// A fabric connecting `nodes` NICs.
+    /// A fault-free fabric connecting `nodes` NICs.
     pub fn new(cfg: NetConfig, nodes: u32) -> Fabric {
+        Fabric::with_faults(cfg, nodes, FaultConfig::none())
+    }
+
+    /// A fabric with a (possibly empty) fault campaign.
+    pub fn with_faults(cfg: NetConfig, nodes: u32, faults: FaultConfig) -> Fabric {
         Fabric {
             cfg,
             nodes,
             busy_until: vec![Time::ZERO; nodes as usize],
+            faults: faults
+                .net_active()
+                .then(|| FaultPlan::new(faults, FABRIC_FAULT_SITE)),
         }
     }
 
-    /// Serialization time for a message of `bytes`.
+    /// Serialization time for a message of `bytes`, rounded up to the next
+    /// picosecond so short frames are never undercharged to zero.
     fn serialize(&self, bytes: u64) -> Time {
-        Time::from_ps(bytes * 1000 / self.cfg.bytes_per_ns)
+        Time::from_ps((bytes * 1000).div_ceil(self.cfg.bytes_per_ns))
     }
 
     /// Output port for a destination node.
     pub fn out_port(dst: NodeId) -> OutPort {
         OutPort(PORT_TO_NIC + dst as u16)
     }
-}
 
-impl Component for Fabric {
-    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
-        let msg = *ev
-            .payload
-            .downcast::<Message>()
-            .expect("fabric accepts Message payloads only");
+    /// Occupy the destination link and deliver one copy of `msg`.
+    fn deliver(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         let dst = msg.header.dst_node;
-        assert!(dst < self.nodes, "message to unknown node {dst}");
         let ser = self.serialize(msg.wire_bytes());
         let start = ctx.now().max(self.busy_until[dst as usize]);
         let deliver = start + ser + self.cfg.wire_latency;
@@ -76,6 +90,37 @@ impl Component for Fabric {
         ctx.stats().incr("net.messages");
         ctx.stats().add("net.bytes", msg.wire_bytes());
         ctx.emit_after(Self::out_port(dst), Payload::new(msg), deliver - ctx.now());
+    }
+}
+
+impl Component for Fabric {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        let mut msg = *ev
+            .payload
+            .downcast::<Message>()
+            .expect("fabric accepts Message payloads only");
+        let dst = msg.header.dst_node;
+        assert!(dst < self.nodes, "message to unknown node {dst}");
+        let mut duplicate = false;
+        if let Some(plan) = &mut self.faults {
+            let verdict = plan.roll_wire();
+            if verdict.drop {
+                ctx.stats().incr("net.faults.dropped");
+                return;
+            }
+            if verdict.corrupt {
+                ctx.stats().incr("net.faults.corrupted");
+                msg.link.crc_ok = false;
+            }
+            duplicate = verdict.duplicate;
+        }
+        if duplicate {
+            // The duplicate occupies its own serialization window behind
+            // the original, like a retransmitted frame would.
+            ctx.stats().incr("net.faults.duplicated");
+            self.deliver(msg.clone(), ctx);
+        }
+        self.deliver(msg, ctx);
     }
 }
 
@@ -87,8 +132,8 @@ mod tests {
     use std::rc::Rc;
 
     fn msg(dst: NodeId, len: u32, seq: u64) -> Message {
-        Message {
-            header: MsgHeader {
+        Message::new(
+            MsgHeader {
                 src_node: 0,
                 dst_node: dst,
                 dst_rank: dst,
@@ -99,8 +144,8 @@ mod tests {
                 kind: MsgKind::Eager,
                 seq,
             },
-            payload: Message::test_payload(len as usize, 0),
-        }
+            Message::test_payload(len as usize, 0),
+        )
     }
 
     struct Sink {
@@ -109,15 +154,25 @@ mod tests {
     impl Component for Sink {
         fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
             let m = ev.payload.downcast::<Message>().unwrap();
-            self.got.borrow_mut().push((ctx.now(), m.header.seq));
+            self.got.borrow_mut().push((ctx.now(), m.header.seq, m.link.crc_ok));
         }
     }
 
-    type DeliveryLog = Rc<RefCell<Vec<(Time, u64)>>>;
+    type DeliveryLog = Rc<RefCell<Vec<(Time, u64, bool)>>>;
 
     fn build(nodes: u32) -> (Simulation, ComponentId, Vec<DeliveryLog>) {
+        build_faulty(nodes, FaultConfig::none())
+    }
+
+    fn build_faulty(
+        nodes: u32,
+        faults: FaultConfig,
+    ) -> (Simulation, ComponentId, Vec<DeliveryLog>) {
         let mut sim = Simulation::new(7);
-        let fab = sim.add_component("net", Fabric::new(NetConfig::default(), nodes));
+        let fab = sim.add_component(
+            "net",
+            Fabric::with_faults(NetConfig::default(), nodes, faults),
+        );
         let mut logs = Vec::new();
         for n in 0..nodes {
             let log = Rc::new(RefCell::new(Vec::new()));
@@ -133,7 +188,7 @@ mod tests {
         let (mut sim, fab, logs) = build(2);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
         sim.run();
-        let (t, seq) = logs[1].borrow()[0];
+        let (t, seq, _) = logs[1].borrow()[0];
         assert_eq!(seq, 1);
         // 32 header bytes at 2 B/ns = 16 ns, + 200 ns wire.
         assert_eq!(t, Time::from_ns(216));
@@ -144,8 +199,50 @@ mod tests {
         let (mut sim, fab, logs) = build(2);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 4096, 1)), Time::ZERO);
         sim.run();
-        let (t, _) = logs[1].borrow()[0];
+        let (t, _, _) = logs[1].borrow()[0];
         assert_eq!(t, Time::from_ns(200 + (4096 + 32) / 2));
+    }
+
+    #[test]
+    fn serialization_rounds_up_not_down() {
+        // 7 B/ns does not divide the 32-byte header: 32000/7 ps = 4571.43,
+        // which must round *up* to 4572 ps, not truncate to 4571.
+        let cfg = NetConfig {
+            wire_latency: Time::from_ns(200),
+            bytes_per_ns: 7,
+        };
+        let mut sim = Simulation::new(7);
+        let fab = sim.add_component("net", Fabric::new(cfg, 2));
+        let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.add_component("sink", Sink { got: log.clone() });
+        sim.connect(fab, Fabric::out_port(1), sink, InPort(0), Time::ZERO);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 0)), Time::ZERO);
+        sim.run();
+        let (t, _, _) = log.borrow()[0];
+        assert_eq!(t, Time::from_ns(200) + Time::from_ps(4572));
+    }
+
+    #[test]
+    fn sub_bandwidth_frame_still_charged_nonzero() {
+        // A 1-byte frame on a 64 B/ns link is 15.625 ps of serialization;
+        // the old truncating division charged 15 ps here but 0 ps for any
+        // fabric fast enough to move the frame in under a picosecond.
+        let fab = Fabric::new(
+            NetConfig {
+                wire_latency: Time::ZERO,
+                bytes_per_ns: 64,
+            },
+            1,
+        );
+        assert_eq!(fab.serialize(1), Time::from_ps(16));
+        let fast = Fabric::new(
+            NetConfig {
+                wire_latency: Time::ZERO,
+                bytes_per_ns: 2048,
+            },
+            1,
+        );
+        assert!(fast.serialize(1) > Time::ZERO, "sub-ps frame charged zero");
     }
 
     #[test]
@@ -156,7 +253,7 @@ mod tests {
         }
         sim.run();
         let got = logs[1].borrow();
-        let seqs: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+        let seqs: Vec<u64> = got.iter().map(|&(_, s, _)| s).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3], "ordering violated");
         // Each 1032-byte message serializes for 516 ns on the shared link.
         assert_eq!(got[0].0, Time::from_ns(716));
@@ -171,5 +268,65 @@ mod tests {
         sim.run();
         assert_eq!(logs[1].borrow()[0].0, Time::from_ns(716));
         assert_eq!(logs[2].borrow()[0].0, Time::from_ns(716));
+    }
+
+    #[test]
+    fn drops_are_counted_and_deterministic() {
+        let faults: FaultConfig = "seed=3,drop=0.2".parse().unwrap();
+        let run = || {
+            let (mut sim, fab, logs) = build_faulty(2, faults);
+            for seq in 0..200 {
+                sim.post(
+                    fab,
+                    PORT_FROM_NIC,
+                    Payload::new(msg(1, 64, seq)),
+                    Time::from_ns(seq * 1000),
+                );
+            }
+            sim.run();
+            let delivered: Vec<u64> = logs[1].borrow().iter().map(|&(_, s, _)| s).collect();
+            (delivered, sim.stats().get("net.faults.dropped"))
+        };
+        let (d1, dropped1) = run();
+        let (d2, dropped2) = run();
+        assert_eq!(d1, d2, "same seed must drop the same messages");
+        assert_eq!(dropped1, dropped2);
+        assert!(dropped1 > 10 && dropped1 < 80, "dropped {dropped1} of 200");
+        assert_eq!(d1.len() as u64 + dropped1, 200);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_in_order() {
+        let faults: FaultConfig = "seed=3,dup=1.0".parse().unwrap();
+        let (mut sim, fab, logs) = build_faulty(2, faults);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 9)), Time::ZERO);
+        sim.run();
+        let got = logs[1].borrow();
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].1, got[1].1), (9, 9));
+        // Second copy queues behind the first on the destination link.
+        assert!(got[1].0 > got[0].0);
+        assert_eq!(sim.stats().get("net.faults.duplicated"), 1);
+    }
+
+    #[test]
+    fn corruption_clears_crc_flag() {
+        let faults: FaultConfig = "seed=3,corrupt=1.0".parse().unwrap();
+        let (mut sim, fab, logs) = build_faulty(2, faults);
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
+        sim.run();
+        let got = logs[1].borrow();
+        assert_eq!(got.len(), 1);
+        assert!(!got[0].2, "frame should arrive with failed CRC");
+        assert_eq!(sim.stats().get("net.faults.corrupted"), 1);
+    }
+
+    #[test]
+    fn empty_fault_config_changes_nothing() {
+        let (mut sim, fab, logs) = build_faulty(2, FaultConfig::none());
+        sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
+        sim.run();
+        assert_eq!(logs[1].borrow()[0].0, Time::from_ns(216));
+        assert_eq!(sim.stats().get("net.faults.dropped"), 0);
     }
 }

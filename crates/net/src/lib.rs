@@ -11,4 +11,4 @@ pub mod fabric;
 pub mod message;
 
 pub use fabric::{Fabric, NetConfig, PORT_FROM_NIC, PORT_TO_NIC};
-pub use message::{Message, MsgHeader, MsgKind, NodeId};
+pub use message::{LinkState, Message, MsgHeader, MsgKind, NodeId};

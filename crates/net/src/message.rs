@@ -25,6 +25,50 @@ pub enum MsgKind {
         /// The `seq` of the original request.
         token: u64,
     },
+    /// Link-level cumulative acknowledgement: every frame from the sending
+    /// node with link sequence `<= cum` has been accepted. Carries no MPI
+    /// envelope content and never enters the matching path.
+    Ack {
+        /// Highest link sequence accepted in order.
+        cum: u64,
+    },
+    /// Link-level negative acknowledgement: the receiver saw a gap and is
+    /// waiting for link sequence `expect`. Asks the peer to go back and
+    /// retransmit from there.
+    Nack {
+        /// The link sequence the receiver needs next.
+        expect: u64,
+    },
+}
+
+impl MsgKind {
+    /// True for link-layer control frames (ACK/NACK), which are consumed
+    /// by the reliability layer and never reach MPI matching.
+    pub fn is_link_control(&self) -> bool {
+        matches!(self, MsgKind::Ack { .. } | MsgKind::Nack { .. })
+    }
+}
+
+/// Link-layer state stamped on each wire message by the sending NIC's
+/// reliability layer (when enabled) and mutated by fabric fault injection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkState {
+    /// Per-(src,dst) link sequence number, assigned at transmit time.
+    /// `0` means unsequenced: reliability disabled, or a control frame.
+    pub seq: u64,
+    /// Whether the frame's CRC checked out at the receiver. Fault
+    /// injection clears this to model in-flight corruption; receivers must
+    /// discard frames with `crc_ok == false`.
+    pub crc_ok: bool,
+}
+
+impl Default for LinkState {
+    fn default() -> LinkState {
+        LinkState {
+            seq: 0,
+            crc_ok: true,
+        }
+    }
 }
 
 /// The MPI envelope carried by every message. The matching-relevant
@@ -61,9 +105,20 @@ pub struct Message {
     pub header: MsgHeader,
     /// Payload contents. Cheap to clone (refcounted).
     pub payload: Bytes,
+    /// Link-layer state (sequence number + CRC verdict).
+    pub link: LinkState,
 }
 
 impl Message {
+    /// Build a message with pristine link state (unsequenced, CRC good).
+    pub fn new(header: MsgHeader, payload: Bytes) -> Message {
+        Message {
+            header,
+            payload,
+            link: LinkState::default(),
+        }
+    }
+
     /// Total bytes on the wire: a fixed header size plus the payload.
     pub fn wire_bytes(&self) -> u64 {
         Self::HEADER_BYTES + self.payload.len() as u64
@@ -84,8 +139,8 @@ mod tests {
 
     #[test]
     fn wire_bytes_includes_header() {
-        let m = Message {
-            header: MsgHeader {
+        let m = Message::new(
+            MsgHeader {
                 src_node: 0,
                 dst_node: 1,
                 dst_rank: 1,
@@ -96,9 +151,19 @@ mod tests {
                 kind: MsgKind::Eager,
                 seq: 0,
             },
-            payload: Message::test_payload(100, 7),
-        };
+            Message::test_payload(100, 7),
+        );
         assert_eq!(m.wire_bytes(), 132);
+        assert_eq!(m.link, LinkState::default());
+        assert!(m.link.crc_ok);
+    }
+
+    #[test]
+    fn link_control_kinds() {
+        assert!(MsgKind::Ack { cum: 3 }.is_link_control());
+        assert!(MsgKind::Nack { expect: 1 }.is_link_control());
+        assert!(!MsgKind::Eager.is_link_control());
+        assert!(!MsgKind::RndvData { token: 0 }.is_link_control());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! NIC configuration.
 
 use mpiq_cpusim::CoreConfig;
-use mpiq_dessim::Time;
+use mpiq_dessim::{FaultConfig, Time};
 
 /// Configuration for one ALPU instance attached to the NIC.
 #[derive(Clone, Copy, Debug)]
@@ -96,6 +96,15 @@ pub struct NicConfig {
     /// Implemented by folding the local process id into the high bits of
     /// the match word's context field; limited to 8.
     pub ranks_per_node: u32,
+    /// Fault-injection plan shared by this NIC's ALPUs (bit flips,
+    /// command-FIFO stalls). Network-side probabilities in here also
+    /// decide whether the link layer is required. Inactive by default.
+    pub faults: FaultConfig,
+    /// Enable the go-back-N link reliability layer
+    /// ([`crate::reliability`]). Off by default: with a lossless fabric
+    /// the layer is pure overhead, and leaving it unconstructed keeps the
+    /// fault machinery zero-cost.
+    pub reliability: bool,
 }
 
 impl NicConfig {
@@ -115,7 +124,18 @@ impl NicConfig {
             completion_cost: Time::from_ns(50),
             sw_match: SwMatch::LinearList,
             ranks_per_node: 1,
+            faults: FaultConfig::none(),
+            reliability: false,
         }
+    }
+
+    /// Arm fault injection. Any nonzero network fault probability forces
+    /// the reliability layer on — MPI semantics are unrecoverable on a
+    /// lossy fabric without it.
+    pub fn with_faults(mut self, faults: FaultConfig) -> NicConfig {
+        self.faults = faults;
+        self.reliability = self.reliability || faults.net_active();
+        self
     }
 
     /// Baseline NIC with a next-line prefetcher on the embedded
@@ -176,6 +196,26 @@ mod tests {
         assert_eq!(c.unexpected_alpu.unwrap().total_cells, 128);
         let c = NicConfig::with_alpus(256);
         assert_eq!(c.posted_alpu.unwrap().total_cells, 256);
+    }
+
+    #[test]
+    fn network_faults_force_reliability_on() {
+        let quiet = NicConfig::baseline();
+        assert!(!quiet.reliability);
+        assert!(!quiet.faults.is_active());
+        let lossy = NicConfig::baseline().with_faults(FaultConfig {
+            seed: 1,
+            drop_p: 0.01,
+            ..FaultConfig::none()
+        });
+        assert!(lossy.reliability);
+        // ALPU-only faults don't need the link layer.
+        let flippy = NicConfig::baseline().with_faults(FaultConfig {
+            seed: 1,
+            flip_p: 0.01,
+            ..FaultConfig::none()
+        });
+        assert!(!flippy.reliability);
     }
 
     #[test]

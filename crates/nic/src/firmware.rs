@@ -31,7 +31,7 @@ use crate::host_iface::{Completion, HostRequest, ReqId};
 use crate::queues::{Key, NicQueue};
 use mpiq_alpu::{Alpu, AlpuConfig, AlpuKind, Command, Entry, MatchWord, Probe, Response, Tag};
 use mpiq_cpusim::{Core, TraceBuilder};
-use mpiq_dessim::{Clock, Time};
+use mpiq_dessim::{Clock, FaultPlan, Time};
 use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
 use std::collections::{HashMap, VecDeque};
 
@@ -120,6 +120,12 @@ struct RndvExpect {
     tag: u16,
 }
 
+/// The unit stopped responding within the firmware's wait budget: its
+/// command FIFO never drained, or a response never surfaced. The caller
+/// must quarantine the unit instead of hanging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlpuWedged;
+
 /// An ALPU plus its clock-domain bookkeeping and response stashes.
 pub struct AlpuPort {
     alpu: Alpu,
@@ -129,16 +135,39 @@ pub struct AlpuPort {
     stash_start_ack: VecDeque<u32>,
     /// Match responses popped while looking for a StartAck.
     stash_match: VecDeque<Response>,
+    /// Fault injector for this unit (bit flips on probe delivery, command
+    /// stalls on command delivery). `None` = healthy hardware, no RNG
+    /// draws at all.
+    faults: Option<FaultPlan>,
+    /// Probes delivered to the unit whose responses the firmware has not
+    /// yet consumed. On a quarantine these become *orphans*: work items
+    /// that must fall back to software instead of popping a response.
+    probes_in_flight: u64,
+    /// Cycles spent spinning on a full command FIFO (satellite stat: the
+    /// old code spun silently and unboundedly).
+    overflow_spins: u64,
 }
 
 impl AlpuPort {
-    fn new(cells: usize, block: usize, kind: AlpuKind, mhz: u64) -> AlpuPort {
+    /// How many unit cycles the firmware will wait on the hardware before
+    /// declaring it wedged ([`AlpuWedged`]). 4096 cycles ≈ 8.2 µs at
+    /// 500 MHz: an order of magnitude above any legitimate wait in this
+    /// model (worst observed: one insert batch draining, < 1 µs), and
+    /// *below* the top of the injected stall range
+    /// ([`mpiq_dessim::fault::STALL_MAX_CYCLES`] = 8192), so long stalls
+    /// are detected rather than silently absorbed.
+    const SPIN_BUDGET: u64 = 4096;
+
+    fn new(cells: usize, block: usize, kind: AlpuKind, mhz: u64, faults: Option<FaultPlan>) -> AlpuPort {
         AlpuPort {
             alpu: Alpu::new(AlpuConfig::new(cells, block, kind)),
             clock: Clock::from_mhz(mhz),
             synced_to: Time::ZERO,
             stash_start_ack: VecDeque::new(),
             stash_match: VecDeque::new(),
+            faults,
+            probes_in_flight: 0,
+            overflow_spins: 0,
         }
     }
 
@@ -152,64 +181,89 @@ impl AlpuPort {
         self.synced_to += self.clock.cycles(cycles);
     }
 
-    /// Push a header probe (hardware copy path) at time `now`.
-    pub fn push_probe(&mut self, probe: Probe, now: Time) {
+    /// Push a header probe (hardware copy path) at time `now`. The fault
+    /// plan may flip a stored match bit first (a particle strike between
+    /// probes); the unit's parity checker latches the error for the
+    /// firmware to discover when it reads the response.
+    pub fn push_probe(&mut self, probe: Probe, now: Time) -> Result<(), AlpuWedged> {
         self.sync(now);
+        if let Some(plan) = &mut self.faults {
+            if let Some(flip) = plan.roll_flip() {
+                self.alpu.inject_bit_flip(flip.cell_sel, flip.bit);
+            }
+        }
         // The hardware FIFO is deep enough in practice; on overflow the
-        // hardware would backpressure the copy path. Model: spin the unit
-        // forward until space frees (rare). Ticks land on the unit's own
-        // clock edges, so time advances from the last synced cycle
-        // boundary — never from the (possibly mid-cycle) `now`.
+        // hardware would backpressure the copy path. Spin the unit
+        // forward until space frees — bounded: a unit that can't drain a
+        // 4096-deep FIFO within the budget is wedged. Ticks land on the
+        // unit's own clock edges, so time advances from the last synced
+        // cycle boundary — never from the (possibly mid-cycle) `now`.
+        let mut spins = 0u64;
         while self.alpu.push_header(probe).is_err() {
+            if spins >= Self::SPIN_BUDGET {
+                return Err(AlpuWedged);
+            }
+            spins += 1;
             self.alpu.tick();
             self.synced_to += self.clock.period();
         }
+        self.probes_in_flight += 1;
+        Ok(())
     }
 
-    /// Blocking pop of the next *match* response at/after `now`; returns
+    /// Bounded pop of the next *match* response at/after `now`; returns
     /// the response and the time it was available. StartAcks encountered
-    /// on the way are stashed.
-    fn pop_match_response(&mut self, now: Time) -> (Response, Time) {
+    /// on the way are stashed. [`AlpuWedged`] once the spin budget is
+    /// exhausted (e.g. the unit is sitting out an injected stall).
+    fn pop_match_response(&mut self, now: Time) -> Result<(Response, Time), AlpuWedged> {
         if let Some(r) = self.stash_match.pop_front() {
-            return (r, now);
+            self.probes_in_flight -= 1;
+            return Ok((r, now));
         }
         self.sync(now);
+        let mut spins = 0u64;
         loop {
             match self.alpu.pop_response() {
                 Some(Response::StartAck { free }) => self.stash_start_ack.push_back(free),
                 // A response found without spinning was ready at `now`;
                 // one found by spinning becomes visible at the clock edge.
-                Some(r) => return (r, self.synced_to.max(now)),
+                Some(r) => {
+                    self.probes_in_flight -= 1;
+                    return Ok((r, self.synced_to.max(now)));
+                }
                 None => {
+                    if spins >= Self::SPIN_BUDGET {
+                        return Err(AlpuWedged);
+                    }
+                    spins += 1;
                     self.alpu.tick();
                     self.synced_to += self.clock.period();
-                    assert!(
-                        self.synced_to < now + Time::from_us(100),
-                        "ALPU match response never arrived"
-                    );
                 }
             }
         }
     }
 
-    /// Blocking pop of a StartAck at/after `now`. Match responses
+    /// Bounded pop of a StartAck at/after `now`. Match responses
     /// encountered on the way are stashed for their owners.
-    fn pop_start_ack(&mut self, now: Time) -> (u32, Time) {
+    fn pop_start_ack(&mut self, now: Time) -> Result<(u32, Time), AlpuWedged> {
         if let Some(free) = self.stash_start_ack.pop_front() {
-            return (free, now);
+            return Ok((free, now));
         }
         self.sync(now);
+        let mut spins = 0u64;
         loop {
             match self.alpu.pop_response() {
-                Some(Response::StartAck { free }) => return (free, self.synced_to.max(now)),
+                Some(Response::StartAck { free }) => {
+                    return Ok((free, self.synced_to.max(now)))
+                }
                 Some(r) => self.stash_match.push_back(r),
                 None => {
+                    if spins >= Self::SPIN_BUDGET {
+                        return Err(AlpuWedged);
+                    }
+                    spins += 1;
                     self.alpu.tick();
                     self.synced_to += self.clock.period();
-                    assert!(
-                        self.synced_to < now + Time::from_us(100),
-                        "StartAck never arrived"
-                    );
                 }
             }
         }
@@ -223,16 +277,41 @@ impl AlpuPort {
         self.stash_match.is_empty() && self.alpu.probe_quiescent()
     }
 
-    /// Push a command, spinning the unit forward if its FIFO is full.
-    /// Returns when the write landed: `now` if the FIFO had room, else
-    /// the clock edge that freed a slot.
-    fn push_command(&mut self, cmd: Command, now: Time) -> Time {
+    /// Push a command, spinning the unit forward if its FIFO is full —
+    /// bounded and counted (the old code spun silently forever). Returns
+    /// when the write landed: `now` if the FIFO had room, else the clock
+    /// edge that freed a slot. The fault plan may stall the unit's
+    /// command pipeline first. [`AlpuWedged`] surfaces a unit that never
+    /// frees a slot within the budget.
+    fn push_command(&mut self, cmd: Command, now: Time) -> Result<Time, AlpuWedged> {
         self.sync(now);
+        if let Some(plan) = &mut self.faults {
+            if let Some(cycles) = plan.roll_stall() {
+                self.alpu.inject_stall(cycles);
+            }
+        }
+        let mut spins = 0u64;
         while self.alpu.push_command(cmd).is_err() {
+            if spins >= Self::SPIN_BUDGET {
+                self.overflow_spins += spins;
+                return Err(AlpuWedged);
+            }
+            spins += 1;
             self.alpu.tick();
             self.synced_to += self.clock.period();
         }
-        self.synced_to.max(now)
+        self.overflow_spins += spins;
+        Ok(self.synced_to.max(now))
+    }
+
+    /// Side-channel reset (the RESET pin, not the RESET command): wipe
+    /// the array, FIFOs, stashes, and any in-progress operation. Used by
+    /// the quarantine path, where pushing a command into a wedged FIFO
+    /// is exactly what doesn't work.
+    fn reset_hard(&mut self) {
+        self.alpu.hard_reset();
+        self.stash_start_ack.clear();
+        self.stash_match.clear();
     }
 
     /// Read-only access for assertions and diagnostics.
@@ -263,6 +342,19 @@ pub struct FwStats {
     pub ghost_rematches: u64,
     /// Full RESET+rebuild purges forced by tombstone buildup.
     pub alpu_purges: u64,
+    /// Probed headers resolved by a full software walk because their unit
+    /// was quarantined (or their response died with it).
+    pub alpu_fallbacks: u64,
+    /// Hard resets forced by a wedged or corrupted unit (quarantines).
+    pub alpu_resets: u64,
+    /// Quarantined units brought back into service after cooldown.
+    pub alpu_reengagements: u64,
+    /// Parity errors detected when reading responses from a unit whose
+    /// stored match words were corrupted.
+    pub alpu_parity_errors: u64,
+    /// Cycles spent spinning on a full ALPU command FIFO (bounded; a
+    /// budget overrun quarantines the unit instead of hanging).
+    pub alpu_overflow_spins: u64,
 }
 
 /// The firmware: all NIC-resident MPI state plus the hardware ports.
@@ -285,14 +377,32 @@ pub struct Firmware {
     posted_index: Option<PostedIndex>,
     /// Live tombstones in the posted ALPU (see [`RecvEntry::ghost`]).
     posted_ghosts: usize,
+    /// Posted ALPU quarantine: `Some(t)` = offline until an update item
+    /// at/after `t` re-engages it. While quarantined every header takes
+    /// the software path.
+    posted_quarantined_until: Option<Time>,
+    /// Same for the unexpected ALPU.
+    unexpected_quarantined_until: Option<Time>,
+    /// Probed headers whose responses were wiped by a posted-ALPU
+    /// quarantine. Work items consume these (oldest-first, matching the
+    /// work FIFO) and fall back to software instead of popping.
+    posted_orphans: u64,
     stats: FwStats,
 }
 
 impl Firmware {
     /// Build the firmware for `node` under `cfg`.
     pub fn new(node: NodeId, cfg: NicConfig) -> Firmware {
-        let mk = |setup: Option<crate::config::AlpuSetup>, kind| {
-            setup.map(|s| AlpuPort::new(s.total_cells, s.block_size, kind, cfg.alpu_mhz))
+        // Each unit gets its own fault stream: site 0 is the fabric, so
+        // node n's posted unit is site 2n+1 and its unexpected unit 2n+2.
+        let mk = |setup: Option<crate::config::AlpuSetup>, kind, lane: u64| {
+            setup.map(|s| {
+                let plan = cfg
+                    .faults
+                    .alpu_active()
+                    .then(|| FaultPlan::new(cfg.faults, 1 + 2 * node as u64 + lane));
+                AlpuPort::new(s.total_cells, s.block_size, kind, cfg.alpu_mhz, plan)
+            })
         };
         let posted_index = match cfg.sw_match {
             SwMatch::LinearList => None,
@@ -314,18 +424,25 @@ impl Firmware {
             host_seq: 0,
             dma_rx: Dma::new(cfg.dma_bytes_per_ns, cfg.dma_setup),
             dma_tx: Dma::new(cfg.dma_bytes_per_ns, cfg.dma_setup),
-            posted_alpu: mk(cfg.posted_alpu, AlpuKind::PostedReceive),
-            unexpected_alpu: mk(cfg.unexpected_alpu, AlpuKind::Unexpected),
+            posted_alpu: mk(cfg.posted_alpu, AlpuKind::PostedReceive, 0),
+            unexpected_alpu: mk(cfg.unexpected_alpu, AlpuKind::Unexpected, 1),
             posted_index,
             posted_ghosts: 0,
+            posted_quarantined_until: None,
+            unexpected_quarantined_until: None,
+            posted_orphans: 0,
             stats: FwStats::default(),
             cfg,
         }
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (folds in the per-port spin counters).
     pub fn stats(&self) -> FwStats {
-        self.stats
+        let mut s = self.stats;
+        for port in [&self.posted_alpu, &self.unexpected_alpu].into_iter().flatten() {
+            s.alpu_overflow_spins += port.overflow_spins;
+        }
+        s
     }
 
     /// Posted-queue length (diagnostics/benchmarks).
@@ -345,6 +462,9 @@ impl Firmware {
     /// nothing and the queue is short, eliminating the interaction
     /// penalty.
     pub fn posted_engaged(&self) -> bool {
+        if self.posted_quarantined_until.is_some() {
+            return false; // degraded mode: software matching only
+        }
         match (&self.posted_alpu, self.cfg.posted_alpu) {
             (Some(_), Some(s)) => {
                 self.posted.alpu_prefix() > 0 || self.posted.len() >= s.engage_threshold
@@ -355,12 +475,25 @@ impl Firmware {
 
     /// Same engagement rule for the unexpected-message ALPU.
     fn unexpected_engaged(&self) -> bool {
+        if self.unexpected_quarantined_until.is_some() {
+            return false;
+        }
         match (&self.unexpected_alpu, self.cfg.unexpected_alpu) {
             (Some(_), Some(s)) => {
                 self.unexpected.alpu_prefix() > 0 || self.unexpected.len() >= s.engage_threshold
             }
             _ => false,
         }
+    }
+
+    /// Is the posted ALPU currently quarantined? (diagnostics/tests)
+    pub fn posted_quarantined(&self) -> bool {
+        self.posted_quarantined_until.is_some()
+    }
+
+    /// Is the unexpected ALPU currently quarantined? (diagnostics/tests)
+    pub fn unexpected_quarantined(&self) -> bool {
+        self.unexpected_quarantined_until.is_some()
     }
 
     /// Advance both ALPU clock domains to `now` (test/diagnostic hook:
@@ -416,8 +549,15 @@ impl Firmware {
         }
         let probe = Probe::exact(self.header_word(&msg.header));
         let port = self.posted_alpu.as_mut().expect("engaged implies present");
-        port.push_probe(probe, now);
-        true
+        match port.push_probe(probe, now) {
+            Ok(()) => true,
+            Err(AlpuWedged) => {
+                // The copy path backpressured past the budget: the unit is
+                // wedged. Quarantine it; this header goes software-only.
+                self.quarantine_posted(now);
+                false
+            }
+        }
     }
 
     /// Process one work item starting at `now` on `core`; returns the
@@ -436,28 +576,37 @@ impl Firmware {
     /// ... should attempt to conglomerate insertions" — while the NIC has
     /// other work pending (`idle == false`), wait for at least
     /// `insert_batch_min` stragglers; an idle NIC flushes any tail.
-    pub fn update_needed(&self, idle: bool) -> bool {
+    pub fn update_needed(&self, idle: bool, now: Time) -> bool {
+        // A quarantine whose cooldown has expired needs an update item to
+        // re-engage the unit.
+        if self.posted_quarantined_until.is_some_and(|q| now >= q)
+            || self.unexpected_quarantined_until.is_some_and(|q| now >= q)
+        {
+            return true;
+        }
         if self.purge_needed() {
             return true;
         }
-        let posted = match (&self.posted_alpu, self.cfg.posted_alpu) {
-            (Some(p), Some(s)) => {
-                self.posted.tail_len() > 0
-                    && p.alpu.free() > 0
-                    && self.posted.len() >= s.engage_threshold
-                    && (idle || self.posted.tail_len() >= s.insert_batch_min)
-            }
-            _ => false,
-        };
-        let unexp = match (&self.unexpected_alpu, self.cfg.unexpected_alpu) {
-            (Some(p), Some(s)) => {
-                self.unexpected.tail_len() > 0
-                    && p.alpu.free() > 0
-                    && self.unexpected.len() >= s.engage_threshold
-                    && (idle || self.unexpected.tail_len() >= s.insert_batch_min)
-            }
-            _ => false,
-        };
+        let posted = self.posted_quarantined_until.is_none()
+            && match (&self.posted_alpu, self.cfg.posted_alpu) {
+                (Some(p), Some(s)) => {
+                    self.posted.tail_len() > 0
+                        && p.alpu.free() > 0
+                        && self.posted.len() >= s.engage_threshold
+                        && (idle || self.posted.tail_len() >= s.insert_batch_min)
+                }
+                _ => false,
+            };
+        let unexp = self.unexpected_quarantined_until.is_none()
+            && match (&self.unexpected_alpu, self.cfg.unexpected_alpu) {
+                (Some(p), Some(s)) => {
+                    self.unexpected.tail_len() > 0
+                        && p.alpu.free() > 0
+                        && self.unexpected.len() >= s.engage_threshold
+                        && (idle || self.unexpected.tail_len() >= s.insert_batch_min)
+                }
+                _ => false,
+            };
         posted || unexp
     }
 
@@ -488,6 +637,9 @@ impl Firmware {
             }
             MsgKind::RndvReply { token } => self.rx_rndv_reply(msg, token, t, core, fx),
             MsgKind::RndvData { token } => self.rx_rndv_data(msg, token, t, core, fx),
+            MsgKind::Ack { .. } | MsgKind::Nack { .. } => {
+                unreachable!("link control frames are consumed by the NIC's link layer")
+            }
         }
     }
 
@@ -512,30 +664,73 @@ impl Firmware {
         // logically, leave a tombstone.
         let mut ghost_consume: Option<Key> = None;
 
+        // The hardware response for this header, if one was read and can
+        // be trusted. `None` with `probed == true` means the unit failed
+        // under us (quarantine) — degrade to a full software walk.
+        let mut hw_resp: Option<Response> = None;
         if probed {
-            let port = self
-                .posted_alpu
-                .as_mut()
-                .expect("probed headers imply an ALPU");
-            // Read the response the hardware computed for this header
-            // (§IV-D: one response per header, in order).
-            let (resp, t_resp) = port.pop_match_response(t);
-            t = t_resp;
-            // §IV-D: the processor "should first retrieve the copy of the
-            // data provided to it and then retrieve the response" — four
-            // uncached local-bus reads (header copy, then status+tag).
-            t += core
-                .run(
-                    &TraceBuilder::new()
-                        .bus_read()
-                        .bus_read()
-                        .bus_read()
-                        .bus_read()
-                        .int(4)
-                        .build(),
-                    t,
-                )
-                .elapsed;
+            if self.posted_orphans > 0 {
+                // This header was probed before a quarantine wiped the
+                // unit; its response no longer exists. One status read
+                // discovers the unit is offline, then software takes over.
+                self.posted_orphans -= 1;
+                self.stats.alpu_fallbacks += 1;
+                t += core
+                    .run(&TraceBuilder::new().bus_read().int(4).build(), t)
+                    .elapsed;
+            } else {
+                let port = self
+                    .posted_alpu
+                    .as_mut()
+                    .expect("probed headers imply an ALPU");
+                // Read the response the hardware computed for this header
+                // (§IV-D: one response per header, in order).
+                match port.pop_match_response(t) {
+                    Ok((resp, t_resp)) => {
+                        let poisoned = port.alpu.parity_error();
+                        t = t_resp;
+                        // §IV-D: the processor "should first retrieve the
+                        // copy of the data provided to it and then
+                        // retrieve the response" — four uncached
+                        // local-bus reads (header copy, then status+tag).
+                        t += core
+                            .run(
+                                &TraceBuilder::new()
+                                    .bus_read()
+                                    .bus_read()
+                                    .bus_read()
+                                    .bus_read()
+                                    .int(4)
+                                    .build(),
+                                t,
+                            )
+                            .elapsed;
+                        if poisoned {
+                            // The status word carries the parity alarm:
+                            // stored match bits were corrupted, so no
+                            // response from this unit can be trusted.
+                            self.quarantine_posted(t);
+                            self.stats.alpu_fallbacks += 1;
+                        } else {
+                            hw_resp = Some(resp);
+                        }
+                    }
+                    Err(AlpuWedged) => {
+                        // No response within the wait budget: the unit is
+                        // stalled or dead. Quarantine consumes this very
+                        // probe's orphan slot too.
+                        self.quarantine_posted(t);
+                        debug_assert!(self.posted_orphans > 0);
+                        self.posted_orphans -= 1;
+                        self.stats.alpu_fallbacks += 1;
+                        t += core
+                            .run(&TraceBuilder::new().bus_read().int(4).build(), t)
+                            .elapsed;
+                    }
+                }
+            }
+        }
+        if let Some(resp) = hw_resp {
             match resp {
                 Response::MatchSuccess { tag } => {
                     let key = tag as Key;
@@ -600,6 +795,10 @@ impl Firmware {
         }
 
         if matched.is_none() && software_from != usize::MAX {
+            debug_assert!(
+                hw_resp.is_some() || software_from == 0,
+                "a degraded match must search the whole list"
+            );
             let (hit, visited, hash_overhead) = match &self.posted_index {
                 Some(index) => {
                     // Hash strategy: bin walk + mandatory wildcard walk.
@@ -768,8 +967,8 @@ impl Firmware {
         // DMA the payload from host memory and ship it.
         let (_, dma_done) = self.dma_tx.transfer(park.len as u64, t);
         t += core.run(&TraceBuilder::new().int(10).build(), t).elapsed;
-        let data = Message {
-            header: MsgHeader {
+        let data = Message::new(
+            MsgHeader {
                 src_node: self.node,
                 dst_node: self.node_of(park.dst),
                 dst_rank: park.dst,
@@ -780,8 +979,8 @@ impl Firmware {
                 kind: MsgKind::RndvData { token },
                 seq: self.next_seq(),
             },
-            payload: Message::test_payload(park.len as usize, token as u8),
-        };
+            Message::test_payload(park.len as usize, token as u8),
+        );
         let at = dma_done.max(t);
         fx.tx.push((at, data));
         // Local send completion once the data left.
@@ -948,30 +1147,57 @@ impl Firmware {
                 .unexpected_alpu
                 .as_mut()
                 .expect("engaged implies present");
-            // Hardware copy of the new receive probes the unexpected unit.
-            port.push_probe(probe, t);
-            let (resp, t_resp) = port.pop_match_response(t);
-            t = t_resp;
-            // Same §IV-D response-retrieval sequence as the Rx path.
-            t += core
-                .run(
-                    &TraceBuilder::new()
-                        .bus_read()
-                        .bus_read()
-                        .bus_read()
-                        .bus_read()
-                        .int(4)
-                        .build(),
-                    t,
-                )
-                .elapsed;
-            match resp {
-                Response::MatchSuccess { tag } => {
+            // Hardware copy of the new receive probes the unexpected
+            // unit. This exchange is synchronous within the work item, so
+            // a failure needs no orphan bookkeeping: quarantine and walk
+            // the whole queue in software right here.
+            let mut hw_resp: Option<Response> = None;
+            let mut wedged = false;
+            match port.push_probe(probe, t) {
+                Err(AlpuWedged) => wedged = true,
+                Ok(()) => match port.pop_match_response(t) {
+                    Err(AlpuWedged) => wedged = true,
+                    Ok((resp, t_resp)) => {
+                        let poisoned = port.alpu.parity_error();
+                        t = t_resp;
+                        // Same §IV-D response-retrieval sequence as Rx.
+                        t += core
+                            .run(
+                                &TraceBuilder::new()
+                                    .bus_read()
+                                    .bus_read()
+                                    .bus_read()
+                                    .bus_read()
+                                    .int(4)
+                                    .build(),
+                                t,
+                            )
+                            .elapsed;
+                        if poisoned {
+                            wedged = true;
+                        } else {
+                            hw_resp = Some(resp);
+                        }
+                    }
+                },
+            }
+            if wedged {
+                self.quarantine_unexpected(t);
+                self.stats.alpu_fallbacks += 1;
+                t += core
+                    .run(&TraceBuilder::new().bus_read().int(4).build(), t)
+                    .elapsed;
+            }
+            match hw_resp {
+                Some(Response::MatchSuccess { tag }) => {
                     matched = Some(tag as Key);
                     self.stats.unexpected_alpu_hits += 1;
                 }
-                Response::MatchFailure => software_from = self.unexpected.alpu_prefix(),
-                Response::StartAck { .. } => unreachable!(),
+                Some(Response::MatchFailure) => {
+                    software_from = self.unexpected.alpu_prefix()
+                }
+                Some(Response::StartAck { .. }) => unreachable!(),
+                None => {} // degraded: software_from stays 0 (full walk)
             }
         }
 
@@ -1252,6 +1478,58 @@ impl Firmware {
         }
     }
 
+    /// Cooldown before a quarantined unit is trusted again. Long enough
+    /// that a persistently stalled unit isn't thrashed in and out of
+    /// service; short relative to any benchmark so degradation stays
+    /// graceful, not permanent.
+    const QUARANTINE_COOLDOWN: Time = Time::from_us(10);
+
+    /// Take the posted ALPU out of service: RESET-pin wipe, orphan the
+    /// in-flight probes (their work items fall back to software), drop
+    /// tombstones (they lived only in the hardware), and start the
+    /// cooldown clock. The software queue — the source of truth — is
+    /// untouched; matching continues degraded but correct.
+    fn quarantine_posted(&mut self, now: Time) {
+        let port = self.posted_alpu.as_mut().expect("quarantine implies ALPU");
+        if port.alpu.parity_error() {
+            self.stats.alpu_parity_errors += 1;
+        }
+        self.posted_orphans += port.probes_in_flight;
+        port.probes_in_flight = 0;
+        port.reset_hard();
+        // With the unit wiped, tombstoned entries are unreachable garbage.
+        let dead: Vec<Key> = self
+            .posted
+            .iter()
+            .filter(|it| it.val.ghost)
+            .map(|it| it.key)
+            .collect();
+        for key in dead {
+            self.posted.remove_key(key);
+        }
+        self.posted_ghosts = 0;
+        self.posted.clear_alpu_marks();
+        self.posted_quarantined_until = Some(now + Self::QUARANTINE_COOLDOWN);
+        self.stats.alpu_resets += 1;
+    }
+
+    /// Same recovery for the unexpected ALPU (simpler: its exchanges are
+    /// synchronous, so there are no orphans, and it holds no tombstones).
+    fn quarantine_unexpected(&mut self, now: Time) {
+        let port = self
+            .unexpected_alpu
+            .as_mut()
+            .expect("quarantine implies ALPU");
+        if port.alpu.parity_error() {
+            self.stats.alpu_parity_errors += 1;
+        }
+        port.probes_in_flight = 0;
+        port.reset_hard();
+        self.unexpected.clear_alpu_marks();
+        self.unexpected_quarantined_until = Some(now + Self::QUARANTINE_COOLDOWN);
+        self.stats.alpu_resets += 1;
+    }
+
     /// RESET the posted ALPU and drop tombstones; the subsequent insert
     /// session (same update item) re-fills it from the live queue.
     fn purge_posted(&mut self, now: Time, core: &mut Core) -> Time {
@@ -1259,8 +1537,17 @@ impl Firmware {
         if !port.probe_quiescent(now) {
             return now; // retry on a later update
         }
-        let mut t = port.push_command(Command::Reset, now);
+        let mut t = match port.push_command(Command::Reset, now) {
+            Ok(t) => t,
+            Err(AlpuWedged) => {
+                // Can't even push RESET: quarantine does the same cleanup
+                // through the reset pin.
+                self.quarantine_posted(now);
+                return now;
+            }
+        };
         t += core.run(&TraceBuilder::new().int(6).bus_write().build(), t).elapsed;
+        let port = self.posted_alpu.as_mut().expect("still present");
         port.sync(t + Time::from_ns(20));
         // Tombstones are gone for good; live entries all become tail.
         let dead: Vec<Key> = self
@@ -1282,67 +1569,114 @@ impl Firmware {
 
     fn do_update(&mut self, now: Time, core: &mut Core, _fx: &mut Effects) -> Time {
         let mut t = now;
+        // Re-engage quarantined units whose cooldown has expired. The
+        // RESET already emptied them; lifting the quarantine lets the
+        // insert sessions below refill them and probes flow again.
+        if self.posted_quarantined_until.is_some_and(|q| now >= q) {
+            self.posted_quarantined_until = None;
+            self.stats.alpu_reengagements += 1;
+            t += core.run(&TraceBuilder::new().int(8).bus_write().build(), t).elapsed;
+        }
+        if self.unexpected_quarantined_until.is_some_and(|q| now >= q) {
+            self.unexpected_quarantined_until = None;
+            self.stats.alpu_reengagements += 1;
+            t += core.run(&TraceBuilder::new().int(8).bus_write().build(), t).elapsed;
+        }
         if self.purge_needed() {
             t = self.purge_posted(t, core);
         }
-        if let (Some(setup), Some(_)) = (self.cfg.posted_alpu, self.posted_alpu.as_ref()) {
-            if self.posted.len() >= setup.engage_threshold && self.posted.tail_len() > 0 {
-                t = Self::insert_session_posted(
-                    &mut self.posted,
-                    self.posted_alpu.as_mut().expect("checked"),
-                    &mut self.stats,
-                    t,
-                    core,
-                );
+        if self.posted_quarantined_until.is_none() {
+            if let (Some(setup), Some(_)) = (self.cfg.posted_alpu, self.posted_alpu.as_ref()) {
+                if self.posted.len() >= setup.engage_threshold && self.posted.tail_len() > 0 {
+                    let (t2, wedged) = Self::insert_session_posted(
+                        &mut self.posted,
+                        self.posted_alpu.as_mut().expect("checked"),
+                        &mut self.stats,
+                        t,
+                        core,
+                    );
+                    t = t2;
+                    if wedged {
+                        self.quarantine_posted(t);
+                    }
+                }
             }
         }
-        if let (Some(setup), Some(_)) = (self.cfg.unexpected_alpu, self.unexpected_alpu.as_ref()) {
-            if self.unexpected.len() >= setup.engage_threshold && self.unexpected.tail_len() > 0 {
-                t = Self::insert_session_unexpected(
-                    &mut self.unexpected,
-                    self.unexpected_alpu.as_mut().expect("checked"),
-                    &mut self.stats,
-                    self.cfg.ranks_per_node,
-                    t,
-                    core,
-                );
+        if self.unexpected_quarantined_until.is_none() {
+            if let (Some(setup), Some(_)) =
+                (self.cfg.unexpected_alpu, self.unexpected_alpu.as_ref())
+            {
+                if self.unexpected.len() >= setup.engage_threshold
+                    && self.unexpected.tail_len() > 0
+                {
+                    let (t2, wedged) = Self::insert_session_unexpected(
+                        &mut self.unexpected,
+                        self.unexpected_alpu.as_mut().expect("checked"),
+                        &mut self.stats,
+                        self.cfg.ranks_per_node,
+                        t,
+                        core,
+                    );
+                    t = t2;
+                    if wedged {
+                        self.quarantine_unexpected(t);
+                    }
+                }
             }
         }
         t
     }
 
+    /// Both sessions return `(end_time, wedged)`; `wedged == true` means
+    /// a hardware interaction blew its wait budget and the caller must
+    /// quarantine the unit (the session aborts immediately; queue marks
+    /// are cleaned up by the quarantine).
     fn insert_session_posted(
         queue: &mut NicQueue<RecvEntry>,
         port: &mut AlpuPort,
         stats: &mut FwStats,
         now: Time,
         core: &mut Core,
-    ) -> Time {
+    ) -> (Time, bool) {
         // §IV-C: never insert across an in-flight probe — a MATCH FAILURE
         // computed before these inserts must pair with the pre-insert
         // tail. Defer the session; the NIC re-schedules an update once the
         // pending probe work drains.
         if !port.probe_quiescent(now) {
-            return now + core.run(&TraceBuilder::new().int(4).build(), now).elapsed;
+            return (
+                now + core.run(&TraceBuilder::new().int(4).build(), now).elapsed,
+                false,
+            );
         }
         let mut t = now + core.run(&TraceBuilder::new().int(6).bus_write().build(), now).elapsed;
-        t = port.push_command(Command::StartInsert, t);
-        let (free, t_ack) = port.pop_start_ack(t);
-        t = t_ack;
+        t = match port.push_command(Command::StartInsert, t) {
+            Ok(t) => t,
+            Err(AlpuWedged) => return (t, true),
+        };
+        let free = match port.pop_start_ack(t) {
+            Ok((free, t_ack)) => {
+                t = t_ack;
+                free
+            }
+            Err(AlpuWedged) => return (t, true),
+        };
         t += core.run(&TraceBuilder::new().bus_read().build(), t).elapsed;
         // Abort if a probe slipped in while we waited for the ack:
         // nothing has been inserted yet, so a just-computed failure still
         // pairs with the current tail. Retry the session later.
-        if !port.stash_match.is_empty()
+        let abort = !port.stash_match.is_empty()
             || port.alpu.responses_pending() > 0
             || port.alpu.headers_pending() > 0
-        {
-            t = port.push_command(Command::StopInsert, t);
-            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
-        }
-        if free == 0 {
-            t = port.push_command(Command::StopInsert, t);
-            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
+            || free == 0;
+        if abort {
+            t = match port.push_command(Command::StopInsert, t) {
+                Ok(t) => t,
+                Err(AlpuWedged) => return (t, true),
+            };
+            return (
+                t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed,
+                false,
+            );
         }
         stats.insert_sessions += 1;
         let batch = queue.take_for_alpu(free as usize);
@@ -1368,10 +1702,19 @@ impl Firmware {
                     t,
                 )
                 .elapsed;
-            t = port.push_command(cmd, t);
+            t = match port.push_command(cmd, t) {
+                Ok(t) => t,
+                Err(AlpuWedged) => return (t, true),
+            };
         }
-        t = port.push_command(Command::StopInsert, t);
-        t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed
+        t = match port.push_command(Command::StopInsert, t) {
+            Ok(t) => t,
+            Err(AlpuWedged) => return (t, true),
+        };
+        (
+            t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed,
+            false,
+        )
     }
 
     fn insert_session_unexpected(
@@ -1381,32 +1724,46 @@ impl Firmware {
         ranks_per_node: u32,
         now: Time,
         core: &mut Core,
-    ) -> Time {
+    ) -> (Time, bool) {
         // §IV-C: never insert across an in-flight probe — a MATCH FAILURE
         // computed before these inserts must pair with the pre-insert
         // tail. Defer the session; the NIC re-schedules an update once the
         // pending probe work drains.
         if !port.probe_quiescent(now) {
-            return now + core.run(&TraceBuilder::new().int(4).build(), now).elapsed;
+            return (
+                now + core.run(&TraceBuilder::new().int(4).build(), now).elapsed,
+                false,
+            );
         }
         let mut t = now + core.run(&TraceBuilder::new().int(6).bus_write().build(), now).elapsed;
-        t = port.push_command(Command::StartInsert, t);
-        let (free, t_ack) = port.pop_start_ack(t);
-        t = t_ack;
+        t = match port.push_command(Command::StartInsert, t) {
+            Ok(t) => t,
+            Err(AlpuWedged) => return (t, true),
+        };
+        let free = match port.pop_start_ack(t) {
+            Ok((free, t_ack)) => {
+                t = t_ack;
+                free
+            }
+            Err(AlpuWedged) => return (t, true),
+        };
         t += core.run(&TraceBuilder::new().bus_read().build(), t).elapsed;
         // Abort if a probe slipped in while we waited for the ack:
         // nothing has been inserted yet, so a just-computed failure still
         // pairs with the current tail. Retry the session later.
-        if !port.stash_match.is_empty()
+        let abort = !port.stash_match.is_empty()
             || port.alpu.responses_pending() > 0
             || port.alpu.headers_pending() > 0
-        {
-            t = port.push_command(Command::StopInsert, t);
-            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
-        }
-        if free == 0 {
-            t = port.push_command(Command::StopInsert, t);
-            return t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed;
+            || free == 0;
+        if abort {
+            t = match port.push_command(Command::StopInsert, t) {
+                Ok(t) => t,
+                Err(AlpuWedged) => return (t, true),
+            };
+            return (
+                t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed,
+                false,
+            );
         }
         stats.insert_sessions += 1;
         let batch = queue.take_for_alpu(free as usize);
@@ -1437,10 +1794,19 @@ impl Firmware {
                     t,
                 )
                 .elapsed;
-            t = port.push_command(cmd, t);
+            t = match port.push_command(cmd, t) {
+                Ok(t) => t,
+                Err(AlpuWedged) => return (t, true),
+            };
         }
-        t = port.push_command(Command::StopInsert, t);
-        t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed
+        t = match port.push_command(Command::StopInsert, t) {
+            Ok(t) => t,
+            Err(AlpuWedged) => return (t, true),
+        };
+        (
+            t + core.run(&TraceBuilder::new().bus_write().build(), t).elapsed,
+            false,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -1463,8 +1829,8 @@ impl Firmware {
         kind: MsgKind,
     ) -> Message {
         let seq = self.next_seq();
-        Message {
-            header: MsgHeader {
+        Message::new(
+            MsgHeader {
                 src_node: self.node,
                 dst_node: self.node_of(dst_rank),
                 dst_rank,
@@ -1475,11 +1841,11 @@ impl Firmware {
                 kind,
                 seq,
             },
-            payload: match kind {
+            match kind {
                 MsgKind::Eager => Message::test_payload(len as usize, seq as u8),
                 _ => bytes::Bytes::new(),
             },
-        }
+        )
     }
 
     /// Serialize a header-only (or already-DMAed) message through the Tx
@@ -1498,8 +1864,14 @@ pub fn check_invariants(fw: &Firmware) {
     assert!(fw.unexpected.check_prefix_invariant());
     if let Some(p) = &fw.posted_alpu {
         assert_eq!(p.alpu.occupied(), fw.posted.alpu_prefix());
+        if fw.posted_quarantined() {
+            assert_eq!(p.alpu.occupied(), 0, "a quarantined unit is empty");
+        }
     }
     if let Some(p) = &fw.unexpected_alpu {
         assert_eq!(p.alpu.occupied(), fw.unexpected.alpu_prefix());
+        if fw.unexpected_quarantined() {
+            assert_eq!(p.alpu.occupied(), 0, "a quarantined unit is empty");
+        }
     }
 }

@@ -10,6 +10,7 @@
 use crate::config::NicConfig;
 use crate::firmware::{Firmware, WorkItem};
 use crate::host_iface::HostRequest;
+use crate::reliability::{Reliability, ReliabilityConfig};
 use mpiq_cpusim::Core;
 use mpiq_dessim::prelude::*;
 use mpiq_net::{Message, NodeId};
@@ -21,6 +22,8 @@ pub const PORT_NET_RX: InPort = InPort(0);
 pub const PORT_HOST_REQ: InPort = InPort(1);
 /// Self-wakeup port (internal).
 pub const PORT_WAKE: InPort = InPort(2);
+/// Retransmit-timer wakeup port (internal; link reliability layer).
+pub const PORT_RETX: InPort = InPort(3);
 /// Output port: messages to the fabric.
 pub const PORT_NET_TX: OutPort = OutPort(0);
 /// Output port: completions to the host of local process 0.
@@ -41,6 +44,12 @@ pub struct Nic {
     work: VecDeque<WorkItem>,
     busy: bool,
     update_queued: bool,
+    /// Link reliability engine (go-back-N); `None` when disabled, which
+    /// keeps the lossless fast path byte-identical to the pre-fault code.
+    link: Option<Reliability>,
+    /// Earliest retransmit wakeup already scheduled, to avoid flooding
+    /// the event queue with one wake per transmitted frame.
+    retx_scheduled: Option<Time>,
     stat_prefix: String,
     /// Time-weighted queue-occupancy accumulation (for the application
     /// queue-characterization study, after refs [8,9]).
@@ -60,6 +69,10 @@ impl Nic {
             work: VecDeque::new(),
             busy: false,
             update_queued: false,
+            link: cfg
+                .reliability
+                .then(|| Reliability::new(node, ReliabilityConfig::default())),
+            retx_scheduled: None,
             stat_prefix: format!("nic{node}"),
             last_sample: Time::ZERO,
             posted_integral: 0,
@@ -97,7 +110,7 @@ impl Nic {
         }
         if self.work.is_empty() {
             // Idle NIC: flush any not-yet-inserted tails into the ALPUs.
-            if self.fw.update_needed(true) && !self.update_queued {
+            if self.fw.update_needed(true, ctx.now()) && !self.update_queued {
                 self.work.push_back(WorkItem::AlpuUpdate);
                 self.update_queued = true;
             } else {
@@ -113,6 +126,12 @@ impl Nic {
         let (end, fx) = self.fw.process(item, now, &mut self.core);
         debug_assert!(end >= now);
         for (at, msg) in fx.tx {
+            // The link layer stamps a sequence number and buffers the
+            // frame for retransmission before it hits the wire.
+            let msg = match self.link.as_mut() {
+                Some(link) => link.transmit(msg, at),
+                None => msg,
+            };
             ctx.emit_after(PORT_NET_TX, Payload::new(msg), at.saturating_sub(now));
         }
         for (at, comp) in fx.completions {
@@ -121,13 +140,35 @@ impl Nic {
             ctx.emit_after(host_comp_port(pid), Payload::new(comp), at.saturating_sub(now));
         }
         // Batch-aware update scheduling (§IV-B).
-        if !self.update_queued && self.fw.update_needed(self.work.is_empty()) {
+        if !self.update_queued && self.fw.update_needed(self.work.is_empty(), now) {
             self.work.push_back(WorkItem::AlpuUpdate);
             self.update_queued = true;
         }
         self.busy = true;
         ctx.wake_me(PORT_WAKE, Payload::empty(), end - now);
+        self.schedule_retx(ctx);
         self.publish_stats(ctx);
+    }
+
+    /// Make sure a wakeup covers the link layer's earliest retransmit
+    /// deadline. Spurious wakes (a deadline that moved later) are cheap
+    /// and harmless; missing one would strand a lost frame forever.
+    fn schedule_retx(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(link) = &self.link else {
+            return;
+        };
+        let Some(deadline) = link.next_deadline() else {
+            return;
+        };
+        if self.retx_scheduled.is_some_and(|t| t <= deadline) {
+            return; // an earlier (or equal) wake is already pending
+        }
+        self.retx_scheduled = Some(deadline);
+        ctx.wake_me(
+            PORT_RETX,
+            Payload::empty(),
+            deadline.saturating_sub(ctx.now()),
+        );
     }
 
     fn publish_stats(&self, ctx: &mut Ctx<'_>) {
@@ -159,6 +200,25 @@ impl Nic {
             self.unexpected_integral,
         );
         s.set(&format!("{p}.sampled_until_ns"), self.last_sample.ns());
+        // Fault/recovery counters: published only for configurations that
+        // can produce them, so fault-free stat dumps stay unchanged.
+        if self.fw.posted_alpu.is_some() || self.fw.unexpected_alpu.is_some() {
+            s.set(&format!("{p}.alpu.resets"), fw.alpu_resets);
+            s.set(&format!("{p}.alpu.fallbacks"), fw.alpu_fallbacks);
+            s.set(&format!("{p}.alpu.reengagements"), fw.alpu_reengagements);
+            s.set(&format!("{p}.alpu.parity_errors"), fw.alpu_parity_errors);
+            s.set(&format!("{p}.alpu.overflow_spins"), fw.alpu_overflow_spins);
+        }
+        if let Some(link) = &self.link {
+            let ls = link.stats();
+            s.set(&format!("{p}.link.retransmits"), ls.retransmits);
+            s.set(&format!("{p}.link.acks_sent"), ls.acks_sent);
+            s.set(&format!("{p}.link.nacks_sent"), ls.nacks_sent);
+            s.set(&format!("{p}.link.crc_dropped"), ls.crc_dropped);
+            s.set(&format!("{p}.link.dup_discarded"), ls.dup_discarded);
+            s.set(&format!("{p}.link.gap_discarded"), ls.gap_discarded);
+            s.set(&format!("{p}.link.timer_fires"), ls.timer_fires);
+        }
     }
 }
 
@@ -166,10 +226,33 @@ impl Component for Nic {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev.port {
             PORT_NET_RX => {
-                let msg = *ev
+                let mut msg = *ev
                     .payload
                     .downcast::<Message>()
                     .expect("NET_RX carries Message");
+                if let Some(link) = self.link.as_mut() {
+                    // Link layer first: CRC check, sequencing, ACK/NACK
+                    // generation, duplicate suppression. Only in-order,
+                    // intact data frames reach the firmware.
+                    let result = link.receive(msg, ctx.now());
+                    for frame in result.send {
+                        ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
+                    }
+                    self.schedule_retx(ctx);
+                    match result.deliver {
+                        Some(delivered) => msg = delivered,
+                        None => {
+                            self.publish_stats(ctx);
+                            return;
+                        }
+                    }
+                } else if !msg.link.crc_ok {
+                    // No link layer: the hardware CRC check still drops
+                    // mangled frames on the floor (unrecoverable).
+                    ctx.stats()
+                        .incr(&format!("{}.link.crc_dropped", self.stat_prefix));
+                    return;
+                }
                 // Hardware header-copy path fires at arrival time,
                 // regardless of processor occupancy (Fig. 1).
                 let probed = self.fw.header_arrival(&msg, ctx.now());
@@ -187,6 +270,16 @@ impl Component for Nic {
             PORT_WAKE => {
                 self.busy = false;
                 self.try_start(ctx);
+            }
+            PORT_RETX => {
+                self.retx_scheduled = None;
+                if let Some(link) = self.link.as_mut() {
+                    for frame in link.on_timer(ctx.now()) {
+                        ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
+                    }
+                }
+                self.schedule_retx(ctx);
+                self.publish_stats(ctx);
             }
             other => panic!("nic{}: event on unknown port {other:?}", self.node),
         }

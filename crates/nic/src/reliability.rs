@@ -1,0 +1,498 @@
+//! NIC link-layer reliability: go-back-N retransmission over the lossy
+//! fabric.
+//!
+//! The paper's simulation assumes a lossless network; once the fabric can
+//! drop, duplicate, or corrupt frames (fault injection), the NIC needs a
+//! link-layer protocol to restore the two properties MPI matching is
+//! built on: *exactly-once* delivery and *per-(src,dst) order*. This
+//! module provides both with the classic NIC-offload recipe (cf. Quadrics
+//! Elan / Myrinet GM link engines):
+//!
+//! * every data frame to a peer carries a per-(src,dst) **link sequence
+//!   number** (`Message::link.seq`, starting at 1; 0 = unsequenced),
+//! * the receiver accepts frames **in order only**, answering each with a
+//!   cumulative [`MsgKind::Ack`]; duplicates are discarded and re-ACKed,
+//! * a gap triggers one [`MsgKind::Nack`] naming the needed sequence
+//!   (rate-limited: one NACK per gap, not per out-of-order frame),
+//! * the sender keeps unacknowledged frames buffered and **goes back** —
+//!   retransmits the whole window — on a NACK or a retransmit-timer
+//!   expiry, with exponential backoff and a hard retry budget,
+//! * frames whose CRC check failed in flight are dropped silently at the
+//!   receiver; loss recovery covers them like any other drop.
+//!
+//! The protocol lives in the NIC's link hardware, not its firmware: ACK
+//! generation and retransmission consume fabric bandwidth but no embedded
+//! processor time. When reliability is disabled the NIC never constructs
+//! this type — a zero-cost abstraction; byte-identical schedules.
+//!
+//! Everything is deterministic: peers iterate in `BTreeMap` order and all
+//! timeouts derive from configured constants, so a faulty run replays
+//! bit-identically from its seed.
+
+use bytes::Bytes;
+use mpiq_dessim::Time;
+use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tunables for the link protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct ReliabilityConfig {
+    /// Initial retransmit timeout. A few round trips of the 200 ns wire:
+    /// long enough that ACK latency under load rarely fires it, short
+    /// enough that a real loss stalls the pipe only briefly.
+    pub rto: Time,
+    /// Ceiling for the exponential backoff.
+    pub rto_max: Time,
+    /// Consecutive no-progress timer retransmissions tolerated before the
+    /// link is declared dead (panics: a lost peer is unrecoverable in this
+    /// model and silently hanging would hide the bug).
+    pub retry_budget: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> ReliabilityConfig {
+        ReliabilityConfig {
+            rto: Time::from_us(5),
+            rto_max: Time::from_us(80),
+            retry_budget: 16,
+        }
+    }
+}
+
+/// Counters published under `nicN.link.*`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Data frames retransmitted (NACK- and timer-triggered).
+    pub retransmits: u64,
+    /// Cumulative ACK frames sent.
+    pub acks_sent: u64,
+    /// NACK frames sent (one per detected gap).
+    pub nacks_sent: u64,
+    /// Frames discarded because their CRC check failed.
+    pub crc_dropped: u64,
+    /// In-window duplicates discarded (and re-ACKed).
+    pub dup_discarded: u64,
+    /// Out-of-order frames discarded while waiting for a gap to fill.
+    pub gap_discarded: u64,
+    /// Retransmit-timer expiries that actually resent a window.
+    pub timer_fires: u64,
+}
+
+/// Sender-side state for one peer.
+#[derive(Debug)]
+struct TxLink {
+    /// Next link sequence to assign (starts at 1).
+    next_seq: u64,
+    /// Sent-but-unacknowledged frames, oldest first.
+    unacked: VecDeque<(u64, Message)>,
+    /// Current retransmit timeout (backs off on repeated expiry).
+    rto: Time,
+    /// When the oldest unacknowledged frame times out; `None` = idle.
+    deadline: Option<Time>,
+    /// Timer retransmissions since the last acknowledged progress.
+    retries: u32,
+}
+
+impl TxLink {
+    fn new(rto: Time) -> TxLink {
+        TxLink {
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            rto,
+            deadline: None,
+            retries: 0,
+        }
+    }
+}
+
+/// Receiver-side state for one peer.
+#[derive(Debug)]
+struct RxLink {
+    /// The link sequence the receiver will accept next (starts at 1).
+    expected: u64,
+    /// The `expect` value of the last NACK sent, so one gap produces one
+    /// NACK rather than one per out-of-order frame behind it. 0 = none.
+    nacked_for: u64,
+}
+
+impl Default for RxLink {
+    fn default() -> RxLink {
+        RxLink {
+            expected: 1,
+            nacked_for: 0,
+        }
+    }
+}
+
+/// What the link layer decided about one received frame.
+#[derive(Debug, Default)]
+pub struct RxResult {
+    /// The frame to hand to the firmware (in-order, exactly once), if any.
+    pub deliver: Option<Message>,
+    /// Control frames and retransmissions to inject into the fabric now.
+    pub send: Vec<Message>,
+}
+
+/// Per-NIC reliability engine: one [`TxLink`]/[`RxLink`] pair per peer.
+pub struct Reliability {
+    node: NodeId,
+    cfg: ReliabilityConfig,
+    tx: BTreeMap<NodeId, TxLink>,
+    rx: BTreeMap<NodeId, RxLink>,
+    stats: LinkStats,
+}
+
+impl Reliability {
+    /// Engine for the NIC on `node`.
+    pub fn new(node: NodeId, cfg: ReliabilityConfig) -> Reliability {
+        Reliability {
+            node,
+            cfg,
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Frames currently buffered for possible retransmission (diagnostics;
+    /// 0 on a quiesced link).
+    pub fn unacked_frames(&self) -> usize {
+        self.tx.values().map(|l| l.unacked.len()).sum()
+    }
+
+    /// Stamp an outgoing frame with its link sequence and buffer it for
+    /// retransmission. `at` is the frame's fabric-injection time (the
+    /// retransmit timer arms from it). Control frames pass through
+    /// unsequenced.
+    pub fn transmit(&mut self, mut msg: Message, at: Time) -> Message {
+        if msg.header.kind.is_link_control() {
+            return msg;
+        }
+        let link = self
+            .tx
+            .entry(msg.header.dst_node)
+            .or_insert_with(|| TxLink::new(self.cfg.rto));
+        msg.link.seq = link.next_seq;
+        link.next_seq += 1;
+        link.unacked.push_back((msg.link.seq, msg.clone()));
+        if link.deadline.is_none() {
+            link.deadline = Some(at + link.rto);
+        }
+        msg
+    }
+
+    /// Run one arriving frame through the link layer.
+    pub fn receive(&mut self, msg: Message, now: Time) -> RxResult {
+        let mut out = RxResult::default();
+        if !msg.link.crc_ok {
+            // Hardware CRC check failed: the frame's content cannot be
+            // trusted (not even its sequence number). Drop it on the
+            // floor; NACK/timer recovery covers it like a plain loss.
+            self.stats.crc_dropped += 1;
+            return out;
+        }
+        match msg.header.kind {
+            MsgKind::Ack { cum } => {
+                self.handle_ack(msg.header.src_node, cum, now);
+            }
+            MsgKind::Nack { expect } => {
+                out.send = self.handle_nack(msg.header.src_node, expect, now);
+            }
+            _ => self.receive_data(msg, &mut out),
+        }
+        out
+    }
+
+    fn receive_data(&mut self, msg: Message, out: &mut RxResult) {
+        let seq = msg.link.seq;
+        if seq == 0 {
+            // Unsequenced: the peer runs without reliability. Pass through.
+            out.deliver = Some(msg);
+            return;
+        }
+        let peer = msg.header.src_node;
+        let link = self.rx.entry(peer).or_default();
+        if seq == link.expected {
+            link.expected += 1;
+            link.nacked_for = 0;
+            self.stats.acks_sent += 1;
+            out.send.push(Self::control(self.node, peer, MsgKind::Ack { cum: seq }));
+            out.deliver = Some(msg);
+        } else if seq < link.expected {
+            // Duplicate (fabric-duplicated or retransmitted after the ACK
+            // was lost). Discard, but re-ACK so the sender stops resending.
+            self.stats.dup_discarded += 1;
+            self.stats.acks_sent += 1;
+            let cum = link.expected - 1;
+            out.send.push(Self::control(self.node, peer, MsgKind::Ack { cum }));
+        } else {
+            // Gap: something before this frame was lost. Go-back-N
+            // receivers buffer nothing — discard, and ask for the missing
+            // frame once per gap.
+            self.stats.gap_discarded += 1;
+            if link.nacked_for != link.expected {
+                link.nacked_for = link.expected;
+                self.stats.nacks_sent += 1;
+                let expect = link.expected;
+                out.send.push(Self::control(self.node, peer, MsgKind::Nack { expect }));
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, peer: NodeId, cum: u64, now: Time) {
+        let Some(link) = self.tx.get_mut(&peer) else {
+            return;
+        };
+        let before = link.unacked.len();
+        while link.unacked.front().is_some_and(|(s, _)| *s <= cum) {
+            link.unacked.pop_front();
+        }
+        if link.unacked.len() != before {
+            // Progress: the peer is alive, forgive past timeouts.
+            link.retries = 0;
+            link.rto = self.cfg.rto;
+        }
+        link.deadline = if link.unacked.is_empty() {
+            None
+        } else {
+            Some(now + link.rto)
+        };
+    }
+
+    fn handle_nack(&mut self, peer: NodeId, expect: u64, now: Time) -> Vec<Message> {
+        let mut resend = Vec::new();
+        let Some(link) = self.tx.get_mut(&peer) else {
+            return resend;
+        };
+        // A NACK for `expect` acknowledges everything before it.
+        while link.unacked.front().is_some_and(|(s, _)| *s < expect) {
+            link.unacked.pop_front();
+        }
+        // Go back: retransmit the whole remaining window, in order.
+        for (_, m) in &link.unacked {
+            resend.push(m.clone());
+        }
+        self.stats.retransmits += resend.len() as u64;
+        link.retries = 0; // the peer is demonstrably alive
+        link.deadline = if link.unacked.is_empty() {
+            None
+        } else {
+            Some(now + link.rto)
+        };
+        resend
+    }
+
+    /// Earliest pending retransmit deadline across all peers, if any. The
+    /// NIC schedules a wakeup for it.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.tx.values().filter_map(|l| l.deadline).min()
+    }
+
+    /// Fire the retransmit timer: every peer whose deadline has passed
+    /// gets its window retransmitted, with exponential backoff. Returns
+    /// the frames to inject. Panics once a link exceeds the retry budget.
+    pub fn on_timer(&mut self, now: Time) -> Vec<Message> {
+        let mut resend = Vec::new();
+        for (peer, link) in self.tx.iter_mut() {
+            let Some(deadline) = link.deadline else {
+                continue;
+            };
+            if now < deadline || link.unacked.is_empty() {
+                continue;
+            }
+            link.retries += 1;
+            assert!(
+                link.retries <= self.cfg.retry_budget,
+                "link {} -> {peer} dead: {} retransmissions without progress",
+                self.node,
+                self.cfg.retry_budget,
+            );
+            self.stats.timer_fires += 1;
+            self.stats.retransmits += link.unacked.len() as u64;
+            for (_, m) in &link.unacked {
+                resend.push(m.clone());
+            }
+            link.rto = (link.rto + link.rto).min(self.cfg.rto_max);
+            link.deadline = Some(now + link.rto);
+        }
+        resend
+    }
+
+    /// Header-only link control frame (ACK/NACK).
+    fn control(src: NodeId, dst: NodeId, kind: MsgKind) -> Message {
+        Message::new(
+            MsgHeader {
+                src_node: src,
+                dst_node: dst,
+                dst_rank: 0,
+                context: 0,
+                src_rank: 0,
+                tag: 0,
+                payload_len: 0,
+                kind,
+                seq: 0,
+            },
+            Bytes::new(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(src: NodeId, dst: NodeId, seq: u64) -> Message {
+        Message::new(
+            MsgHeader {
+                src_node: src,
+                dst_node: dst,
+                dst_rank: dst,
+                context: 0,
+                src_rank: src as u16,
+                tag: 7,
+                payload_len: 0,
+                kind: MsgKind::Eager,
+                seq,
+            },
+            Bytes::new(),
+        )
+    }
+
+    fn cfg() -> ReliabilityConfig {
+        ReliabilityConfig::default()
+    }
+
+    #[test]
+    fn in_order_frames_deliver_and_ack() {
+        let mut tx = Reliability::new(0, cfg());
+        let mut rx = Reliability::new(1, cfg());
+        for i in 0..3u64 {
+            let m = tx.transmit(data(0, 1, i), Time::from_ns(10 * i));
+            assert_eq!(m.link.seq, i + 1);
+            let r = rx.receive(m, Time::from_ns(10 * i + 5));
+            assert!(r.deliver.is_some());
+            assert_eq!(r.send.len(), 1);
+            assert_eq!(r.send[0].header.kind, MsgKind::Ack { cum: i + 1 });
+            // Feed the ACK back; the window drains.
+            let back = tx.receive(r.send.into_iter().next().unwrap(), Time::from_ns(10 * i + 9));
+            assert!(back.deliver.is_none());
+        }
+        assert_eq!(tx.unacked_frames(), 0);
+        assert_eq!(tx.next_deadline(), None);
+        assert_eq!(rx.stats().acks_sent, 3);
+    }
+
+    #[test]
+    fn gap_nacks_once_and_go_back_n_retransmits() {
+        let mut tx = Reliability::new(0, cfg());
+        let mut rx = Reliability::new(1, cfg());
+        let m1 = tx.transmit(data(0, 1, 0), Time::ZERO);
+        let m2 = tx.transmit(data(0, 1, 1), Time::ZERO);
+        let m3 = tx.transmit(data(0, 1, 2), Time::ZERO);
+        // m1 is lost; m2 and m3 arrive out of window.
+        let r2 = rx.receive(m2, Time::from_ns(100));
+        assert!(r2.deliver.is_none());
+        assert_eq!(r2.send.len(), 1, "gap produces exactly one NACK");
+        assert_eq!(r2.send[0].header.kind, MsgKind::Nack { expect: 1 });
+        let r3 = rx.receive(m3, Time::from_ns(110));
+        assert!(r3.deliver.is_none());
+        assert!(r3.send.is_empty(), "second out-of-order frame is silent");
+        // The NACK reaches the sender: whole window comes back, in order.
+        let back = tx.receive(r2.send.into_iter().next().unwrap(), Time::from_ns(200));
+        let seqs: Vec<u64> = back.send.iter().map(|m| m.link.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(tx.stats().retransmits, 3);
+        // Receiver now accepts the replayed window in order.
+        let mut delivered = Vec::new();
+        for m in back.send {
+            if let Some(d) = rx.receive(m, Time::from_ns(300)).deliver {
+                delivered.push(d.link.seq);
+            }
+        }
+        assert_eq!(delivered, vec![1, 2, 3]);
+        assert_eq!(m1.link.seq, 1); // the lost original really was seq 1
+    }
+
+    #[test]
+    fn duplicates_discard_and_reack() {
+        let mut tx = Reliability::new(0, cfg());
+        let mut rx = Reliability::new(1, cfg());
+        let m = tx.transmit(data(0, 1, 0), Time::ZERO);
+        assert!(rx.receive(m.clone(), Time::from_ns(50)).deliver.is_some());
+        let r = rx.receive(m, Time::from_ns(60));
+        assert!(r.deliver.is_none(), "duplicate must not deliver twice");
+        assert_eq!(r.send[0].header.kind, MsgKind::Ack { cum: 1 });
+        assert_eq!(rx.stats().dup_discarded, 1);
+    }
+
+    #[test]
+    fn corrupt_frames_drop_silently() {
+        let mut rx = Reliability::new(1, cfg());
+        let mut m = data(0, 1, 0);
+        m.link.seq = 1;
+        m.link.crc_ok = false;
+        let r = rx.receive(m, Time::from_ns(10));
+        assert!(r.deliver.is_none());
+        assert!(r.send.is_empty());
+        assert_eq!(rx.stats().crc_dropped, 1);
+    }
+
+    #[test]
+    fn timer_retransmits_with_backoff() {
+        let mut tx = Reliability::new(0, cfg());
+        tx.transmit(data(0, 1, 0), Time::ZERO);
+        let d1 = tx.next_deadline().expect("armed");
+        assert_eq!(d1, Time::from_us(5));
+        let resent = tx.on_timer(d1);
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].link.seq, 1);
+        let d2 = tx.next_deadline().expect("re-armed");
+        assert_eq!(d2, d1 + Time::from_us(10), "backoff doubled the RTO");
+        // An ACK clears the window and the timer, and resets backoff.
+        let ack = Reliability::control(1, 0, MsgKind::Ack { cum: 1 });
+        tx.receive(ack, d2);
+        assert_eq!(tx.next_deadline(), None);
+        assert_eq!(tx.unacked_frames(), 0);
+        assert_eq!(tx.stats().timer_fires, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmissions without progress")]
+    fn retry_budget_declares_the_link_dead() {
+        let mut tx = Reliability::new(
+            0,
+            ReliabilityConfig {
+                retry_budget: 3,
+                ..ReliabilityConfig::default()
+            },
+        );
+        tx.transmit(data(0, 1, 0), Time::ZERO);
+        let mut now = Time::ZERO;
+        for _ in 0..8 {
+            now = tx.next_deadline().unwrap();
+            tx.on_timer(now);
+        }
+    }
+
+    #[test]
+    fn control_frames_pass_transmit_unsequenced() {
+        let mut tx = Reliability::new(0, cfg());
+        let ack = Reliability::control(0, 1, MsgKind::Ack { cum: 9 });
+        let out = tx.transmit(ack, Time::ZERO);
+        assert_eq!(out.link.seq, 0);
+        assert_eq!(tx.unacked_frames(), 0, "control frames are not buffered");
+    }
+
+    #[test]
+    fn per_peer_sequences_are_independent() {
+        let mut tx = Reliability::new(0, cfg());
+        assert_eq!(tx.transmit(data(0, 1, 0), Time::ZERO).link.seq, 1);
+        assert_eq!(tx.transmit(data(0, 2, 1), Time::ZERO).link.seq, 1);
+        assert_eq!(tx.transmit(data(0, 1, 2), Time::ZERO).link.seq, 2);
+    }
+}

@@ -37,7 +37,7 @@ impl Rig {
 
     fn flush_updates(&mut self) {
         let mut guard = 0;
-        while self.fw.update_needed(true) {
+        while self.fw.update_needed(true, self.now) {
             self.run(WorkItem::AlpuUpdate);
             guard += 1;
             assert!(guard < 128, "updates did not converge");
@@ -66,8 +66,8 @@ fn cancel(seq: u64) -> WorkItem {
 }
 
 fn eager(tag: u16, seq: u64) -> Message {
-    Message {
-        header: MsgHeader {
+    Message::new(
+        MsgHeader {
             src_node: 0,
             dst_node: 1,
             dst_rank: 1,
@@ -78,8 +78,8 @@ fn eager(tag: u16, seq: u64) -> Message {
             kind: MsgKind::Eager,
             seq,
         },
-        payload: Message::test_payload(64, seq as u8),
-    }
+        Message::test_payload(64, seq as u8),
+    )
 }
 
 #[test]

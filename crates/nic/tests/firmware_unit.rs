@@ -36,7 +36,7 @@ impl Rig {
 
     fn flush_updates(&mut self) {
         let mut guard = 0;
-        while self.fw.update_needed(true) {
+        while self.fw.update_needed(true, self.now) {
             self.run(WorkItem::AlpuUpdate);
             guard += 1;
             assert!(guard < 64, "updates did not converge");
@@ -72,8 +72,8 @@ fn post_send(seq: u64, dst: u32, tag: u16, len: u32) -> WorkItem {
 }
 
 fn eager(src_node: u32, tag: u16, len: u32, seq: u64) -> Message {
-    Message {
-        header: MsgHeader {
+    Message::new(
+        MsgHeader {
             src_node,
             dst_node: 1,
             dst_rank: 1,
@@ -84,8 +84,8 @@ fn eager(src_node: u32, tag: u16, len: u32, seq: u64) -> Message {
             kind: MsgKind::Eager,
             seq,
         },
-        payload: Message::test_payload(len as usize, seq as u8),
-    }
+        Message::test_payload(len as usize, seq as u8),
+    )
 }
 
 #[test]
@@ -122,8 +122,8 @@ fn large_send_goes_rendezvous() {
 fn rendezvous_reply_ships_data_and_completes() {
     let mut r = Rig::new(NicConfig::baseline());
     r.run(post_send(0, 2, 5, 64 * 1024));
-    let reply = Message {
-        header: MsgHeader {
+    let reply = Message::new(
+        MsgHeader {
             src_node: 2,
             dst_node: 1,
             dst_rank: 1,
@@ -134,8 +134,8 @@ fn rendezvous_reply_ships_data_and_completes() {
             kind: MsgKind::RndvReply { token: 0 },
             seq: 9,
         },
-        payload: bytes::Bytes::new(),
-    };
+        bytes::Bytes::new(),
+    );
     let fx = r.rx(reply);
     assert_eq!(fx.tx.len(), 1);
     match fx.tx[0].1.header.kind {
@@ -252,7 +252,7 @@ fn engagement_threshold_skips_probing_short_queues() {
     let mut r = Rig::new(cfg);
     r.run(post_recv(0, Some(0), Some(7), 0));
     assert!(!r.fw.posted_engaged(), "below threshold: not engaged");
-    assert!(!r.fw.update_needed(true), "no insert sessions below threshold");
+    assert!(!r.fw.update_needed(true, r.now), "no insert sessions below threshold");
     let msg = eager(0, 7, 0, 0);
     let probed = r.fw.header_arrival(&msg, r.now);
     assert!(!probed, "headers bypass a disengaged ALPU");
@@ -263,7 +263,7 @@ fn engagement_threshold_skips_probing_short_queues() {
         r.run(post_recv(i, Some(0), Some(1000 + i as u16), 0));
     }
     assert!(r.fw.posted_engaged());
-    assert!(r.fw.update_needed(true));
+    assert!(r.fw.update_needed(true, r.now));
 }
 
 #[test]
@@ -314,8 +314,8 @@ fn mpi_ordering_across_kinds() {
     r.run(post_recv(0, Some(0), Some(5), 64 * 1024));
     r.run(post_recv(1, Some(0), Some(5), 64 * 1024));
     // First a rendezvous request (seq 0), then an eager (seq 1).
-    let rndv = Message {
-        header: MsgHeader {
+    let rndv = Message::new(
+        MsgHeader {
             src_node: 0,
             dst_node: 1,
             dst_rank: 1,
@@ -326,8 +326,8 @@ fn mpi_ordering_across_kinds() {
             kind: MsgKind::RndvRequest,
             seq: 0,
         },
-        payload: bytes::Bytes::new(),
-    };
+        bytes::Bytes::new(),
+    );
     let fx1 = r.rx(rndv);
     // The rendezvous matched the *first* receive: a reply goes out, no
     // completion yet.

@@ -1,0 +1,198 @@
+//! Property tests for the matching data structures under randomized
+//! interleavings — the structures the fault-recovery machinery leans on
+//! hardest.
+//!
+//! * [`NicQueue`]'s ALPU-resident entries must form a *prefix* of the
+//!   software queue through any interleaving of pushes, removals, insert
+//!   sessions, and hardware resets (`clear_alpu_marks` is exactly what a
+//!   quarantine does).
+//! * [`PostedIndex`] must agree with the one obviously-correct oracle —
+//!   a linear scan in posting order — on every probe, for any mix of
+//!   exact and wildcard receives and any removal pattern. Removal is the
+//!   hash scheme's tombstone analogue: a matched entry is unlinked from
+//!   its bin (or the wildcard side list) while the global sequence
+//!   stamps keep counting, and ordering-beats-specificity must survive
+//!   arbitrarily many of them.
+
+use mpiq_alpu::match_types::{masked_eq, MaskWord, MatchWord};
+use mpiq_nic::hashmatch::PostedIndex;
+use mpiq_nic::queues::NicQueue;
+use proptest::prelude::*;
+
+/// One scripted operation against the queue, encoded with plain numbers
+/// so the shim's simple strategies can drive it.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    /// Push a new entry.
+    Push,
+    /// Start an insert session: mark up to `k` tail entries resident.
+    Take(usize),
+    /// Remove the entry at `pos % len` (prefix or tail, whichever it
+    /// lands on).
+    Remove(usize),
+    /// Hardware RESET / quarantine: every residency mark drops.
+    Reset,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        Just(QueueOp::Push),
+        (1usize..9).prop_map(QueueOp::Take),
+        (0usize..64).prop_map(QueueOp::Remove),
+        Just(QueueOp::Reset),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The §IV-B prefix invariant holds after *every* step of a random
+    /// interleaving, and the prefix/tail counters stay consistent.
+    #[test]
+    fn alpu_prefix_survives_random_interleavings(
+        ops in prop::collection::vec(queue_op(), 1..120),
+    ) {
+        let mut q: NicQueue<u32> = NicQueue::new(0x4000, 80);
+        let mut next_val = 0u32;
+        for op in ops {
+            match op {
+                QueueOp::Push => {
+                    q.push(next_val);
+                    next_val += 1;
+                }
+                QueueOp::Take(k) => {
+                    let tail_before = q.tail_len();
+                    let taken = q.take_for_alpu(k);
+                    prop_assert_eq!(taken.len(), k.min(tail_before));
+                }
+                QueueOp::Remove(pos) => {
+                    if !q.is_empty() {
+                        q.remove_at(pos % q.len());
+                    }
+                }
+                QueueOp::Reset => {
+                    q.clear_alpu_marks();
+                    prop_assert_eq!(q.alpu_prefix(), 0);
+                }
+            }
+            prop_assert!(q.check_prefix_invariant());
+            prop_assert!(q.alpu_prefix() <= q.len());
+            prop_assert_eq!(q.alpu_prefix() + q.tail_len(), q.len());
+            // Spot-check the marks themselves, not just the counter.
+            for (i, item) in q.iter().enumerate() {
+                prop_assert_eq!(item.in_alpu, i < q.alpu_prefix());
+            }
+        }
+    }
+}
+
+/// Reference model: the posted receives in posting order, matched by
+/// linear scan — indisputably MPI-correct.
+#[derive(Clone, Debug, Default)]
+struct LinearModel {
+    entries: Vec<(u32, MatchWord, MaskWord)>,
+    next_key: u32,
+}
+
+impl LinearModel {
+    fn insert(&mut self, word: MatchWord, mask: MaskWord) -> u32 {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.entries.push((key, word, mask));
+        key
+    }
+
+    fn probe(&self, word: MatchWord) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|(_, w, m)| masked_eq(*w, word, *m))
+            .map(|&(k, _, _)| k)
+    }
+
+    fn remove(&mut self, key: u32) {
+        let pos = self
+            .entries
+            .iter()
+            .position(|&(k, _, _)| k == key)
+            .expect("model removal of live key");
+        self.entries.remove(pos);
+    }
+}
+
+/// One scripted operation against the hash index. Small field spaces
+/// force bin collisions and wildcard/exact contention.
+#[derive(Clone, Debug)]
+enum HashOp {
+    /// Post a receive: (src, tag, wildcard-kind 0=exact 1=ANY_SOURCE
+    /// 2=ANY_TAG 3=both).
+    Post(u16, u16, u8),
+    /// Probe with a header and, on a hit, *remove the match* — the full
+    /// match-and-unlink cycle every successful receive performs.
+    MatchAndUnlink(u16, u16),
+    /// Probe without consuming (an `MPI_Iprobe`).
+    Peek(u16, u16),
+}
+
+fn hash_op() -> impl Strategy<Value = HashOp> {
+    prop_oneof![
+        (0u16..4, 0u16..6, 0u8..4).prop_map(|(s, t, w)| HashOp::Post(s, t, w)),
+        (0u16..4, 0u16..6).prop_map(|(s, t)| HashOp::MatchAndUnlink(s, t)),
+        (0u16..4, 0u16..6).prop_map(|(s, t)| HashOp::Peek(s, t)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The hash index and the linear-scan oracle agree on every probe of
+    /// a random post/match/unlink interleaving, for every bin count —
+    /// including 1 bin (degenerate: everything collides).
+    #[test]
+    fn hash_index_matches_linear_oracle(
+        ops in prop::collection::vec(hash_op(), 1..160),
+        bins in prop_oneof![Just(1usize), Just(4), Just(16)],
+    ) {
+        let ctx = 1u16;
+        let mut ix = PostedIndex::new(bins);
+        let mut model = LinearModel::default();
+        for op in ops {
+            match op {
+                HashOp::Post(src, tag, kind) => {
+                    let mask = MaskWord::for_recv(kind & 1 != 0, kind & 2 != 0);
+                    let word = MatchWord::mpi(ctx, src, tag);
+                    let key = model.insert(word, mask);
+                    ix.insert(key, 0x9000 + key as u64 * 80, word, mask);
+                }
+                HashOp::MatchAndUnlink(src, tag) => {
+                    let header = MatchWord::mpi(ctx, src, tag);
+                    let got = ix.probe(header).hit;
+                    prop_assert_eq!(got, model.probe(header),
+                        "probe disagreement for src={} tag={}", src, tag);
+                    if let Some(key) = got {
+                        ix.remove(key);
+                        model.remove(key);
+                    }
+                }
+                HashOp::Peek(src, tag) => {
+                    let header = MatchWord::mpi(ctx, src, tag);
+                    prop_assert_eq!(ix.probe(header).hit, model.probe(header));
+                }
+            }
+            prop_assert_eq!(ix.len(), model.entries.len());
+        }
+        // Drain what's left through the exact-match path and make sure
+        // both structures empty out together.
+        while let Some(&(key, word, mask)) = model.entries.first() {
+            let probe_word = if mask == MaskWord::EXACT {
+                word
+            } else {
+                // Fabricate a header the wildcard accepts.
+                MatchWord::mpi(ctx, word.source(), word.tag())
+            };
+            prop_assert_eq!(ix.probe(probe_word).hit, Some(key));
+            ix.remove(key);
+            model.remove(key);
+        }
+        prop_assert!(ix.is_empty());
+    }
+}
