@@ -52,10 +52,17 @@ pub fn render(series: &[Series], width: usize, height: usize, x_label: &str, y_l
         out.push('\n');
     }
     out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    // Pad between the tick labels from their *rendered* widths, so the
+    // max tick lands under the right edge of the plot regardless of how
+    // many digits the ticks take. Clamp to one space so the labels never
+    // fuse when the plot is narrower than the two ticks.
+    let lo = format!("{x_min:.0}");
+    let hi = format!("{x_max:.0}");
+    let pad = width.saturating_sub(lo.len() + hi.len()).max(1);
     out.push_str(&format!(
-        "{:>8}  {:<width$}\n",
+        "{:>8}  {lo}{}{hi}   ({x_label})\n",
         "",
-        format!("{x_min:.0}{}{x_max:.0}   ({x_label})", " ".repeat(width.saturating_sub(16))),
+        " ".repeat(pad),
     ));
     out.push_str("legend: ");
     for s in series {
@@ -115,5 +122,39 @@ mod tests {
     #[should_panic(expected = "plot too small")]
     fn rejects_tiny_plots() {
         render(&demo(), 4, 2, "x", "y");
+    }
+
+    /// Regression: the x-axis line used a fixed `width - 16` pad, which
+    /// mispositioned the max tick (and could fuse the two ticks) whenever
+    /// the tick labels weren't exactly 16 characters combined.
+    #[test]
+    fn x_axis_ticks_align_to_plot_edges() {
+        for (points, width) in [
+            ((0..10).map(|i| (i as f64, 1.0)).collect::<Vec<_>>(), 40),
+            // Wide x range: many-digit ticks used to overflow the pad.
+            (vec![(0.0, 1.0), (1_000_000.0, 2.0)], 40),
+            // Narrow plot: pad must clamp, not underflow to zero.
+            (vec![(0.0, 1.0), (123_456_789.0, 2.0)], 16),
+        ] {
+            let series = [Series {
+                label: "s".into(),
+                glyph: '*',
+                points,
+            }];
+            let s = render(&series, width, 6, "x", "y");
+            let axis = s
+                .lines()
+                .find(|l| l.contains("(x)"))
+                .expect("x-axis label line");
+            let ticks = axis.trim_start().strip_suffix("   (x)").unwrap();
+            let lo = ticks.split(' ').next().unwrap();
+            let hi = ticks.rsplit(' ').next().unwrap();
+            assert!(!lo.is_empty() && lo.chars().all(|c| c.is_ascii_digit()));
+            assert!(!hi.is_empty() && hi.chars().all(|c| c.is_ascii_digit()));
+            // Ticks span exactly the plot width when they fit, and are
+            // always separated by at least one space.
+            let expected = lo.len() + hi.len() + width.saturating_sub(lo.len() + hi.len()).max(1);
+            assert_eq!(ticks.len(), expected, "{axis:?}");
+        }
     }
 }

@@ -7,11 +7,18 @@
 //!     [--max-queue 500] [--step 25] [--fractions 0,0.25,0.5,0.75,1.0]
 //!     [--sizes 0,1024,8192] [--threads 0] [--json results/fig5.json]
 //!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
+//!     [--trace-out trace.json] [--metrics]
 //! ```
 //!
 //! With `--faults`, every point runs under the given deterministic fault
 //! schedule and the rows carry extra injection/recovery columns; without
 //! it, the output is byte-identical to the pre-fault harness.
+//!
+//! `--trace-out PATH` re-runs one representative point (the deepest
+//! queue, full traversal, smallest message) with structured tracing
+//! enabled and writes a Chrome `chrome://tracing` JSON timeline to PATH.
+//! `--metrics` dumps the latency histograms of that instrumented run to
+//! stderr. Neither flag perturbs the CSV on stdout.
 
 use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
 use mpiq_bench::{
@@ -155,6 +162,39 @@ Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
         );
     }
 
+    if args.trace_out.is_some() || args.metrics {
+        // Prefer an ALPU variant so the timeline shows hardware events.
+        let v = variants
+            .iter()
+            .copied()
+            .find(|v| *v != NicVariant::Baseline)
+            .unwrap_or(variants[0]);
+        let point = PrepostedPoint {
+            queue_len: args.max_queue,
+            fraction: 1.0,
+            msg_size: args.sizes[0],
+        };
+        let mut cfg = v.config();
+        if let Some(f) = faults {
+            cfg = cfg.with_faults(f);
+        }
+        let run = mpiq_bench::traced_preposted(cfg, point, 1 << 20);
+        if run.dropped > 0 {
+            eprintln!("fig5: trace ring overflowed, {} records dropped", run.dropped);
+        }
+        if let Some(path) = &args.trace_out {
+            std::fs::write(path, &run.chrome_json).expect("write trace");
+            eprintln!(
+                "fig5: wrote {} trace records ({} config) to {path}",
+                run.records,
+                v.label()
+            );
+        }
+        if args.metrics {
+            eprintln!("{}", run.metrics_text);
+        }
+    }
+
     // Headline summary (paper §VI-B shape checks).
     for &v in &variants {
         let at = |q: usize| {
@@ -189,6 +229,8 @@ struct Args {
     threads: usize,
     json: Option<String>,
     faults: Option<FaultConfig>,
+    trace_out: Option<String>,
+    metrics: bool,
 }
 
 impl Args {
@@ -203,6 +245,8 @@ impl Args {
             threads: 0,
             json: None,
             faults: None,
+            trace_out: None,
+            metrics: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -221,6 +265,8 @@ impl Args {
                 "--faults" => {
                     a.faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}")))
                 }
+                "--trace-out" => a.trace_out = Some(val()),
+                "--metrics" => a.metrics = true,
                 other => panic!("unknown flag {other}"),
             }
         }

@@ -5,11 +5,17 @@
 //! cargo run --release -p mpiq-bench --bin fig6 -- [--max-queue 400] [--step 20]
 //!     [--sizes 64,1024] [--threads 0] [--json results/fig6.json]
 //!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
+//!     [--trace-out trace.json] [--metrics]
 //! ```
 //!
 //! With `--faults`, every point runs under the given deterministic fault
 //! schedule and the rows carry extra injection/recovery columns; without
 //! it, the output is byte-identical to the pre-fault harness.
+//!
+//! `--trace-out PATH` runs one instrumented exchange (alpu128, deepest
+//! queue) and writes a Chrome `chrome://tracing` timeline to PATH;
+//! `--metrics` dumps its latency histograms to stderr. The CSV on
+//! stdout is unaffected by either flag.
 
 use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
 use mpiq_bench::{
@@ -63,6 +69,8 @@ fn main() {
     let mut json: Option<String> = None;
     let mut plot = false;
     let mut faults: Option<FaultConfig> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
@@ -77,6 +85,11 @@ fn main() {
             "--threads" => threads = val().parse().expect("usize"),
             "--json" => json = Some(val()),
             "--faults" => faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}"))),
+            "--trace-out" => trace_out = Some(val()),
+            "--metrics" => {
+                metrics = true;
+                continue;
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -146,6 +159,31 @@ Fig. 6: latency vs unexpected-queue length ({} B messages)
             sizes[0],
             mpiq_bench::ascii_plot::render(&series, 72, 20, "unexpected queue length", "latency (us)")
         );
+    }
+
+    if trace_out.is_some() || metrics {
+        let mut cfg = NicVariant::Alpu128.config();
+        if let Some(f) = faults {
+            cfg = cfg.with_faults(f);
+        }
+        let run = mpiq_bench::traced_unexpected(
+            cfg,
+            UnexpectedPoint {
+                queue_len: max_queue,
+                msg_size: sizes[0],
+            },
+            1 << 20,
+        );
+        if run.dropped > 0 {
+            eprintln!("fig6: trace ring overflowed, {} records dropped", run.dropped);
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, &run.chrome_json).expect("write trace");
+            eprintln!("fig6: wrote {} trace records to {path}", run.records);
+        }
+        if metrics {
+            eprintln!("{}", run.metrics_text);
+        }
     }
 
     // Crossover summary: first queue length where the ALPU clearly wins.

@@ -1,0 +1,251 @@
+//! A minimal JSON validator (recursive descent, no allocation of a DOM).
+//!
+//! The harnesses emit JSON by string formatting — fast and dependency
+//! free, but easy to get subtly wrong (a stray `inf`, an unescaped
+//! control character, a trailing comma). This module is the safety net:
+//! CI and the golden-file tests run every emitted document through
+//! [`validate`] before calling it a pass. It accepts exactly the JSON
+//! grammar of RFC 8259 (UTF-8 input, no extensions).
+
+/// Validate `text` as a single JSON document. Returns `Err` with a byte
+/// offset and message on the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("byte {}: {msg}", self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{s}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                // Multi-byte UTF-8 is fine: the input is a &str.
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(self.err("expected digit"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        // Integer part: `0` alone or a non-zero-led run.
+        match self.peek() {
+            Some(b'0') => {
+                self.i += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err("leading zero"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => self.digits()?,
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+3",
+            "\"a\\u00e9\\n\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}",
+            " [ 1 , 2 ] ",
+            "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0.003,\"dur\":0.007}]}",
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "NaN",
+            "inf",
+            "01",
+            "1.",
+            "\"\u{1}\"",
+            "\"unterminated",
+            "{} extra",
+            "'single'",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_reports_byte_offset() {
+        let e = validate("[1, NaN]").unwrap_err();
+        assert!(e.starts_with("byte 4:"), "{e}");
+    }
+}

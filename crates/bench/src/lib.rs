@@ -16,6 +16,8 @@ pub mod appsim;
 pub mod ascii_plot;
 pub mod faultstats;
 pub mod gap;
+pub mod jsonlint;
+pub mod obs;
 pub mod postloop;
 pub mod preposted;
 pub mod report;
@@ -24,6 +26,7 @@ pub mod unexpected;
 pub mod wildcard;
 
 pub use faultstats::FaultCounters;
+pub use obs::{traced_preposted, traced_unexpected, TracedRun};
 pub use postloop::{postloop_rtt, PostLoopPoint};
 pub use preposted::{preposted_latency, preposted_latency_cfg, PrepostedPoint};
 pub use sweep::run_parallel;

@@ -114,8 +114,43 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}\t"), "\"\\u0001\\t\"");
         assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    /// JSON has no NaN/Infinity literals; every non-finite value must
+    /// render as `null` so downstream parsers never see `inf` or `NaN`
+    /// (which `format!("{v}")` would happily produce).
+    #[test]
+    fn json_f64_maps_every_non_finite_to_null() {
         assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(-f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        // Near-misses must stay numbers.
+        assert_eq!(json_f64(f64::MAX), format!("{}", f64::MAX));
+        assert_eq!(json_f64(-0.0), "-0");
+        assert_eq!(json_f64(0.0), "0");
+    }
+
+    /// Non-finite values flowing through `write_json` land as `null`
+    /// fields, keeping the whole document machine-parseable.
+    #[test]
+    fn write_json_with_non_finite_values_stays_valid() {
+        struct R(f64);
+        impl JsonRow for R {
+            fn fields(&self) -> Vec<(&'static str, String)> {
+                vec![("v", json_f64(self.0))]
+            }
+        }
+        let dir = std::env::temp_dir().join("mpiq_bench_nonfinite");
+        let path = dir.join("out.json");
+        write_json(&path, &[R(f64::INFINITY), R(2.0), R(f64::NAN)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"v\": null"), "{text}");
+        assert!(text.contains("\"v\": 2"), "{text}");
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The component model: simulation actors and their execution context.
 
 use crate::event::{InPort, OutPort, Payload};
+use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::stats::Stats;
 use crate::time::Time;
-use crate::trace::TraceRing;
+use crate::trace::{TraceEvent, TraceRing};
 
 /// Identifies a component within one [`Simulation`](crate::Simulation).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -66,6 +67,7 @@ pub struct Ctx<'a> {
     pub(crate) stats: &'a mut Stats,
     pub(crate) stop_requested: &'a mut bool,
     pub(crate) trace: &'a mut TraceRing,
+    pub(crate) metrics: &'a mut Metrics,
 }
 
 impl<'a> Ctx<'a> {
@@ -128,10 +130,37 @@ impl<'a> Ctx<'a> {
 
     /// Append to the simulation trace ring (no-op unless tracing was
     /// enabled via [`Simulation::enable_tracing`](crate::Simulation::enable_tracing)).
-    pub fn trace(&mut self, what: impl Into<String>) {
+    /// Accepts a typed [`TraceEvent`] or anything string-like (recorded as
+    /// a [`TraceEvent::Note`]).
+    pub fn trace(&mut self, what: impl Into<TraceEvent>) {
         if self.trace.enabled() {
             let (now, me) = (self.now, self.me);
             self.trace.push(now, me, what);
         }
+    }
+
+    /// Append a trace record with an explicit timestamp instead of `now`.
+    /// Components that model asynchronous hardware (DMA engines, ALPU
+    /// exchanges) know when an activity *started* even though they report
+    /// it at completion; duration events must carry the start time so the
+    /// exporter lays them out correctly.
+    pub fn trace_at(&mut self, start: Time, what: impl Into<TraceEvent>) {
+        if self.trace.enabled() {
+            let me = self.me;
+            self.trace.push(start, me, what);
+        }
+    }
+
+    /// Is tracing active? Lets components skip assembling telemetry that
+    /// [`Ctx::trace`] would discard anyway.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// The global metrics registry (histograms + counters). Writes are
+    /// no-ops unless metrics were enabled via
+    /// [`Simulation::enable_metrics`](crate::Simulation::enable_metrics).
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
     }
 }

@@ -48,7 +48,9 @@ pub mod calendar;
 pub mod clock;
 pub mod component;
 pub mod event;
+pub mod export;
 pub mod fault;
+pub mod metrics;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;
@@ -59,12 +61,16 @@ pub use calendar::CalendarQueue;
 pub use clock::Clock;
 pub use component::{Component, ComponentId, Ctx};
 pub use event::{Event, InPort, OutPort, Payload};
+pub use export::chrome_trace;
 pub use fault::{FaultConfig, FaultPlan, FlipTarget, WireFault};
+pub use metrics::{Histogram, Metrics};
 pub use rng::SimRng;
 pub use scheduler::Simulation;
 pub use stats::Stats;
 pub use time::Time;
-pub use trace::{TraceRecord, TraceRing};
+pub use trace::{
+    AlpuCmdKind, DmaDir, QueueKind, QueueOpKind, SearchSource, TraceEvent, TraceRecord, TraceRing,
+};
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {

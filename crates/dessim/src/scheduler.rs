@@ -3,6 +3,7 @@
 use crate::calendar::CalendarQueue;
 use crate::component::{Component, ComponentId, Ctx, Emission};
 use crate::event::{Event, InPort, OutPort, Payload};
+use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::stats::Stats;
 use crate::time::Time;
@@ -105,6 +106,7 @@ pub struct Simulation {
     rng: SimRng,
     stats: Stats,
     trace: TraceRing,
+    metrics: Metrics,
     started: bool,
     events_processed: u64,
 }
@@ -122,6 +124,7 @@ impl Simulation {
             rng: SimRng::new(seed),
             stats: Stats::new(),
             trace: TraceRing::disabled(),
+            metrics: Metrics::disabled(),
             started: false,
             events_processed: 0,
         }
@@ -217,6 +220,11 @@ impl Simulation {
         &self.names[id.0 as usize]
     }
 
+    /// Number of registered components (ids are `0..count`).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
     /// Keep the last `capacity` [`Ctx::trace`] records for debugging.
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.trace = TraceRing::with_capacity(capacity);
@@ -228,10 +236,29 @@ impl Simulation {
         &self.trace
     }
 
-    /// Render the retained trace with component names resolved.
-    pub fn render_trace(&self) -> String {
-        self.trace
-            .render(|id| self.names[id.0 as usize].clone())
+    /// Render the retained trace with component names resolved. Takes
+    /// `&mut self` because rendering consumes the dropped-records notice
+    /// (see [`TraceRing::render`]).
+    pub fn render_trace(&mut self) -> String {
+        let names = &self.names;
+        self.trace.render(|id| names[id.0 as usize].clone())
+    }
+
+    /// Turn on the metrics registry; [`Ctx::metrics`] writes are recorded
+    /// from here on. Off by default so unmetered runs stay byte-identical.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
+    }
+
+    /// Immutable view of the metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable view of the metrics registry (e.g. for resetting between
+    /// measurement phases).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// Downcast a component to its concrete type, if it opted in via
@@ -307,6 +334,7 @@ impl Simulation {
                 stats: &mut self.stats,
                 stop_requested: &mut stop,
                 trace: &mut self.trace,
+                metrics: &mut self.metrics,
             };
             self.components[i].on_start(&mut ctx);
             let emissions = ctx.emissions;
@@ -326,6 +354,7 @@ impl Simulation {
             stats: &mut self.stats,
             stop_requested: stop,
             trace: &mut self.trace,
+            metrics: &mut self.metrics,
         };
         let event = Event {
             time: ev.time,

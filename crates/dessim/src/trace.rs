@@ -6,20 +6,298 @@
 //! most recent `capacity` records and renders them in time order.
 //! Tracing is off (zero-capacity) by default and costs one branch when
 //! disabled.
+//!
+//! Records carry a typed [`TraceEvent`], not a string: the structured
+//! variants (queue ops, ALPU command/response exchanges, link
+//! retransmits, quarantine transitions, DMA, host completions) keep their
+//! fields machine-readable so the Chrome-trace exporter
+//! ([`crate::export`]) can turn them into duration and counter events;
+//! [`TraceEvent::Note`] keeps the old free-form string path working.
 
 use crate::component::ComponentId;
 use crate::time::Time;
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Which NIC matching queue an event concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The posted-receive queue.
+    Posted,
+    /// The unexpected-message queue.
+    Unexpected,
+}
+
+impl QueueKind {
+    /// Lowercase label (`"posted"` / `"unexpected"`), for keys and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueKind::Posted => "posted",
+            QueueKind::Unexpected => "unexpected",
+        }
+    }
+}
+
+/// What a [`TraceEvent::QueueOp`] did to its queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueOpKind {
+    /// An entry was appended.
+    Push,
+    /// An entry was unlinked (matched, cancelled, or purged).
+    Remove,
+    /// An ALPU-resident entry was tombstoned in place.
+    Ghost,
+}
+
+impl QueueOpKind {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueOpKind::Push => "push",
+            QueueOpKind::Remove => "remove",
+            QueueOpKind::Ghost => "ghost",
+        }
+    }
+}
+
+/// Which software search path resolved a match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchSource {
+    /// The hardware unit answered MATCH SUCCESS.
+    AlpuHit,
+    /// The hash-bin index was walked.
+    HashIndex,
+    /// The linear list (whole list, or the post-ALPU tail) was walked.
+    Linear,
+}
+
+impl SearchSource {
+    /// Lowercase label, used as the histogram key suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchSource::AlpuHit => "alpu_hit",
+            SearchSource::HashIndex => "hash",
+            SearchSource::Linear => "linear",
+        }
+    }
+}
+
+/// ALPU command activity traced as one duration event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlpuCmdKind {
+    /// A batched insert session (START ... INSERT* ... STOP).
+    InsertSession,
+    /// A RESET + rebuild purge.
+    Reset,
+}
+
+impl AlpuCmdKind {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlpuCmdKind::InsertSession => "insert_session",
+            AlpuCmdKind::Reset => "reset",
+        }
+    }
+}
+
+/// DMA transfer direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmaDir {
+    /// Network/NIC memory to host user buffer.
+    Rx,
+    /// Host memory to the wire.
+    Tx,
+}
+
+impl DmaDir {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            DmaDir::Rx => "rx",
+            DmaDir::Tx => "tx",
+        }
+    }
+}
+
+/// One typed traced happening. Variants with a `dur` field describe an
+/// activity that *started* at the record's timestamp and lasted `dur`
+/// (the exporter renders them as Chrome `ph:"X"` duration events);
+/// everything else is an instant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Free-form note (the legacy string payload).
+    Note(String),
+    /// A queue mutation, carrying the resulting depth — the exporter
+    /// renders these as `ph:"C"` counter events, giving queue-depth
+    /// timelines for free.
+    QueueOp {
+        /// Which queue changed.
+        queue: QueueKind,
+        /// What happened to it.
+        op: QueueOpKind,
+        /// Queue length after the operation.
+        depth: u32,
+    },
+    /// A command exchange with an ALPU (insert session or purge).
+    AlpuCommand {
+        /// Which queue's unit.
+        unit: QueueKind,
+        /// What the firmware asked of it.
+        kind: AlpuCmdKind,
+        /// Wall time of the whole exchange.
+        dur: Time,
+        /// Entries moved into the unit (insert sessions).
+        entries: u32,
+    },
+    /// A response read from an ALPU: the wait for the MATCH response plus
+    /// the §IV-D data/status retrieval reads.
+    AlpuResponse {
+        /// Which queue's unit.
+        unit: QueueKind,
+        /// MATCH SUCCESS (`true`) or MATCH FAILURE.
+        hit: bool,
+        /// Wall time from first poll to last status read.
+        dur: Time,
+    },
+    /// A software search of a match queue.
+    SwSearch {
+        /// Which queue was walked.
+        queue: QueueKind,
+        /// Which path resolved (or exhausted) the search.
+        source: SearchSource,
+        /// Entries visited.
+        entries: u32,
+        /// Wall time of the walk.
+        dur: Time,
+    },
+    /// The link layer retransmitted a go-back-N window.
+    LinkRetransmit {
+        /// Peer node the window was resent to.
+        peer: u32,
+        /// Frames in the resent window.
+        frames: u32,
+        /// The retransmit timeout now armed (exponential backoff state).
+        backoff: Time,
+    },
+    /// An ALPU entered (`engaged == false`) or left quarantine.
+    Quarantine {
+        /// Which queue's unit.
+        unit: QueueKind,
+        /// `false` = taken out of service, `true` = re-engaged.
+        engaged: bool,
+    },
+    /// A DMA engine transfer.
+    Dma {
+        /// Direction.
+        dir: DmaDir,
+        /// Payload bytes moved.
+        bytes: u64,
+        /// Busy time (queueing + setup + transfer).
+        dur: Time,
+    },
+    /// A completion was handed to a host.
+    HostCompletion {
+        /// The completed request's issuing rank.
+        rank: u32,
+        /// Completion reports a cancellation.
+        cancelled: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The duration this event spans, if it is an activity rather than an
+    /// instant.
+    pub fn dur(&self) -> Option<Time> {
+        match self {
+            TraceEvent::AlpuCommand { dur, .. }
+            | TraceEvent::AlpuResponse { dur, .. }
+            | TraceEvent::SwSearch { dur, .. }
+            | TraceEvent::Dma { dur, .. } => Some(*dur),
+            _ => None,
+        }
+    }
+}
+
+impl From<String> for TraceEvent {
+    fn from(s: String) -> TraceEvent {
+        TraceEvent::Note(s)
+    }
+}
+
+impl From<&str> for TraceEvent {
+    fn from(s: &str) -> TraceEvent {
+        TraceEvent::Note(s.to_string())
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Note(s) => write!(f, "{s}"),
+            TraceEvent::QueueOp { queue, op, depth } => {
+                write!(f, "{} {} -> depth {depth}", queue.label(), op.label())
+            }
+            TraceEvent::AlpuCommand {
+                unit,
+                kind,
+                dur,
+                entries,
+            } => write!(
+                f,
+                "alpu[{}] {} ({entries} entries, {dur})",
+                unit.label(),
+                kind.label()
+            ),
+            TraceEvent::AlpuResponse { unit, hit, dur } => write!(
+                f,
+                "alpu[{}] response {} ({dur})",
+                unit.label(),
+                if *hit { "hit" } else { "miss" }
+            ),
+            TraceEvent::SwSearch {
+                queue,
+                source,
+                entries,
+                dur,
+            } => write!(
+                f,
+                "search[{}] via {} visited {entries} ({dur})",
+                queue.label(),
+                source.label()
+            ),
+            TraceEvent::LinkRetransmit {
+                peer,
+                frames,
+                backoff,
+            } => write!(f, "retransmit -> node{peer} {frames} frames (rto {backoff})"),
+            TraceEvent::Quarantine { unit, engaged } => write!(
+                f,
+                "alpu[{}] {}",
+                unit.label(),
+                if *engaged { "re-engaged" } else { "quarantined" }
+            ),
+            TraceEvent::Dma { dir, bytes, dur } => {
+                write!(f, "dma[{}] {bytes}B ({dur})", dir.label())
+            }
+            TraceEvent::HostCompletion { rank, cancelled } => write!(
+                f,
+                "completion -> rank{rank}{}",
+                if *cancelled { " (cancelled)" } else { "" }
+            ),
+        }
+    }
+}
 
 /// One traced happening.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceRecord {
-    /// When it happened.
+    /// When it happened (for duration events: when it started).
     pub time: Time,
     /// Which component reported it.
     pub who: ComponentId,
-    /// Free-form description.
-    pub what: String,
+    /// What happened.
+    pub what: TraceEvent,
 }
 
 /// A bounded trace ring.
@@ -51,7 +329,7 @@ impl TraceRing {
     }
 
     /// Append a record (dropping the oldest when full).
-    pub fn push(&mut self, time: Time, who: ComponentId, what: impl Into<String>) {
+    pub fn push(&mut self, time: Time, who: ComponentId, what: impl Into<TraceEvent>) {
         if self.capacity == 0 {
             return;
         }
@@ -71,20 +349,34 @@ impl TraceRing {
         self.records.iter()
     }
 
-    /// Number of records evicted so far.
+    /// Number of records evicted since the last [`TraceRing::render`] or
+    /// [`TraceRing::clear`].
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Render the retained records, one per line.
-    pub fn render(&self, name_of: impl Fn(ComponentId) -> String) -> String {
+    /// Render the retained records, one per line, then reset the dropped
+    /// counter — rendering consumes the "records were lost" notice the
+    /// same way [`TraceRing::clear`] does, so the two paths agree and a
+    /// second render doesn't re-report evictions it already disclosed.
+    pub fn render(&mut self, name_of: impl Fn(ComponentId) -> String) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+            let s = if self.dropped == 1 { "" } else { "s" };
+            out.push_str(&format!(
+                "... {} earlier record{s} dropped ...\n",
+                self.dropped
+            ));
         }
         for r in &self.records {
-            out.push_str(&format!("{:>12} {:<12} {}\n", r.time.to_string(), name_of(r.who), r.what));
+            out.push_str(&format!(
+                "{:>12} {:<12} {}\n",
+                r.time.to_string(),
+                name_of(r.who),
+                r.what
+            ));
         }
+        self.dropped = 0;
         out
     }
 
@@ -113,7 +405,7 @@ mod tests {
         for i in 0..5u64 {
             r.push(Time::from_ns(i), ComponentId(0), format!("e{i}"));
         }
-        let whats: Vec<&str> = r.records().map(|x| x.what.as_str()).collect();
+        let whats: Vec<String> = r.records().map(|x| x.what.to_string()).collect();
         assert_eq!(whats, vec!["e2", "e3", "e4"]);
         assert_eq!(r.dropped(), 2);
     }
@@ -124,10 +416,26 @@ mod tests {
         r.push(Time::from_ns(1), ComponentId(7), "a");
         r.push(Time::from_ns(2), ComponentId(7), "b");
         let s = r.render(|id| format!("c{}", id.0));
-        assert!(s.contains("1 earlier records dropped"));
+        assert!(s.contains("1 earlier record dropped"), "{s}");
+        assert!(!s.contains("records dropped"), "singular drop: {s}");
         assert!(s.contains("c7"));
         assert!(s.contains('b'));
         assert!(!s.contains(" a\n"));
+    }
+
+    #[test]
+    fn render_pluralizes_and_resets_dropped() {
+        let mut r = TraceRing::with_capacity(1);
+        for i in 0..4u64 {
+            r.push(Time::from_ns(i), ComponentId(0), format!("e{i}"));
+        }
+        assert_eq!(r.dropped(), 3);
+        let s = r.render(|_| "c".into());
+        assert!(s.contains("3 earlier records dropped"), "{s}");
+        // Rendering disclosed the loss; both exits reset the counter.
+        assert_eq!(r.dropped(), 0);
+        let again = r.render(|_| "c".into());
+        assert!(!again.contains("dropped"), "{again}");
     }
 
     #[test]
@@ -137,5 +445,53 @@ mod tests {
         r.clear();
         assert_eq!(r.records().count(), 0);
         assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn typed_events_render_structured_fields() {
+        let mut r = TraceRing::with_capacity(8);
+        r.push(
+            Time::from_ns(5),
+            ComponentId(1),
+            TraceEvent::QueueOp {
+                queue: QueueKind::Posted,
+                op: QueueOpKind::Push,
+                depth: 3,
+            },
+        );
+        r.push(
+            Time::from_ns(6),
+            ComponentId(1),
+            TraceEvent::AlpuResponse {
+                unit: QueueKind::Posted,
+                hit: true,
+                dur: Time::from_ns(12),
+            },
+        );
+        let s = r.render(|id| format!("nic{}", id.0));
+        assert!(s.contains("posted push -> depth 3"), "{s}");
+        assert!(s.contains("alpu[posted] response hit (12ns)"), "{s}");
+    }
+
+    #[test]
+    fn durations_only_on_activity_variants() {
+        assert_eq!(TraceEvent::Note("x".into()).dur(), None);
+        assert_eq!(
+            TraceEvent::Dma {
+                dir: DmaDir::Rx,
+                bytes: 64,
+                dur: Time::from_ns(3)
+            }
+            .dur(),
+            Some(Time::from_ns(3))
+        );
+        assert_eq!(
+            TraceEvent::Quarantine {
+                unit: QueueKind::Unexpected,
+                engaged: false
+            }
+            .dur(),
+            None
+        );
     }
 }

@@ -1,0 +1,68 @@
+//! Property tests for the log2-bucket latency histograms: whatever the
+//! sequence of recorded durations, the bucket counts must account for
+//! every `record` call exactly once, each sample must land in the bucket
+//! whose range covers it, and `merge` must behave like recording both
+//! sample sets into one histogram.
+
+use mpiq_dessim::metrics::BUCKETS;
+use mpiq_dessim::{Histogram, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn bucket_counts_sum_to_record_calls(samples in prop::collection::vec(0u64..1u64 << 50, 0..200)) {
+        let mut h = Histogram::new();
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for &ps in &samples {
+            h.record(Time::from_ps(ps));
+            sum += ps;
+            max = max.max(ps);
+        }
+        let bucket_total: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum_ps(), sum);
+        prop_assert_eq!(h.max_ps(), max);
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_covering_bucket(ps in 0u64..1u64 << 60) {
+        let mut h = Histogram::new();
+        h.record(Time::from_ps(ps));
+        let i = Histogram::bucket_index(ps);
+        prop_assert!(i < BUCKETS);
+        prop_assert_eq!(h.buckets()[i], 1);
+        // The bucket's floor is never above the sample, and the next
+        // bucket's floor (when there is one) is strictly above it.
+        prop_assert!(Histogram::bucket_floor(i) <= ps);
+        if i + 1 < BUCKETS {
+            prop_assert!(ps < Histogram::bucket_floor(i + 1));
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_both_sets(
+        a in prop::collection::vec(0u64..1u64 << 40, 0..64),
+        b in prop::collection::vec(0u64..1u64 << 40, 0..64),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &ps in &a {
+            ha.record(Time::from_ps(ps));
+            hall.record(Time::from_ps(ps));
+        }
+        for &ps in &b {
+            hb.record(Time::from_ps(ps));
+            hall.record(Time::from_ps(ps));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.sum_ps(), hall.sum_ps());
+        prop_assert_eq!(ha.max_ps(), hall.max_ps());
+        prop_assert_eq!(ha.buckets(), hall.buckets());
+    }
+}

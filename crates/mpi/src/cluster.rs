@@ -18,6 +18,11 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Host CPU cost per dispatched request.
     pub host_dispatch: Time,
+    /// Trace-ring capacity; 0 (the default) leaves tracing disabled so
+    /// instrumented code paths stay no-ops.
+    pub trace_capacity: usize,
+    /// Enable the latency-histogram / counter registry.
+    pub metrics: bool,
 }
 
 impl ClusterConfig {
@@ -28,7 +33,17 @@ impl ClusterConfig {
             net: NetConfig::default(),
             seed: 42,
             host_dispatch: Time::from_ns(40),
+            trace_capacity: 0,
+            metrics: false,
         }
+    }
+
+    /// Turn on structured tracing (ring of `capacity` records) and the
+    /// metrics registry; used by `--trace-out` / `--metrics` harnesses.
+    pub fn with_observability(mut self, trace_capacity: usize) -> ClusterConfig {
+        self.trace_capacity = trace_capacity;
+        self.metrics = true;
+        self
     }
 
     /// Arm deterministic fault injection everywhere it applies: the
@@ -60,6 +75,12 @@ impl Cluster {
         let k = cfg.nic.ranks_per_node.max(1);
         let nodes = n.div_ceil(k);
         let mut sim = Simulation::new(cfg.seed);
+        if cfg.trace_capacity > 0 {
+            sim.enable_tracing(cfg.trace_capacity);
+        }
+        if cfg.metrics {
+            sim.enable_metrics();
+        }
         let fabric = sim.add_component(
             "net",
             Fabric::with_faults(cfg.net, nodes, cfg.nic.faults),

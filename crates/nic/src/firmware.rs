@@ -31,7 +31,10 @@ use crate::host_iface::{Completion, HostRequest, ReqId};
 use crate::queues::{Key, NicQueue};
 use mpiq_alpu::{Alpu, AlpuConfig, AlpuKind, Command, Entry, MatchWord, Probe, Response, Tag};
 use mpiq_cpusim::{Core, TraceBuilder};
-use mpiq_dessim::{Clock, FaultPlan, Time};
+use mpiq_dessim::trace::{
+    AlpuCmdKind, DmaDir, QueueKind, QueueOpKind, SearchSource, TraceEvent,
+};
+use mpiq_dessim::{Clock, FaultPlan, Histogram, Time};
 use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
 use std::collections::{HashMap, VecDeque};
 
@@ -357,6 +360,27 @@ pub struct FwStats {
     pub alpu_overflow_spins: u64,
 }
 
+/// Match-path latency histograms, one per entry source (§VI's latency
+/// breakdown). Always recorded — a [`Histogram::record`] is a handful of
+/// integer ops — and published to the metrics registry only when the
+/// harness enabled it.
+#[derive(Clone, Debug, Default)]
+pub struct FwHists {
+    /// Posted-queue matches resolved by the ALPU (response wait + §IV-D
+    /// retrieval reads).
+    pub posted_alpu_hit: Histogram,
+    /// Posted-queue software searches through the hash-bin index.
+    pub posted_hash: Histogram,
+    /// Posted-queue software searches over the linear list (whole list in
+    /// the baseline, tail after an ALPU miss, full redo after a ghost
+    /// re-match).
+    pub posted_linear: Histogram,
+    /// Receive postings resolved by the unexpected ALPU.
+    pub unexpected_alpu_hit: Histogram,
+    /// Unexpected-queue linear software searches.
+    pub unexpected_linear: Histogram,
+}
+
 /// The firmware: all NIC-resident MPI state plus the hardware ports.
 pub struct Firmware {
     cfg: NicConfig,
@@ -388,6 +412,13 @@ pub struct Firmware {
     /// work FIFO) and fall back to software instead of popping.
     posted_orphans: u64,
     stats: FwStats,
+    hists: FwHists,
+    /// Structured trace events buffered during a work item and drained by
+    /// the NIC component into the simulation trace ring. Empty (and all
+    /// pushes skipped) unless the NIC turned telemetry on, so untraced
+    /// runs allocate nothing.
+    telemetry: bool,
+    events: Vec<(Time, TraceEvent)>,
 }
 
 impl Firmware {
@@ -432,7 +463,33 @@ impl Firmware {
             unexpected_quarantined_until: None,
             posted_orphans: 0,
             stats: FwStats::default(),
+            hists: FwHists::default(),
+            telemetry: false,
+            events: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Turn structured event collection on or off (the NIC mirrors the
+    /// simulation's tracing state here each event).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// Drain the buffered trace events (oldest first).
+    pub fn take_events(&mut self) -> Vec<(Time, TraceEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Match-path latency histograms.
+    pub fn hists(&self) -> &FwHists {
+        &self.hists
+    }
+
+    #[inline]
+    fn ev(&mut self, at: Time, what: TraceEvent) {
+        if self.telemetry {
+            self.events.push((at, what));
         }
     }
 
@@ -668,6 +725,7 @@ impl Firmware {
         // be trusted. `None` with `probed == true` means the unit failed
         // under us (quarantine) — degrade to a full software walk.
         let mut hw_resp: Option<Response> = None;
+        let mut hw_dur = Time::ZERO;
         if probed {
             if self.posted_orphans > 0 {
                 // This header was probed before a quarantine wiped the
@@ -679,6 +737,7 @@ impl Firmware {
                     .run(&TraceBuilder::new().bus_read().int(4).build(), t)
                     .elapsed;
             } else {
+                let resp_start = t;
                 let port = self
                     .posted_alpu
                     .as_mut()
@@ -712,6 +771,15 @@ impl Firmware {
                             self.quarantine_posted(t);
                             self.stats.alpu_fallbacks += 1;
                         } else {
+                            hw_dur = t - resp_start;
+                            self.ev(
+                                resp_start,
+                                TraceEvent::AlpuResponse {
+                                    unit: QueueKind::Posted,
+                                    hit: matches!(resp, Response::MatchSuccess { .. }),
+                                    dur: hw_dur,
+                                },
+                            );
                             hw_resp = Some(resp);
                         }
                     }
@@ -763,11 +831,22 @@ impl Firmware {
                             &mut visited,
                         );
                         self.stats.posted_entries_traversed += visited.len() as u64;
+                        let search_start = t;
                         let mut tb = TraceBuilder::new();
                         for addr in &visited {
                             tb = tb.load_chain(*addr).int(12);
                         }
                         t += core.run(&tb.build(), t).elapsed;
+                        self.hists.posted_linear.record(t - search_start);
+                        self.ev(
+                            search_start,
+                            TraceEvent::SwSearch {
+                                queue: QueueKind::Posted,
+                                source: SearchSource::Linear,
+                                entries: visited.len() as u32,
+                                dur: t - search_start,
+                            },
+                        );
                         match hit {
                             Some((pos, zkey)) => {
                                 if self.posted.get(pos).in_alpu {
@@ -785,6 +864,7 @@ impl Firmware {
                     } else {
                         matched = Some(key);
                         self.stats.posted_alpu_hits += 1;
+                        self.hists.posted_alpu_hit.record(hw_dur);
                     }
                 }
                 Response::MatchFailure => {
@@ -821,11 +901,28 @@ impl Firmware {
                 }
             };
             self.stats.posted_entries_traversed += visited.len() as u64;
+            let search_start = t;
             let mut tb = TraceBuilder::new().int(hash_overhead);
             for addr in &visited {
                 tb = tb.load_chain(*addr).int(12);
             }
             t += core.run(&tb.build(), t).elapsed;
+            let source = if self.posted_index.is_some() {
+                self.hists.posted_hash.record(t - search_start);
+                SearchSource::HashIndex
+            } else {
+                self.hists.posted_linear.record(t - search_start);
+                SearchSource::Linear
+            };
+            self.ev(
+                search_start,
+                TraceEvent::SwSearch {
+                    queue: QueueKind::Posted,
+                    source,
+                    entries: visited.len() as u32,
+                    dur: t - search_start,
+                },
+            );
             matched = hit;
         }
 
@@ -846,6 +943,18 @@ impl Firmware {
                 } else {
                     self.posted.remove_key(key)
                 };
+                self.ev(
+                    t,
+                    TraceEvent::QueueOp {
+                        queue: QueueKind::Posted,
+                        op: if ghost_consume == Some(key) {
+                            QueueOpKind::Ghost
+                        } else {
+                            QueueOpKind::Remove
+                        },
+                        depth: self.posted.len() as u32,
+                    },
+                );
                 t += core
                     .run(
                         &TraceBuilder::new()
@@ -888,7 +997,15 @@ impl Firmware {
                         };
                         if h.payload_len > 0 {
                             // DMA payload to the user buffer.
-                            let (_, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                            let (start, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                            self.ev(
+                                start,
+                                TraceEvent::Dma {
+                                    dir: DmaDir::Rx,
+                                    bytes: h.payload_len as u64,
+                                    dur: done - start,
+                                },
+                            );
                             fx.completions.push((done + self.cfg.completion_cost, comp));
                         } else {
                             fx.completions.push((t + self.cfg.completion_cost, comp));
@@ -927,6 +1044,14 @@ impl Firmware {
                 // payloads are buffered in NIC memory by the Rx DMA.
                 self.stats.unexpected_arrivals += 1;
                 let (_, addr) = self.unexpected.push(UnexpEntry { header: h });
+                self.ev(
+                    t,
+                    TraceEvent::QueueOp {
+                        queue: QueueKind::Unexpected,
+                        op: QueueOpKind::Push,
+                        depth: self.unexpected.len() as u32,
+                    },
+                );
                 t += core
                     .run(
                         &TraceBuilder::new()
@@ -938,7 +1063,15 @@ impl Firmware {
                     )
                     .elapsed;
                 if h.kind == MsgKind::Eager && h.payload_len > 0 {
-                    self.dma_rx.transfer(h.payload_len as u64, t);
+                    let (start, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                    self.ev(
+                        start,
+                        TraceEvent::Dma {
+                            dir: DmaDir::Rx,
+                            bytes: h.payload_len as u64,
+                            dur: done - start,
+                        },
+                    );
                 }
             }
         }
@@ -1141,8 +1274,10 @@ impl Firmware {
         let mut t = now;
         let mut matched: Option<Key> = None;
         let mut software_from = 0usize;
+        let mut hw_dur = Time::ZERO;
 
         if self.unexpected_engaged() {
+            let resp_start = t;
             let port = self
                 .unexpected_alpu
                 .as_mut()
@@ -1176,6 +1311,7 @@ impl Firmware {
                         if poisoned {
                             wedged = true;
                         } else {
+                            hw_dur = t - resp_start;
                             hw_resp = Some(resp);
                         }
                     }
@@ -1188,10 +1324,21 @@ impl Firmware {
                     .run(&TraceBuilder::new().bus_read().int(4).build(), t)
                     .elapsed;
             }
+            if let Some(resp) = hw_resp {
+                self.ev(
+                    resp_start,
+                    TraceEvent::AlpuResponse {
+                        unit: QueueKind::Unexpected,
+                        hit: matches!(resp, Response::MatchSuccess { .. }),
+                        dur: hw_dur,
+                    },
+                );
+            }
             match hw_resp {
                 Some(Response::MatchSuccess { tag }) => {
                     matched = Some(tag as Key);
                     self.stats.unexpected_alpu_hits += 1;
+                    self.hists.unexpected_alpu_hit.record(hw_dur);
                 }
                 Some(Response::MatchFailure) => {
                     software_from = self.unexpected.alpu_prefix()
@@ -1222,17 +1369,36 @@ impl Firmware {
                 &mut visited,
             );
             self.stats.unexpected_entries_traversed += visited.len() as u64;
+            let search_start = t;
             let mut tb = TraceBuilder::new();
             for addr in &visited {
                 tb = tb.load_chain(*addr).int(12);
             }
             t += core.run(&tb.build(), t).elapsed;
+            self.hists.unexpected_linear.record(t - search_start);
+            self.ev(
+                search_start,
+                TraceEvent::SwSearch {
+                    queue: QueueKind::Unexpected,
+                    source: SearchSource::Linear,
+                    entries: visited.len() as u32,
+                    dur: t - search_start,
+                },
+            );
             matched = hit.map(|(_, key)| key);
         }
 
         match matched {
             Some(key) => {
                 let item = self.unexpected.remove_key(key);
+                self.ev(
+                    t,
+                    TraceEvent::QueueOp {
+                        queue: QueueKind::Unexpected,
+                        op: QueueOpKind::Remove,
+                        depth: self.unexpected.len() as u32,
+                    },
+                );
                 let h = item.val.header;
                 t += core
                     .run(
@@ -1255,7 +1421,15 @@ impl Firmware {
                             cancelled: false,
                         };
                         if h.payload_len > 0 {
-                            let (_, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                            let (start, done) = self.dma_rx.transfer(h.payload_len as u64, t);
+                            self.ev(
+                                start,
+                                TraceEvent::Dma {
+                                    dir: DmaDir::Rx,
+                                    bytes: h.payload_len as u64,
+                                    dur: done - start,
+                                },
+                            );
                             fx.completions.push((done + self.cfg.completion_cost, comp));
                         } else {
                             fx.completions.push((t + self.cfg.completion_cost, comp));
@@ -1294,6 +1468,14 @@ impl Firmware {
                     len,
                     ghost: false,
                 });
+                self.ev(
+                    t,
+                    TraceEvent::QueueOp {
+                        queue: QueueKind::Posted,
+                        op: QueueOpKind::Push,
+                        depth: self.posted.len() as u32,
+                    },
+                );
                 t += core
                     .run(
                         &TraceBuilder::new()
@@ -1370,6 +1552,16 @@ impl Firmware {
             tb = tb.load_chain(*addr).int(12);
         }
         let t = now + core.run(&tb.build(), now).elapsed;
+        self.hists.unexpected_linear.record(t - now);
+        self.ev(
+            now,
+            TraceEvent::SwSearch {
+                queue: QueueKind::Unexpected,
+                source: SearchSource::Linear,
+                entries: visited.len() as u32,
+                dur: t - now,
+            },
+        );
         let comp = match hit {
             Some((pos, _)) => {
                 let h = self.unexpected.get(pos).val.header;
@@ -1511,6 +1703,13 @@ impl Firmware {
         self.posted.clear_alpu_marks();
         self.posted_quarantined_until = Some(now + Self::QUARANTINE_COOLDOWN);
         self.stats.alpu_resets += 1;
+        self.ev(
+            now,
+            TraceEvent::Quarantine {
+                unit: QueueKind::Posted,
+                engaged: false,
+            },
+        );
     }
 
     /// Same recovery for the unexpected ALPU (simpler: its exchanges are
@@ -1528,6 +1727,13 @@ impl Firmware {
         self.unexpected.clear_alpu_marks();
         self.unexpected_quarantined_until = Some(now + Self::QUARANTINE_COOLDOWN);
         self.stats.alpu_resets += 1;
+        self.ev(
+            now,
+            TraceEvent::Quarantine {
+                unit: QueueKind::Unexpected,
+                engaged: false,
+            },
+        );
     }
 
     /// RESET the posted ALPU and drop tombstones; the subsequent insert
@@ -1576,18 +1782,46 @@ impl Firmware {
             self.posted_quarantined_until = None;
             self.stats.alpu_reengagements += 1;
             t += core.run(&TraceBuilder::new().int(8).bus_write().build(), t).elapsed;
+            self.ev(
+                t,
+                TraceEvent::Quarantine {
+                    unit: QueueKind::Posted,
+                    engaged: true,
+                },
+            );
         }
         if self.unexpected_quarantined_until.is_some_and(|q| now >= q) {
             self.unexpected_quarantined_until = None;
             self.stats.alpu_reengagements += 1;
             t += core.run(&TraceBuilder::new().int(8).bus_write().build(), t).elapsed;
+            self.ev(
+                t,
+                TraceEvent::Quarantine {
+                    unit: QueueKind::Unexpected,
+                    engaged: true,
+                },
+            );
         }
         if self.purge_needed() {
+            let purge_start = t;
+            let ghosts = self.posted_ghosts as u32;
             t = self.purge_posted(t, core);
+            if t > purge_start {
+                self.ev(
+                    purge_start,
+                    TraceEvent::AlpuCommand {
+                        unit: QueueKind::Posted,
+                        kind: AlpuCmdKind::Reset,
+                        dur: t - purge_start,
+                        entries: ghosts,
+                    },
+                );
+            }
         }
         if self.posted_quarantined_until.is_none() {
             if let (Some(setup), Some(_)) = (self.cfg.posted_alpu, self.posted_alpu.as_ref()) {
                 if self.posted.len() >= setup.engage_threshold && self.posted.tail_len() > 0 {
+                    let (session_start, tail_before) = (t, self.posted.tail_len());
                     let (t2, wedged) = Self::insert_session_posted(
                         &mut self.posted,
                         self.posted_alpu.as_mut().expect("checked"),
@@ -1596,6 +1830,18 @@ impl Firmware {
                         core,
                     );
                     t = t2;
+                    let inserted = tail_before.saturating_sub(self.posted.tail_len());
+                    if inserted > 0 {
+                        self.ev(
+                            session_start,
+                            TraceEvent::AlpuCommand {
+                                unit: QueueKind::Posted,
+                                kind: AlpuCmdKind::InsertSession,
+                                dur: t - session_start,
+                                entries: inserted as u32,
+                            },
+                        );
+                    }
                     if wedged {
                         self.quarantine_posted(t);
                     }
@@ -1609,6 +1855,7 @@ impl Firmware {
                 if self.unexpected.len() >= setup.engage_threshold
                     && self.unexpected.tail_len() > 0
                 {
+                    let (session_start, tail_before) = (t, self.unexpected.tail_len());
                     let (t2, wedged) = Self::insert_session_unexpected(
                         &mut self.unexpected,
                         self.unexpected_alpu.as_mut().expect("checked"),
@@ -1618,6 +1865,18 @@ impl Firmware {
                         core,
                     );
                     t = t2;
+                    let inserted = tail_before.saturating_sub(self.unexpected.tail_len());
+                    if inserted > 0 {
+                        self.ev(
+                            session_start,
+                            TraceEvent::AlpuCommand {
+                                unit: QueueKind::Unexpected,
+                                kind: AlpuCmdKind::InsertSession,
+                                dur: t - session_start,
+                                entries: inserted as u32,
+                            },
+                        );
+                    }
                     if wedged {
                         self.quarantine_unexpected(t);
                     }

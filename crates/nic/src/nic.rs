@@ -13,6 +13,7 @@ use crate::host_iface::HostRequest;
 use crate::reliability::{Reliability, ReliabilityConfig};
 use mpiq_cpusim::Core;
 use mpiq_dessim::prelude::*;
+use mpiq_dessim::TraceEvent;
 use mpiq_net::{Message, NodeId};
 use std::collections::VecDeque;
 
@@ -52,10 +53,13 @@ pub struct Nic {
     retx_scheduled: Option<Time>,
     stat_prefix: String,
     /// Time-weighted queue-occupancy accumulation (for the application
-    /// queue-characterization study, after refs [8,9]).
+    /// queue-characterization study, after refs [8,9]). Accumulated in
+    /// entry·picoseconds — whole-ns accumulation silently dropped sub-ns
+    /// inter-event gaps from the integral — and converted to entry·ns
+    /// only when published.
     last_sample: Time,
-    posted_integral: u64,
-    unexpected_integral: u64,
+    posted_integral_ps: u64,
+    unexpected_integral_ps: u64,
 }
 
 impl Nic {
@@ -75,17 +79,17 @@ impl Nic {
             retx_scheduled: None,
             stat_prefix: format!("nic{node}"),
             last_sample: Time::ZERO,
-            posted_integral: 0,
-            unexpected_integral: 0,
+            posted_integral_ps: 0,
+            unexpected_integral_ps: 0,
         }
     }
 
     /// Accumulate queue-depth ∫len·dt up to `now` (piecewise constant
-    /// between work items). Units: entry·nanoseconds.
+    /// between work items). Units: entry·picoseconds.
     fn sample_occupancy(&mut self, now: Time) {
-        let dt = now.saturating_sub(self.last_sample).ns();
-        self.posted_integral += self.fw.posted_len() as u64 * dt;
-        self.unexpected_integral += self.fw.unexpected_len() as u64 * dt;
+        let dt = now.saturating_sub(self.last_sample).ps();
+        self.posted_integral_ps += self.fw.posted_len() as u64 * dt;
+        self.unexpected_integral_ps += self.fw.unexpected_len() as u64 * dt;
         self.last_sample = now;
     }
 
@@ -125,6 +129,14 @@ impl Nic {
         self.sample_occupancy(now);
         let (end, fx) = self.fw.process(item, now, &mut self.core);
         debug_assert!(end >= now);
+        if ctx.metrics().enabled() {
+            let p = &self.stat_prefix;
+            ctx.metrics().add(&format!("{p}.work_items"), 1);
+            ctx.metrics().record(&format!("{p}.work_service"), end - now);
+        }
+        for (at, what) in self.fw.take_events() {
+            ctx.trace_at(at, what);
+        }
         for (at, msg) in fx.tx {
             // The link layer stamps a sequence number and buffers the
             // frame for retransmission before it hits the wire.
@@ -137,6 +149,13 @@ impl Nic {
         for (at, comp) in fx.completions {
             // Route to the issuing process's host.
             let pid = comp.req.rank % self.ranks_per_node;
+            ctx.trace_at(
+                at,
+                TraceEvent::HostCompletion {
+                    rank: comp.req.rank,
+                    cancelled: comp.cancelled,
+                },
+            );
             ctx.emit_after(host_comp_port(pid), Payload::new(comp), at.saturating_sub(now));
         }
         // Batch-aware update scheduling (§IV-B).
@@ -194,10 +213,13 @@ impl Nic {
             &format!("{p}.unexpected.len_max"),
             self.fw.unexpected_len() as u64,
         );
-        s.set(&format!("{p}.posted.occ_integral"), self.posted_integral);
+        s.set(
+            &format!("{p}.posted.occ_integral"),
+            self.posted_integral_ps / 1_000,
+        );
         s.set(
             &format!("{p}.unexpected.occ_integral"),
-            self.unexpected_integral,
+            self.unexpected_integral_ps / 1_000,
         );
         s.set(&format!("{p}.sampled_until_ns"), self.last_sample.ns());
         // Fault/recovery counters: published only for configurations that
@@ -219,11 +241,39 @@ impl Nic {
             s.set(&format!("{p}.link.gap_discarded"), ls.gap_discarded);
             s.set(&format!("{p}.link.timer_fires"), ls.timer_fires);
         }
+        // Latency histograms go to the separate metrics registry; the
+        // enabled check keeps unmetered runs free of the key formatting.
+        let m = ctx.metrics();
+        if m.enabled() {
+            let h = self.fw.hists();
+            m.publish_hist(&format!("{p}.match.posted.alpu_hit"), &h.posted_alpu_hit);
+            m.publish_hist(&format!("{p}.match.posted.hash"), &h.posted_hash);
+            m.publish_hist(&format!("{p}.match.posted.linear"), &h.posted_linear);
+            m.publish_hist(
+                &format!("{p}.match.unexpected.alpu_hit"),
+                &h.unexpected_alpu_hit,
+            );
+            m.publish_hist(
+                &format!("{p}.match.unexpected.linear"),
+                &h.unexpected_linear,
+            );
+            if let Some(link) = &self.link {
+                m.publish_hist(&format!("{p}.link.backoff"), link.backoff_hist());
+            }
+        }
     }
 }
 
 impl Component for Nic {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        // Mirror the simulation's tracing state into the firmware and
+        // link layer so they buffer structured events only when someone
+        // will read them.
+        let telemetry = ctx.trace_enabled();
+        self.fw.set_telemetry(telemetry);
+        if let Some(link) = self.link.as_mut() {
+            link.set_telemetry(telemetry);
+        }
         match ev.port {
             PORT_NET_RX => {
                 let mut msg = *ev
@@ -237,6 +287,17 @@ impl Component for Nic {
                     let result = link.receive(msg, ctx.now());
                     for frame in result.send {
                         ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
+                    }
+                    for f in link.take_fires() {
+                        // NACK-triggered go-back-N replays.
+                        ctx.trace_at(
+                            f.at,
+                            TraceEvent::LinkRetransmit {
+                                peer: f.peer,
+                                frames: f.frames,
+                                backoff: f.backoff,
+                            },
+                        );
                     }
                     self.schedule_retx(ctx);
                     match result.deliver {
@@ -277,6 +338,16 @@ impl Component for Nic {
                     for frame in link.on_timer(ctx.now()) {
                         ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
                     }
+                    for f in link.take_fires() {
+                        ctx.trace_at(
+                            f.at,
+                            TraceEvent::LinkRetransmit {
+                                peer: f.peer,
+                                frames: f.frames,
+                                backoff: f.backoff,
+                            },
+                        );
+                    }
                 }
                 self.schedule_retx(ctx);
                 self.publish_stats(ctx);
@@ -291,5 +362,63 @@ impl Component for Nic {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_iface::ReqId;
+
+    /// Regression: `sample_occupancy` used to truncate each inter-event
+    /// gap to whole nanoseconds, so sub-ns gaps silently vanished from
+    /// the ∫len·dt integral. Two samples 500 ps apart must contribute.
+    #[test]
+    fn occupancy_integral_keeps_sub_ns_gaps() {
+        let mut nic = Nic::new(0, NicConfig::baseline());
+        // Post one receive so the posted queue has depth 1.
+        let mut core = Core::new(NicConfig::baseline().core);
+        nic.fw.process(
+            WorkItem::Host(HostRequest::PostRecv {
+                req: ReqId { rank: 0, seq: 1 },
+                src: None,
+                context: 0,
+                tag: Some(7),
+                len: 0,
+            }),
+            Time::ZERO,
+            &mut core,
+        );
+        assert_eq!(nic.fw.posted_len(), 1);
+        nic.last_sample = Time::ZERO;
+        nic.sample_occupancy(Time::from_ps(500));
+        nic.sample_occupancy(Time::from_ps(1_000));
+        // 1 entry × 1000 ps = 1000 entry·ps; the pre-fix code truncated
+        // each 500 ps gap to 0 ns and accumulated nothing.
+        assert_eq!(nic.posted_integral_ps, 1_000);
+        // Published value converts to entry·ns at report time.
+        assert_eq!(nic.posted_integral_ps / 1_000, 1);
+    }
+
+    /// Gaps that are a whole number of nanoseconds accumulate exactly as
+    /// before the fix (entry·ns report-time units are unchanged).
+    #[test]
+    fn occupancy_integral_matches_ns_accounting_on_whole_ns() {
+        let mut nic = Nic::new(0, NicConfig::baseline());
+        let mut core = Core::new(NicConfig::baseline().core);
+        nic.fw.process(
+            WorkItem::Host(HostRequest::PostRecv {
+                req: ReqId { rank: 0, seq: 1 },
+                src: None,
+                context: 0,
+                tag: Some(7),
+                len: 0,
+            }),
+            Time::ZERO,
+            &mut core,
+        );
+        nic.last_sample = Time::ZERO;
+        nic.sample_occupancy(Time::from_ns(40));
+        assert_eq!(nic.posted_integral_ps / 1_000, 40);
     }
 }

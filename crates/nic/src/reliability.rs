@@ -30,7 +30,7 @@
 //! bit-identically from its seed.
 
 use bytes::Bytes;
-use mpiq_dessim::Time;
+use mpiq_dessim::{Histogram, Time};
 use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -133,6 +133,19 @@ pub struct RxResult {
     pub send: Vec<Message>,
 }
 
+/// One go-back-N window retransmission, for the trace ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetxFire {
+    /// When the window was resent.
+    pub at: Time,
+    /// Peer the window was resent to.
+    pub peer: NodeId,
+    /// Frames in the resent window.
+    pub frames: u32,
+    /// The retransmit timeout armed after this fire (current backoff).
+    pub backoff: Time,
+}
+
 /// Per-NIC reliability engine: one [`TxLink`]/[`RxLink`] pair per peer.
 pub struct Reliability {
     node: NodeId,
@@ -140,6 +153,14 @@ pub struct Reliability {
     tx: BTreeMap<NodeId, TxLink>,
     rx: BTreeMap<NodeId, RxLink>,
     stats: LinkStats,
+    /// Armed-RTO samples, one per window retransmission — the backoff
+    /// profile of the run. Always recorded (cheap); published to the
+    /// metrics registry by the NIC when metrics are enabled.
+    backoff_hist: Histogram,
+    /// Retransmission events buffered for the trace ring; pushes are
+    /// skipped (and nothing allocates) unless the NIC enabled telemetry.
+    telemetry: bool,
+    fires: Vec<RetxFire>,
 }
 
 impl Reliability {
@@ -151,12 +172,30 @@ impl Reliability {
             tx: BTreeMap::new(),
             rx: BTreeMap::new(),
             stats: LinkStats::default(),
+            backoff_hist: Histogram::new(),
+            telemetry: false,
+            fires: Vec::new(),
         }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> LinkStats {
         self.stats
+    }
+
+    /// Turn retransmission-event collection on or off.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// Drain buffered retransmission events (oldest first).
+    pub fn take_fires(&mut self) -> Vec<RetxFire> {
+        std::mem::take(&mut self.fires)
+    }
+
+    /// Armed-RTO histogram: one sample per window retransmission.
+    pub fn backoff_hist(&self) -> &Histogram {
+        &self.backoff_hist
     }
 
     /// Frames currently buffered for possible retransmission (diagnostics;
@@ -284,6 +323,17 @@ impl Reliability {
         } else {
             Some(now + link.rto)
         };
+        if !resend.is_empty() {
+            self.backoff_hist.record(link.rto);
+            if self.telemetry {
+                self.fires.push(RetxFire {
+                    at: now,
+                    peer,
+                    frames: resend.len() as u32,
+                    backoff: link.rto,
+                });
+            }
+        }
         resend
     }
 
@@ -319,6 +369,15 @@ impl Reliability {
             }
             link.rto = (link.rto + link.rto).min(self.cfg.rto_max);
             link.deadline = Some(now + link.rto);
+            self.backoff_hist.record(link.rto);
+            if self.telemetry {
+                self.fires.push(RetxFire {
+                    at: now,
+                    peer: *peer,
+                    frames: link.unacked.len() as u32,
+                    backoff: link.rto,
+                });
+            }
         }
         resend
     }
