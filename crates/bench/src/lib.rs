@@ -21,6 +21,7 @@ pub mod obs;
 pub mod postloop;
 pub mod preposted;
 pub mod report;
+pub mod soak;
 pub mod sweep;
 pub mod unexpected;
 pub mod wildcard;
@@ -29,6 +30,7 @@ pub use faultstats::FaultCounters;
 pub use obs::{traced_preposted, traced_unexpected, TracedRun};
 pub use postloop::{postloop_rtt, PostLoopPoint};
 pub use preposted::{preposted_latency, preposted_latency_cfg, PrepostedPoint};
+pub use soak::{run_soak, Scenario, SoakConfig, SoakOutcome};
 pub use sweep::run_parallel;
 pub use unexpected::{unexpected_latency, unexpected_latency_cfg, UnexpectedPoint};
 

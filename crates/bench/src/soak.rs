@@ -1,0 +1,380 @@
+//! Overload soak/chaos harness: drive the cluster into resource
+//! exhaustion on purpose and check that it degrades by protocol.
+//!
+//! Three scenarios, all funneling traffic at rank 0:
+//!
+//! * **incast** — every sender blasts its full message load at a
+//!   receiver that posts nothing until the flood is in flight. The
+//!   unexpected queue and eager staging pool hit their configured
+//!   bounds; the NIC must shed the excess by refusing admission (the
+//!   go-back-N window retransmits) and by truncating staged payloads,
+//!   never by panicking or growing without bound.
+//! * **hot-receiver** — a randomized mix (sizes spanning the eager /
+//!   rendezvous threshold, most traffic aimed at rank 0, a side channel
+//!   between senders) drawn deterministically from the scenario seed.
+//! * **credit-starve** — a tiny per-peer credit allowance against a
+//!   receiver that consumes in widely spaced batches, forcing senders
+//!   to exhaust their credits and fall back to rendezvous.
+//!
+//! Every run executes under the [`Cluster::run_watched`] watchdog, so a
+//! flow-control bug shows up as a typed [`Diagnosis`] naming the stuck
+//! components — not as a hung process. A completed run is oracle-checked:
+//! every rank finished, every queue drained, the shadow-list invariants
+//! hold, and the unexpected high-water mark respected the configured
+//! bound.
+
+use mpiq_dessim::watchdog::Diagnosis;
+use mpiq_dessim::{FaultConfig, SimRng, Time};
+use mpiq_mpi::script::mark_log;
+use mpiq_mpi::{AppProgram, Cluster, ClusterConfig, Script};
+use mpiq_nic::firmware::check_invariants;
+use mpiq_nic::NicConfig;
+
+/// The overload scenarios.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// All-to-one incast against a receiver that posts late.
+    Incast,
+    /// Seed-randomized skewed traffic with mixed protocols.
+    HotReceiver,
+    /// Eager credits exhausted against a slow-draining receiver.
+    CreditStarve,
+}
+
+impl Scenario {
+    /// All scenarios, in presentation order.
+    pub const ALL: [Scenario; 3] = [Scenario::Incast, Scenario::HotReceiver, Scenario::CreditStarve];
+
+    /// CLI / CSV name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Incast => "incast",
+            Scenario::HotReceiver => "hot-receiver",
+            Scenario::CreditStarve => "credit-starve",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`Scenario::name`]).
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|v| v.name() == s)
+    }
+}
+
+/// One soak run's parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Which traffic shape to run.
+    pub scenario: Scenario,
+    /// Sender count; the cluster has `senders + 1` ranks, rank 0 receives.
+    pub senders: u32,
+    /// Messages per sender.
+    pub msgs: u32,
+    /// Payload bytes of the bulk traffic (eager when ≤ the threshold).
+    pub msg_size: u32,
+    /// Simulation seed; also feeds the hot-receiver traffic matrix.
+    pub seed: u64,
+    /// Per-peer eager credit allowance (0 disables credit flow control).
+    pub eager_credits: u32,
+    /// Unexpected-queue admission bound (0 = unbounded).
+    pub max_unexpected: u32,
+    /// Eager staging pool in bytes (0 = unbounded).
+    pub eager_buffer_bytes: u64,
+    /// Attach 128-entry ALPUs (otherwise the baseline NIC).
+    pub alpu: bool,
+    /// Optional wire/ALPU fault campaign layered on top.
+    pub faults: Option<FaultConfig>,
+    /// Virtual-time watchdog deadline.
+    pub deadline: Time,
+}
+
+impl SoakConfig {
+    /// Defaults sized so one run takes well under a second of wall clock:
+    /// 16 senders, 8 messages each, 512 B payloads, 4 credits, a
+    /// 32-entry unexpected bound and a 16 KiB staging pool.
+    pub fn new(scenario: Scenario, seed: u64) -> SoakConfig {
+        SoakConfig {
+            scenario,
+            senders: 16,
+            msgs: 8,
+            msg_size: 512,
+            seed,
+            eager_credits: 4,
+            max_unexpected: 32,
+            eager_buffer_bytes: 16 << 10,
+            alpu: false,
+            faults: None,
+            deadline: Time::from_ms(500),
+        }
+    }
+}
+
+/// What a completed (non-deadlocked) soak run measured.
+#[derive(Clone, Debug)]
+pub struct SoakOutcome {
+    /// End-to-end simulated time.
+    pub runtime: Time,
+    /// Events the scheduler processed.
+    pub events: u64,
+    /// Messages the workload delivered (oracle-implied: every rank's
+    /// waits completed).
+    pub delivered: u64,
+    /// Deepest unexpected queue on any NIC (≤ `max_unexpected` when set).
+    pub unexpected_highwater: u64,
+    /// Peak eager staging-pool occupancy on any NIC, bytes.
+    pub eager_bytes_highwater: u64,
+    /// Frames refused admission at the wire (recovered by go-back-N).
+    pub admission_refused: u64,
+    /// Sends that found an empty credit pool and fell back to rendezvous.
+    pub credit_stalls: u64,
+    /// Eager payloads admitted header-only because the pool was full.
+    pub truncated_admits: u64,
+    /// Link-layer frames re-sent.
+    pub retransmits: u64,
+    /// Credit grants receivers issued.
+    pub grants_issued: u64,
+    /// Full statistics dump (bit-identical across same-seed runs).
+    pub stats_json: String,
+}
+
+fn boxed(s: Script) -> Box<dyn AppProgram> {
+    Box::new(s)
+}
+
+/// All-to-one: receiver sits out the flood, then posts everything.
+fn incast_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
+    let mut programs = Vec::new();
+    let mut b0 = Script::builder();
+    b0.barrier();
+    // Let the flood arrive (and pile up / be refused) before posting.
+    b0.sleep(Time::from_us(50));
+    let mut pending = Vec::new();
+    for src in 1..=cfg.senders {
+        for i in 0..cfg.msgs {
+            pending.push(b0.irecv(Some(src as u16), Some(i as u16), cfg.msg_size));
+        }
+    }
+    b0.wait_all(pending);
+    programs.push(boxed(b0.build(mark_log())));
+    for _s in 1..=cfg.senders {
+        let mut b = Script::builder();
+        b.barrier();
+        let slots: Vec<usize> = (0..cfg.msgs).map(|i| b.isend(0, i as u16, cfg.msg_size)).collect();
+        b.wait_all(slots);
+        programs.push(boxed(b.build(mark_log())));
+    }
+    programs
+}
+
+/// Randomized hot-spot: a deterministic traffic matrix drawn from the
+/// seed. ~3/4 of messages target rank 0; the rest go sender-to-sender.
+/// Sizes span the eager/rendezvous threshold so both protocols run under
+/// pressure at once.
+fn hot_receiver_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
+    let ranks = cfg.senders + 1;
+    let mut rng = SimRng::new(cfg.seed ^ 0x50AC);
+    // (src, dst, tag, len) with a per-(src,dst) tag counter so every
+    // message pairs with exactly one receive.
+    let mut tag_ctr = vec![0u16; (ranks * ranks) as usize];
+    let mut traffic: Vec<(u32, u32, u16, u32)> = Vec::new();
+    for src in 1..ranks {
+        for _ in 0..cfg.msgs {
+            let dst = if rng.gen_bool(0.75) {
+                0
+            } else {
+                // A peer sender (not self): heat without total serialization.
+                let mut d = 1 + rng.gen_range(cfg.senders as u64 - 1) as u32;
+                if d >= src {
+                    d += 1;
+                }
+                d
+            };
+            let len = match rng.gen_range(4) {
+                0 => 0,
+                1 => cfg.msg_size,
+                2 => 2048, // exactly at the eager threshold
+                _ => 8192, // rendezvous
+            };
+            let ctr = &mut tag_ctr[(src * ranks + dst) as usize];
+            let tag = *ctr;
+            *ctr += 1;
+            traffic.push((src, dst, tag, len));
+        }
+    }
+    (0..ranks)
+        .map(|me| {
+            let mut b = Script::builder();
+            let mut pending = Vec::new();
+            // Receives first (nonblocking), in traffic order.
+            for &(src, dst, tag, len) in traffic.iter().filter(|t| t.1 == me) {
+                let _ = dst;
+                pending.push(b.irecv(Some(src as u16), Some(tag), len));
+            }
+            b.barrier();
+            if me == 0 {
+                // The hot receiver is also slow: its receives were posted
+                // pre-barrier, but senders start all at once.
+                b.sleep(Time::from_us(10));
+            }
+            for &(src, dst, tag, len) in traffic.iter().filter(|t| t.0 == me) {
+                let _ = src;
+                pending.push(b.isend(dst, tag, len));
+            }
+            b.wait_all(pending);
+            b.build(mark_log())
+        })
+        .map(boxed)
+        .collect()
+}
+
+/// Credit starvation: senders burst everything; the receiver consumes in
+/// batches separated by long sleeps, so credit return is slow and the
+/// per-peer pools run dry.
+fn credit_starve_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
+    let mut programs = Vec::new();
+    let batch = cfg.msgs.div_ceil(4).max(1);
+    let mut b0 = Script::builder();
+    b0.barrier();
+    let mut first = 0;
+    while first < cfg.msgs {
+        b0.sleep(Time::from_us(20));
+        let mut pending = Vec::new();
+        for src in 1..=cfg.senders {
+            for i in first..(first + batch).min(cfg.msgs) {
+                pending.push(b0.irecv(Some(src as u16), Some(i as u16), cfg.msg_size));
+            }
+        }
+        b0.wait_all(pending);
+        first += batch;
+    }
+    programs.push(boxed(b0.build(mark_log())));
+    for _s in 1..=cfg.senders {
+        let mut b = Script::builder();
+        b.barrier();
+        let slots: Vec<usize> = (0..cfg.msgs).map(|i| b.isend(0, i as u16, cfg.msg_size)).collect();
+        b.wait_all(slots);
+        programs.push(boxed(b.build(mark_log())));
+    }
+    programs
+}
+
+fn build_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
+    match cfg.scenario {
+        Scenario::Incast => incast_programs(cfg),
+        Scenario::HotReceiver => hot_receiver_programs(cfg),
+        Scenario::CreditStarve => credit_starve_programs(cfg),
+    }
+}
+
+/// Run one soak configuration under the watchdog and oracle-check the
+/// result. A stall (deadlock or missed deadline) comes back as the
+/// watchdog's diagnosis; a completed run that violated an overload bound
+/// panics with the violation.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
+    assert!(cfg.senders >= 2, "soak needs at least 2 senders");
+    let base = if cfg.alpu {
+        NicConfig::with_alpus(128)
+    } else {
+        NicConfig::baseline()
+    };
+    let nic = base.with_flow_control(cfg.eager_credits, cfg.max_unexpected, cfg.eager_buffer_bytes);
+    let mut ccfg = ClusterConfig::new(nic);
+    ccfg.seed = cfg.seed;
+    if let Some(f) = cfg.faults {
+        ccfg = ccfg.with_faults(f);
+    }
+    let mut cluster = Cluster::new(ccfg, build_programs(cfg));
+    let events = cluster.run_watched(cfg.deadline)?;
+
+    // Oracle: every queue drained, invariants hold on every NIC.
+    let ranks = cfg.senders + 1;
+    for rank in 0..ranks {
+        let fw = cluster.nic(rank).firmware();
+        check_invariants(fw);
+        assert_eq!(fw.posted_len(), 0, "rank {rank}: posted receives left behind");
+        assert_eq!(
+            fw.unexpected_len(),
+            0,
+            "rank {rank}: unexpected entries never consumed"
+        );
+    }
+
+    let stats = cluster.stats();
+    let mut out = SoakOutcome {
+        runtime: cluster.now(),
+        events,
+        delivered: (cfg.senders * cfg.msgs) as u64,
+        unexpected_highwater: 0,
+        eager_bytes_highwater: 0,
+        admission_refused: 0,
+        credit_stalls: 0,
+        truncated_admits: 0,
+        retransmits: 0,
+        grants_issued: 0,
+        stats_json: stats.to_json(),
+    };
+    for node in 0..ranks {
+        let p = format!("nic{node}");
+        let get = |k: &str| stats.get(&format!("{p}.{k}"));
+        out.unexpected_highwater = out.unexpected_highwater.max(get("flow.unexpected_highwater"));
+        out.eager_bytes_highwater = out.eager_bytes_highwater.max(get("flow.eager_bytes_highwater"));
+        out.admission_refused += get("flow.admission_refused");
+        out.credit_stalls += get("flow.credit_stalls");
+        out.truncated_admits += get("flow.truncated_admits");
+        out.retransmits += get("link.retransmits");
+        out.grants_issued += get("flow.grants_issued");
+    }
+    if cfg.max_unexpected > 0 {
+        assert!(
+            out.unexpected_highwater <= cfg.max_unexpected as u64,
+            "unexpected high-water {} exceeded the configured bound {}",
+            out.unexpected_highwater,
+            cfg.max_unexpected
+        );
+    }
+    if cfg.eager_buffer_bytes > 0 {
+        assert!(
+            out.eager_bytes_highwater <= cfg.eager_buffer_bytes,
+            "eager staging high-water {} exceeded the pool {}",
+            out.eager_bytes_highwater,
+            cfg.eager_buffer_bytes
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_respects_unexpected_bound_and_drains() {
+        let cfg = SoakConfig::new(Scenario::Incast, 7);
+        let out = run_soak(&cfg).expect("incast must complete under the watchdog");
+        assert!(out.unexpected_highwater <= cfg.max_unexpected as u64);
+        assert!(
+            out.admission_refused > 0 || out.credit_stalls > 0,
+            "a 16->1 incast with bounds this tight must trip overload handling"
+        );
+    }
+
+    #[test]
+    fn credit_starve_forces_rendezvous_fallback() {
+        let mut cfg = SoakConfig::new(Scenario::CreditStarve, 3);
+        cfg.eager_credits = 2;
+        cfg.msgs = 12;
+        let out = run_soak(&cfg).expect("starve must complete");
+        assert!(
+            out.credit_stalls > 0,
+            "2 credits against a 12-message burst must stall: {out:?}"
+        );
+    }
+
+    #[test]
+    fn hot_receiver_same_seed_is_bit_identical() {
+        let cfg = SoakConfig::new(Scenario::HotReceiver, 11);
+        let a = run_soak(&cfg).expect("run a");
+        let b = run_soak(&cfg).expect("run b");
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.stats_json, b.stats_json, "same-seed soak diverged");
+    }
+}

@@ -36,6 +36,14 @@ pub trait Component: 'static {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
+
+    /// Self-report for the stall watchdog (see [`crate::watchdog`]):
+    /// whether the component still holds unfinished obligations, plus
+    /// gauges (queue depths, outstanding credits) and notes (dead peers).
+    /// Default `None` = the component doesn't participate in diagnosis.
+    fn health(&self) -> Option<crate::watchdog::Health> {
+        None
+    }
 }
 
 /// A pending emission recorded by a `Ctx` during one handler invocation.

@@ -32,6 +32,12 @@ pub struct FaultConfig {
     pub flip_p: f64,
     /// Probability, per pushed command, of a transient pipeline stall.
     pub stall_p: f64,
+    /// Probability, per flow-control credit grant or rendezvous
+    /// clear-to-send, that the message authorizing further progress is
+    /// silently lost *inside the NIC* (a firmware bug model, not a wire
+    /// fault — the reliability layer cannot recover it). Used to induce
+    /// real credit-leak deadlocks for the watchdog.
+    pub leak_p: f64,
 }
 
 impl Default for FaultConfig {
@@ -50,12 +56,13 @@ impl FaultConfig {
             corrupt_p: 0.0,
             flip_p: 0.0,
             stall_p: 0.0,
+            leak_p: 0.0,
         }
     }
 
     /// True if any fault class can fire.
     pub fn is_active(&self) -> bool {
-        self.net_active() || self.alpu_active()
+        self.net_active() || self.alpu_active() || self.leak_active()
     }
 
     /// True if any wire-level fault class can fire.
@@ -67,10 +74,15 @@ impl FaultConfig {
     pub fn alpu_active(&self) -> bool {
         self.flip_p > 0.0 || self.stall_p > 0.0
     }
+
+    /// True if the credit/CTS leak class can fire.
+    pub fn leak_active(&self) -> bool {
+        self.leak_p > 0.0
+    }
 }
 
-/// Parse `seed=N,drop=P,dup=P,corrupt=P,flip=P,stall=P` (any subset, any
-/// order; omitted fields default to the `none()` values).
+/// Parse `seed=N,drop=P,dup=P,corrupt=P,flip=P,stall=P,leak=P` (any
+/// subset, any order; omitted fields default to the `none()` values).
 impl std::str::FromStr for FaultConfig {
     type Err = String;
     fn from_str(s: &str) -> Result<FaultConfig, String> {
@@ -93,9 +105,10 @@ impl std::str::FromStr for FaultConfig {
                 "corrupt" => cfg.corrupt_p = prob(val)?,
                 "flip" => cfg.flip_p = prob(val)?,
                 "stall" => cfg.stall_p = prob(val)?,
+                "leak" => cfg.leak_p = prob(val)?,
                 other => {
                     return Err(format!(
-                        "unknown fault key `{other}` (want seed|drop|dup|corrupt|flip|stall)"
+                        "unknown fault key `{other}` (want seed|drop|dup|corrupt|flip|stall|leak)"
                     ))
                 }
             }
@@ -179,6 +192,12 @@ impl FaultPlan {
         let fire = self.rng.gen_bool(self.cfg.stall_p);
         let cycles = STALL_MIN_CYCLES + self.rng.gen_range(STALL_MAX_CYCLES - STALL_MIN_CYCLES);
         fire.then_some(cycles)
+    }
+
+    /// Roll whether the next credit grant / clear-to-send is leaked.
+    /// Consumes a fixed one draw.
+    pub fn roll_leak(&mut self) -> bool {
+        self.rng.gen_bool(self.cfg.leak_p)
     }
 }
 
@@ -264,6 +283,17 @@ mod tests {
             assert_eq!(plan.roll_wire(), WireFault::default());
             assert!(plan.roll_flip().is_none());
             assert!(plan.roll_stall().is_none());
+            assert!(!plan.roll_leak());
         }
+    }
+
+    #[test]
+    fn parse_leak_key() {
+        let cfg: FaultConfig = "seed=3,leak=1.0".parse().unwrap();
+        assert_eq!(cfg.leak_p, 1.0);
+        assert!(cfg.leak_active() && cfg.is_active());
+        assert!(!cfg.net_active() && !cfg.alpu_active());
+        let mut plan = FaultPlan::new(cfg, 9);
+        assert!(plan.roll_leak());
     }
 }

@@ -56,6 +56,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod watchdog;
 
 pub use calendar::CalendarQueue;
 pub use clock::Clock;
@@ -71,6 +72,7 @@ pub use time::Time;
 pub use trace::{
     AlpuCmdKind, DmaDir, QueueKind, QueueOpKind, SearchSource, TraceEvent, TraceRecord, TraceRing,
 };
+pub use watchdog::{Diagnosis, Health, StallKind};
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {

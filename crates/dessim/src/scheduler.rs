@@ -272,6 +272,36 @@ impl Simulation {
         self.components[id.0 as usize].as_any_mut()?.downcast_mut()
     }
 
+    /// Is the pending-event set empty? A simulation that is idle *and*
+    /// has components reporting unfinished obligations
+    /// ([`Component::health`]) has quiesced into a deadlock: nothing
+    /// will ever run again.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Collect [`Component::health`] reports from every component that
+    /// provides one, in registration order, with names resolved.
+    pub fn health_reports(&self) -> Vec<(String, crate::watchdog::Health)> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.health().map(|h| (self.names[i].clone(), h)))
+            .collect()
+    }
+
+    /// Assemble a typed stall report from the current state (see
+    /// [`crate::watchdog`]). The caller decides the [`StallKind`] — it
+    /// knows whether the run quiesced or overran its deadline.
+    pub fn diagnose(&self, kind: crate::watchdog::StallKind) -> crate::watchdog::Diagnosis {
+        crate::watchdog::Diagnosis {
+            kind,
+            at: self.now,
+            events_processed: self.events_processed,
+            components: self.health_reports(),
+        }
+    }
+
     /// Run until the heap is empty or a component requested a stop.
     /// Returns the number of events processed by this call.
     pub fn run(&mut self) -> u64 {
@@ -296,7 +326,14 @@ impl Simulation {
                 break;
             };
             debug_assert!(ev.time <= horizon, "peek_time bounds the popped event");
-            debug_assert!(ev.time >= self.now, "time must be monotone");
+            debug_assert!(
+                ev.time >= self.now,
+                "time must be monotone: event for {:?} port {:?} at t={} < now={}",
+                ev.dst,
+                ev.port,
+                ev.time,
+                self.now
+            );
             self.now = ev.time;
             self.dispatch(ev, &mut stop);
             delivered += 1;
@@ -345,7 +382,15 @@ impl Simulation {
     fn dispatch(&mut self, ev: Scheduled, stop: &mut bool) {
         let id = ev.dst;
         let idx = id.0 as usize;
-        assert!(idx < self.components.len(), "event for unknown component");
+        assert!(
+            idx < self.components.len(),
+            "event at t={} on port {:?} addressed to unknown component {:?} \
+             ({} registered)",
+            ev.time,
+            ev.port,
+            id,
+            self.components.len()
+        );
         let mut ctx = Ctx {
             now: self.now,
             me: id,

@@ -3,6 +3,7 @@
 use crate::app::{AppProgram, PORT_COMPLETION};
 use crate::host::Host;
 use mpiq_dessim::prelude::*;
+use mpiq_dessim::watchdog::{Diagnosis, StallKind};
 use mpiq_dessim::FaultConfig;
 use mpiq_net::{Fabric, NetConfig, PORT_FROM_NIC};
 use mpiq_nic::{host_comp_port, Nic, NicConfig, PORT_HOST_REQ, PORT_NET_RX, PORT_NET_TX};
@@ -138,6 +139,44 @@ impl Cluster {
             );
         }
         n
+    }
+
+    /// Have all programs called `finish`?
+    pub fn all_done(&self) -> bool {
+        self.hosts.iter().all(|&h| {
+            self.sim
+                .component::<Host>(h)
+                .expect("host downcast")
+                .done()
+        })
+    }
+
+    /// Run under a watchdog: like [`Cluster::run`], but a stall produces
+    /// a typed [`Diagnosis`] instead of a hang or a bare assertion.
+    ///
+    /// Two stall modes are distinguished:
+    ///
+    /// * The simulation *quiesces* (event heap drains) before every rank
+    ///   finishes — a true deadlock: some progress obligation (a credit
+    ///   grant, a clear-to-send, a frame past its retry budget) is gone
+    ///   for good. → [`StallKind::QuiescentDeadlock`].
+    /// * Virtual time reaches `deadline` with events still pending — the
+    ///   run is alive but not converging. → [`StallKind::DeadlineExceeded`].
+    ///
+    /// The diagnosis carries every component's self-reported health:
+    /// queue depths, parked sends, outstanding rendezvous, in-flight
+    /// retransmit windows, dead peers, unfinished ranks.
+    pub fn run_watched(&mut self, deadline: Time) -> Result<u64, Box<Diagnosis>> {
+        let n = self.sim.run_until(deadline);
+        if self.all_done() {
+            return Ok(n);
+        }
+        let kind = if self.sim.is_idle() {
+            StallKind::QuiescentDeadlock
+        } else {
+            StallKind::DeadlineExceeded
+        };
+        Err(Box::new(self.sim.diagnose(kind)))
     }
 
     /// Inspect the NIC serving a rank, after (or between) runs.

@@ -8,6 +8,7 @@
 use crate::app::{AppProgram, HostState, Mpi, PORT_COMPLETION, PORT_TIMER};
 use crate::types::MpiStatus;
 use mpiq_dessim::prelude::*;
+use mpiq_dessim::watchdog::Health;
 use mpiq_nic::Completion;
 use std::collections::HashMap;
 
@@ -89,6 +90,7 @@ impl Component for Host {
                         tag: comp.tag,
                         len: comp.len,
                         cancelled: comp.cancelled,
+                        overflow: comp.overflow,
                     },
                 );
             }
@@ -104,5 +106,19 @@ impl Component for Host {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+
+    /// Watchdog self-report: a host is busy until its program calls
+    /// `finish` — an unfinished rank is the canonical deadlock symptom.
+    fn health(&self) -> Option<Health> {
+        let mut h = Health {
+            busy: !self.state.done,
+            ..Health::default()
+        }
+        .gauge("completions", self.state.completed.len() as u64);
+        if !self.state.done {
+            h = h.note(format!("rank {} has not finished", self.state.rank));
+        }
+        Some(h)
     }
 }

@@ -54,6 +54,11 @@ pub struct MpiStatus {
     pub len: u32,
     /// The request was cancelled (`MPI_Cancel`) rather than matched.
     pub cancelled: bool,
+    /// The matched message lost its eager payload to receiver buffer-pool
+    /// exhaustion (`MPI_ERR_TRUNCATE`-like): the envelope is intact, `len`
+    /// is what actually arrived. Never set when overload protection is
+    /// unconfigured.
+    pub overflow: bool,
 }
 
 #[cfg(test)]

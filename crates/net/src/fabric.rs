@@ -98,9 +98,23 @@ impl Component for Fabric {
         let mut msg = *ev
             .payload
             .downcast::<Message>()
-            .expect("fabric accepts Message payloads only");
+            .unwrap_or_else(|p| {
+                panic!(
+                    "fabric accepts Message payloads only; got {p:?} on port {:?} at t={}",
+                    ev.port, ev.time
+                )
+            });
         let dst = msg.header.dst_node;
-        assert!(dst < self.nodes, "message to unknown node {dst}");
+        assert!(
+            dst < self.nodes,
+            "message to unknown node {dst} (fabric has {} nodes): \
+             {:?} seq={} from node {} at t={}",
+            self.nodes,
+            msg.header.kind,
+            msg.header.seq,
+            msg.header.src_node,
+            ev.time
+        );
         let mut duplicate = false;
         if let Some(plan) = &mut self.faults {
             let verdict = plan.roll_wire();

@@ -60,6 +60,11 @@ pub struct LinkState {
     /// injection clears this to model in-flight corruption; receivers must
     /// discard frames with `crc_ok == false`.
     pub crc_ok: bool,
+    /// Eager flow-control credits granted to the *receiving* NIC of this
+    /// frame (credits flow opposite to the eager data they authorize).
+    /// Piggybacked on ACK frames by the reliability layer; `0` everywhere
+    /// when credit flow control is unconfigured.
+    pub credit: u32,
 }
 
 impl Default for LinkState {
@@ -67,6 +72,7 @@ impl Default for LinkState {
         LinkState {
             seq: 0,
             crc_ok: true,
+            credit: 0,
         }
     }
 }

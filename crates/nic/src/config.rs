@@ -105,6 +105,30 @@ pub struct NicConfig {
     /// the layer is pure overhead, and leaving it unconstructed keeps the
     /// fault machinery zero-cost.
     pub reliability: bool,
+    /// Maximum unexpected-queue entries this NIC will hold. Arrivals that
+    /// would exceed the bound are *refused at the wire* (the link layer
+    /// never accepts them, so go-back-N retransmission becomes the
+    /// backpressure). `0` = unbounded (the historical behavior).
+    pub max_unexpected: u32,
+    /// Bytes of eager payload the NIC will stage for unmatched arrivals.
+    /// When the pool is exhausted further eager arrivals are admitted
+    /// *header-only*: the envelope still matches later, but the payload is
+    /// gone and the completion reports `overflow` ([`crate::Completion`]).
+    /// `0` = unbounded.
+    pub eager_buffer_bytes: u64,
+    /// Eager flow-control credits this NIC grants each peer. A sender
+    /// spends one credit per nonzero-payload eager message and falls back
+    /// to the rendezvous (RTS/CTS) path at zero credit, staging the burst
+    /// on the *sender* until the receiver matches. Credits return
+    /// piggybacked on link ACKs as the receiver consumes the messages.
+    /// `0` = no credit flow control.
+    pub eager_credits: u32,
+    /// Depth of each ALPU's probe (header-copy) FIFO. `0` = the unit
+    /// default (4096, deep enough to stand in for Rx-path backpressure).
+    /// Small values exercise the overflow path: a unit that cannot drain
+    /// its FIFO within the firmware's spin budget is declared wedged and
+    /// quarantined.
+    pub alpu_probe_fifo: u32,
 }
 
 impl NicConfig {
@@ -126,7 +150,36 @@ impl NicConfig {
             ranks_per_node: 1,
             faults: FaultConfig::none(),
             reliability: false,
+            max_unexpected: 0,
+            eager_buffer_bytes: 0,
+            eager_credits: 0,
+            alpu_probe_fifo: 0,
         }
+    }
+
+    /// True when any overload-protection bound is configured. Bounds
+    /// require the link layer: wire refusal and credit return both ride
+    /// on go-back-N sequencing and ACKs.
+    pub fn overload_active(&self) -> bool {
+        self.max_unexpected > 0 || self.eager_buffer_bytes > 0 || self.eager_credits > 0
+    }
+
+    /// Arm overload protection: bound the unexpected queue at
+    /// `max_unexpected` entries and the eager staging pool at
+    /// `eager_buffer_bytes`, and grant each peer `eager_credits` eager
+    /// credits. Any nonzero bound forces the reliability layer on (wire
+    /// refusal is expressed as a link-level gap; credits ride on ACKs).
+    pub fn with_flow_control(
+        mut self,
+        eager_credits: u32,
+        max_unexpected: u32,
+        eager_buffer_bytes: u64,
+    ) -> NicConfig {
+        self.eager_credits = eager_credits;
+        self.max_unexpected = max_unexpected;
+        self.eager_buffer_bytes = eager_buffer_bytes;
+        self.reliability = self.reliability || self.overload_active();
+        self
     }
 
     /// Arm fault injection. Any nonzero network fault probability forces
@@ -216,6 +269,22 @@ mod tests {
             ..FaultConfig::none()
         });
         assert!(!flippy.reliability);
+    }
+
+    #[test]
+    fn flow_control_forces_reliability_on() {
+        let c = NicConfig::baseline();
+        assert!(!c.overload_active());
+        let c = NicConfig::baseline().with_flow_control(8, 64, 1 << 16);
+        assert!(c.overload_active());
+        assert!(c.reliability);
+        assert_eq!(c.eager_credits, 8);
+        assert_eq!(c.max_unexpected, 64);
+        assert_eq!(c.eager_buffer_bytes, 1 << 16);
+        // All-zero flow control is exactly "unconfigured".
+        let z = NicConfig::baseline().with_flow_control(0, 0, 0);
+        assert!(!z.overload_active());
+        assert!(!z.reliability);
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct RecvEntry {
 #[derive(Clone, Debug)]
 struct UnexpEntry {
     header: MsgHeader,
+    /// The eager payload was shed at admission because the staging pool
+    /// ([`NicConfig::eager_buffer_bytes`]) was exhausted. Only the
+    /// envelope survives; the eventual receive completes with
+    /// `overflow = true` and `len = 0`.
+    truncated: bool,
 }
 
 /// A parked rendezvous send awaiting its clear-to-send.
@@ -112,6 +117,17 @@ struct SendEntry {
     len: u32,
     token: u64,
     addr: u64,
+}
+
+/// A send deferred behind an in-flight rendezvous to the same peer (see
+/// `Firmware::deferred_sends`).
+#[derive(Clone, Copy, Debug)]
+struct PendingSend {
+    req: ReqId,
+    dst: NodeId,
+    context: u16,
+    tag: u16,
+    len: u32,
 }
 
 /// A matched rendezvous awaiting its data message.
@@ -149,6 +165,11 @@ pub struct AlpuPort {
     /// Cycles spent spinning on a full command FIFO (satellite stat: the
     /// old code spun silently and unboundedly).
     overflow_spins: u64,
+    /// Cycles spent spinning on a full probe (header-copy) FIFO.
+    probe_spins: u64,
+    /// Probes abandoned because the probe FIFO never drained within the
+    /// spin budget (each one wedges + quarantines the unit).
+    probe_drops: u64,
 }
 
 impl AlpuPort {
@@ -161,9 +182,20 @@ impl AlpuPort {
     /// are detected rather than silently absorbed.
     const SPIN_BUDGET: u64 = 4096;
 
-    fn new(cells: usize, block: usize, kind: AlpuKind, mhz: u64, faults: Option<FaultPlan>) -> AlpuPort {
+    fn new(
+        cells: usize,
+        block: usize,
+        kind: AlpuKind,
+        mhz: u64,
+        probe_fifo: u32,
+        faults: Option<FaultPlan>,
+    ) -> AlpuPort {
+        let mut cfg = AlpuConfig::new(cells, block, kind);
+        if probe_fifo > 0 {
+            cfg.header_fifo_depth = probe_fifo as usize;
+        }
         AlpuPort {
-            alpu: Alpu::new(AlpuConfig::new(cells, block, kind)),
+            alpu: Alpu::new(cfg),
             clock: Clock::from_mhz(mhz),
             synced_to: Time::ZERO,
             stash_start_ack: VecDeque::new(),
@@ -171,6 +203,8 @@ impl AlpuPort {
             faults,
             probes_in_flight: 0,
             overflow_spins: 0,
+            probe_spins: 0,
+            probe_drops: 0,
         }
     }
 
@@ -195,21 +229,26 @@ impl AlpuPort {
                 self.alpu.inject_bit_flip(flip.cell_sel, flip.bit);
             }
         }
-        // The hardware FIFO is deep enough in practice; on overflow the
+        // The default FIFO is deep enough in practice; on overflow the
         // hardware would backpressure the copy path. Spin the unit
-        // forward until space frees — bounded: a unit that can't drain a
-        // 4096-deep FIFO within the budget is wedged. Ticks land on the
-        // unit's own clock edges, so time advances from the last synced
-        // cycle boundary — never from the (possibly mid-cycle) `now`.
+        // forward until space frees — bounded and counted: a unit that
+        // can't drain its FIFO ([`NicConfig::alpu_probe_fifo`]) within
+        // the budget drops the probe and is declared wedged. Ticks land
+        // on the unit's own clock edges, so time advances from the last
+        // synced cycle boundary — never from the (possibly mid-cycle)
+        // `now`.
         let mut spins = 0u64;
         while self.alpu.push_header(probe).is_err() {
             if spins >= Self::SPIN_BUDGET {
+                self.probe_spins += spins;
+                self.probe_drops += 1;
                 return Err(AlpuWedged);
             }
             spins += 1;
             self.alpu.tick();
             self.synced_to += self.clock.period();
         }
+        self.probe_spins += spins;
         self.probes_in_flight += 1;
         Ok(())
     }
@@ -358,6 +397,36 @@ pub struct FwStats {
     /// Cycles spent spinning on a full ALPU command FIFO (bounded; a
     /// budget overrun quarantines the unit instead of hanging).
     pub alpu_overflow_spins: u64,
+    /// Cycles spent spinning on a full ALPU probe (header-copy) FIFO.
+    pub alpu_probe_spins: u64,
+    /// Probes dropped because the probe FIFO never drained within the
+    /// spin budget (the unit is wedged and quarantined).
+    pub alpu_probe_drops: u64,
+    /// High-water mark of the unexpected queue (entries).
+    pub unexpected_highwater: u64,
+    /// High-water mark of staged eager payload bytes.
+    pub eager_bytes_highwater: u64,
+    /// Unmatched eager arrivals admitted header-only because the staging
+    /// pool ([`NicConfig::eager_buffer_bytes`]) was exhausted.
+    pub truncated_admits: u64,
+    /// Match-eligible arrivals refused at the wire because the unexpected
+    /// queue was at [`NicConfig::max_unexpected`] (go-back-N retransmits
+    /// them later — this is backpressure, not loss).
+    pub admission_refused: u64,
+    /// Eager sends demoted to the rendezvous path for lack of credit.
+    pub credit_stalls: u64,
+    /// Eager credits spent (one per credited eager send).
+    pub credits_spent: u64,
+    /// Eager credits granted back to senders as staged messages were
+    /// consumed.
+    pub grants_issued: u64,
+    /// Credit grants lost to injected firmware leaks (`leak=P`).
+    pub grants_leaked: u64,
+    /// Rendezvous clear-to-sends lost to injected firmware leaks.
+    pub cts_leaked: u64,
+    /// Sends held back behind an in-flight rendezvous to the same peer
+    /// (deadlock avoidance while the admission bound is armed).
+    pub sends_deferred: u64,
 }
 
 /// Match-path latency histograms, one per entry source (§VI's latency
@@ -389,6 +458,31 @@ pub struct Firmware {
     unexpected: NicQueue<UnexpEntry>,
     send_park: Vec<SendEntry>,
     rndv_expect: HashMap<(NodeId, u64), RndvExpect>,
+    /// Sender-side eager credit pools, one per destination node, lazily
+    /// seeded with [`NicConfig::eager_credits`]. Empty (and never
+    /// touched) when credit flow control is unconfigured.
+    credits: HashMap<NodeId, u32>,
+    /// Receiver-side credit grants awaiting pickup by the NIC, which
+    /// hands them to the link layer for piggybacking on ACKs.
+    pending_grants: Vec<(NodeId, u32)>,
+    /// Bytes of eager payload currently staged for unmatched arrivals
+    /// (tracked only when [`NicConfig::eager_buffer_bytes`] is nonzero).
+    eager_bytes_used: u64,
+    /// Fault stream for firmware-level credit-grant / clear-to-send
+    /// leaks (`leak=P`) — losses the link layer cannot recover, used to
+    /// induce genuine deadlocks for the watchdog.
+    leak_plan: Option<FaultPlan>,
+    /// Sends held back because a rendezvous handshake to the same peer is
+    /// still in flight (RTS sent, data not yet shipped). Only used when
+    /// `max_unexpected` is armed: the receiver may then *refuse* frames,
+    /// and a refused frame sequenced between a clear-to-send and its data
+    /// would head-of-line-block the data forever. Serializing per peer
+    /// keeps every obligation frame immediately deliverable. FIFO order
+    /// per peer preserves MPI ordering.
+    deferred_sends: std::collections::VecDeque<PendingSend>,
+    /// Outstanding rendezvous handshakes per peer (RTS sent, data not yet
+    /// queued to the wire).
+    rndv_inflight: HashMap<NodeId, u32>,
     wire_seq: u64,
     host_seq: u64,
     dma_rx: Dma,
@@ -432,9 +526,22 @@ impl Firmware {
                     .faults
                     .alpu_active()
                     .then(|| FaultPlan::new(cfg.faults, 1 + 2 * node as u64 + lane));
-                AlpuPort::new(s.total_cells, s.block_size, kind, cfg.alpu_mhz, plan)
+                AlpuPort::new(
+                    s.total_cells,
+                    s.block_size,
+                    kind,
+                    cfg.alpu_mhz,
+                    cfg.alpu_probe_fifo,
+                    plan,
+                )
             })
         };
+        // Firmware-level leak faults get their own stream, disjoint from
+        // the fabric (site 0) and ALPU (sites 2n+1, 2n+2) sites.
+        let leak_plan = cfg
+            .faults
+            .leak_active()
+            .then(|| FaultPlan::new(cfg.faults, 0x8000_0000 + node as u64));
         let posted_index = match cfg.sw_match {
             SwMatch::LinearList => None,
             SwMatch::HashBins { bins } => {
@@ -451,6 +558,12 @@ impl Firmware {
             unexpected: NicQueue::new(layout::UNEXP_BASE, cfg.entry_bytes),
             send_park: Vec::new(),
             rndv_expect: HashMap::new(),
+            credits: HashMap::new(),
+            pending_grants: Vec::new(),
+            eager_bytes_used: 0,
+            leak_plan,
+            deferred_sends: std::collections::VecDeque::new(),
+            rndv_inflight: HashMap::new(),
             wire_seq: 0,
             host_seq: 0,
             dma_rx: Dma::new(cfg.dma_bytes_per_ns, cfg.dma_setup),
@@ -498,8 +611,82 @@ impl Firmware {
         let mut s = self.stats;
         for port in [&self.posted_alpu, &self.unexpected_alpu].into_iter().flatten() {
             s.alpu_overflow_spins += port.overflow_spins;
+            s.alpu_probe_spins += port.probe_spins;
+            s.alpu_probe_drops += port.probe_drops;
         }
         s
+    }
+
+    /// Drain the credit grants queued for the link layer. Each entry is
+    /// `(peer, credits)`; the NIC piggybacks them on ACKs to `peer`.
+    pub fn take_pending_grants(&mut self) -> Vec<(NodeId, u32)> {
+        std::mem::take(&mut self.pending_grants)
+    }
+
+    /// Credits returned by `peer` arrived on the link layer; refill the
+    /// sender-side pool so parked eager traffic can flow again.
+    pub fn credit_returned(&mut self, peer: NodeId, n: u32) {
+        if self.cfg.eager_credits > 0 {
+            let pool = self.credits.entry(peer).or_insert(self.cfg.eager_credits);
+            *pool += n;
+        }
+    }
+
+    /// The NIC refused a match-eligible arrival at the wire because the
+    /// unexpected queue is at its bound (diagnostics only; the refusal
+    /// itself happens in the NIC component before the link layer).
+    pub fn note_admission_refused(&mut self) {
+        self.stats.admission_refused += 1;
+    }
+
+    /// Bytes of eager payload currently staged (diagnostics).
+    pub fn eager_bytes_used(&self) -> u64 {
+        self.eager_bytes_used
+    }
+
+    /// Sender-side credits currently available toward `peer` (diagnostics;
+    /// `None` when the pool is still at its unseeded default).
+    pub fn credits_toward(&self, peer: NodeId) -> Option<u32> {
+        self.credits.get(&peer).copied()
+    }
+
+    /// Spend one eager credit toward `dst_node`, or report starvation.
+    fn take_credit(&mut self, dst_node: NodeId) -> bool {
+        let pool = self.credits.entry(dst_node).or_insert(self.cfg.eager_credits);
+        if *pool == 0 {
+            self.stats.credit_stalls += 1;
+            false
+        } else {
+            *pool -= 1;
+            self.stats.credits_spent += 1;
+            true
+        }
+    }
+
+    /// Queue one credit grant back to `peer` (a staged eager message was
+    /// consumed). The injected leak models a firmware bug the link layer
+    /// cannot see: the grant simply never happens.
+    fn grant_credit(&mut self, peer: NodeId) {
+        if self.leak_plan.as_mut().is_some_and(|p| p.roll_leak()) {
+            self.stats.grants_leaked += 1;
+            return;
+        }
+        self.stats.grants_issued += 1;
+        self.pending_grants.push((peer, 1));
+    }
+
+    /// Would `h` match a currently posted receive? Read-only, costs no
+    /// simulated time: this models the hardware header-copy path (Fig. 1)
+    /// inspecting the posted list at wire speed. The NIC's admission
+    /// filter consults it when the unexpected queue sits at its bound — a
+    /// frame destined for a posted receive never stages, so refusing it
+    /// would deadlock the very receives that could drain the queue.
+    pub fn would_match_posted(&self, h: &MsgHeader) -> bool {
+        let word = self.header_word(h);
+        self.posted.iter().any(|item| {
+            !item.val.ghost
+                && mpiq_alpu::match_types::masked_eq(item.val.word, word, item.val.mask)
+        })
     }
 
     /// Posted-queue length (diagnostics/benchmarks).
@@ -510,6 +697,21 @@ impl Firmware {
     /// Unexpected-queue length (diagnostics/benchmarks).
     pub fn unexpected_len(&self) -> usize {
         self.unexpected.len()
+    }
+
+    /// Rendezvous sends parked awaiting a clear-to-send (diagnostics).
+    pub fn sends_parked(&self) -> usize {
+        self.send_park.len()
+    }
+
+    /// Sends held behind an in-flight rendezvous handshake (diagnostics).
+    pub fn deferred_len(&self) -> usize {
+        self.deferred_sends.len()
+    }
+
+    /// Matched rendezvous receives awaiting their data (diagnostics).
+    pub fn rndv_expected(&self) -> usize {
+        self.rndv_expect.len()
     }
 
     /// Is the posted-receive ALPU currently worth probing? Always, at the
@@ -994,6 +1196,7 @@ impl Firmware {
                             // Truncate to the posted buffer, like MPI does.
                             len: h.payload_len.min(entry.len),
                             cancelled: false,
+                            overflow: false,
                         };
                         if h.payload_len > 0 {
                             // DMA payload to the user buffer.
@@ -1009,6 +1212,14 @@ impl Firmware {
                             fx.completions.push((done + self.cfg.completion_cost, comp));
                         } else {
                             fx.completions.push((t + self.cfg.completion_cost, comp));
+                        }
+                        // Matched on arrival: the message never staged in
+                        // NIC memory, so its credit returns immediately.
+                        if self.cfg.eager_credits > 0
+                            && h.payload_len > 0
+                            && h.src_node != self.node
+                        {
+                            self.grant_credit(h.src_node);
                         }
                         t += core.run(&TraceBuilder::new().int(10).build(), t).elapsed;
                     }
@@ -1033,17 +1244,44 @@ impl Firmware {
                             0,
                             MsgKind::RndvReply { token: h.seq },
                         );
-                        let at = self.inject(reply.wire_bytes(), t);
-                        fx.tx.push((at, reply));
+                        // Injected firmware leak: the clear-to-send is
+                        // built but never queued — the sender parks
+                        // forever. The link layer can't recover what was
+                        // never transmitted; only the watchdog sees it.
+                        if self.leak_plan.as_mut().is_some_and(|p| p.roll_leak()) {
+                            self.stats.cts_leaked += 1;
+                        } else {
+                            let at = self.inject(reply.wire_bytes(), t);
+                            fx.tx.push((at, reply));
+                        }
                     }
                     _ => unreachable!(),
                 }
             }
             None => {
                 // Unexpected: append to the unexpected queue; eager
-                // payloads are buffered in NIC memory by the Rx DMA.
+                // payloads are buffered in NIC memory by the Rx DMA —
+                // unless the staging pool is exhausted, in which case
+                // only the envelope is kept (header-only admit) and the
+                // eventual receive reports `overflow`.
                 self.stats.unexpected_arrivals += 1;
-                let (_, addr) = self.unexpected.push(UnexpEntry { header: h });
+                let staged = h.kind == MsgKind::Eager && h.payload_len > 0;
+                let truncated = staged
+                    && self.cfg.eager_buffer_bytes > 0
+                    && self.eager_bytes_used + h.payload_len as u64
+                        > self.cfg.eager_buffer_bytes;
+                if truncated {
+                    self.stats.truncated_admits += 1;
+                } else if staged && self.cfg.eager_buffer_bytes > 0 {
+                    self.eager_bytes_used += h.payload_len as u64;
+                    self.stats.eager_bytes_highwater =
+                        self.stats.eager_bytes_highwater.max(self.eager_bytes_used);
+                }
+                let (_, addr) = self.unexpected.push(UnexpEntry { header: h, truncated });
+                self.stats.unexpected_highwater = self
+                    .stats
+                    .unexpected_highwater
+                    .max(self.unexpected.len() as u64);
                 self.ev(
                     t,
                     TraceEvent::QueueOp {
@@ -1062,7 +1300,7 @@ impl Firmware {
                         t,
                     )
                     .elapsed;
-                if h.kind == MsgKind::Eager && h.payload_len > 0 {
+                if staged && !truncated {
                     let (start, done) = self.dma_rx.transfer(h.payload_len as u64, t);
                     self.ev(
                         start,
@@ -1125,8 +1363,44 @@ impl Firmware {
                 tag: park.tag,
                 len: park.len,
                 cancelled: false,
+                overflow: false,
             },
         ));
+        // The data frame is queued (it sequences ahead of anything we
+        // send from here on): the handshake to this peer is over, release
+        // sends held behind it — until one re-enters rendezvous, which
+        // re-arms the gate.
+        let peer = msg.header.src_node;
+        if self.cfg.max_unexpected > 0 {
+            if let Some(n) = self.rndv_inflight.get_mut(&peer) {
+                *n = n.saturating_sub(1);
+            }
+            t = self.release_deferred(peer, t, core, fx);
+        }
+        t
+    }
+
+    /// Re-issue sends deferred behind a now-finished rendezvous to
+    /// `peer`, in FIFO order, stopping when one starts a new handshake
+    /// (the gate re-arms) or none remain.
+    fn release_deferred(
+        &mut self,
+        peer: NodeId,
+        mut t: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        while self.rndv_inflight.get(&peer).copied().unwrap_or(0) == 0 {
+            let Some(pos) = self
+                .deferred_sends
+                .iter()
+                .position(|p| self.node_of(p.dst) == peer)
+            else {
+                break;
+            };
+            let p = self.deferred_sends.remove(pos).expect("position valid");
+            t = self.send_now(p.req, p.dst, p.context, p.tag, p.len, t, core, fx);
+        }
         t
     }
 
@@ -1153,6 +1427,7 @@ impl Firmware {
                 tag: exp.tag,
                 len: exp.len,
                 cancelled: false,
+                overflow: false,
             },
         ));
         t
@@ -1213,8 +1488,60 @@ impl Firmware {
         core: &mut Core,
         fx: &mut Effects,
     ) -> Time {
-        let mut t = now + core.run(&TraceBuilder::new().int(12).build(), now).elapsed;
-        if len <= self.cfg.eager_threshold {
+        let t = now + core.run(&TraceBuilder::new().int(12).build(), now).elapsed;
+        // Deadlock avoidance under the admission bound: while a
+        // rendezvous handshake to this peer is still in flight (RTS out,
+        // data not yet shipped), any further frame we sequence to that
+        // peer could be refused at the receiver and head-of-line-block
+        // the rendezvous data behind it in the go-back-N window. Hold the
+        // send back; it is released the moment the data frame is queued.
+        // FIFO per peer, so MPI ordering is untouched; unarmed
+        // configurations never reach this path.
+        let peer = self.node_of(dst);
+        if self.cfg.max_unexpected > 0
+            && peer != self.node
+            && (self.rndv_inflight.get(&peer).copied().unwrap_or(0) > 0
+                || self.deferred_sends.iter().any(|p| self.node_of(p.dst) == peer))
+        {
+            self.stats.sends_deferred += 1;
+            self.deferred_sends.push_back(PendingSend {
+                req,
+                dst,
+                context,
+                tag,
+                len,
+            });
+            return t;
+        }
+        self.send_now(req, dst, context, tag, len, t, core, fx)
+    }
+
+    /// The actual send path (eager or rendezvous), past the deferral
+    /// gate. `t` already includes the dispatch bookkeeping cost.
+    #[allow(clippy::too_many_arguments)]
+    fn send_now(
+        &mut self,
+        req: ReqId,
+        dst: NodeId,
+        context: u16,
+        tag: u16,
+        len: u32,
+        mut t: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        // Credit flow control: each nonzero-payload eager message to a
+        // remote node spends one credit; at zero credit the send demotes
+        // to the rendezvous path below, staging the payload on *this*
+        // side until the receiver matches. Zero-payload messages (barrier
+        // tokens and other control traffic) are exempt so synchronization
+        // can never starve behind bulk data.
+        let eager = len <= self.cfg.eager_threshold
+            && (len == 0
+                || self.cfg.eager_credits == 0
+                || self.node_of(dst) == self.node
+                || self.take_credit(self.node_of(dst)));
+        if eager {
             // Eager: DMA payload from host, send header+payload.
             let msg = self.make_msg(dst, req.rank, context, tag, len, MsgKind::Eager);
             let at = if len > 0 {
@@ -1231,12 +1558,16 @@ impl Firmware {
                     tag,
                     len,
                     cancelled: false,
+                    overflow: false,
                 },
             ));
             fx.tx.push((at, msg));
             t += core.run(&TraceBuilder::new().int(6).bus_write().build(), t).elapsed;
         } else {
             // Rendezvous: header-only request; park the send.
+            if self.cfg.max_unexpected > 0 && self.node_of(dst) != self.node {
+                *self.rndv_inflight.entry(self.node_of(dst)).or_insert(0) += 1;
+            }
             let msg = self.make_msg(dst, req.rank, context, tag, len, MsgKind::RndvRequest);
             let token = msg.header.seq;
             let addr = layout::SENDQ_BASE + (self.send_park.len() as u64) * 64;
@@ -1400,6 +1731,7 @@ impl Firmware {
                     },
                 );
                 let h = item.val.header;
+                let truncated = item.val.truncated;
                 t += core
                     .run(
                         &TraceBuilder::new()
@@ -1412,15 +1744,24 @@ impl Firmware {
                     .elapsed;
                 match h.kind {
                     MsgKind::Eager => {
-                        // Buffered payload → user buffer.
+                        // Buffered payload → user buffer. A truncated
+                        // admit has no payload to deliver: the envelope
+                        // completes with `overflow` and zero bytes
+                        // (`MPI_ERR_TRUNCATE`-like).
                         let comp = Completion {
                             req,
                             source: h.src_rank,
                             tag: h.tag,
-                            len: h.payload_len.min(len),
+                            len: if truncated { 0 } else { h.payload_len.min(len) },
                             cancelled: false,
+                            overflow: truncated,
                         };
-                        if h.payload_len > 0 {
+                        if h.payload_len > 0 && !truncated {
+                            if self.cfg.eager_buffer_bytes > 0 {
+                                self.eager_bytes_used = self
+                                    .eager_bytes_used
+                                    .saturating_sub(h.payload_len as u64);
+                            }
                             let (start, done) = self.dma_rx.transfer(h.payload_len as u64, t);
                             self.ev(
                                 start,
@@ -1433,6 +1774,13 @@ impl Firmware {
                             fx.completions.push((done + self.cfg.completion_cost, comp));
                         } else {
                             fx.completions.push((t + self.cfg.completion_cost, comp));
+                        }
+                        // The staged message is gone: return its credit.
+                        if self.cfg.eager_credits > 0
+                            && h.payload_len > 0
+                            && h.src_node != self.node
+                        {
+                            self.grant_credit(h.src_node);
                         }
                     }
                     MsgKind::RndvRequest => {
@@ -1453,8 +1801,14 @@ impl Firmware {
                             0,
                             MsgKind::RndvReply { token: h.seq },
                         );
-                        let at = self.inject(reply.wire_bytes(), t);
-                        fx.tx.push((at, reply));
+                        // Same injected-leak site as the matched-on-arrival
+                        // clear-to-send.
+                        if self.leak_plan.as_mut().is_some_and(|p| p.roll_leak()) {
+                            self.stats.cts_leaked += 1;
+                        } else {
+                            let at = self.inject(reply.wire_bytes(), t);
+                            fx.tx.push((at, reply));
+                        }
                     }
                     _ => unreachable!("only match-eligible headers are queued"),
                 }
@@ -1571,6 +1925,7 @@ impl Firmware {
                     tag: h.tag,
                     len: h.payload_len,
                     cancelled: false,
+                    overflow: false,
                 }
             }
             None => Completion {
@@ -1579,6 +1934,7 @@ impl Firmware {
                 tag: 0,
                 len: 0,
                 cancelled: true, // flag == false: nothing waiting
+                overflow: false,
             },
         };
         fx.completions.push((t + self.cfg.completion_cost, comp));
@@ -1650,6 +2006,7 @@ impl Firmware {
                 tag,
                 len: 0,
                 cancelled: true,
+                overflow: false,
             },
         ));
         t

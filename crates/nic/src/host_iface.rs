@@ -96,6 +96,12 @@ pub struct Completion {
     pub len: u32,
     /// The request was cancelled rather than matched (`MPI_Cancel`).
     pub cancelled: bool,
+    /// The receive matched a message whose eager payload had been shed
+    /// under buffer-pool exhaustion ([`crate::NicConfig::eager_buffer_bytes`]):
+    /// the envelope is valid, `len` reports what was actually delivered
+    /// (possibly 0), and the application sees `MPI_ERR_TRUNCATE`-like
+    /// status (`RecvOverflow`).
+    pub overflow: bool,
 }
 
 #[cfg(test)]

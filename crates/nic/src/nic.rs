@@ -13,8 +13,8 @@ use crate::host_iface::HostRequest;
 use crate::reliability::{Reliability, ReliabilityConfig};
 use mpiq_cpusim::Core;
 use mpiq_dessim::prelude::*;
-use mpiq_dessim::TraceEvent;
-use mpiq_net::{Message, NodeId};
+use mpiq_dessim::{watchdog::Health, TraceEvent};
+use mpiq_net::{Message, MsgKind, NodeId};
 use std::collections::VecDeque;
 
 /// Input port: messages from the fabric.
@@ -40,6 +40,20 @@ pub fn host_comp_port(pid: u32) -> OutPort {
 pub struct Nic {
     node: NodeId,
     ranks_per_node: u32,
+    /// Unexpected-queue bound ([`NicConfig::max_unexpected`]); arrivals
+    /// that would exceed it are refused at the wire, before the link
+    /// layer sequences them, so go-back-N retransmission becomes the
+    /// backpressure. `0` = unbounded.
+    max_unexpected: u32,
+    /// Any overload bound configured (gates flow-control stat keys so
+    /// unconfigured stat dumps stay byte-identical).
+    overload: bool,
+    /// Match-eligible frames (Eager / RndvRequest) the link layer has
+    /// sequenced but the firmware has not yet processed. Counted against
+    /// `max_unexpected` at admission so a work-queue backlog cannot
+    /// overshoot the bound between wire acceptance and staging. Only
+    /// maintained when the bound is armed.
+    pending_rx_match: u32,
     fw: Firmware,
     core: Core,
     work: VecDeque<WorkItem>,
@@ -68,6 +82,9 @@ impl Nic {
         Nic {
             node,
             ranks_per_node: cfg.ranks_per_node.max(1),
+            max_unexpected: cfg.max_unexpected,
+            overload: cfg.overload_active() || cfg.faults.leak_active(),
+            pending_rx_match: 0,
             fw: Firmware::new(node, cfg),
             core: Core::new(cfg.core),
             work: VecDeque::new(),
@@ -125,6 +142,15 @@ impl Nic {
         if matches!(item, WorkItem::AlpuUpdate) {
             self.update_queued = false;
         }
+        if self.max_unexpected > 0 {
+            if let WorkItem::Rx { msg, .. } = &item {
+                if matches!(msg.header.kind, MsgKind::Eager | MsgKind::RndvRequest) {
+                    // The frame is about to be staged (or matched): it now
+                    // shows up in `unexpected_len` itself if it lands there.
+                    self.pending_rx_match -= 1;
+                }
+            }
+        }
         let now = ctx.now();
         self.sample_occupancy(now);
         let (end, fx) = self.fw.process(item, now, &mut self.core);
@@ -145,6 +171,21 @@ impl Nic {
                 None => msg,
             };
             ctx.emit_after(PORT_NET_TX, Payload::new(msg), at.saturating_sub(now));
+        }
+        // Credit grants the firmware queued while consuming staged eager
+        // messages ride the link layer back to their senders: piggybacked
+        // on the next ACK if one is due, else as standalone credit-carrying
+        // ACK frames right now.
+        if let Some(link) = self.link.as_mut() {
+            let grants = self.fw.take_pending_grants();
+            if !grants.is_empty() {
+                for (peer, n) in grants {
+                    link.queue_grant(peer, n);
+                }
+                for frame in link.flush_grants() {
+                    ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
+                }
+            }
         }
         for (at, comp) in fx.completions {
             // Route to the issuing process's host.
@@ -240,6 +281,27 @@ impl Nic {
             s.set(&format!("{p}.link.dup_discarded"), ls.dup_discarded);
             s.set(&format!("{p}.link.gap_discarded"), ls.gap_discarded);
             s.set(&format!("{p}.link.timer_fires"), ls.timer_fires);
+            s.set(&format!("{p}.link.links_dead"), ls.links_dead);
+        }
+        // Flow-control / overload counters: keyed out entirely unless a
+        // bound (or the leak fault) is configured, so pre-existing stat
+        // dumps stay byte-identical.
+        if self.overload {
+            s.set(&format!("{p}.flow.unexpected_highwater"), fw.unexpected_highwater);
+            s.set(&format!("{p}.flow.eager_bytes_highwater"), fw.eager_bytes_highwater);
+            s.set(&format!("{p}.flow.truncated_admits"), fw.truncated_admits);
+            s.set(&format!("{p}.flow.admission_refused"), fw.admission_refused);
+            s.set(&format!("{p}.flow.credit_stalls"), fw.credit_stalls);
+            s.set(&format!("{p}.flow.sends_deferred"), fw.sends_deferred);
+            s.set(&format!("{p}.flow.credits_spent"), fw.credits_spent);
+            s.set(&format!("{p}.flow.grants_issued"), fw.grants_issued);
+            s.set(&format!("{p}.flow.grants_leaked"), fw.grants_leaked);
+            s.set(&format!("{p}.flow.cts_leaked"), fw.cts_leaked);
+            if let Some(link) = &self.link {
+                let ls = link.stats();
+                s.set(&format!("{p}.flow.credits_granted"), ls.credits_granted);
+                s.set(&format!("{p}.flow.credits_received"), ls.credits_received);
+            }
         }
         // Latency histograms go to the separate metrics registry; the
         // enabled check keeps unmetered runs free of the key formatting.
@@ -280,11 +342,51 @@ impl Component for Nic {
                     .payload
                     .downcast::<Message>()
                     .expect("NET_RX carries Message");
+                // Bounded unexpected queue: a match-eligible arrival that
+                // could overflow the bound is refused *at the wire* — the
+                // link layer never sequences it, so the sender's go-back-N
+                // window retransmits it later. Backpressure, not loss: by
+                // the retry the receiver has usually drained. Only armed
+                // together with the reliability layer
+                // ([`NicConfig::overload_active`] forces it on).
+                if self.max_unexpected > 0
+                    && self.link.is_some()
+                    && msg.header.src_node != self.node
+                    && matches!(msg.header.kind, MsgKind::Eager | MsgKind::RndvRequest)
+                    && self.fw.unexpected_len() + self.pending_rx_match as usize
+                        >= self.max_unexpected as usize
+                    // A frame that completes a posted receive never stages;
+                    // refusing it would starve the receives that drain the
+                    // queue. Admit it past the bound — but only with no
+                    // other match-eligible frames in flight to the
+                    // firmware, so a racing frame cannot consume the
+                    // posted entry first and push this one over the bound.
+                    && !(self.pending_rx_match == 0
+                        && self.fw.would_match_posted(&msg.header))
+                {
+                    self.fw.note_admission_refused();
+                    // A refused frame must not read as a dead link: answer
+                    // with a duplicate cumulative ACK (liveness, zero
+                    // progress) so the sender's retry budget survives
+                    // sustained backpressure.
+                    if let Some(link) = self.link.as_mut() {
+                        if let Some(ack) = link.refuse(&msg) {
+                            ctx.emit_after(PORT_NET_TX, Payload::new(ack), Time::ZERO);
+                        }
+                    }
+                    self.publish_stats(ctx);
+                    return;
+                }
                 if let Some(link) = self.link.as_mut() {
                     // Link layer first: CRC check, sequencing, ACK/NACK
                     // generation, duplicate suppression. Only in-order,
                     // intact data frames reach the firmware.
                     let result = link.receive(msg, ctx.now());
+                    // Credits the peer piggybacked on this frame refill
+                    // the firmware's sender-side pool.
+                    for (peer, n) in link.take_credit_returns() {
+                        self.fw.credit_returned(peer, n);
+                    }
                     for frame in result.send {
                         ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
                     }
@@ -316,6 +418,11 @@ impl Component for Nic {
                 }
                 // Hardware header-copy path fires at arrival time,
                 // regardless of processor occupancy (Fig. 1).
+                if self.max_unexpected > 0
+                    && matches!(msg.header.kind, MsgKind::Eager | MsgKind::RndvRequest)
+                {
+                    self.pending_rx_match += 1;
+                }
                 let probed = self.fw.header_arrival(&msg, ctx.now());
                 self.work.push_back(WorkItem::Rx { msg, probed });
                 self.try_start(ctx);
@@ -362,6 +469,43 @@ impl Component for Nic {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+
+    /// Watchdog self-report: a NIC is busy while it holds work items,
+    /// parked rendezvous sends, matched-but-undelivered rendezvous
+    /// receives, or unacknowledged frames in a retransmit window.
+    fn health(&self) -> Option<Health> {
+        let windows = self
+            .link
+            .as_ref()
+            .map(|l| l.window_depths())
+            .unwrap_or_default();
+        let busy = self.busy
+            || !self.work.is_empty()
+            || self.fw.sends_parked() > 0
+            || self.fw.rndv_expected() > 0
+            || self.fw.deferred_len() > 0
+            || !windows.is_empty();
+        let mut h = Health {
+            busy,
+            ..Health::default()
+        }
+        .gauge("work_queued", self.work.len() as u64)
+        .gauge("posted", self.fw.posted_len() as u64)
+        .gauge("unexpected", self.fw.unexpected_len() as u64)
+        .gauge("sends_parked", self.fw.sends_parked() as u64)
+        .gauge("sends_deferred", self.fw.deferred_len() as u64)
+        .gauge("rndv_expected", self.fw.rndv_expected() as u64)
+        .gauge("eager_bytes_staged", self.fw.eager_bytes_used());
+        for (peer, depth) in windows {
+            h = h.note(format!("in-flight window to node {peer}: {depth} frame(s)"));
+        }
+        if let Some(link) = &self.link {
+            for peer in link.dead_peers() {
+                h = h.note(format!("link to node {peer} DEAD (retry budget exhausted)"));
+            }
+        }
+        Some(h)
     }
 }
 

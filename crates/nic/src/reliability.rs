@@ -32,7 +32,7 @@
 use bytes::Bytes;
 use mpiq_dessim::{Histogram, Time};
 use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Tunables for the link protocol.
 #[derive(Clone, Copy, Debug)]
@@ -44,8 +44,11 @@ pub struct ReliabilityConfig {
     /// Ceiling for the exponential backoff.
     pub rto_max: Time,
     /// Consecutive no-progress timer retransmissions tolerated before the
-    /// link is declared dead (panics: a lost peer is unrecoverable in this
-    /// model and silently hanging would hide the bug).
+    /// link is declared **dead**: a typed, inspectable state
+    /// ([`Reliability::dead_peers`]) rather than a panic. A dead link
+    /// stops retransmitting (so the simulation can quiesce instead of
+    /// spinning timers forever) and the watchdog diagnosis names the
+    /// peer.
     pub retry_budget: u32,
 }
 
@@ -76,6 +79,13 @@ pub struct LinkStats {
     pub gap_discarded: u64,
     /// Retransmit-timer expiries that actually resent a window.
     pub timer_fires: u64,
+    /// Links declared dead after exhausting the retry budget.
+    pub links_dead: u64,
+    /// Eager flow-control credits granted to peers (attached to outgoing
+    /// ACK frames). 0 unless credit flow control is configured.
+    pub credits_granted: u64,
+    /// Eager flow-control credits received from peers.
+    pub credits_received: u64,
 }
 
 /// Sender-side state for one peer.
@@ -161,6 +171,13 @@ pub struct Reliability {
     /// skipped (and nothing allocates) unless the NIC enabled telemetry.
     telemetry: bool,
     fires: Vec<RetxFire>,
+    /// Peers whose links exhausted the retry budget. Sticky.
+    dead: BTreeSet<NodeId>,
+    /// Eager credits waiting to ride out on the next ACK to each peer.
+    pending_grants: BTreeMap<NodeId, u32>,
+    /// Credits extracted from arriving frames, waiting for the firmware
+    /// to collect ([`Reliability::take_credit_returns`]).
+    credit_returns: Vec<(NodeId, u32)>,
 }
 
 impl Reliability {
@@ -175,6 +192,9 @@ impl Reliability {
             backoff_hist: Histogram::new(),
             telemetry: false,
             fires: Vec::new(),
+            dead: BTreeSet::new(),
+            pending_grants: BTreeMap::new(),
+            credit_returns: Vec::new(),
         }
     }
 
@@ -204,6 +224,85 @@ impl Reliability {
         self.tx.values().map(|l| l.unacked.len()).sum()
     }
 
+    /// Peers whose links exhausted the retry budget and were declared
+    /// dead. Empty on a healthy NIC.
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        self.dead.iter().copied().collect()
+    }
+
+    /// In-flight window depth per peer (diagnostics for the watchdog:
+    /// which links still hold unacknowledged frames, and how many).
+    pub fn window_depths(&self) -> Vec<(NodeId, usize)> {
+        self.tx
+            .iter()
+            .filter(|(_, l)| !l.unacked.is_empty())
+            .map(|(p, l)| (*p, l.unacked.len()))
+            .collect()
+    }
+
+    /// Queue `n` eager credits to ride to `peer` on the next ACK (or on a
+    /// standalone credit frame from [`Reliability::flush_grants`]).
+    pub fn queue_grant(&mut self, peer: NodeId, n: u32) {
+        if n > 0 {
+            *self.pending_grants.entry(peer).or_insert(0) += n;
+        }
+    }
+
+    /// Build standalone credit-carrying ACKs for every peer with pending
+    /// grants. Called by the NIC after firmware processing so consumed
+    /// eager buffers return their credits even when no data frame (and
+    /// hence no piggyback ACK) is about to flow the other way.
+    pub fn flush_grants(&mut self) -> Vec<Message> {
+        let mut out = Vec::new();
+        for (peer, n) in std::mem::take(&mut self.pending_grants) {
+            if n == 0 {
+                continue;
+            }
+            let cum = self.rx.get(&peer).map_or(0, |l| l.expected - 1);
+            let mut m = Self::control(self.node, peer, MsgKind::Ack { cum });
+            m.link.credit = n;
+            self.stats.credits_granted += n as u64;
+            self.stats.acks_sent += 1;
+            out.push(m);
+        }
+        out
+    }
+
+    /// Drain credits extracted from arriving frames: `(peer, n)` pairs
+    /// for the firmware's sender-side credit pools.
+    pub fn take_credit_returns(&mut self) -> Vec<(NodeId, u32)> {
+        std::mem::take(&mut self.credit_returns)
+    }
+
+    /// The NIC refused `msg` admission (unexpected-queue bound). The frame
+    /// is *not* sequenced — the sender's go-back-N window will retransmit
+    /// it — but silence here would read as a dead link and burn the retry
+    /// budget. Answer with a duplicate cumulative ACK: no progress, but
+    /// proof of life (any ACK resets the sender's retry counter). Returns
+    /// the keepalive for sequenced, intact data frames; refusing anything
+    /// else needs no reply.
+    pub fn refuse(&mut self, msg: &Message) -> Option<Message> {
+        if msg.link.seq == 0 || !msg.link.crc_ok || msg.header.kind.is_link_control() {
+            return None;
+        }
+        let peer = msg.header.src_node;
+        let cum = self.rx.get(&peer).map_or(0, |l| l.expected - 1);
+        self.stats.acks_sent += 1;
+        let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum });
+        self.attach_grants(peer, &mut ack);
+        Some(ack)
+    }
+
+    /// Attach any pending grants for `peer` to an outgoing control frame.
+    fn attach_grants(&mut self, peer: NodeId, msg: &mut Message) {
+        if let Some(n) = self.pending_grants.remove(&peer) {
+            if n > 0 {
+                msg.link.credit = n;
+                self.stats.credits_granted += n as u64;
+            }
+        }
+    }
+
     /// Stamp an outgoing frame with its link sequence and buffer it for
     /// retransmission. `at` is the frame's fabric-injection time (the
     /// retransmit timer arms from it). Control frames pass through
@@ -212,6 +311,7 @@ impl Reliability {
         if msg.header.kind.is_link_control() {
             return msg;
         }
+        let dead = self.dead.contains(&msg.header.dst_node);
         let link = self
             .tx
             .entry(msg.header.dst_node)
@@ -219,7 +319,10 @@ impl Reliability {
         msg.link.seq = link.next_seq;
         link.next_seq += 1;
         link.unacked.push_back((msg.link.seq, msg.clone()));
-        if link.deadline.is_none() {
+        // A dead link buffers (the window depth is part of the watchdog
+        // diagnosis) but never re-arms its timer: retransmitting into a
+        // void would keep the simulation from quiescing.
+        if link.deadline.is_none() && !dead {
             link.deadline = Some(at + link.rto);
         }
         msg
@@ -234,6 +337,13 @@ impl Reliability {
             // floor; NACK/timer recovery covers it like a plain loss.
             self.stats.crc_dropped += 1;
             return out;
+        }
+        if msg.link.credit > 0 {
+            // Credit grants ride the link state of (usually ACK) frames;
+            // collect them for the firmware's sender-side pools.
+            self.stats.credits_received += msg.link.credit as u64;
+            self.credit_returns
+                .push((msg.header.src_node, msg.link.credit));
         }
         match msg.header.kind {
             MsgKind::Ack { cum } => {
@@ -260,7 +370,9 @@ impl Reliability {
             link.expected += 1;
             link.nacked_for = 0;
             self.stats.acks_sent += 1;
-            out.send.push(Self::control(self.node, peer, MsgKind::Ack { cum: seq }));
+            let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum: seq });
+            self.attach_grants(peer, &mut ack);
+            out.send.push(ack);
             out.deliver = Some(msg);
         } else if seq < link.expected {
             // Duplicate (fabric-duplicated or retransmitted after the ACK
@@ -268,7 +380,9 @@ impl Reliability {
             self.stats.dup_discarded += 1;
             self.stats.acks_sent += 1;
             let cum = link.expected - 1;
-            out.send.push(Self::control(self.node, peer, MsgKind::Ack { cum }));
+            let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum });
+            self.attach_grants(peer, &mut ack);
+            out.send.push(ack);
         } else {
             // Gap: something before this frame was lost. Go-back-N
             // receivers buffer nothing — discard, and ask for the missing
@@ -291,9 +405,13 @@ impl Reliability {
         while link.unacked.front().is_some_and(|(s, _)| *s <= cum) {
             link.unacked.pop_front();
         }
+        // Any ACK — even a no-progress duplicate from an overloaded peer
+        // refusing admission — proves the link is alive; only silence
+        // should spend the retry budget. The backoff (rto) collapses only
+        // on real progress, so retransmissions into a refusing peer stay
+        // exponentially spaced.
+        link.retries = 0;
         if link.unacked.len() != before {
-            // Progress: the peer is alive, forgive past timeouts.
-            link.retries = 0;
             link.rto = self.cfg.rto;
         }
         link.deadline = if link.unacked.is_empty() {
@@ -345,7 +463,11 @@ impl Reliability {
 
     /// Fire the retransmit timer: every peer whose deadline has passed
     /// gets its window retransmitted, with exponential backoff. Returns
-    /// the frames to inject. Panics once a link exceeds the retry budget.
+    /// the frames to inject. A link that exhausts the retry budget is
+    /// declared **dead** ([`Reliability::dead_peers`]): it stops
+    /// retransmitting and disarms its timer so the simulation can drain
+    /// to quiescence, where the watchdog turns the stall into a typed
+    /// diagnosis naming the peer.
     pub fn on_timer(&mut self, now: Time) -> Vec<Message> {
         let mut resend = Vec::new();
         for (peer, link) in self.tx.iter_mut() {
@@ -356,12 +478,15 @@ impl Reliability {
                 continue;
             }
             link.retries += 1;
-            assert!(
-                link.retries <= self.cfg.retry_budget,
-                "link {} -> {peer} dead: {} retransmissions without progress",
-                self.node,
-                self.cfg.retry_budget,
-            );
+            if link.retries > self.cfg.retry_budget {
+                // Typed link-dead: keep the window for diagnosis, stop
+                // the timer, remember the peer.
+                link.deadline = None;
+                if self.dead.insert(*peer) {
+                    self.stats.links_dead += 1;
+                }
+                continue;
+            }
             self.stats.timer_fires += 1;
             self.stats.retransmits += link.unacked.len() as u64;
             for (_, m) in &link.unacked {
@@ -521,7 +646,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "retransmissions without progress")]
     fn retry_budget_declares_the_link_dead() {
         let mut tx = Reliability::new(
             0,
@@ -531,11 +655,67 @@ mod tests {
             },
         );
         tx.transmit(data(0, 1, 0), Time::ZERO);
-        let mut now = Time::ZERO;
-        for _ in 0..8 {
-            now = tx.next_deadline().unwrap();
+        assert!(tx.dead_peers().is_empty());
+        // 3 budgeted retransmissions, then the 4th expiry kills the link.
+        for round in 0..4 {
+            let now = tx.next_deadline().unwrap_or_else(|| {
+                panic!("timer disarmed before the budget was spent (round {round})")
+            });
             tx.on_timer(now);
         }
+        assert_eq!(tx.dead_peers(), vec![1], "dead peer must be named");
+        assert_eq!(tx.stats().links_dead, 1);
+        assert_eq!(tx.stats().timer_fires, 3, "budget bounds retransmissions");
+        // The timer is disarmed — the simulation can quiesce — but the
+        // window is retained for the watchdog diagnosis.
+        assert_eq!(tx.next_deadline(), None);
+        assert_eq!(tx.unacked_frames(), 1);
+        assert_eq!(tx.window_depths(), vec![(1, 1)]);
+        // Further traffic to the dead peer buffers without re-arming.
+        tx.transmit(data(0, 1, 1), Time::from_us(500));
+        assert_eq!(tx.next_deadline(), None);
+        assert_eq!(tx.unacked_frames(), 2);
+        // Death is counted once, not per expiry.
+        tx.on_timer(Time::from_us(900));
+        assert_eq!(tx.stats().links_dead, 1);
+    }
+
+    #[test]
+    fn credits_piggyback_on_acks_and_flush_standalone() {
+        let mut tx = Reliability::new(0, cfg());
+        let mut rx = Reliability::new(1, cfg());
+        // Receiver queues 3 credits for node 0; next in-order data frame's
+        // ACK carries them.
+        rx.queue_grant(0, 3);
+        let m = tx.transmit(data(0, 1, 0), Time::ZERO);
+        let r = rx.receive(m, Time::from_ns(50));
+        assert_eq!(r.send.len(), 1);
+        assert_eq!(r.send[0].link.credit, 3, "grants piggyback on the ACK");
+        assert_eq!(rx.stats().credits_granted, 3);
+        // Sender extracts them on receive.
+        tx.receive(r.send.into_iter().next().unwrap(), Time::from_ns(90));
+        assert_eq!(tx.take_credit_returns(), vec![(1, 3)]);
+        assert_eq!(tx.stats().credits_received, 3);
+        assert!(tx.take_credit_returns().is_empty(), "drained");
+        // With no data flowing, grants flush as standalone credit-ACKs.
+        rx.queue_grant(0, 2);
+        let flushed = rx.flush_grants();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].link.credit, 2);
+        assert_eq!(flushed[0].header.kind, MsgKind::Ack { cum: 1 });
+        assert!(rx.flush_grants().is_empty(), "grants sent once");
+        // The standalone re-ACK is harmless at the sender.
+        let back = tx.receive(flushed.into_iter().next().unwrap(), Time::from_us(1));
+        assert!(back.deliver.is_none() && back.send.is_empty());
+        assert_eq!(tx.take_credit_returns(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn zero_grants_never_touch_the_wire() {
+        let mut rx = Reliability::new(1, cfg());
+        rx.queue_grant(0, 0);
+        assert!(rx.flush_grants().is_empty());
+        assert_eq!(rx.stats().credits_granted, 0);
     }
 
     #[test]

@@ -117,6 +117,7 @@ fn lossy(seed: u64) -> FaultConfig {
         corrupt_p: 0.005,
         flip_p: 0.001,
         stall_p: 0.001,
+        ..FaultConfig::none()
     }
 }
 
