@@ -242,12 +242,17 @@ fn build_programs(pattern: AppPattern) -> Vec<Script> {
 }
 
 /// Run one pattern on one NIC configuration and collect the queue study.
-pub fn run_app(nic: NicConfig, pattern: AppPattern) -> AppStudy {
+/// `parallelism` selects the execution engine (0 = hub, `n >= 1` =
+/// sharded on `n` threads); the result is identical either way.
+pub fn run_app(nic: NicConfig, pattern: AppPattern, parallelism: usize) -> AppStudy {
     let programs = build_programs(pattern)
         .into_iter()
         .map(|s| Box::new(s) as Box<dyn AppProgram>)
         .collect();
-    let mut cluster = Cluster::new(ClusterConfig::new(nic), programs);
+    let mut cluster = Cluster::new(
+        ClusterConfig::builder(nic).parallelism(parallelism).build(),
+        programs,
+    );
     cluster.run();
     let ranks = pattern.ranks();
     let stats = cluster.stats();
@@ -291,6 +296,7 @@ mod tests {
                 iters: 8,
                 prepost_depth: 1,
             },
+            0,
         );
         let deep = run_app(
             NicConfig::baseline(),
@@ -299,6 +305,7 @@ mod tests {
                 iters: 8,
                 prepost_depth: 8,
             },
+            0,
         );
         assert!(
             deep.max_posted > shallow.max_posted + 10,
@@ -317,6 +324,7 @@ mod tests {
                 rounds: 8,
                 compute_ns: 5_000,
             },
+            0,
         );
         assert!(
             s.max_unexpected >= 6,
@@ -330,6 +338,7 @@ mod tests {
         let s = run_app(
             NicConfig::baseline(),
             AppPattern::Wavefront { side: 3, sweeps: 4 },
+            0,
         );
         assert!(s.runtime > Time::ZERO);
     }
@@ -341,8 +350,8 @@ mod tests {
             iters: 10,
             prepost_depth: 10,
         };
-        let base = run_app(NicConfig::baseline(), pat);
-        let alpu = run_app(NicConfig::with_alpus(128), pat);
+        let base = run_app(NicConfig::baseline(), pat, 0);
+        let alpu = run_app(NicConfig::with_alpus(128), pat, 0);
         assert!(
             alpu.traversed * 2 < base.traversed,
             "ALPU must absorb most of the search: {} vs {}",

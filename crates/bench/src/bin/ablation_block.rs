@@ -9,9 +9,15 @@
 //! projection.
 
 use mpiq_alpu::PipelineTiming;
+use mpiq_bench::cli::Cli;
 use mpiq_fpga::{estimate, Variant};
 
 fn main() {
+    let _cli = Cli::parse(
+        "ablation_block",
+        "ALPU block-size design space: area, clock, and match service time",
+        &[],
+    );
     println!(
         "{:>6} {:>6} | {:>7} {:>7} {:>7} | {:>7} {:>5} | {:>12} {:>12}",
         "cells", "block", "LUTs", "FFs", "slices", "MHz", "lat", "FPGA ns/match", "ASIC ns/match"

@@ -10,10 +10,12 @@
 //! 3. wildcard-depth sweep — where hashing collapses back to a scan and
 //!    the ALPU does not.
 
+use mpiq_bench::cli::Cli;
 use mpiq_bench::{postloop_rtt, run_parallel, PostLoopPoint};
 use mpiq_nic::NicConfig;
 
 fn main() {
+    let cli = Cli::parse("ablation_hash", "linear list vs hash-binned matching vs ALPU", &[]);
     let configs: Vec<(&str, NicConfig)> = vec![
         ("list", NicConfig::baseline()),
         ("hash16", NicConfig::with_hash(16)),
@@ -23,14 +25,14 @@ fn main() {
     ];
 
     println!("# exact-depth sweep (wildcards = 0), per-iteration RTT in us");
-    sweep(&configs, |q| PostLoopPoint {
+    sweep(&configs, &cli.common, |q| PostLoopPoint {
         exact_prepost: q,
         wildcard_prepost: 0,
         msg_size: 0,
     });
 
     println!("\n# wildcard-depth sweep (exact = 0), per-iteration RTT in us");
-    sweep(&configs, |q| PostLoopPoint {
+    sweep(&configs, &cli.common, |q| PostLoopPoint {
         exact_prepost: 0,
         wildcard_prepost: q,
         msg_size: 0,
@@ -43,7 +45,11 @@ fn main() {
     );
 }
 
-fn sweep(configs: &[(&str, NicConfig)], point: impl Fn(usize) -> PostLoopPoint + Sync) {
+fn sweep(
+    configs: &[(&str, NicConfig)],
+    common: &mpiq_bench::cli::Common,
+    point: impl Fn(usize) -> PostLoopPoint + Sync,
+) {
     let depths = [0usize, 25, 50, 100, 200, 300, 400];
     print!("{:>8}", "depth");
     for (label, _) in configs {
@@ -55,8 +61,9 @@ fn sweep(configs: &[(&str, NicConfig)], point: impl Fn(usize) -> PostLoopPoint +
         .enumerate()
         .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
         .collect();
-    let results = run_parallel(work.clone(), 0, |&(qi, ci)| {
-        postloop_rtt(configs[ci].1, point(depths[qi])).as_us_f64()
+    let engine_threads = common.threads;
+    let results = run_parallel(work.clone(), common.sweep_threads, move |&(qi, ci)| {
+        postloop_rtt(configs[ci].1, point(depths[qi]), engine_threads).as_us_f64()
     });
     for (qi, &q) in depths.iter().enumerate() {
         print!("{q:>8}");

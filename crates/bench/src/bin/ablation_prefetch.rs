@@ -11,10 +11,17 @@
 //! issue-bound cost. The measurement argues the paper's §VII question has
 //! no easy cache-side answer; the ALPU's flat curve stands alone.
 
+use mpiq_bench::cli::Cli;
 use mpiq_bench::{preposted_latency_cfg, run_parallel, PrepostedPoint};
 use mpiq_nic::NicConfig;
 
 fn main() {
+    let cli = Cli::parse(
+        "ablation_prefetch",
+        "next-line prefetch vs the ALPU at the cache cliff (§VII)",
+        &[],
+    );
+    let engine_threads = cli.common.threads;
     let configs: Vec<(&str, NicConfig)> = vec![
         ("baseline", NicConfig::baseline()),
         ("prefetch", NicConfig::with_prefetch()),
@@ -33,7 +40,7 @@ fn main() {
         .enumerate()
         .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
         .collect();
-    let results = run_parallel(work.clone(), 0, |&(qi, ci)| {
+    let results = run_parallel(work.clone(), cli.common.sweep_threads, |&(qi, ci)| {
         preposted_latency_cfg(
             configs[ci].1,
             PrepostedPoint {
@@ -41,6 +48,7 @@ fn main() {
                 fraction: 1.0,
                 msg_size: 0,
             },
+            engine_threads,
         )
         .latency
         .as_us_f64()

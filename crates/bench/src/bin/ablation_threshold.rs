@@ -6,6 +6,7 @@
 //! and sweeps it: with the threshold at 5, the zero-length penalty
 //! disappears while the deep-queue win is retained.
 
+use mpiq_bench::cli::Cli;
 use mpiq_bench::{preposted_latency_cfg, run_parallel, PrepostedPoint};
 use mpiq_nic::{AlpuSetup, NicConfig};
 
@@ -21,6 +22,12 @@ fn with_threshold(cells: usize, threshold: usize) -> NicConfig {
 }
 
 fn main() {
+    let cli = Cli::parse(
+        "ablation_threshold",
+        "§VI-B engagement heuristic: ALPU engage threshold sweep",
+        &[],
+    );
+    let engine_threads = cli.common.threads;
     let thresholds = [0usize, 5, 10];
     let queues: Vec<usize> = (0..=16).chain([32, 64, 128].iter().copied()).collect();
 
@@ -41,7 +48,7 @@ fn main() {
         .enumerate()
         .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
         .collect();
-    let results = run_parallel(work.clone(), 0, |&(qi, ci)| {
+    let results = run_parallel(work.clone(), cli.common.sweep_threads, |&(qi, ci)| {
         preposted_latency_cfg(
             configs[ci].1,
             PrepostedPoint {
@@ -49,6 +56,7 @@ fn main() {
                 fraction: 1.0,
                 msg_size: 0,
             },
+            engine_threads,
         )
         .latency
         .as_us_f64()

@@ -4,10 +4,17 @@
 //! inefficient use of processing and memory resources", and what cancels
 //! do to DELETE-less ALPU hardware.
 
+use mpiq_bench::cli::Cli;
 use mpiq_bench::wildcard::{wildcard_workaround, RecvStrategy, WildcardStudy};
 use mpiq_bench::{run_parallel, NicVariant};
 
 fn main() {
+    let cli = Cli::parse(
+        "ablation_wildcard",
+        "MPI_ANY_SOURCE vs the post-all-and-cancel workaround (§II)",
+        &[],
+    );
+    let engine_threads = cli.common.threads;
     let iters = 48u32;
     let sender_counts = [2u32, 4, 8, 12];
     let work: Vec<(NicVariant, RecvStrategy, u32)> = sender_counts
@@ -22,8 +29,8 @@ fn main() {
                 })
         })
         .collect();
-    let results: Vec<WildcardStudy> = run_parallel(work.clone(), 0, |&(v, st, s)| {
-        wildcard_workaround(v.config(), st, s, iters)
+    let results: Vec<WildcardStudy> = run_parallel(work.clone(), cli.common.sweep_threads, move |&(v, st, s)| {
+        wildcard_workaround(v.config(), st, s, iters, engine_threads)
     });
 
     println!(

@@ -3,9 +3,16 @@
 //! four application communication patterns, per NIC configuration.
 
 use mpiq_bench::appsim::{run_app, AppPattern};
+use mpiq_bench::cli::Cli;
 use mpiq_bench::{run_parallel, NicVariant};
 
 fn main() {
+    let cli = Cli::parse(
+        "appstudy",
+        "queue depths and traversal work for four application patterns",
+        &[],
+    );
+    let engine_threads = cli.common.threads;
     let patterns = [
         AppPattern::Stencil2D {
             side: 4,
@@ -28,7 +35,9 @@ fn main() {
     let work: Vec<(usize, NicVariant)> = (0..patterns.len())
         .flat_map(|p| NicVariant::ALL.map(|v| (p, v)))
         .collect();
-    let results = run_parallel(work.clone(), 0, |&(p, v)| run_app(v.config(), patterns[p]));
+    let results = run_parallel(work.clone(), cli.common.sweep_threads, move |&(p, v)| {
+        run_app(v.config(), patterns[p], engine_threads)
+    });
     for (i, &(p, v)) in work.iter().enumerate() {
         let s = &results[i];
         println!(

@@ -3,14 +3,26 @@
 //! 5 entries and an ~80 ns zero-length penalty, suggesting "the MPI
 //! library could be optimized to not use the ALPU until the list is at
 //! least 5 entries long".
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin breakeven -- [MAX_QUEUE]
+//! ```
 
-use mpiq_bench::{preposted_latency, run_parallel, NicVariant, PrepostedPoint};
+use mpiq_bench::cli::Cli;
+use mpiq_bench::{preposted_latency_cfg, run_parallel, NicVariant, PrepostedPoint};
 
 fn main() {
-    let max: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("usize"))
+    let cli = Cli::parse(
+        "breakeven",
+        "§VI-B break-even: queue length where the ALPU pays for itself (positional: MAX_QUEUE)",
+        &[],
+    );
+    let max: usize = cli
+        .positionals()
+        .first()
+        .map(|s| s.parse().expect("MAX_QUEUE: usize"))
         .unwrap_or(16);
+    let engine_threads = cli.common.threads;
     let points: Vec<(NicVariant, usize)> = (0..=max)
         .flat_map(|q| {
             [
@@ -20,14 +32,15 @@ fn main() {
             ]
         })
         .collect();
-    let rows = run_parallel(points.clone(), 0, |&(v, q)| {
-        preposted_latency(
-            v,
+    let rows = run_parallel(points.clone(), cli.common.sweep_threads, move |&(v, q)| {
+        preposted_latency_cfg(
+            v.config(),
             PrepostedPoint {
                 queue_len: q,
                 fraction: 1.0,
                 msg_size: 0,
             },
+            engine_threads,
         )
         .latency
     });

@@ -5,10 +5,16 @@
 //! ```text
 //! cargo run --release -p mpiq-bench --bin fig5 -- [--config all|baseline|alpu128|alpu256]
 //!     [--max-queue 500] [--step 25] [--fractions 0,0.25,0.5,0.75,1.0]
-//!     [--sizes 0,1024,8192] [--threads 0] [--json results/fig5.json]
+//!     [--sizes 0,1024,8192] [--plot] [--threads 0] [--sweep-threads 0]
+//!     [--out results/fig5.json]
 //!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
 //!     [--trace-out trace.json] [--metrics]
 //! ```
+//!
+//! `--threads` selects the execution engine for each simulated cluster
+//! (0 = single-threaded hub engine, n >= 1 = sharded engine on n worker
+//! threads; output is identical either way). `--sweep-threads` fans the
+//! independent sweep points out across OS threads (0 = all cores).
 //!
 //! With `--faults`, every point runs under the given deterministic fault
 //! schedule and the rows carry extra injection/recovery columns; without
@@ -20,11 +26,11 @@
 //! `--metrics` dumps the latency histograms of that instrumented run to
 //! stderr. Neither flag perturbs the CSV on stdout.
 
+use mpiq_bench::cli::{Cli, Flag};
 use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
 use mpiq_bench::{
     preposted_latency_cfg, run_parallel, FaultCounters, NicVariant, PrepostedPoint,
 };
-use mpiq_dessim::FaultConfig;
 
 struct Row {
     config: String,
@@ -74,18 +80,37 @@ impl CsvRow for Row {
     }
 }
 
+const FLAGS: &[Flag] = &[
+    Flag { name: "plot", value: None, help: "render an ascii projection of the curves" },
+    Flag { name: "config", value: Some("NAME"), help: "all|baseline|alpu128|alpu256 (default all)" },
+    Flag { name: "max-queue", value: Some("N"), help: "deepest posted queue (default 500)" },
+    Flag { name: "step", value: Some("N"), help: "queue-length stride (default 25)" },
+    Flag {
+        name: "fractions",
+        value: Some("LIST"),
+        help: "traversal fractions (default 0,0.25,0.5,0.75,1.0)",
+    },
+    Flag { name: "sizes", value: Some("LIST"), help: "payload bytes (default 0,1024,8192)" },
+];
+
 fn main() {
-    let args = Args::parse();
-    let variants: Vec<NicVariant> = match args.config.as_str() {
+    let cli = Cli::parse("fig5", "Fig. 5: latency vs. posted-receive queue depth", FLAGS);
+    let config = cli.get_str("config").unwrap_or("all").to_string();
+    let variants: Vec<NicVariant> = match config.as_str() {
         "all" => NicVariant::ALL.to_vec(),
         s => vec![s.parse().unwrap_or_else(|e| panic!("{e}"))],
     };
+    let max_queue: usize = cli.get("max-queue", 500);
+    let step: usize = cli.get("step", 25);
+    let fractions: Vec<f64> = cli.get_list("fractions", vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    let sizes: Vec<u32> = cli.get_list("sizes", vec![0, 1024, 8192]);
+    let engine_threads = cli.common.threads;
 
     let mut points = Vec::new();
     for &v in &variants {
-        for &size in &args.sizes {
-            for &f in &args.fractions {
-                for q in (0..=args.max_queue).step_by(args.step) {
+        for &size in &sizes {
+            for &f in &fractions {
+                for q in (0..=max_queue).step_by(step) {
                     points.push((
                         v,
                         PrepostedPoint {
@@ -99,19 +124,24 @@ fn main() {
         }
     }
     eprintln!(
-        "fig5: {} points across {} config(s), {} thread(s)",
+        "fig5: {} points across {} config(s), {} sweep thread(s), engine threads {}",
         points.len(),
         variants.len(),
-        if args.threads == 0 { "auto".to_string() } else { args.threads.to_string() }
+        if cli.common.sweep_threads == 0 {
+            "auto".to_string()
+        } else {
+            cli.common.sweep_threads.to_string()
+        },
+        engine_threads
     );
 
-    let faults = args.faults;
-    let rows: Vec<Row> = run_parallel(points, args.threads, move |&(v, p)| {
+    let faults = cli.common.faults;
+    let rows: Vec<Row> = run_parallel(points, cli.common.sweep_threads, move |&(v, p)| {
         let mut cfg = v.config();
         if let Some(f) = faults {
             cfg = cfg.with_faults(f);
         }
-        let r = preposted_latency_cfg(cfg, p);
+        let r = preposted_latency_cfg(cfg, p, engine_threads);
         Row {
             config: v.label().to_string(),
             queue_len: p.queue_len,
@@ -133,12 +163,12 @@ fn main() {
     for r in &rows {
         println!("{}", r.csv());
     }
-    if let Some(path) = &args.json {
+    if let Some(path) = &cli.common.out {
         write_json(std::path::Path::new(path), &rows).expect("write json");
         eprintln!("fig5: wrote {path}");
     }
 
-    if args.plot {
+    if cli.has("plot") {
         let mut series = Vec::new();
         for (v, glyph) in variants.iter().zip(['B', 'a', 'A', 'x', 'y']) {
             series.push(mpiq_bench::ascii_plot::Series {
@@ -147,7 +177,7 @@ fn main() {
                 points: rows
                     .iter()
                     .filter(|r| {
-                        r.config == v.label() && r.fraction == 1.0 && r.msg_size == args.sizes[0]
+                        r.config == v.label() && r.fraction == 1.0 && r.msg_size == sizes[0]
                     })
                     .map(|r| (r.queue_len as f64, r.latency_us))
                     .collect(),
@@ -157,12 +187,12 @@ fn main() {
             "
 Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
 {}",
-            args.sizes[0],
+            sizes[0],
             mpiq_bench::ascii_plot::render(&series, 72, 20, "queue length", "latency (us)")
         );
     }
 
-    if args.trace_out.is_some() || args.metrics {
+    if cli.common.trace_out.is_some() || cli.common.metrics {
         // Prefer an ALPU variant so the timeline shows hardware events.
         let v = variants
             .iter()
@@ -170,19 +200,19 @@ Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
             .find(|v| *v != NicVariant::Baseline)
             .unwrap_or(variants[0]);
         let point = PrepostedPoint {
-            queue_len: args.max_queue,
+            queue_len: max_queue,
             fraction: 1.0,
-            msg_size: args.sizes[0],
+            msg_size: sizes[0],
         };
         let mut cfg = v.config();
         if let Some(f) = faults {
             cfg = cfg.with_faults(f);
         }
-        let run = mpiq_bench::traced_preposted(cfg, point, 1 << 20);
+        let run = mpiq_bench::traced_preposted(cfg, point, 1 << 20, engine_threads);
         if run.dropped > 0 {
             eprintln!("fig5: trace ring overflowed, {} records dropped", run.dropped);
         }
-        if let Some(path) = &args.trace_out {
+        if let Some(path) = &cli.common.trace_out {
             std::fs::write(path, &run.chrome_json).expect("write trace");
             eprintln!(
                 "fig5: wrote {} trace records ({} config) to {path}",
@@ -190,7 +220,7 @@ Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
                 v.label()
             );
         }
-        if args.metrics {
+        if cli.common.metrics {
             eprintln!("{}", run.metrics_text);
         }
     }
@@ -203,73 +233,18 @@ Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
                     r.config == v.label()
                         && r.queue_len == q
                         && r.fraction == 1.0
-                        && r.msg_size == args.sizes[0]
+                        && r.msg_size == sizes[0]
                 })
                 .map(|r| r.latency_us)
         };
-        if let (Some(l0), Some(lmax)) = (at(0), at(args.max_queue)) {
+        if let (Some(l0), Some(lmax)) = (at(0), at(max_queue)) {
             eprintln!(
                 "fig5[{}]: latency {:.2}us @len 0 -> {:.2}us @len {} (full traversal)",
                 v.label(),
                 l0,
                 lmax,
-                args.max_queue
+                max_queue
             );
         }
-    }
-}
-
-struct Args {
-    plot: bool,
-    config: String,
-    max_queue: usize,
-    step: usize,
-    fractions: Vec<f64>,
-    sizes: Vec<u32>,
-    threads: usize,
-    json: Option<String>,
-    faults: Option<FaultConfig>,
-    trace_out: Option<String>,
-    metrics: bool,
-}
-
-impl Args {
-    fn parse() -> Args {
-        let mut a = Args {
-            plot: false,
-            config: "all".into(),
-            max_queue: 500,
-            step: 25,
-            fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
-            sizes: vec![0, 1024, 8192],
-            threads: 0,
-            json: None,
-            faults: None,
-            trace_out: None,
-            metrics: false,
-        };
-        let mut it = std::env::args().skip(1);
-        while let Some(flag) = it.next() {
-            let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
-            match flag.as_str() {
-                "--plot" => a.plot = true,
-                "--config" => a.config = val(),
-                "--max-queue" => a.max_queue = val().parse().expect("usize"),
-                "--step" => a.step = val().parse().expect("usize"),
-                "--fractions" => {
-                    a.fractions = val().split(',').map(|s| s.parse().expect("f64")).collect()
-                }
-                "--sizes" => a.sizes = val().split(',').map(|s| s.parse().expect("u32")).collect(),
-                "--threads" => a.threads = val().parse().expect("usize"),
-                "--json" => a.json = Some(val()),
-                "--faults" => {
-                    a.faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}")))
-                }
-                "--trace-out" => a.trace_out = Some(val()),
-                "--metrics" => a.metrics = true,
-                other => panic!("unknown flag {other}"),
-            }
-        }
-        a
     }
 }

@@ -3,10 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p mpiq-bench --bin fig6 -- [--max-queue 400] [--step 20]
-//!     [--sizes 64,1024] [--threads 0] [--json results/fig6.json]
+//!     [--sizes 64,1024] [--plot] [--threads 0] [--sweep-threads 0]
+//!     [--out results/fig6.json]
 //!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
 //!     [--trace-out trace.json] [--metrics]
 //! ```
+//!
+//! `--threads` selects the execution engine for each simulated cluster
+//! (0 = single-threaded hub engine, n >= 1 = sharded engine on n worker
+//! threads; output is identical either way). `--sweep-threads` fans the
+//! independent sweep points out across OS threads (0 = all cores).
 //!
 //! With `--faults`, every point runs under the given deterministic fault
 //! schedule and the rows carry extra injection/recovery columns; without
@@ -17,11 +23,11 @@
 //! `--metrics` dumps its latency histograms to stderr. The CSV on
 //! stdout is unaffected by either flag.
 
+use mpiq_bench::cli::{Cli, Flag};
 use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
 use mpiq_bench::{
     run_parallel, unexpected_latency_cfg, FaultCounters, NicVariant, UnexpectedPoint,
 };
-use mpiq_dessim::FaultConfig;
 
 struct Row {
     config: String,
@@ -61,38 +67,20 @@ impl CsvRow for Row {
     }
 }
 
+const FLAGS: &[Flag] = &[
+    Flag { name: "plot", value: None, help: "render an ascii projection of the curves" },
+    Flag { name: "max-queue", value: Some("N"), help: "deepest unexpected queue (default 400)" },
+    Flag { name: "step", value: Some("N"), help: "queue-length stride (default 20)" },
+    Flag { name: "sizes", value: Some("LIST"), help: "payload bytes (default 64,1024)" },
+];
+
 fn main() {
-    let mut max_queue = 400usize;
-    let mut step = 20usize;
-    let mut sizes: Vec<u32> = vec![64, 1024];
-    let mut threads = 0usize;
-    let mut json: Option<String> = None;
-    let mut plot = false;
-    let mut faults: Option<FaultConfig> = None;
-    let mut trace_out: Option<String> = None;
-    let mut metrics = false;
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
-        match flag.as_str() {
-            "--plot" => {
-                plot = true;
-                continue;
-            }
-            "--max-queue" => max_queue = val().parse().expect("usize"),
-            "--step" => step = val().parse().expect("usize"),
-            "--sizes" => sizes = val().split(',').map(|s| s.parse().expect("u32")).collect(),
-            "--threads" => threads = val().parse().expect("usize"),
-            "--json" => json = Some(val()),
-            "--faults" => faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}"))),
-            "--trace-out" => trace_out = Some(val()),
-            "--metrics" => {
-                metrics = true;
-                continue;
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
+    let cli = Cli::parse("fig6", "Fig. 6: latency vs. unexpected-queue depth", FLAGS);
+    let max_queue: usize = cli.get("max-queue", 400);
+    let step: usize = cli.get("step", 20);
+    let sizes: Vec<u32> = cli.get_list("sizes", vec![64, 1024]);
+    let engine_threads = cli.common.threads;
+    let faults = cli.common.faults;
 
     let mut points = Vec::new();
     for v in NicVariant::ALL {
@@ -108,14 +96,14 @@ fn main() {
             }
         }
     }
-    eprintln!("fig6: {} points", points.len());
+    eprintln!("fig6: {} points, engine threads {}", points.len(), engine_threads);
 
-    let rows: Vec<Row> = run_parallel(points, threads, move |&(v, p)| {
+    let rows: Vec<Row> = run_parallel(points, cli.common.sweep_threads, move |&(v, p)| {
         let mut cfg = v.config();
         if let Some(f) = faults {
             cfg = cfg.with_faults(f);
         }
-        let r = unexpected_latency_cfg(cfg, p);
+        let r = unexpected_latency_cfg(cfg, p, engine_threads);
         Row {
             config: v.label().to_string(),
             queue_len: p.queue_len,
@@ -134,12 +122,12 @@ fn main() {
     for r in &rows {
         println!("{}", r.csv());
     }
-    if let Some(path) = &json {
+    if let Some(path) = &cli.common.out {
         write_json(std::path::Path::new(path), &rows).expect("write json");
         eprintln!("fig6: wrote {path}");
     }
 
-    if plot {
+    if cli.has("plot") {
         let mut series = Vec::new();
         for (v, glyph) in NicVariant::ALL.iter().zip(['B', 'a', 'A']) {
             series.push(mpiq_bench::ascii_plot::Series {
@@ -161,7 +149,7 @@ Fig. 6: latency vs unexpected-queue length ({} B messages)
         );
     }
 
-    if trace_out.is_some() || metrics {
+    if cli.common.trace_out.is_some() || cli.common.metrics {
         let mut cfg = NicVariant::Alpu128.config();
         if let Some(f) = faults {
             cfg = cfg.with_faults(f);
@@ -173,15 +161,16 @@ Fig. 6: latency vs unexpected-queue length ({} B messages)
                 msg_size: sizes[0],
             },
             1 << 20,
+            engine_threads,
         );
         if run.dropped > 0 {
             eprintln!("fig6: trace ring overflowed, {} records dropped", run.dropped);
         }
-        if let Some(path) = &trace_out {
+        if let Some(path) = &cli.common.trace_out {
             std::fs::write(path, &run.chrome_json).expect("write trace");
             eprintln!("fig6: wrote {} trace records to {path}", run.records);
         }
-        if metrics {
+        if cli.common.metrics {
             eprintln!("{}", run.metrics_text);
         }
     }

@@ -1,21 +1,33 @@
 //! Message-rate (gap) sweep: the §I motivation made measurable. Prints
 //! receiver-side gap vs posted-queue depth for the three evaluation
 //! configurations.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin gap -- [BURST]
+//! ```
 
+use mpiq_bench::cli::Cli;
 use mpiq_bench::gap::{message_gap, GapPoint};
 use mpiq_bench::{run_parallel, NicVariant};
 
 fn main() {
-    let burst: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("usize"))
+    let cli = Cli::parse(
+        "gap",
+        "receiver-side gap vs posted-queue depth (positional: BURST size)",
+        &[],
+    );
+    let burst: usize = cli
+        .positionals()
+        .first()
+        .map(|s| s.parse().expect("BURST: usize"))
         .unwrap_or(64);
+    let engine_threads = cli.common.threads;
     let depths = [0usize, 50, 100, 200, 300, 400];
     let work: Vec<(NicVariant, usize)> = depths
         .iter()
         .flat_map(|&q| NicVariant::ALL.map(|v| (v, q)))
         .collect();
-    let results = run_parallel(work.clone(), 0, |&(v, q)| {
+    let results = run_parallel(work.clone(), cli.common.sweep_threads, move |&(v, q)| {
         message_gap(
             v.config(),
             GapPoint {
@@ -23,6 +35,7 @@ fn main() {
                 burst,
                 msg_size: 0,
             },
+            engine_threads,
         )
     });
 

@@ -5,17 +5,19 @@
 //! ```
 //!
 //! Exits non-zero on the first invalid file; CI uses this to gate the
-//! Chrome-trace and `--json` artifacts the harnesses emit.
+//! Chrome-trace and `--out` artifacts the harnesses emit.
 
+use mpiq_bench::cli::Cli;
 use mpiq_bench::jsonlint::validate;
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let cli = Cli::parse("jsonlint", "validate JSON files (positionals: FILE [FILE ...])", &[]);
+    let paths = cli.positionals();
     if paths.is_empty() {
         eprintln!("usage: jsonlint FILE [FILE ...]");
         std::process::exit(2);
     }
-    for path in &paths {
+    for path in paths {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("jsonlint: {path}: {e}");
             std::process::exit(2);

@@ -1,0 +1,111 @@
+//! Scaling bench: wall-clock speedup of the sharded engine vs worker
+//! threads, on a ≥16-rank incast soak.
+//!
+//! ```text
+//! cargo run --release -p mpiq-bench --bin scaling -- [--senders 16] [--msgs 64]
+//!     [--size 512] [--thread-counts 1,2,4] [--out results/scaling.json]
+//! ```
+//!
+//! For each thread count the same simulation runs on the sharded engine
+//! and the CSV reports wall-clock time and speedup relative to one
+//! worker thread. The statistics dump of every run is byte-compared
+//! against the one-thread run — the engine's determinism contract makes
+//! any divergence a hard error, not a warning. Simulated results (event
+//! counts, virtual runtime, queue statistics) are identical by
+//! construction; only the wall clock changes.
+
+use mpiq_bench::cli::{Cli, Flag};
+use mpiq_bench::report::{json_f64, write_json, JsonRow};
+use mpiq_bench::{run_soak, Scenario, SoakConfig};
+use std::time::Instant;
+
+struct Row {
+    threads: usize,
+    wall_ms: f64,
+    events: u64,
+    speedup: f64,
+}
+
+impl JsonRow for Row {
+    fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("threads", self.threads.to_string()),
+            ("wall_ms", json_f64(self.wall_ms)),
+            ("events", self.events.to_string()),
+            ("speedup", json_f64(self.speedup)),
+        ]
+    }
+}
+
+const FLAGS: &[Flag] = &[
+    Flag { name: "senders", value: Some("N"), help: "incast fan-in; ranks = N + 1 (default 16)" },
+    Flag { name: "msgs", value: Some("N"), help: "messages per sender (default 64)" },
+    Flag { name: "size", value: Some("B"), help: "message payload bytes (default 512)" },
+    Flag {
+        name: "thread-counts",
+        value: Some("LIST"),
+        help: "worker-thread counts to time (default 1,2,4)",
+    },
+];
+
+fn main() {
+    let cli = Cli::parse("scaling", "sharded-engine speedup vs worker threads", FLAGS);
+    let senders: u32 = cli.get("senders", 16);
+    let msgs: u32 = cli.get("msgs", 64);
+    let size: u32 = cli.get("size", 512);
+    let thread_counts: Vec<usize> = cli.get_list("thread-counts", vec![1, 2, 4]);
+    let seed = cli.common.seed.unwrap_or(1);
+    assert!(senders + 1 >= 16, "scaling needs at least 16 ranks (got {} senders)", senders);
+
+    let run_at = |threads: usize| {
+        let mut cfg = SoakConfig::new(Scenario::Incast, seed);
+        cfg.senders = senders;
+        cfg.msgs = msgs;
+        cfg.msg_size = size;
+        cfg.parallelism = threads;
+        let start = Instant::now();
+        let out = run_soak(&cfg).unwrap_or_else(|d| panic!("scaling run stalled:\n{d}"));
+        (start.elapsed().as_secs_f64() * 1e3, out)
+    };
+
+    eprintln!(
+        "scaling: incast, {} ranks, {} msgs x {} B, seed {seed}, host has {} core(s)",
+        senders + 1,
+        msgs,
+        size,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<(f64, String)> = None;
+    println!("threads,wall_ms,events,speedup");
+    for &threads in &thread_counts {
+        assert!(threads >= 1, "--thread-counts entries must be >= 1");
+        let (wall_ms, out) = run_at(threads);
+        let (base_ms, base_stats) = reference.get_or_insert((wall_ms, out.stats_json.clone()));
+        assert_eq!(
+            out.stats_json, *base_stats,
+            "stats diverged between {} and {} threads — determinism contract broken",
+            thread_counts[0], threads
+        );
+        let speedup = *base_ms / wall_ms;
+        println!("{threads},{wall_ms:.1},{},{speedup:.2}", out.events);
+        rows.push(Row {
+            threads,
+            wall_ms,
+            events: out.events,
+            speedup,
+        });
+    }
+
+    if let Some(path) = &cli.common.out {
+        write_json(std::path::Path::new(path), &rows).expect("write json");
+        eprintln!("scaling: wrote {path}");
+    }
+    eprintln!(
+        "scaling: all {} runs produced byte-identical statistics; speedup at {} threads: {:.2}x",
+        rows.len(),
+        rows.last().map_or(0, |r| r.threads),
+        rows.last().map_or(1.0, |r| r.speedup)
+    );
+}

@@ -5,19 +5,22 @@
 //!          [--seeds N | --seed S] [--senders N] [--msgs N] [--size B]
 //!          [--credits N] [--max-unexpected N] [--eager-buffer B]
 //!          [--alpu] [--faults seed=N,drop=P,...] [--deadline-ms T]
-//!          [--check-determinism] [--json PATH] [--curve]
+//!          [--check-determinism] [--threads N] [--out PATH] [--curve]
 //!
 //! Runs each (scenario, seed) pair under the deadlock watchdog, prints
 //! one CSV row per run, and exits nonzero with the watchdog's diagnosis
 //! on a stall. `--check-determinism` repeats every run and demands a
-//! bit-identical statistics dump. `--curve` sweeps the incast fan-in and
-//! renders the degradation curve (runtime and backpressure vs senders).
+//! bit-identical statistics dump. `--threads N` runs every simulation on
+//! the sharded engine with N worker threads (0 = hub engine); output is
+//! identical either way. `--curve` sweeps the incast fan-in and renders
+//! the degradation curve (runtime and backpressure vs senders).
 
 use mpiq_bench::ascii_plot::{render, Series};
+use mpiq_bench::cli::{Cli, Flag};
 use mpiq_bench::report::{write_csv, write_json, CsvRow, JsonRow};
 use mpiq_bench::report::{cells, json_str};
 use mpiq_bench::{run_soak, Scenario, SoakConfig};
-use mpiq_dessim::{FaultConfig, Time};
+use mpiq_dessim::Time;
 use std::io::Write as _;
 
 struct Row {
@@ -76,60 +79,52 @@ impl JsonRow for Row {
     }
 }
 
+const FLAGS: &[Flag] = &[
+    Flag {
+        name: "scenario",
+        value: Some("NAME"),
+        help: "incast|hot-receiver|credit-starve|all (default all)",
+    },
+    Flag { name: "seeds", value: Some("N"), help: "run seeds 1..=N (default 4)" },
+    Flag { name: "senders", value: Some("N"), help: "fan-in (default 16)" },
+    Flag { name: "msgs", value: Some("N"), help: "messages per sender (default 8)" },
+    Flag { name: "size", value: Some("B"), help: "message payload bytes (default 512)" },
+    Flag { name: "credits", value: Some("N"), help: "eager credits per peer (default 4)" },
+    Flag { name: "max-unexpected", value: Some("N"), help: "unexpected-queue bound (default 32)" },
+    Flag { name: "eager-buffer", value: Some("B"), help: "eager buffer bytes (default 16384)" },
+    Flag { name: "alpu", value: None, help: "enable the ALPU NIC variant" },
+    Flag { name: "deadline-ms", value: Some("T"), help: "watchdog deadline (default 500)" },
+    Flag {
+        name: "check-determinism",
+        value: None,
+        help: "re-run every point and demand bit-identical stats",
+    },
+    Flag { name: "curve", value: None, help: "sweep incast fan-in and plot the degradation curve" },
+];
+
 fn main() {
-    let mut scenarios: Vec<Scenario> = Scenario::ALL.to_vec();
-    let mut seeds: Vec<u64> = vec![1, 2, 3, 4];
-    let mut senders = 16u32;
-    let mut msgs = 8u32;
-    let mut size = 512u32;
-    let mut credits = 4u32;
-    let mut max_unexpected = 32u32;
-    let mut eager_buffer = 16u64 << 10;
-    let mut alpu = false;
-    let mut faults: Option<FaultConfig> = None;
-    let mut deadline_ms = 500u64;
-    let mut check_determinism = false;
-    let mut json_path: Option<String> = None;
-    let mut curve = false;
+    let cli = Cli::parse("soak", "overload soak scenarios under the deadlock watchdog", FLAGS);
+    let scenarios: Vec<Scenario> = match cli.get_str("scenario").unwrap_or("all") {
+        "all" => Scenario::ALL.to_vec(),
+        v => vec![Scenario::parse(v).unwrap_or_else(|| panic!("unknown scenario `{v}`"))],
+    };
+    let seeds: Vec<u64> = match cli.common.seed {
+        Some(s) => vec![s],
+        None => (1..=cli.get::<u64>("seeds", 4)).collect(),
+    };
+    let senders: u32 = cli.get("senders", 16);
+    let msgs: u32 = cli.get("msgs", 8);
+    let size: u32 = cli.get("size", 512);
+    let credits: u32 = cli.get("credits", 4);
+    let max_unexpected: u32 = cli.get("max-unexpected", 32);
+    let eager_buffer: u64 = cli.get("eager-buffer", 16u64 << 10);
+    let alpu = cli.has("alpu");
+    let deadline_ms: u64 = cli.get("deadline-ms", 500);
+    let check_determinism = cli.has("check-determinism");
+    let parallelism = cli.common.threads;
 
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mut val = || args.next().unwrap_or_else(|| panic!("{a} needs a value"));
-        match a.as_str() {
-            "--scenario" => {
-                let v = val();
-                scenarios = if v == "all" {
-                    Scenario::ALL.to_vec()
-                } else {
-                    vec![Scenario::parse(&v)
-                        .unwrap_or_else(|| panic!("unknown scenario `{v}`"))]
-                };
-            }
-            "--seeds" => {
-                let n: u64 = val().parse().expect("--seeds: count");
-                seeds = (1..=n).collect();
-            }
-            "--seed" => seeds = vec![val().parse().expect("--seed: u64")],
-            "--senders" => senders = val().parse().expect("--senders: u32"),
-            "--msgs" => msgs = val().parse().expect("--msgs: u32"),
-            "--size" => size = val().parse().expect("--size: u32"),
-            "--credits" => credits = val().parse().expect("--credits: u32"),
-            "--max-unexpected" => max_unexpected = val().parse().expect("--max-unexpected: u32"),
-            "--eager-buffer" => eager_buffer = val().parse().expect("--eager-buffer: u64"),
-            "--alpu" => alpu = true,
-            "--faults" => {
-                faults = Some(val().parse().unwrap_or_else(|e| panic!("--faults: {e}")))
-            }
-            "--deadline-ms" => deadline_ms = val().parse().expect("--deadline-ms: u64"),
-            "--check-determinism" => check_determinism = true,
-            "--json" => json_path = Some(val()),
-            "--curve" => curve = true,
-            other => panic!("unknown flag `{other}`"),
-        }
-    }
-
-    if curve {
-        incast_curve(msgs, size, credits, max_unexpected, eager_buffer, alpu);
+    if cli.has("curve") {
+        incast_curve(msgs, size, credits, max_unexpected, eager_buffer, alpu, parallelism);
         return;
     }
 
@@ -144,8 +139,9 @@ fn main() {
             cfg.max_unexpected = max_unexpected;
             cfg.eager_buffer_bytes = eager_buffer;
             cfg.alpu = alpu;
-            cfg.faults = faults;
+            cfg.faults = cli.common.faults;
             cfg.deadline = Time::from_ms(deadline_ms);
+            cfg.parallelism = parallelism;
             let out = match run_soak(&cfg) {
                 Ok(out) => out,
                 Err(diag) => {
@@ -172,8 +168,8 @@ fn main() {
     }
 
     write_csv(std::io::stdout().lock(), HEADER, &rows).expect("stdout");
-    if let Some(path) = json_path {
-        write_json(std::path::Path::new(&path), &rows).expect("json out");
+    if let Some(path) = &cli.common.out {
+        write_json(std::path::Path::new(path), &rows).expect("json out");
     }
     eprintln!(
         "soak: {} run(s) complete; all queues drained, all bounds held{}",
@@ -196,6 +192,7 @@ fn incast_curve(
     max_unexpected: u32,
     eager_buffer: u64,
     alpu: bool,
+    parallelism: usize,
 ) {
     let fanin = [2u32, 4, 8, 16, 32, 64];
     let mut runtime = Vec::new();
@@ -212,6 +209,7 @@ fn incast_curve(
         cfg.eager_buffer_bytes = eager_buffer;
         cfg.alpu = alpu;
         cfg.deadline = Time::from_ms(2_000);
+        cfg.parallelism = parallelism;
         let out = run_soak(&cfg).unwrap_or_else(|d| panic!("incast {n} stalled:\n{d}"));
         println!(
             "{n},{:.1},{},{},{}",

@@ -35,8 +35,10 @@ pub struct GapResult {
     pub drain: Time,
 }
 
-/// Measure the gap for one configuration.
-pub fn message_gap(nic: NicConfig, p: GapPoint) -> GapResult {
+/// Measure the gap for one configuration. `parallelism` selects the
+/// execution engine (0 = hub, `n >= 1` = sharded on `n` threads); the
+/// result is identical either way.
+pub fn message_gap(nic: NicConfig, p: GapPoint, parallelism: usize) -> GapResult {
     let marks = mark_log();
 
     // Rank 0: fire the whole burst, overlapped.
@@ -66,7 +68,7 @@ pub fn message_gap(nic: NicConfig, p: GapPoint) -> GapResult {
     let p1 = b1.build(marks.clone());
 
     let mut cluster = Cluster::new(
-        ClusterConfig::new(nic),
+        ClusterConfig::builder(nic).parallelism(parallelism).build(),
         vec![
             Box::new(p0) as Box<dyn AppProgram>,
             Box::new(p1) as Box<dyn AppProgram>,
@@ -93,6 +95,7 @@ mod tests {
                 burst: 32,
                 msg_size: 0,
             },
+            0,
         )
         .gap
     }

@@ -14,6 +14,7 @@
 
 pub mod appsim;
 pub mod ascii_plot;
+pub mod cli;
 pub mod faultstats;
 pub mod gap;
 pub mod jsonlint;

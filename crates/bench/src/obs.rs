@@ -9,7 +9,7 @@
 //! histograms as text.
 
 use crate::{PrepostedPoint, UnexpectedPoint};
-use mpiq_dessim::{chrome_trace, Time};
+use mpiq_dessim::Time;
 use mpiq_mpi::script::mark_log;
 use mpiq_mpi::{AppProgram, Cluster, ClusterConfig, Script};
 use mpiq_nic::NicConfig;
@@ -34,8 +34,16 @@ const PONG_TAG: u16 = 8;
 const FILLER_TAG: u16 = 10_000;
 
 /// Run one pre-posted ping/pong point with tracing and metrics enabled.
-/// Deterministic: equal inputs give byte-equal exports.
-pub fn traced_preposted(nic: NicConfig, p: PrepostedPoint, trace_capacity: usize) -> TracedRun {
+/// Deterministic: equal inputs give byte-equal exports. `parallelism`
+/// selects the engine exactly as [`ClusterConfig::parallelism`] does
+/// (0 = hub engine; `n >= 1` = sharded engine on `n` threads, with
+/// byte-identical exports for every such `n`).
+pub fn traced_preposted(
+    nic: NicConfig,
+    p: PrepostedPoint,
+    trace_capacity: usize,
+    parallelism: usize,
+) -> TracedRun {
     let depth = (((p.queue_len as f64) * p.fraction).floor() as usize).min(p.queue_len);
     let marks = mark_log();
 
@@ -68,7 +76,10 @@ pub fn traced_preposted(nic: NicConfig, p: PrepostedPoint, trace_capacity: usize
     let p1 = b1.build(mark_log());
 
     let mut cluster = Cluster::new(
-        ClusterConfig::new(nic).with_observability(trace_capacity),
+        ClusterConfig::builder(nic)
+            .observability(trace_capacity)
+            .parallelism(parallelism)
+            .build(),
         vec![
             Box::new(p0) as Box<dyn AppProgram>,
             Box::new(p1) as Box<dyn AppProgram>,
@@ -82,7 +93,12 @@ pub fn traced_preposted(nic: NicConfig, p: PrepostedPoint, trace_capacity: usize
 /// Run one unexpected-queue point (Fig. 6's benchmark) with tracing and
 /// metrics enabled: park `queue_len` unexpected messages, then a single
 /// timed ping/pong whose receive posting searches past them.
-pub fn traced_unexpected(nic: NicConfig, p: UnexpectedPoint, trace_capacity: usize) -> TracedRun {
+pub fn traced_unexpected(
+    nic: NicConfig,
+    p: UnexpectedPoint,
+    trace_capacity: usize,
+    parallelism: usize,
+) -> TracedRun {
     let u = p.queue_len;
 
     let mut b0 = Script::builder();
@@ -105,7 +121,10 @@ pub fn traced_unexpected(nic: NicConfig, p: UnexpectedPoint, trace_capacity: usi
     let p1 = b1.build(mark_log());
 
     let mut cluster = Cluster::new(
-        ClusterConfig::new(nic).with_observability(trace_capacity),
+        ClusterConfig::builder(nic)
+            .observability(trace_capacity)
+            .parallelism(parallelism)
+            .build(),
         vec![
             Box::new(p0) as Box<dyn AppProgram>,
             Box::new(p1) as Box<dyn AppProgram>,
@@ -117,10 +136,10 @@ pub fn traced_unexpected(nic: NicConfig, p: UnexpectedPoint, trace_capacity: usi
 
 fn export(cluster: Cluster) -> TracedRun {
     TracedRun {
-        chrome_json: chrome_trace(&cluster.sim),
-        metrics_text: cluster.sim.metrics().render(),
-        records: cluster.sim.trace().records().count(),
-        dropped: cluster.sim.trace().dropped(),
+        chrome_json: cluster.chrome_trace(),
+        metrics_text: cluster.metrics().render(),
+        records: cluster.trace_record_count(),
+        dropped: cluster.trace_dropped(),
     }
 }
 
@@ -140,7 +159,7 @@ mod tests {
 
     #[test]
     fn traced_run_captures_alpu_and_queue_events() {
-        let run = traced_preposted(NicVariant::Alpu128.config(), small_point(), 1 << 16);
+        let run = traced_preposted(NicVariant::Alpu128.config(), small_point(), 1 << 16, 0);
         assert!(run.records > 0);
         assert_eq!(run.dropped, 0, "ring sized for the whole run");
         jsonlint::validate(&run.chrome_json).expect("valid JSON");
@@ -163,6 +182,7 @@ mod tests {
                 msg_size: 64,
             },
             1 << 16,
+            0,
         );
         jsonlint::validate(&run.chrome_json).expect("valid JSON");
         assert!(run.chrome_json.contains("unexpected.depth"), "counters");
@@ -171,8 +191,8 @@ mod tests {
 
     #[test]
     fn traced_run_is_deterministic() {
-        let a = traced_preposted(NicVariant::Alpu128.config(), small_point(), 1 << 14);
-        let b = traced_preposted(NicVariant::Alpu128.config(), small_point(), 1 << 14);
+        let a = traced_preposted(NicVariant::Alpu128.config(), small_point(), 1 << 14, 0);
+        let b = traced_preposted(NicVariant::Alpu128.config(), small_point(), 1 << 14, 0);
         assert_eq!(a.chrome_json, b.chrome_json);
         assert_eq!(a.metrics_text, b.metrics_text);
     }

@@ -33,8 +33,10 @@ const PONG_TAG: u16 = 8;
 const ITERS: u32 = 8;
 const WARMUP: u32 = 2;
 
-/// Mean per-iteration round-trip time at the sender.
-pub fn postloop_rtt(nic: NicConfig, p: PostLoopPoint) -> Time {
+/// Mean per-iteration round-trip time at the sender. `parallelism`
+/// selects the execution engine (0 = hub, `n >= 1` = sharded on `n`
+/// threads); the result is identical either way.
+pub fn postloop_rtt(nic: NicConfig, p: PostLoopPoint, parallelism: usize) -> Time {
     let marks = mark_log();
 
     // Rank 0: sender, measures full iterations.
@@ -66,7 +68,7 @@ pub fn postloop_rtt(nic: NicConfig, p: PostLoopPoint) -> Time {
     let p1 = b1.build(mark_log());
 
     let mut cluster = Cluster::new(
-        ClusterConfig::new(nic),
+        ClusterConfig::builder(nic).parallelism(parallelism).build(),
         vec![
             Box::new(p0) as Box<dyn AppProgram>,
             Box::new(p1) as Box<dyn AppProgram>,
@@ -94,6 +96,7 @@ mod tests {
                 wildcard_prepost: wild,
                 msg_size: 0,
             },
+            0,
         )
     }
 

@@ -85,6 +85,9 @@ pub struct SoakConfig {
     pub faults: Option<FaultConfig>,
     /// Virtual-time watchdog deadline.
     pub deadline: Time,
+    /// Execution engine: 0 = hub fabric on the calling thread; n >= 1 =
+    /// sharded engine on n worker threads (identical results for any n).
+    pub parallelism: usize,
 }
 
 impl SoakConfig {
@@ -104,6 +107,7 @@ impl SoakConfig {
             alpu: false,
             faults: None,
             deadline: Time::from_ms(500),
+            parallelism: 0,
         }
     }
 }
@@ -277,12 +281,13 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
         NicConfig::baseline()
     };
     let nic = base.with_flow_control(cfg.eager_credits, cfg.max_unexpected, cfg.eager_buffer_bytes);
-    let mut ccfg = ClusterConfig::new(nic);
-    ccfg.seed = cfg.seed;
+    let mut builder = ClusterConfig::builder(nic)
+        .seed(cfg.seed)
+        .parallelism(cfg.parallelism);
     if let Some(f) = cfg.faults {
-        ccfg = ccfg.with_faults(f);
+        builder = builder.faults(f);
     }
-    let mut cluster = Cluster::new(ccfg, build_programs(cfg));
+    let mut cluster = Cluster::new(builder.build(), build_programs(cfg));
     let events = cluster.run_watched(cfg.deadline)?;
 
     // Oracle: every queue drained, invariants hold on every NIC.

@@ -44,11 +44,15 @@ pub struct UnexpectedResult {
 
 /// Run one point.
 pub fn unexpected_latency(variant: NicVariant, p: UnexpectedPoint) -> UnexpectedResult {
-    unexpected_latency_cfg(variant.config(), p)
+    unexpected_latency_cfg(variant.config(), p, 0)
 }
 
 /// [`unexpected_latency`] with an explicit NIC configuration.
-pub fn unexpected_latency_cfg(nic: mpiq_nic::NicConfig, p: UnexpectedPoint) -> UnexpectedResult {
+pub fn unexpected_latency_cfg(
+    nic: mpiq_nic::NicConfig,
+    p: UnexpectedPoint,
+    parallelism: usize,
+) -> UnexpectedResult {
     let marks = mark_log();
     let u = p.queue_len;
 
@@ -84,7 +88,7 @@ pub fn unexpected_latency_cfg(nic: mpiq_nic::NicConfig, p: UnexpectedPoint) -> U
     let p1 = b1.build(marks.clone());
 
     let mut cluster = Cluster::new(
-        ClusterConfig::new(nic),
+        ClusterConfig::builder(nic).parallelism(parallelism).build(),
         vec![
             Box::new(p0) as Box<dyn AppProgram>,
             Box::new(p1) as Box<dyn AppProgram>,

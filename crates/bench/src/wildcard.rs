@@ -41,12 +41,15 @@ pub struct WildcardStudy {
     pub purges: u64,
 }
 
-/// Run `iters` iterations with `senders` possible sources.
+/// Run `iters` iterations with `senders` possible sources. `parallelism`
+/// selects the execution engine (0 = hub, `n >= 1` = sharded on `n`
+/// threads); the result is identical either way.
 pub fn wildcard_workaround(
     nic: NicConfig,
     strategy: RecvStrategy,
     senders: u32,
     iters: u32,
+    parallelism: usize,
 ) -> WildcardStudy {
     let marks = mark_log();
     let period = Time::from_us(4);
@@ -90,7 +93,10 @@ pub fn wildcard_workaround(
         programs.push(Box::new(b.build(mark_log())));
     }
 
-    let mut cluster = Cluster::new(ClusterConfig::new(nic), programs);
+    let mut cluster = Cluster::new(
+        ClusterConfig::builder(nic).parallelism(parallelism).build(),
+        programs,
+    );
     cluster.run();
     let m = marks.borrow();
     let fw = cluster.nic(0).firmware().stats();
@@ -108,8 +114,8 @@ mod tests {
 
     #[test]
     fn workaround_is_slower_than_any_source() {
-        let any = wildcard_workaround(NicConfig::baseline(), RecvStrategy::AnySource, 6, 16);
-        let all = wildcard_workaround(NicConfig::baseline(), RecvStrategy::PostAllCancel, 6, 16);
+        let any = wildcard_workaround(NicConfig::baseline(), RecvStrategy::AnySource, 6, 16, 0);
+        let all = wildcard_workaround(NicConfig::baseline(), RecvStrategy::PostAllCancel, 6, 16, 0);
         assert!(
             all.software_traversed > any.software_traversed * 2,
             "the workaround must burn more processing: {} vs {}",
@@ -121,7 +127,7 @@ mod tests {
 
     #[test]
     fn workaround_poisons_the_alpu_with_tombstones() {
-        let s = wildcard_workaround(NicConfig::with_alpus(128), RecvStrategy::PostAllCancel, 6, 40);
+        let s = wildcard_workaround(NicConfig::with_alpus(128), RecvStrategy::PostAllCancel, 6, 40, 0);
         assert!(
             s.ghosted_cancels > 50,
             "cancelled hardware-resident receives must tombstone: {}",
@@ -135,7 +141,7 @@ mod tests {
 
     #[test]
     fn any_source_on_alpu_stays_clean() {
-        let s = wildcard_workaround(NicConfig::with_alpus(128), RecvStrategy::AnySource, 6, 40);
+        let s = wildcard_workaround(NicConfig::with_alpus(128), RecvStrategy::AnySource, 6, 40, 0);
         assert_eq!(s.ghosted_cancels, 0);
         assert_eq!(s.purges, 0);
     }
@@ -146,7 +152,7 @@ mod tests {
         // receiver reaching mark 1 is the delivery proof; check timing
         // sanity too.
         for strategy in [RecvStrategy::AnySource, RecvStrategy::PostAllCancel] {
-            let s = wildcard_workaround(NicConfig::with_alpus(128), strategy, 4, 12);
+            let s = wildcard_workaround(NicConfig::with_alpus(128), strategy, 4, 12, 0);
             assert!(s.total > Time::from_us(12), "{strategy:?}: {:?}", s.total);
         }
     }

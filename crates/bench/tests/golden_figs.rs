@@ -24,7 +24,7 @@ fn fig5_unconfigured_matches_golden() {
             fraction: 1.0,
             msg_size: 0,
         };
-        let r = preposted_latency_cfg(NicVariant::Alpu128.config(), p);
+        let r = preposted_latency_cfg(NicVariant::Alpu128.config(), p, 0);
         out.push_str(&format!(
             "{},{},{},{},{:.4},{},{}\n",
             NicVariant::Alpu128.label(),
@@ -49,7 +49,7 @@ fn fig6_unconfigured_matches_golden() {
                 queue_len: q,
                 msg_size: 64,
             };
-            let r = unexpected_latency_cfg(v.config(), p);
+            let r = unexpected_latency_cfg(v.config(), p, 0);
             out.push_str(&format!(
                 "{},{},{},{:.4},{}\n",
                 v.label(),

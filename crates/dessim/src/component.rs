@@ -17,7 +17,12 @@ pub struct ComponentId(pub u32);
 /// outside world goes through the [`Ctx`] passed to each call; a component
 /// can never touch another component directly, which is what makes the
 /// kernel deterministic and borrow-check-friendly.
-pub trait Component: 'static {
+///
+/// Components must be [`Send`]: the partitioned executor (see
+/// [`crate::shard`]) moves whole shards of components onto worker
+/// threads. Shared test fixtures should use `Arc<Mutex<..>>` rather than
+/// `Rc<RefCell<..>>`.
+pub trait Component: Send + 'static {
     /// Handle one delivered event. May emit events on output ports, post
     /// self-wakeups, mutate stats, and draw random numbers via `ctx`.
     fn on_event(&mut self, ev: crate::event::Event, ctx: &mut Ctx<'_>);

@@ -1,0 +1,131 @@
+//! Execution cores for [`ShardedSim`]: the strategy that carries shards
+//! through conservative lookahead windows.
+//!
+//! Both cores run the *same* windowed algorithm — plan a global window
+//! from the earliest pending event plus the lookahead, execute every
+//! shard's events inside the window, exchange cross-shard events at a
+//! barrier, repeat. [`Sequential`] executes all shards on the calling
+//! thread; [`Partitioned`] stripes them across a scoped worker pool
+//! (`scoped_pool`). Because the window schedule, per-shard event order,
+//! and barrier exchange order are all independent of which OS thread
+//! carries a shard, the two cores — and any worker count — produce
+//! bit-identical results.
+//!
+//! Shards live inside `Mutex` cells during a run. The locks are never
+//! contended (each shard is touched by exactly one worker inside a
+//! window, and only the driver touches them between windows); they exist
+//! to give safe `&mut` access from the worker that owns the stripe.
+//!
+//! Caveat: a panic inside a component handler under [`Partitioned`]
+//! leaves other workers parked at the window barrier; lookahead
+//! violations are therefore asserted on the driver thread (at the
+//! barrier drain) so they surface as ordinary panics in both cores.
+
+use crate::shard::{drain_shards, Shard, ShardedSim};
+use crate::time::Time;
+use std::sync::{Mutex, MutexGuard};
+
+/// A strategy for running a [`ShardedSim`] to a horizon.
+pub trait ExecCore {
+    /// Execute every event with `time <= horizon` (or until a component
+    /// requests a stop, honored at the next window barrier).
+    fn run(&self, sim: &mut ShardedSim, horizon: Time);
+}
+
+/// Single-threaded core: the windowed algorithm with all shards on the
+/// calling thread. This is what `threads = 1` selects, and the baseline
+/// that `tests/parallel_determinism.rs` compares [`Partitioned`] against.
+pub struct Sequential;
+
+impl ExecCore for Sequential {
+    fn run(&self, sim: &mut ShardedSim, horizon: Time) {
+        run_windows(sim, horizon, 1);
+    }
+}
+
+/// Multi-threaded core: shards striped over `threads` workers (the
+/// driver doubles as worker zero). Thread count is clamped to the shard
+/// count — extra threads would own empty stripes.
+pub struct Partitioned {
+    /// Total worker threads, including the driver. Values `<= 1` degrade
+    /// to [`Sequential`] behavior.
+    pub threads: usize,
+}
+
+impl ExecCore for Partitioned {
+    fn run(&self, sim: &mut ShardedSim, horizon: Time) {
+        run_windows(sim, horizon, self.threads.max(1));
+    }
+}
+
+/// The shared windowed loop. `threads` includes the driver.
+fn run_windows(sim: &mut ShardedSim, horizon: Time, threads: usize) {
+    let nshards = sim.shards.len();
+    if nshards == 0 {
+        return;
+    }
+    let lookahead = sim.lookahead();
+    let start_floor = sim.floor;
+    let stride = threads.min(nshards).max(1);
+    let extra = stride - 1;
+    let cells: Vec<Mutex<Shard>> = sim.shards.drain(..).map(Mutex::new).collect();
+    let topo = &sim.topo;
+
+    // One stripe of shards per worker: worker `w` owns shards
+    // `w, w+stride, w+2*stride, ...`. The assignment is fixed for the
+    // whole run, so a shard's events always execute on the same worker.
+    let run_stripe = |w: usize, window_end: Time| {
+        for j in (w..cells.len()).step_by(stride) {
+            cells[j]
+                .lock()
+                .expect("a worker panicked while running this shard")
+                .run_window(topo, window_end);
+        }
+    };
+
+    let final_floor = scoped_pool::run(
+        extra,
+        |w, plan| run_stripe(w, Time(plan)),
+        |pool| {
+            let mut floor = start_floor;
+            loop {
+                // Between windows only the driver is awake; these locks
+                // are uncontended bookkeeping.
+                let (next, stopped) = {
+                    let guards = lock_all(&cells);
+                    let next = guards.iter().filter_map(|g| g.next_time()).min();
+                    let stopped = guards.iter().any(|g| g.stop);
+                    (next, stopped)
+                };
+                if stopped {
+                    break;
+                }
+                let Some(window_end) = ShardedSim::plan_window(next, lookahead, horizon) else {
+                    break;
+                };
+                // All workers (and the driver, via the closure) execute
+                // their stripes for [floor, window_end), then meet back
+                // at the pool's completion barrier.
+                pool.step(window_end.0, || run_stripe(0, window_end));
+                let mut guards = lock_all(&cells);
+                let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+                drain_shards(&mut refs, window_end);
+                floor = window_end;
+            }
+            floor
+        },
+    );
+
+    sim.shards = cells
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker panic already propagated"))
+        .collect();
+    sim.floor = final_floor;
+}
+
+fn lock_all(cells: &[Mutex<Shard>]) -> Vec<MutexGuard<'_, Shard>> {
+    cells
+        .iter()
+        .map(|c| c.lock().expect("a worker panicked while running this shard"))
+        .collect()
+}

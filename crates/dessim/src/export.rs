@@ -19,8 +19,10 @@
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
+use crate::metrics::Metrics;
 use crate::scheduler::Simulation;
-use crate::trace::TraceEvent;
+use crate::shard::ShardedSim;
+use crate::trace::{TraceEvent, TraceRing};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -116,12 +118,29 @@ fn describe(what: &TraceEvent) -> (String, String) {
 /// trace JSON document. Works on any simulation; with tracing disabled
 /// the `traceEvents` array holds only the thread-name metadata.
 pub fn chrome_trace(sim: &Simulation) -> String {
+    let names: Vec<String> = (0..sim.component_count())
+        .map(|i| sim.name_of(crate::component::ComponentId(i as u32)).to_string())
+        .collect();
+    chrome_trace_parts(&names, sim.trace(), sim.metrics())
+}
+
+/// [`chrome_trace`] for a sharded simulation: per-shard rings are merged
+/// into canonical order first (see [`TraceRing::merged`]), so the output
+/// is byte-identical for any worker-thread count.
+pub fn chrome_trace_sharded(sim: &ShardedSim) -> String {
+    let names: Vec<String> = (0..sim.component_count())
+        .map(|i| sim.name_of(crate::component::ComponentId(i as u32)).to_string())
+        .collect();
+    chrome_trace_parts(&names, &sim.trace_merged(), &sim.metrics_merged())
+}
+
+/// The exporter core, decoupled from which executive produced the parts:
+/// component names (index = `tid`), a trace ring, and a metrics registry.
+pub fn chrome_trace_parts(names: &[String], ring: &TraceRing, metrics: &Metrics) -> String {
     let mut events: Vec<String> = Vec::new();
 
     // One "thread" per component, named up front so viewers label lanes.
-    let n = sim.component_count();
-    for i in 0..n {
-        let name = sim.name_of(crate::component::ComponentId(i as u32));
+    for (i, name) in names.iter().enumerate() {
         events.push(format!(
             "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_name\",\
              \"args\":{{\"name\":\"{}\"}}}}",
@@ -129,7 +148,7 @@ pub fn chrome_trace(sim: &Simulation) -> String {
         ));
     }
 
-    for r in sim.trace().records() {
+    for r in ring.records() {
         let tid = r.who.0;
         let ts = us(r.time.ps());
         let (name, args) = describe(&r.what);
@@ -167,7 +186,7 @@ pub fn chrome_trace(sim: &Simulation) -> String {
 
     // Histogram / counter summary rides along in otherData, where viewers
     // show it as run metadata.
-    let m = sim.metrics();
+    let m = metrics;
     let mut other: Vec<String> = Vec::new();
     for (k, v) in m.counters() {
         other.push(format!("\"{}\":\"{v}\"", esc(k)));

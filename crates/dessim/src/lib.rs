@@ -48,11 +48,13 @@ pub mod calendar;
 pub mod clock;
 pub mod component;
 pub mod event;
+pub mod exec;
 pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -62,11 +64,13 @@ pub use calendar::CalendarQueue;
 pub use clock::Clock;
 pub use component::{Component, ComponentId, Ctx};
 pub use event::{Event, InPort, OutPort, Payload};
-pub use export::chrome_trace;
+pub use exec::{ExecCore, Partitioned, Sequential};
+pub use export::{chrome_trace, chrome_trace_sharded};
 pub use fault::{FaultConfig, FaultPlan, FlipTarget, WireFault};
 pub use metrics::{Histogram, Metrics};
 pub use rng::SimRng;
 pub use scheduler::Simulation;
+pub use shard::{ShardId, ShardedSim};
 pub use stats::Stats;
 pub use time::Time;
 pub use trace::{

@@ -12,13 +12,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// One scheduled event in the heap. Ordered by (time, seq): the sequence
-/// number breaks ties deterministically in insertion order.
-struct Scheduled {
-    time: Time,
-    seq: u64,
-    dst: ComponentId,
-    port: InPort,
-    payload: Payload,
+/// number breaks ties deterministically in insertion order. Shared with
+/// the partitioned executor ([`crate::shard`]), which keeps one such heap
+/// per shard.
+pub(crate) struct Scheduled {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) dst: ComponentId,
+    pub(crate) port: InPort,
+    pub(crate) payload: Payload,
 }
 
 impl PartialEq for Scheduled {
@@ -40,10 +42,10 @@ impl Ord for Scheduled {
 
 /// A wired link: (src component, out port) -> (dst component, in port, latency).
 #[derive(Clone, Copy)]
-struct Link {
-    dst: ComponentId,
-    port: InPort,
-    latency: Time,
+pub(crate) struct Link {
+    pub(crate) dst: ComponentId,
+    pub(crate) port: InPort,
+    pub(crate) latency: Time,
 }
 
 /// The pending-event set: a binary heap by default, or a calendar queue
@@ -472,19 +474,19 @@ mod tests {
     }
 
     struct Recorder {
-        log: std::rc::Rc<std::cell::RefCell<Vec<(Time, u32)>>>,
+        log: std::sync::Arc<std::sync::Mutex<Vec<(Time, u32)>>>,
         tag: u32,
     }
     impl Component for Recorder {
         fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
             let _ = ev;
-            self.log.borrow_mut().push((ctx.now(), self.tag));
+            self.log.lock().unwrap().push((ctx.now(), self.tag));
         }
     }
 
     #[test]
     fn ties_break_in_post_order() {
-        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut sim = Simulation::new(1);
         let a = sim.add_component(
             "a",
@@ -505,7 +507,7 @@ mod tests {
         sim.post(b, InPort(0), Payload::empty(), Time::from_ns(10));
         sim.post(a, InPort(0), Payload::empty(), Time::from_ns(10));
         sim.run();
-        let got: Vec<u32> = log.borrow().iter().map(|&(_, t)| t).collect();
+        let got: Vec<u32> = log.lock().unwrap().iter().map(|&(_, t)| t).collect();
         assert_eq!(got, vec![2, 1]);
     }
 
@@ -629,13 +631,13 @@ mod tests {
         // schedulers must produce identical logs.
         fn run(calendar: bool) -> Vec<(Time, u64)> {
             struct Pinger {
-                log: std::rc::Rc<std::cell::RefCell<Vec<(Time, u64)>>>,
+                log: std::sync::Arc<std::sync::Mutex<Vec<(Time, u64)>>>,
                 id: u64,
             }
             impl Component for Pinger {
                 fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
                     let hops = *ev.payload.downcast::<u64>().unwrap();
-                    self.log.borrow_mut().push((ctx.now(), self.id * 1000 + hops));
+                    self.log.lock().unwrap().push((ctx.now(), self.id * 1000 + hops));
                     if hops > 0 {
                         // Uneven delays exercise bucket spread.
                         let d = Time::from_ns(3 + (hops * self.id) % 40);
@@ -643,7 +645,7 @@ mod tests {
                     }
                 }
             }
-            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
             let mut sim = Simulation::new(5);
             if calendar {
                 sim.use_calendar_queue();
@@ -659,7 +661,7 @@ mod tests {
                 sim.post(c, InPort(0), Payload::new(30u64), Time::from_ns(id));
             }
             sim.run();
-            let v = log.borrow().clone();
+            let v = log.lock().unwrap().clone();
             v
         }
         assert_eq!(run(false), run(true));

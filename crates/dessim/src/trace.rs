@@ -301,7 +301,7 @@ pub struct TraceRecord {
 }
 
 /// A bounded trace ring.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TraceRing {
     records: VecDeque<TraceRecord>,
     capacity: usize,
@@ -384,6 +384,24 @@ impl TraceRing {
     pub fn clear(&mut self) {
         self.records.clear();
         self.dropped = 0;
+    }
+
+    /// Combine per-shard rings into one canonical ring: records are
+    /// stable-sorted by timestamp, with ties resolved by the input order
+    /// (shard id, then intra-shard push order). The result depends only
+    /// on the rings' contents — never on how many threads produced them —
+    /// which is what makes partitioned trace dumps deterministic.
+    pub fn merged(rings: Vec<TraceRing>) -> TraceRing {
+        let capacity: usize = rings.iter().map(|r| r.capacity).sum();
+        let dropped: u64 = rings.iter().map(|r| r.dropped).sum();
+        let mut records: Vec<TraceRecord> =
+            rings.into_iter().flat_map(|r| r.records.into_iter()).collect();
+        records.sort_by_key(|r| r.time);
+        TraceRing {
+            records: records.into(),
+            capacity: capacity.max(1),
+            dropped,
+        }
     }
 }
 

@@ -16,7 +16,10 @@ use std::collections::HashMap;
 pub struct Request(pub(crate) ReqId);
 
 /// An application running on one rank.
-pub trait AppProgram: 'static {
+///
+/// Programs must be [`Send`]: they live inside [`Host`](crate::Host)
+/// components, which the partitioned executor moves onto worker threads.
+pub trait AppProgram: Send + 'static {
     /// Advance as far as possible. Called once at start and again after
     /// every completion delivered to this rank. Call [`Mpi::finish`] when
     /// the program is done.

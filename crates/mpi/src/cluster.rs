@@ -1,12 +1,42 @@
 //! Cluster assembly: hosts + NICs + fabric, ready to run.
+//!
+//! Two execution engines build from the same [`ClusterConfig`]:
+//!
+//! * **Single** (`parallelism == 0`, the default): the historical layout —
+//!   one [`Simulation`], a hub [`Fabric`] crossbar, every component on the
+//!   calling thread. Golden outputs from earlier revisions are preserved
+//!   bit for bit.
+//! * **Sharded** (`parallelism >= 1`): one shard per *node* holding that
+//!   node's [`FabricPort`], NIC, and hosts, run by the partitioned
+//!   executor with `parallelism` worker threads. The fabric wires are the
+//!   only cross-shard edges; their 200 ns latency is the conservative
+//!   lookahead. Results are bit-identical for any `parallelism >= 1`
+//!   (that is what `tests/parallel_determinism.rs` pins), but are *not*
+//!   a replay of the hub engine: the distributed fabric breaks
+//!   same-picosecond ties per receiver, the hub globally.
 
 use crate::app::{AppProgram, PORT_COMPLETION};
 use crate::host::Host;
 use mpiq_dessim::prelude::*;
 use mpiq_dessim::watchdog::{Diagnosis, StallKind};
-use mpiq_dessim::FaultConfig;
-use mpiq_net::{Fabric, NetConfig, PORT_FROM_NIC};
+use mpiq_dessim::{FaultConfig, Metrics, ShardId, ShardedSim, Stats};
+use mpiq_net::{Fabric, FabricPort, NetConfig, PORT_FP_INJECT, PORT_FROM_NIC};
 use mpiq_nic::{host_comp_port, Nic, NicConfig, PORT_HOST_REQ, PORT_NET_RX, PORT_NET_TX};
+
+/// Per-NIC flow-control bounds, set as one unit via
+/// [`ClusterConfigBuilder::flow_control`]. The zero value (the default)
+/// disables every bound — the historical unbounded behavior.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowControl {
+    /// Eager credits granted to each peer; `0` = no credit flow control.
+    pub eager_credits: u32,
+    /// Unexpected-queue cap; arrivals beyond it are refused at the wire.
+    /// `0` = unbounded.
+    pub max_unexpected: u32,
+    /// Eager staging pool in bytes; exhausted = header-only admits.
+    /// `0` = unbounded.
+    pub eager_buffer_bytes: u64,
+}
 
 /// Everything needed to build a simulated cluster.
 #[derive(Clone, Copy, Debug)]
@@ -24,6 +54,10 @@ pub struct ClusterConfig {
     pub trace_capacity: usize,
     /// Enable the latency-histogram / counter registry.
     pub metrics: bool,
+    /// Execution engine: `0` runs the hub-fabric engine on the calling
+    /// thread; `n >= 1` runs the sharded engine (one shard per node) on
+    /// `n` worker threads. Any `n >= 1` produces identical output.
+    pub parallelism: usize,
 }
 
 impl ClusterConfig {
@@ -36,11 +70,21 @@ impl ClusterConfig {
             host_dispatch: Time::from_ns(40),
             trace_capacity: 0,
             metrics: false,
+            parallelism: 0,
+        }
+    }
+
+    /// Start a typed builder around a NIC configuration — the one place
+    /// to dial faults, observability, flow control, and parallelism.
+    pub fn builder(nic: NicConfig) -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig::new(nic),
         }
     }
 
     /// Turn on structured tracing (ring of `capacity` records) and the
     /// metrics registry; used by `--trace-out` / `--metrics` harnesses.
+    #[deprecated(note = "use ClusterConfig::builder(..).observability(capacity).build()")]
     pub fn with_observability(mut self, trace_capacity: usize) -> ClusterConfig {
         self.trace_capacity = trace_capacity;
         self.metrics = true;
@@ -51,16 +95,103 @@ impl ClusterConfig {
     /// fabric (drops/duplicates/corruption) and every NIC's ALPUs (bit
     /// flips, command stalls). Network-side faults force the NICs' link
     /// reliability layer on.
+    #[deprecated(note = "use ClusterConfig::builder(..).faults(config).build()")]
     pub fn with_faults(mut self, faults: FaultConfig) -> ClusterConfig {
         self.nic = self.nic.with_faults(faults);
         self
     }
 }
 
+/// Builder for [`ClusterConfig`]. Every method is optional; `build`
+/// returns the config with whatever was dialed in.
+///
+/// ```
+/// # use mpiq_mpi::cluster::{ClusterConfig, FlowControl};
+/// # use mpiq_nic::NicConfig;
+/// let cfg = ClusterConfig::builder(NicConfig::baseline())
+///     .seed(7)
+///     .observability(4096)
+///     .flow_control(FlowControl {
+///         eager_credits: 4,
+///         max_unexpected: 32,
+///         eager_buffer_bytes: 16 << 10,
+///     })
+///     .parallelism(4)
+///     .build();
+/// assert_eq!(cfg.parallelism, 4);
+/// assert!(cfg.metrics);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Network parameters (wire latency, bandwidth).
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// RNG seed for the whole cluster.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Host CPU cost per dispatched request.
+    pub fn host_dispatch(mut self, cost: Time) -> Self {
+        self.cfg.host_dispatch = cost;
+        self
+    }
+
+    /// Arm deterministic fault injection (fabric drops/duplicates/
+    /// corruption, ALPU bit flips and stalls). Network-side faults force
+    /// the link reliability layer on.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.nic = self.cfg.nic.with_faults(faults);
+        self
+    }
+
+    /// Turn on structured tracing (ring of `capacity` records per
+    /// engine shard) and the metrics registry.
+    pub fn observability(mut self, trace_capacity: usize) -> Self {
+        self.cfg.trace_capacity = trace_capacity;
+        self.cfg.metrics = true;
+        self
+    }
+
+    /// Set all three per-NIC overload bounds at once.
+    pub fn flow_control(mut self, fc: FlowControl) -> Self {
+        self.cfg.nic.eager_credits = fc.eager_credits;
+        self.cfg.nic.max_unexpected = fc.max_unexpected;
+        self.cfg.nic.eager_buffer_bytes = fc.eager_buffer_bytes;
+        self
+    }
+
+    /// Select the execution engine: `0` = hub fabric on the calling
+    /// thread (default); `n >= 1` = sharded engine on `n` worker
+    /// threads (same results for every `n`).
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.cfg.parallelism = threads;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
+    }
+}
+
+/// The execution engine carrying a built cluster.
+enum Engine {
+    Single(Simulation),
+    Sharded(ShardedSim),
+}
+
 /// A built cluster: run it, then inspect NICs and statistics.
 pub struct Cluster {
-    /// The underlying simulation (exposed for advanced drivers).
-    pub sim: Simulation,
+    engine: Engine,
     nics: Vec<ComponentId>,
     hosts: Vec<ComponentId>,
 }
@@ -69,12 +200,27 @@ impl Cluster {
     /// Build a cluster with one program per rank. When the NIC config
     /// sets `ranks_per_node > 1`, consecutive ranks share a node's NIC
     /// (block distribution), exercising the paper's footnote-1
-    /// multi-process extension.
+    /// multi-process extension. `cfg.parallelism` selects the engine —
+    /// see the module docs.
     pub fn new(cfg: ClusterConfig, programs: Vec<Box<dyn AppProgram>>) -> Cluster {
         let n = programs.len() as u32;
         assert!(n > 0, "cluster needs at least one rank");
         let k = cfg.nic.ranks_per_node.max(1);
         let nodes = n.div_ceil(k);
+        if cfg.parallelism == 0 {
+            Cluster::new_single(cfg, programs, n, k, nodes)
+        } else {
+            Cluster::new_sharded(cfg, programs, n, k, nodes)
+        }
+    }
+
+    fn new_single(
+        cfg: ClusterConfig,
+        programs: Vec<Box<dyn AppProgram>>,
+        n: u32,
+        k: u32,
+        nodes: u32,
+    ) -> Cluster {
         let mut sim = Simulation::new(cfg.seed);
         if cfg.trace_capacity > 0 {
             sim.enable_tracing(cfg.trace_capacity);
@@ -82,11 +228,7 @@ impl Cluster {
         if cfg.metrics {
             sim.enable_metrics();
         }
-        let fabric = sim.add_component(
-            "net",
-            Fabric::with_faults(cfg.net, nodes, cfg.nic.faults),
-        );
-        let mut nics = Vec::new();
+        let fabric = sim.add_component("net", Fabric::with_faults(cfg.net, nodes, cfg.nic.faults));
         let mut node_nics = Vec::new();
         for node in 0..nodes {
             let nic = sim.add_component(&format!("nic{node}"), Nic::new(node, cfg.nic));
@@ -94,6 +236,7 @@ impl Cluster {
             sim.connect(fabric, Fabric::out_port(node), nic, PORT_NET_RX, Time::ZERO);
             node_nics.push(nic);
         }
+        let mut nics = Vec::new();
         let mut hosts = Vec::new();
         for (rank, program) in programs.into_iter().enumerate() {
             let rank = rank as u32;
@@ -117,7 +260,91 @@ impl Cluster {
             nics.push(nic);
             hosts.push(host);
         }
-        Cluster { sim, nics, hosts }
+        Cluster {
+            engine: Engine::Single(sim),
+            nics,
+            hosts,
+        }
+    }
+
+    /// One shard per node: `{FabricPort, Nic, that node's Hosts}`. The
+    /// host→NIC request path (direct sends) and NIC→host completion
+    /// links are intra-shard; only the port-to-port fabric wires cross
+    /// shards, at `cfg.net.wire_latency` — the engine's lookahead.
+    fn new_sharded(
+        cfg: ClusterConfig,
+        programs: Vec<Box<dyn AppProgram>>,
+        n: u32,
+        k: u32,
+        nodes: u32,
+    ) -> Cluster {
+        let mut sim = ShardedSim::new(cfg.seed, nodes as usize);
+        sim.set_threads(cfg.parallelism);
+        if cfg.trace_capacity > 0 {
+            sim.enable_tracing(cfg.trace_capacity);
+        }
+        if cfg.metrics {
+            sim.enable_metrics();
+        }
+        let mut programs = programs.into_iter();
+        let mut node_nics = Vec::new();
+        let mut ports = Vec::new();
+        let mut nics = Vec::new();
+        let mut hosts = Vec::new();
+        for node in 0..nodes {
+            let shard = ShardId(node);
+            let nic = sim.add_component(shard, &format!("nic{node}"), Nic::new(node, cfg.nic));
+            let port = sim.add_component(
+                shard,
+                &format!("net{node}"),
+                FabricPort::with_faults(cfg.net, nodes, node, nic, PORT_NET_RX, cfg.nic.faults),
+            );
+            sim.connect(nic, PORT_NET_TX, port, PORT_FP_INJECT, Time::ZERO);
+            node_nics.push(nic);
+            ports.push(port);
+            for local in 0..k {
+                let rank = node * k + local;
+                if rank >= n {
+                    break;
+                }
+                let program = programs.next().expect("one program per rank");
+                let host = sim.add_component(
+                    shard,
+                    &format!("host{rank}"),
+                    Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program),
+                );
+                sim.connect(
+                    nic,
+                    host_comp_port(rank % k),
+                    host,
+                    PORT_COMPLETION,
+                    cfg.nic.bus_latency,
+                );
+                nics.push(nic);
+                hosts.push(host);
+            }
+        }
+        mpiq_net::wire_ports(&mut sim, &ports, &cfg.net);
+        Cluster {
+            engine: Engine::Sharded(sim),
+            nics,
+            hosts,
+        }
+    }
+
+    /// Is this cluster on the sharded (partitioned-executor) engine?
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.engine, Engine::Sharded(_))
+    }
+
+    /// The underlying single-threaded [`Simulation`], for advanced
+    /// drivers that poke at engine internals. `None` on the sharded
+    /// engine — use the engine-neutral accessors instead.
+    pub fn sim(&self) -> Option<&Simulation> {
+        match &self.engine {
+            Engine::Single(sim) => Some(sim),
+            Engine::Sharded(_) => None,
+        }
     }
 
     /// Number of ranks.
@@ -127,15 +354,26 @@ impl Cluster {
 
     /// Run to completion; returns the number of events processed.
     pub fn run(&mut self) -> u64 {
-        let n = self.sim.run();
+        let n = match &mut self.engine {
+            Engine::Single(sim) => sim.run(),
+            Engine::Sharded(sim) => sim.run(),
+        };
         // Sanity: every program should have finished (deadlock detector).
         for (rank, &h) in self.hosts.iter().enumerate() {
-            let host: &Host = self.sim.component(h).expect("host downcast");
+            let (done, now) = match &self.engine {
+                Engine::Single(sim) => (
+                    sim.component::<Host>(h).expect("host downcast").done(),
+                    sim.now(),
+                ),
+                Engine::Sharded(sim) => (
+                    sim.component::<Host>(h).expect("host downcast").done(),
+                    sim.now(),
+                ),
+            };
             assert!(
-                host.done(),
+                done,
                 "rank {rank} did not finish: deadlock or missing completion \
-                 (events processed: {n}, time: {})",
-                self.sim.now()
+                 (events processed: {n}, time: {now})",
             );
         }
         n
@@ -144,10 +382,11 @@ impl Cluster {
     /// Have all programs called `finish`?
     pub fn all_done(&self) -> bool {
         self.hosts.iter().all(|&h| {
-            self.sim
-                .component::<Host>(h)
-                .expect("host downcast")
-                .done()
+            let host: &Host = match &self.engine {
+                Engine::Single(sim) => sim.component(h).expect("host downcast"),
+                Engine::Sharded(sim) => sim.component(h).expect("host downcast"),
+            };
+            host.done()
         })
     }
 
@@ -167,32 +406,86 @@ impl Cluster {
     /// queue depths, parked sends, outstanding rendezvous, in-flight
     /// retransmit windows, dead peers, unfinished ranks.
     pub fn run_watched(&mut self, deadline: Time) -> Result<u64, Box<Diagnosis>> {
-        let n = self.sim.run_until(deadline);
+        let n = match &mut self.engine {
+            Engine::Single(sim) => sim.run_until(deadline),
+            Engine::Sharded(sim) => sim.run_until(deadline),
+        };
         if self.all_done() {
             return Ok(n);
         }
-        let kind = if self.sim.is_idle() {
+        let idle = match &self.engine {
+            Engine::Single(sim) => sim.is_idle(),
+            Engine::Sharded(sim) => sim.is_idle(),
+        };
+        let kind = if idle {
             StallKind::QuiescentDeadlock
         } else {
             StallKind::DeadlineExceeded
         };
-        Err(Box::new(self.sim.diagnose(kind)))
+        let diagnosis = match &self.engine {
+            Engine::Single(sim) => sim.diagnose(kind),
+            Engine::Sharded(sim) => sim.diagnose(kind),
+        };
+        Err(Box::new(diagnosis))
     }
 
     /// Inspect the NIC serving a rank, after (or between) runs.
     pub fn nic(&self, rank: u32) -> &Nic {
-        self.sim
-            .component(self.nics[rank as usize])
-            .expect("nic downcast")
+        let id = self.nics[rank as usize];
+        match &self.engine {
+            Engine::Single(sim) => sim.component(id).expect("nic downcast"),
+            Engine::Sharded(sim) => sim.component(id).expect("nic downcast"),
+        }
     }
 
     /// Final simulated time.
     pub fn now(&self) -> Time {
-        self.sim.now()
+        match &self.engine {
+            Engine::Single(sim) => sim.now(),
+            Engine::Sharded(sim) => sim.now(),
+        }
     }
 
-    /// Global statistics registry.
-    pub fn stats(&self) -> &mpiq_dessim::Stats {
-        self.sim.stats()
+    /// The cluster's statistics, merged across engine shards in shard
+    /// order (single-engine clusters have exactly one "shard"). Owned:
+    /// the sharded engine assembles it on demand.
+    pub fn stats(&self) -> Stats {
+        match &self.engine {
+            Engine::Single(sim) => sim.stats().clone(),
+            Engine::Sharded(sim) => sim.stats_merged(),
+        }
+    }
+
+    /// The metrics registry, merged across engine shards.
+    pub fn metrics(&self) -> Metrics {
+        match &self.engine {
+            Engine::Single(sim) => sim.metrics().clone(),
+            Engine::Sharded(sim) => sim.metrics_merged(),
+        }
+    }
+
+    /// Chrome-trace JSON for the whole run (canonical record order on
+    /// either engine).
+    pub fn chrome_trace(&self) -> String {
+        match &self.engine {
+            Engine::Single(sim) => mpiq_dessim::chrome_trace(sim),
+            Engine::Sharded(sim) => mpiq_dessim::chrome_trace_sharded(sim),
+        }
+    }
+
+    /// Trace records currently retained.
+    pub fn trace_record_count(&self) -> usize {
+        match &self.engine {
+            Engine::Single(sim) => sim.trace().records().count(),
+            Engine::Sharded(sim) => sim.trace_record_count(),
+        }
+    }
+
+    /// Trace records evicted by ring capacity.
+    pub fn trace_dropped(&self) -> u64 {
+        match &self.engine {
+            Engine::Single(sim) => sim.trace().dropped(),
+            Engine::Sharded(sim) => sim.trace_dropped(),
+        }
     }
 }

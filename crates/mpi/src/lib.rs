@@ -26,6 +26,6 @@ pub mod script;
 pub mod types;
 
 pub use app::{AppProgram, Mpi, Request};
-pub use cluster::{Cluster, ClusterConfig};
-pub use script::{MarkLog, Op, Script, StatusLog};
+pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, FlowControl};
+pub use script::{MarkLog, Op, Script, SharedLog, StatusLog};
 pub use types::{Datatype, MpiStatus, ANY_SOURCE, ANY_TAG, CTX_INTERNAL, CTX_WORLD};

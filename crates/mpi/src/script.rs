@@ -13,25 +13,59 @@
 use crate::app::{AppProgram, Mpi, Request};
 use crate::types::CTX_INTERNAL;
 use mpiq_dessim::Time;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A log shared between a script (owned by a host component) and the
+/// harness that reads it after the run.
+///
+/// Backed by `Arc<Mutex<..>>` so scripts can live inside `Send`
+/// components and cross shard-thread boundaries under the partitioned
+/// executor. There is no lock contention in practice: each script appends
+/// from its own shard thread, and harnesses read only between runs. The
+/// accessors keep the `borrow`/`borrow_mut` names of the earlier
+/// `Rc<RefCell>` representation so call sites read the same.
+#[derive(Debug, Default)]
+pub struct SharedLog<T>(Arc<Mutex<Vec<T>>>);
+
+impl<T> SharedLog<T> {
+    /// Create an empty log.
+    pub fn new() -> SharedLog<T> {
+        SharedLog(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    /// Read access to the entries.
+    pub fn borrow(&self) -> MutexGuard<'_, Vec<T>> {
+        self.0.lock().unwrap()
+    }
+
+    /// Write access to the entries.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, Vec<T>> {
+        self.0.lock().unwrap()
+    }
+}
+
+impl<T> Clone for SharedLog<T> {
+    fn clone(&self) -> SharedLog<T> {
+        SharedLog(Arc::clone(&self.0))
+    }
+}
 
 /// Timestamp log shared between a script and its harness.
-pub type MarkLog = Rc<RefCell<Vec<(u32, Time)>>>;
+pub type MarkLog = SharedLog<(u32, Time)>;
 
 /// Create an empty mark log.
 pub fn mark_log() -> MarkLog {
-    Rc::new(RefCell::new(Vec::new()))
+    SharedLog::new()
 }
 
 /// Status log shared between a script and its harness: `(id, status)`
 /// records appended by [`Op::Status`].
-pub type StatusLog = Rc<RefCell<Vec<(u32, crate::types::MpiStatus)>>>;
+pub type StatusLog = SharedLog<(u32, crate::types::MpiStatus)>;
 
 /// Create an empty status log.
 pub fn status_log() -> StatusLog {
-    Rc::new(RefCell::new(Vec::new()))
+    SharedLog::new()
 }
 
 /// One script operation.
@@ -149,7 +183,7 @@ impl Script {
             barrier_pending: None,
             sleep_until: None,
             marks,
-            statuses: Rc::new(RefCell::new(Vec::new())),
+            statuses: SharedLog::new(),
         }
     }
 

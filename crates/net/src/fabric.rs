@@ -142,8 +142,8 @@ impl Component for Fabric {
 mod tests {
     use super::*;
     use crate::message::{MsgHeader, MsgKind};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
+    use std::sync::Arc;
 
     fn msg(dst: NodeId, len: u32, seq: u64) -> Message {
         Message::new(
@@ -168,11 +168,11 @@ mod tests {
     impl Component for Sink {
         fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
             let m = ev.payload.downcast::<Message>().unwrap();
-            self.got.borrow_mut().push((ctx.now(), m.header.seq, m.link.crc_ok));
+            self.got.lock().unwrap().push((ctx.now(), m.header.seq, m.link.crc_ok));
         }
     }
 
-    type DeliveryLog = Rc<RefCell<Vec<(Time, u64, bool)>>>;
+    type DeliveryLog = Arc<Mutex<Vec<(Time, u64, bool)>>>;
 
     fn build(nodes: u32) -> (Simulation, ComponentId, Vec<DeliveryLog>) {
         build_faulty(nodes, FaultConfig::none())
@@ -189,7 +189,7 @@ mod tests {
         );
         let mut logs = Vec::new();
         for n in 0..nodes {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Arc::new(Mutex::new(Vec::new()));
             let sink = sim.add_component(&format!("sink{n}"), Sink { got: log.clone() });
             sim.connect(fab, Fabric::out_port(n), sink, InPort(0), Time::ZERO);
             logs.push(log);
@@ -202,7 +202,7 @@ mod tests {
         let (mut sim, fab, logs) = build(2);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
         sim.run();
-        let (t, seq, _) = logs[1].borrow()[0];
+        let (t, seq, _) = logs[1].lock().unwrap()[0];
         assert_eq!(seq, 1);
         // 32 header bytes at 2 B/ns = 16 ns, + 200 ns wire.
         assert_eq!(t, Time::from_ns(216));
@@ -213,7 +213,7 @@ mod tests {
         let (mut sim, fab, logs) = build(2);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 4096, 1)), Time::ZERO);
         sim.run();
-        let (t, _, _) = logs[1].borrow()[0];
+        let (t, _, _) = logs[1].lock().unwrap()[0];
         assert_eq!(t, Time::from_ns(200 + (4096 + 32) / 2));
     }
 
@@ -227,12 +227,12 @@ mod tests {
         };
         let mut sim = Simulation::new(7);
         let fab = sim.add_component("net", Fabric::new(cfg, 2));
-        let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
+        let log: DeliveryLog = Arc::new(Mutex::new(Vec::new()));
         let sink = sim.add_component("sink", Sink { got: log.clone() });
         sim.connect(fab, Fabric::out_port(1), sink, InPort(0), Time::ZERO);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 0)), Time::ZERO);
         sim.run();
-        let (t, _, _) = log.borrow()[0];
+        let (t, _, _) = log.lock().unwrap()[0];
         assert_eq!(t, Time::from_ns(200) + Time::from_ps(4572));
     }
 
@@ -266,7 +266,7 @@ mod tests {
             sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 1000, seq)), Time::ZERO);
         }
         sim.run();
-        let got = logs[1].borrow();
+        let got = logs[1].lock().unwrap();
         let seqs: Vec<u64> = got.iter().map(|&(_, s, _)| s).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3], "ordering violated");
         // Each 1032-byte message serializes for 516 ns on the shared link.
@@ -280,8 +280,8 @@ mod tests {
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 1000, 0)), Time::ZERO);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(2, 1000, 1)), Time::ZERO);
         sim.run();
-        assert_eq!(logs[1].borrow()[0].0, Time::from_ns(716));
-        assert_eq!(logs[2].borrow()[0].0, Time::from_ns(716));
+        assert_eq!(logs[1].lock().unwrap()[0].0, Time::from_ns(716));
+        assert_eq!(logs[2].lock().unwrap()[0].0, Time::from_ns(716));
     }
 
     #[test]
@@ -298,7 +298,7 @@ mod tests {
                 );
             }
             sim.run();
-            let delivered: Vec<u64> = logs[1].borrow().iter().map(|&(_, s, _)| s).collect();
+            let delivered: Vec<u64> = logs[1].lock().unwrap().iter().map(|&(_, s, _)| s).collect();
             (delivered, sim.stats().get("net.faults.dropped"))
         };
         let (d1, dropped1) = run();
@@ -315,7 +315,7 @@ mod tests {
         let (mut sim, fab, logs) = build_faulty(2, faults);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 9)), Time::ZERO);
         sim.run();
-        let got = logs[1].borrow();
+        let got = logs[1].lock().unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!((got[0].1, got[1].1), (9, 9));
         // Second copy queues behind the first on the destination link.
@@ -329,7 +329,7 @@ mod tests {
         let (mut sim, fab, logs) = build_faulty(2, faults);
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
         sim.run();
-        let got = logs[1].borrow();
+        let got = logs[1].lock().unwrap();
         assert_eq!(got.len(), 1);
         assert!(!got[0].2, "frame should arrive with failed CRC");
         assert_eq!(sim.stats().get("net.faults.corrupted"), 1);
@@ -340,7 +340,7 @@ mod tests {
         let (mut sim, fab, logs) = build_faulty(2, FaultConfig::none());
         sim.post(fab, PORT_FROM_NIC, Payload::new(msg(1, 0, 1)), Time::ZERO);
         sim.run();
-        assert_eq!(logs[1].borrow()[0].0, Time::from_ns(216));
+        assert_eq!(logs[1].lock().unwrap()[0].0, Time::from_ns(216));
         assert_eq!(sim.stats().get("net.faults.dropped"), 0);
     }
 }

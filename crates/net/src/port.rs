@@ -1,0 +1,360 @@
+//! The distributed fabric: one [`FabricPort`] per node.
+//!
+//! The hub [`Fabric`](crate::Fabric) is a single component, which makes
+//! it a single *shard* under the partitioned executor — every message in
+//! the cluster would serialize through one island and the parallel engine
+//! would have nothing to parallelize. `FabricPort` splits the crossbar
+//! into per-node ports: each node's port lives in that node's shard, and
+//! the only cross-shard edges are the port-to-port wires, whose 200 ns
+//! latency becomes the conservative lookahead window.
+//!
+//! Timing is receiver-side and matches the hub model hop for hop. The
+//! hub computes `deliver = max(t, busy[dst]) + ser + wire` with the
+//! destination's busy window advanced to `max(t, busy[dst]) + ser`. Here
+//! the source port forwards at `t`, the frame crosses the wire
+//! (`t + wire`), and the *destination* port serializes:
+//! `deliver = max(t + wire, busy') + ser` with `busy' = busy + wire` —
+//! the same schedule shifted whole onto the receiver, so bandwidth
+//! contention, FIFO ordering per destination, and per-(src, dst) order
+//! are all preserved. Absolute delivery times match the hub except where
+//! two sources tie at the same destination in the same picosecond, where
+//! the hub breaks ties by global injection sequence and the ports by
+//! (source shard, emission) order; the distributed fabric is therefore
+//! its own baseline (compared across thread counts), not a bit-exact
+//! replay of hub runs.
+//!
+//! Faults roll at the *source* port from a per-node deterministic
+//! stream, so a node's fault verdicts never depend on other nodes'
+//! traffic — which is what keeps fault campaigns identical across thread
+//! counts too.
+
+use crate::fabric::NetConfig;
+use crate::message::{Message, NodeId};
+use mpiq_dessim::fault::{FaultConfig, FaultPlan};
+use mpiq_dessim::prelude::*;
+
+/// Input port where the node's own NIC injects outbound messages.
+pub const PORT_FP_INJECT: InPort = InPort(0);
+
+/// Input port where frames arrive from peer ports over the wire.
+pub const PORT_FP_WIRE: InPort = InPort(1);
+
+/// Fault-plan site id for node `n`'s fabric port (offset keeps the
+/// per-node streams clear of the hub fabric's site 0 and the NIC
+/// firmware's lane sites).
+fn port_fault_site(node: NodeId) -> u64 {
+    0x4000_0000 + node as u64
+}
+
+/// One node's attachment to the distributed fabric.
+///
+/// Wiring contract (the cluster builder owns this):
+/// * NIC `PORT_NET_TX` -> this port's [`PORT_FP_INJECT`], zero latency
+///   (intra-shard).
+/// * This port's `OutPort(d)` -> node `d`'s port [`PORT_FP_WIRE`], at
+///   [`NetConfig::wire_latency`] — including `d == node` (self-sends
+///   take a wire trip, as they do through the hub).
+/// * Arrivals are handed to the local NIC by direct send to the
+///   component id and input port given at construction, so `mpiq-net`
+///   needs no dependency on the NIC crate.
+pub struct FabricPort {
+    cfg: NetConfig,
+    nodes: u32,
+    /// The local NIC and its receive port, for delivery after
+    /// serialization.
+    nic: ComponentId,
+    nic_rx: InPort,
+    /// This node's ingress link occupancy (receiver-side serialization).
+    busy_until: Time,
+    faults: Option<FaultPlan>,
+}
+
+impl FabricPort {
+    /// A fault-free port for `node` in a fabric of `nodes`.
+    pub fn new(cfg: NetConfig, nodes: u32, node: NodeId, nic: ComponentId, nic_rx: InPort) -> FabricPort {
+        FabricPort::with_faults(cfg, nodes, node, nic, nic_rx, FaultConfig::none())
+    }
+
+    /// A port with a (possibly empty) fault campaign; verdicts come from
+    /// a stream private to `node`.
+    pub fn with_faults(
+        cfg: NetConfig,
+        nodes: u32,
+        node: NodeId,
+        nic: ComponentId,
+        nic_rx: InPort,
+        faults: FaultConfig,
+    ) -> FabricPort {
+        FabricPort {
+            cfg,
+            nodes,
+            nic,
+            nic_rx,
+            busy_until: Time::ZERO,
+            faults: faults
+                .net_active()
+                .then(|| FaultPlan::new(faults, port_fault_site(node))),
+        }
+    }
+
+    /// Output port carrying frames to node `dst`'s [`PORT_FP_WIRE`].
+    pub fn out_port(dst: NodeId) -> OutPort {
+        OutPort(dst as u16)
+    }
+
+    /// Serialization time for `bytes` on this link, rounded up to the
+    /// next picosecond (identical to the hub's charge).
+    fn serialize(&self, bytes: u64) -> Time {
+        Time::from_ps((bytes * 1000).div_ceil(self.cfg.bytes_per_ns))
+    }
+
+    /// Source side: roll faults and put surviving copies on the wire.
+    fn inject(&mut self, mut msg: Message, ctx: &mut Ctx<'_>) {
+        let dst = msg.header.dst_node;
+        assert!(
+            dst < self.nodes,
+            "message to unknown node {dst} (fabric has {} nodes): \
+             {:?} seq={} from node {} at t={}",
+            self.nodes,
+            msg.header.kind,
+            msg.header.seq,
+            msg.header.src_node,
+            ctx.now()
+        );
+        let mut duplicate = false;
+        if let Some(plan) = &mut self.faults {
+            let verdict = plan.roll_wire();
+            if verdict.drop {
+                ctx.stats().incr("net.faults.dropped");
+                return;
+            }
+            if verdict.corrupt {
+                ctx.stats().incr("net.faults.corrupted");
+                msg.link.crc_ok = false;
+            }
+            duplicate = verdict.duplicate;
+        }
+        if duplicate {
+            ctx.stats().incr("net.faults.duplicated");
+            self.put_on_wire(msg.clone(), ctx);
+        }
+        self.put_on_wire(msg, ctx);
+    }
+
+    fn put_on_wire(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        ctx.stats().incr("net.messages");
+        ctx.stats().add("net.bytes", msg.wire_bytes());
+        let dst = msg.header.dst_node;
+        ctx.emit(Self::out_port(dst), Payload::new(msg));
+    }
+
+    /// Receiver side: occupy the ingress link, then hand the frame to
+    /// the local NIC.
+    fn receive(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let ser = self.serialize(msg.wire_bytes());
+        let start = ctx.now().max(self.busy_until);
+        self.busy_until = start + ser;
+        let delay = (start + ser) - ctx.now();
+        ctx.send_to(self.nic, self.nic_rx, Payload::new(msg), delay);
+    }
+}
+
+impl Component for FabricPort {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        let msg = *ev.payload.downcast::<Message>().unwrap_or_else(|p| {
+            panic!(
+                "fabric port accepts Message payloads only; got {p:?} on port {:?} at t={}",
+                ev.port, ev.time
+            )
+        });
+        match ev.port {
+            PORT_FP_INJECT => self.inject(msg, ctx),
+            PORT_FP_WIRE => self.receive(msg, ctx),
+            other => panic!("fabric port has no input port {other:?}"),
+        }
+    }
+}
+
+/// Wire every pair of ports together (including each port to itself) at
+/// the configured wire latency. `ports[n]` must be node `n`'s
+/// [`FabricPort`]. In a sharded build this registers the cross-shard
+/// edges that define the lookahead.
+pub fn wire_ports(sim: &mut mpiq_dessim::ShardedSim, ports: &[ComponentId], cfg: &NetConfig) {
+    for &src in ports {
+        for (d, &dst) in ports.iter().enumerate() {
+            sim.connect(
+                src,
+                FabricPort::out_port(d as NodeId),
+                dst,
+                PORT_FP_WIRE,
+                cfg.wire_latency,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgHeader, MsgKind};
+    use mpiq_dessim::{ShardId, ShardedSim};
+    use std::sync::{Arc, Mutex};
+
+    fn msg(src: NodeId, dst: NodeId, len: u32, seq: u64) -> Message {
+        Message::new(
+            MsgHeader {
+                src_node: src,
+                dst_node: dst,
+                dst_rank: dst,
+                context: 0,
+                src_rank: src as u16,
+                tag: 0,
+                payload_len: len,
+                kind: MsgKind::Eager,
+                seq,
+            },
+            Message::test_payload(len as usize, 0),
+        )
+    }
+
+    type DeliveryLog = Arc<Mutex<Vec<(Time, u64, bool)>>>;
+
+    struct Sink {
+        got: DeliveryLog,
+    }
+    impl Component for Sink {
+        fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            let m = ev.payload.downcast::<Message>().unwrap();
+            self.got
+                .lock()
+                .unwrap()
+                .push((ctx.now(), m.header.seq, m.link.crc_ok));
+        }
+    }
+
+    /// One shard per node, each holding a sink ("the NIC") and a port.
+    fn build(nodes: u32, threads: usize, faults: FaultConfig) -> (ShardedSim, Vec<ComponentId>, Vec<DeliveryLog>) {
+        let mut sim = ShardedSim::new(7, nodes as usize);
+        sim.set_threads(threads);
+        let mut logs = Vec::new();
+        let mut sinks = Vec::new();
+        for n in 0..nodes {
+            let log: DeliveryLog = Arc::new(Mutex::new(Vec::new()));
+            let sink = sim.add_component(ShardId(n), &format!("sink{n}"), Sink { got: log.clone() });
+            logs.push(log);
+            sinks.push(sink);
+        }
+        let ports: Vec<ComponentId> = (0..nodes)
+            .map(|n| {
+                let p = FabricPort::with_faults(
+                    NetConfig::default(),
+                    nodes,
+                    n,
+                    sinks[n as usize],
+                    InPort(0),
+                    faults,
+                );
+                sim.add_component(ShardId(n), &format!("net{n}"), p)
+            })
+            .collect();
+        wire_ports(&mut sim, &ports, &NetConfig::default());
+        (sim, ports, logs)
+    }
+
+    #[test]
+    fn delivery_time_matches_hub_model() {
+        let (mut sim, ports, logs) = build(2, 1, FaultConfig::none());
+        sim.post(ports[0], PORT_FP_INJECT, Payload::new(msg(0, 1, 0, 1)), Time::ZERO);
+        sim.run();
+        let (t, seq, crc) = logs[1].lock().unwrap()[0];
+        assert_eq!(seq, 1);
+        assert!(crc);
+        // 200 ns wire + 32 header bytes at 2 B/ns = 16 ns — same total as
+        // the hub, with serialization on the receive side of the wire.
+        assert_eq!(t, Time::from_ns(216));
+    }
+
+    #[test]
+    fn receiver_link_serializes_and_preserves_order() {
+        let (mut sim, ports, logs) = build(2, 1, FaultConfig::none());
+        for seq in 0..4 {
+            sim.post(
+                ports[0],
+                PORT_FP_INJECT,
+                Payload::new(msg(0, 1, 1000, seq)),
+                Time::ZERO,
+            );
+        }
+        sim.run();
+        let got = logs[1].lock().unwrap();
+        let seqs: Vec<u64> = got.iter().map(|&(_, s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "per-(src,dst) order violated");
+        // 1032 wire bytes serialize for 516 ns behind the 200 ns wire.
+        assert_eq!(got[0].0, Time::from_ns(716));
+        assert_eq!(got[1].0, Time::from_ns(716 + 516));
+    }
+
+    #[test]
+    fn self_send_takes_the_wire() {
+        let (mut sim, ports, logs) = build(2, 1, FaultConfig::none());
+        sim.post(ports[0], PORT_FP_INJECT, Payload::new(msg(0, 0, 0, 5)), Time::ZERO);
+        sim.run();
+        assert_eq!(logs[0].lock().unwrap()[0].0, Time::from_ns(216));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_deliveries_or_stats() {
+        let faults: FaultConfig = "seed=3,drop=0.1,corrupt=0.05".parse().unwrap();
+        let run = |threads: usize| {
+            let (mut sim, ports, logs) = build(4, threads, faults);
+            let mut seq = 0;
+            for src in 0..4u32 {
+                for dst in 0..4u32 {
+                    for k in 0..8u64 {
+                        sim.post(
+                            ports[src as usize],
+                            PORT_FP_INJECT,
+                            Payload::new(msg(src, dst, 256, seq)),
+                            Time::from_ns(k * 100),
+                        );
+                        seq += 1;
+                    }
+                }
+            }
+            sim.run();
+            let mut deliveries: Vec<(u32, Time, u64, bool)> = Vec::new();
+            for (n, log) in logs.iter().enumerate() {
+                for &(t, s, c) in log.lock().unwrap().iter() {
+                    deliveries.push((n as u32, t, s, c));
+                }
+            }
+            deliveries.sort();
+            (deliveries, sim.stats_merged().to_json())
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "fabric diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn fault_verdicts_are_per_source_deterministic() {
+        let faults: FaultConfig = "seed=9,drop=0.3".parse().unwrap();
+        let run = || {
+            let (mut sim, ports, _logs) = build(2, 1, faults);
+            for seq in 0..100 {
+                sim.post(
+                    ports[0],
+                    PORT_FP_INJECT,
+                    Payload::new(msg(0, 1, 64, seq)),
+                    Time::from_ns(seq * 1000),
+                );
+            }
+            sim.run();
+            sim.stats_merged().get("net.faults.dropped")
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed must drop the same messages");
+        assert!(a > 10 && a < 60, "dropped {a} of 100");
+    }
+}

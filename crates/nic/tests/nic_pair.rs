@@ -8,8 +8,8 @@ use mpiq_nic::{
     Completion, HostRequest, Nic, NicConfig, ReqId, PORT_HOST_COMP, PORT_HOST_REQ, PORT_NET_RX,
     PORT_NET_TX,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 /// A host that fires a script of requests at fixed times and records
 /// completions.
@@ -28,11 +28,11 @@ impl Component for ScriptHost {
     }
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         let comp = *ev.payload.downcast::<Completion>().unwrap();
-        self.log.borrow_mut().push((ctx.now(), comp));
+        self.log.lock().unwrap().push((ctx.now(), comp));
     }
 }
 
-type CompletionLog = Rc<RefCell<Vec<(Time, Completion)>>>;
+type CompletionLog = Arc<Mutex<Vec<(Time, Completion)>>>;
 
 struct World {
     sim: Simulation,
@@ -50,7 +50,7 @@ fn build(cfg: NicConfig, scripts: Vec<Vec<(Time, HostRequest)>>) -> World {
         let nic = sim.add_component(&format!("nic{node}"), Nic::new(node as u32, cfg));
         sim.connect(nic, PORT_NET_TX, fab, PORT_FROM_NIC, Time::ZERO);
         sim.connect(fab, Fabric::out_port(node as u32), nic, PORT_NET_RX, Time::ZERO);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let host = sim.add_component(
             &format!("host{node}"),
             ScriptHost {
@@ -102,7 +102,7 @@ fn eager_zero_length_pingpong_half() {
     );
     let mut w = w;
     w.sim.run();
-    let log1 = w.logs[1].borrow();
+    let log1 = w.logs[1].lock().unwrap();
     assert_eq!(log1.len(), 1, "receiver must complete exactly once");
     let (t, comp) = log1[0];
     assert_eq!(comp.req, rid(1, 0));
@@ -115,7 +115,7 @@ fn eager_zero_length_pingpong_half() {
         "one-way latency {latency} out of sane range"
     );
     // Sender's local completion too.
-    assert_eq!(w.logs[0].borrow().len(), 1);
+    assert_eq!(w.logs[0].lock().unwrap().len(), 1);
 }
 
 #[test]
@@ -129,7 +129,7 @@ fn unexpected_eager_completes_on_late_recv() {
     );
     let mut w = w;
     w.sim.run();
-    let log1 = w.logs[1].borrow();
+    let log1 = w.logs[1].lock().unwrap();
     assert_eq!(log1.len(), 1);
     assert_eq!(log1[0].1.len, 256);
     assert!(log1[0].0 > Time::from_us(5));
@@ -147,13 +147,13 @@ fn rendezvous_transfers_large_payload() {
     );
     let mut w = w;
     w.sim.run();
-    let log1 = w.logs[1].borrow();
+    let log1 = w.logs[1].lock().unwrap();
     assert_eq!(log1.len(), 1);
     assert_eq!(log1[0].1.len, len);
     // 64 KB at 2 B/ns on the wire alone is 32 us.
     assert!(log1[0].0 > Time::from_us(30), "rndv too fast: {}", log1[0].0);
     // Sender completes after shipping the data.
-    let log0 = w.logs[0].borrow();
+    let log0 = w.logs[0].lock().unwrap();
     assert_eq!(log0.len(), 1);
 }
 
@@ -170,8 +170,8 @@ fn rendezvous_unexpected_side() {
     );
     let mut w = w;
     w.sim.run();
-    assert_eq!(w.logs[1].borrow().len(), 1);
-    assert_eq!(w.logs[1].borrow()[0].1.len, len);
+    assert_eq!(w.logs[1].lock().unwrap().len(), 1);
+    assert_eq!(w.logs[1].lock().unwrap()[0].1.len, len);
 }
 
 #[test]
@@ -189,7 +189,7 @@ fn wildcard_source_and_tag_match() {
     );
     let mut w = w;
     w.sim.run();
-    let log = w.logs[2].borrow();
+    let log = w.logs[2].lock().unwrap();
     assert_eq!(log.len(), 2);
     // The ANY/ANY receive was posted second, so the tag-42 message goes to
     // req 0 and the other to req 1.
@@ -218,7 +218,7 @@ fn same_pair_messages_complete_in_order() {
     );
     let mut w = w;
     w.sim.run();
-    let log = w.logs[1].borrow();
+    let log = w.logs[1].lock().unwrap();
     assert_eq!(log.len(), 2);
     assert!(log[0].0 <= log[1].0);
     assert_eq!(log[0].1.req.seq, 0, "first recv matches first send");
@@ -269,7 +269,7 @@ fn run_workload(cfg: NicConfig) -> Vec<Vec<Completion>> {
     w.logs
         .iter()
         .map(|l| {
-            let mut v: Vec<Completion> = l.borrow().iter().map(|&(_, c)| c).collect();
+            let mut v: Vec<Completion> = l.lock().unwrap().iter().map(|&(_, c)| c).collect();
             v.sort_by_key(|c| c.req);
             v
         })
@@ -303,7 +303,7 @@ fn deep_queue_latency(cfg: NicConfig, depth: u64) -> Time {
     scripts[0].push((t0, send(0, 0, 1, 7, 0)));
     let mut w = build(cfg, scripts);
     w.sim.run();
-    let log = w.logs[1].borrow();
+    let log = w.logs[1].lock().unwrap();
     let done = log
         .iter()
         .find(|(_, c)| c.req.seq == depth)

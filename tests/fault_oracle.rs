@@ -83,11 +83,11 @@ fn mixed_workload() -> Vec<Box<dyn AppProgram>> {
 
 /// Build, run, and oracle-check one cluster; returns it for inspection.
 fn run_checked(nic: NicConfig, faults: Option<FaultConfig>) -> Cluster {
-    let mut cfg = ClusterConfig::new(nic);
+    let mut builder = ClusterConfig::builder(nic);
     if let Some(f) = faults {
-        cfg = cfg.with_faults(f);
+        builder = builder.faults(f);
     }
-    let mut c = Cluster::new(cfg, mixed_workload());
+    let mut c = Cluster::new(builder.build(), mixed_workload());
     c.run(); // panics on deadlock / missing completion
     for rank in 0..RANKS {
         let fw = c.nic(rank).firmware();
