@@ -1,0 +1,152 @@
+//! Pending-event-set microbench: [`CalendarQueue`] vs `BinaryHeap` under
+//! the sharded engine's load shapes.
+//!
+//! Two access patterns dominate a shard's event set during an incast:
+//!
+//! * **hold** — steady state: pop the earliest event, schedule its
+//!   successor a (workload-dependent) delta later. The classic hold
+//!   model; O(1) amortized for the calendar, O(log n) for the heap.
+//! * **drain** — a batched mailbox drain at a window boundary: a burst
+//!   of near-simultaneous cross-shard arrivals is bulk-inserted, then
+//!   consumed. This is the path `Shard::drain_mailbox` exercises.
+//!
+//! Each runs under two time distributions: `uniform` (deltas spread over
+//! ~2 µs) and `incast` (deltas quantized to a 1 µs wire, so events from
+//! all senders collide on identical timestamps — the tie-heavy shape the
+//! hetero scaling scenario produces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpiq_dessim::{CalendarQueue, SimRng, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+const SENDERS: u64 = 16;
+const OPS: usize = 10_000;
+
+/// Per-pop successor deltas (picoseconds) for one load shape.
+fn deltas(shape: &str, n: usize) -> Vec<u64> {
+    let mut rng = SimRng::new(1);
+    let wire = Time::from_us(1).ps();
+    (0..n)
+        .map(|_| match shape {
+            // Spread arrivals: anywhere in the next ~2 us.
+            "uniform" => 1_000 + rng.gen_range(2_000_000),
+            // Quantized arrivals: whole wire delays, maximizing ties.
+            "incast" => wire * (1 + rng.gen_range(3)),
+            other => panic!("unknown shape {other}"),
+        })
+        .collect()
+}
+
+fn hold_calendar(deltas: &[u64]) -> u64 {
+    let mut q = CalendarQueue::new();
+    let mut seq = 0u64;
+    for _ in 0..SENDERS {
+        q.push(Time::from_ps(0), seq, seq);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for &d in deltas {
+        let (t, _, _) = q.pop().expect("population is constant");
+        acc ^= t.ps();
+        q.push(Time::from_ps(t.ps() + d), seq, seq);
+        seq += 1;
+    }
+    acc
+}
+
+fn hold_heap(deltas: &[u64]) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for _ in 0..SENDERS {
+        q.push(Reverse((0, seq)));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for &d in deltas {
+        let Reverse((t, _)) = q.pop().expect("population is constant");
+        acc ^= t;
+        q.push(Reverse((t + d, seq)));
+        seq += 1;
+    }
+    acc
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pes_hold");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(OPS as u64));
+    for shape in ["uniform", "incast"] {
+        let ds = deltas(shape, OPS);
+        g.bench_with_input(BenchmarkId::new("calendar", shape), &ds, |b, ds| {
+            b.iter(|| black_box(hold_calendar(ds)));
+        });
+        g.bench_with_input(BenchmarkId::new("heap", shape), &ds, |b, ds| {
+            b.iter(|| black_box(hold_heap(ds)));
+        });
+    }
+    g.finish();
+}
+
+/// Event times of one mailbox burst: `rounds` windows, each delivering
+/// one event per sender; under `incast` every sender hits the identical
+/// timestamp, under `uniform` they spread inside the window.
+fn burst_times(shape: &str, rounds: u64) -> Vec<u64> {
+    let mut rng = SimRng::new(2);
+    let wire = Time::from_us(1).ps();
+    let mut times = Vec::new();
+    for round in 0..rounds {
+        for _ in 0..SENDERS {
+            let jitter = match shape {
+                "uniform" => rng.gen_range(wire),
+                "incast" => 0,
+                other => panic!("unknown shape {other}"),
+            };
+            times.push((round + 1) * wire + jitter);
+        }
+    }
+    times
+}
+
+fn drain_calendar(times: &[u64]) -> u64 {
+    let mut q = CalendarQueue::new();
+    for (seq, &t) in times.iter().enumerate() {
+        q.push(Time::from_ps(t), seq as u64, seq);
+    }
+    let mut acc = 0u64;
+    while let Some((t, _, _)) = q.pop() {
+        acc ^= t.ps();
+    }
+    acc
+}
+
+fn drain_heap(times: &[u64]) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u64)>> =
+        times.iter().enumerate().map(|(seq, &t)| Reverse((t, seq as u64))).collect();
+    let mut acc = 0u64;
+    while let Some(Reverse((t, _))) = q.pop() {
+        acc ^= t;
+    }
+    acc
+}
+
+fn bench_drain(c: &mut Criterion) {
+    const ROUNDS: u64 = 256;
+    let mut g = c.benchmark_group("pes_drain");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(ROUNDS * SENDERS));
+    for shape in ["uniform", "incast"] {
+        let ts = burst_times(shape, ROUNDS);
+        g.bench_with_input(BenchmarkId::new("calendar", shape), &ts, |b, ts| {
+            b.iter(|| black_box(drain_calendar(ts)));
+        });
+        g.bench_with_input(BenchmarkId::new("heap", shape), &ts, |b, ts| {
+            b.iter(|| black_box(drain_heap(ts)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hold, bench_drain);
+criterion_main!(benches);

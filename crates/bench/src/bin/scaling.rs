@@ -1,40 +1,53 @@
 //! Scaling bench: wall-clock speedup of the sharded engine vs worker
-//! threads, on a ≥16-rank incast soak.
+//! threads, on a ≥16-rank incast soak — and the repo's tracked perf
+//! trajectory.
 //!
 //! ```text
 //! cargo run --release -p mpiq-bench --bin scaling -- [--senders 16] [--msgs 64]
-//!     [--size 512] [--thread-counts 1,2,4] [--out results/scaling.json]
+//!     [--size 512] [--thread-counts 1,2,4] [--scenarios incast,hetero]
+//!     [--out BENCH_scaling.json] [--check BENCH_scaling.json] [--tolerance 25]
 //! ```
 //!
-//! For each thread count the same simulation runs on the sharded engine
-//! and the CSV reports wall-clock time and speedup relative to one
-//! worker thread. The statistics dump of every run is byte-compared
-//! against the one-thread run — the engine's determinism contract makes
-//! any divergence a hard error, not a warning. Simulated results (event
-//! counts, virtual runtime, queue statistics) are identical by
-//! construction; only the wall clock changes.
+//! Two wire profiles exercise the window planner:
+//!
+//! * `incast` — uniform 200 ns wires. Every cross-shard edge has the
+//!   same lookahead, so the adaptive and global planners pick similar
+//!   windows; this row tracks raw engine throughput.
+//! * `hetero` — the same incast over 1 µs wires with one 10 ns edge
+//!   (nodes 1↔2). The global planner must shrink *every* window to the
+//!   worst edge; the adaptive per-edge planner only constrains the two
+//!   shards touching it. This row is the headline win.
+//!
+//! Each (scenario, policy) pair runs at every `--thread-counts` entry
+//! and its statistics dump is byte-compared against the pair's
+//! one-thread run — the engine's determinism contract makes any
+//! divergence a hard error. Speedup is relative to the first thread
+//! count of the same pair; only the wall clock may change.
+//!
+//! `--out PATH` writes the full document (code version stamp, config,
+//! one row per run). The repo tracks `BENCH_scaling.json` at the root:
+//! regenerate it with `--out BENCH_scaling.json` after perf-relevant
+//! changes. `--check PATH` loads such a document and fails (exit 1)
+//! when any current adaptive row's events/sec drops more than
+//! `--tolerance` percent below the same (scenario, threads) row of the
+//! baseline — CI runs both flags in one invocation.
 
 use mpiq_bench::cli::{Cli, Flag};
-use mpiq_bench::report::{json_f64, write_json, JsonRow};
+use mpiq_bench::jsonlint::{self, Json};
+use mpiq_bench::report::{json_f64, json_str};
 use mpiq_bench::{run_soak, Scenario, SoakConfig};
+use mpiq_dessim::{Time, WindowPolicy};
+use mpiq_net::WireProfile;
 use std::time::Instant;
 
 struct Row {
+    scenario: &'static str,
+    policy: WindowPolicy,
     threads: usize,
     wall_ms: f64,
     events: u64,
+    events_per_sec: f64,
     speedup: f64,
-}
-
-impl JsonRow for Row {
-    fn fields(&self) -> Vec<(&'static str, String)> {
-        vec![
-            ("threads", self.threads.to_string()),
-            ("wall_ms", json_f64(self.wall_ms)),
-            ("events", self.events.to_string()),
-            ("speedup", json_f64(self.speedup)),
-        ]
-    }
 }
 
 const FLAGS: &[Flag] = &[
@@ -46,7 +59,133 @@ const FLAGS: &[Flag] = &[
         value: Some("LIST"),
         help: "worker-thread counts to time (default 1,2,4)",
     },
+    Flag {
+        name: "scenarios",
+        value: Some("LIST"),
+        help: "wire profiles to run: incast, hetero (default both)",
+    },
+    Flag {
+        name: "check",
+        value: Some("PATH"),
+        help: "baseline BENCH_scaling.json; fail on events/sec regression",
+    },
+    Flag {
+        name: "tolerance",
+        value: Some("PCT"),
+        help: "allowed events/sec drop vs the baseline, percent (default 25)",
+    },
 ];
+
+/// The soak configuration for one scenario name.
+fn scenario_cfg(scenario: &str, senders: u32, msgs: u32, size: u32, seed: u64) -> SoakConfig {
+    let mut cfg = SoakConfig::new(Scenario::Incast, seed);
+    cfg.senders = senders;
+    cfg.msgs = msgs;
+    cfg.msg_size = size;
+    match scenario {
+        "incast" => {}
+        "hetero" => {
+            cfg.net.wire_latency = Time::from_us(1);
+            cfg.net.profile = WireProfile::ShortPair { a: 1, b: 2, short: Time::from_ns(10) };
+        }
+        other => panic!("unknown scenario `{other}` (expected incast or hetero)"),
+    }
+    cfg
+}
+
+/// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+fn code_version() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Render the tracked document. Nested (header + rows), so the file
+/// carries its own provenance; validated by `jsonlint` before writing.
+fn render(rows: &[Row], senders: u32, msgs: u32, size: u32, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scaling\",\n");
+    out.push_str(&format!("  \"version\": {},\n", json_str(&code_version())));
+    out.push_str(&format!(
+        "  \"config\": {{\"senders\": {senders}, \"msgs\": {msgs}, \"size\": {size}, \"seed\": {seed}}},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"scenario\": {}, \"policy\": {}, \"threads\": {}, \"wall_ms\": {}, \
+             \"events\": {}, \"events_per_sec\": {}, \"speedup\": {}}}{comma}\n",
+            json_str(r.scenario),
+            json_str(r.policy.label()),
+            r.threads,
+            json_f64(r.wall_ms),
+            r.events,
+            json_f64(r.events_per_sec),
+            json_f64(r.speedup),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    jsonlint::validate(&out).expect("scaling emitted invalid JSON");
+    out
+}
+
+/// Compare the current adaptive rows against a baseline document.
+/// Returns the failures (empty = pass). Baseline rows with no matching
+/// current run (different thread list) are skipped; a baseline that
+/// matches nothing at all is an error, because the gate would be
+/// vacuous.
+fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Vec<String>, String> {
+    let doc = jsonlint::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let base_rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no `rows` array")?;
+    let base_version = doc.get("version").and_then(Json::as_str).unwrap_or("?");
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for r in rows.iter().filter(|r| r.policy == WindowPolicy::PerEdge) {
+        let Some(base) = base_rows.iter().find(|b| {
+            b.get("scenario").and_then(Json::as_str) == Some(r.scenario)
+                && b.get("policy").and_then(Json::as_str) == Some(r.policy.label())
+                && b.get("threads").and_then(Json::as_u64) == Some(r.threads as u64)
+        }) else {
+            continue;
+        };
+        let base_eps = base
+            .get("events_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| {
+                format!("baseline row ({}, {} threads) has no events_per_sec", r.scenario, r.threads)
+            })?;
+        matched += 1;
+        let floor = base_eps * (1.0 - tolerance_pct / 100.0);
+        if r.events_per_sec < floor {
+            failures.push(format!(
+                "{} @ {} threads: {:.0} events/s is {:.0}% below baseline {:.0} (version {}, tolerance {}%)",
+                r.scenario,
+                r.threads,
+                r.events_per_sec,
+                (1.0 - r.events_per_sec / base_eps) * 100.0,
+                base_eps,
+                base_version,
+                tolerance_pct,
+            ));
+        }
+    }
+    if matched == 0 {
+        return Err("no baseline row matches any current (scenario, threads) — \
+                    regenerate the baseline with --out"
+            .to_string());
+    }
+    Ok(failures)
+}
 
 fn main() {
     let cli = Cli::parse("scaling", "sharded-engine speedup vs worker threads", FLAGS);
@@ -54,19 +193,11 @@ fn main() {
     let msgs: u32 = cli.get("msgs", 64);
     let size: u32 = cli.get("size", 512);
     let thread_counts: Vec<usize> = cli.get_list("thread-counts", vec![1, 2, 4]);
+    let scenarios: Vec<String> =
+        cli.get_list("scenarios", vec!["incast".to_string(), "hetero".to_string()]);
+    let tolerance: f64 = cli.get("tolerance", 25.0);
     let seed = cli.common.seed.unwrap_or(1);
     assert!(senders + 1 >= 16, "scaling needs at least 16 ranks (got {} senders)", senders);
-
-    let run_at = |threads: usize| {
-        let mut cfg = SoakConfig::new(Scenario::Incast, seed);
-        cfg.senders = senders;
-        cfg.msgs = msgs;
-        cfg.msg_size = size;
-        cfg.parallelism = threads;
-        let start = Instant::now();
-        let out = run_soak(&cfg).unwrap_or_else(|d| panic!("scaling run stalled:\n{d}"));
-        (start.elapsed().as_secs_f64() * 1e3, out)
-    };
 
     eprintln!(
         "scaling: incast, {} ranks, {} msgs x {} B, seed {seed}, host has {} core(s)",
@@ -77,35 +208,101 @@ fn main() {
     );
 
     let mut rows: Vec<Row> = Vec::new();
-    let mut reference: Option<(f64, String)> = None;
-    println!("threads,wall_ms,events,speedup");
-    for &threads in &thread_counts {
-        assert!(threads >= 1, "--thread-counts entries must be >= 1");
-        let (wall_ms, out) = run_at(threads);
-        let (base_ms, base_stats) = reference.get_or_insert((wall_ms, out.stats_json.clone()));
-        assert_eq!(
-            out.stats_json, *base_stats,
-            "stats diverged between {} and {} threads — determinism contract broken",
-            thread_counts[0], threads
-        );
-        let speedup = *base_ms / wall_ms;
-        println!("{threads},{wall_ms:.1},{},{speedup:.2}", out.events);
-        rows.push(Row {
-            threads,
-            wall_ms,
-            events: out.events,
-            speedup,
-        });
+    println!("scenario,policy,threads,wall_ms,events,events_per_sec,speedup");
+    for scenario in &scenarios {
+        let scenario: &'static str = match scenario.as_str() {
+            "incast" => "incast",
+            "hetero" => "hetero",
+            other => panic!("unknown scenario `{other}` (expected incast or hetero)"),
+        };
+        for policy in [WindowPolicy::PerEdge, WindowPolicy::Global] {
+            let mut reference: Option<(f64, String)> = None;
+            for &threads in &thread_counts {
+                assert!(threads >= 1, "--thread-counts entries must be >= 1");
+                let mut cfg = scenario_cfg(scenario, senders, msgs, size, seed);
+                cfg.parallelism = threads;
+                cfg.window_policy = policy;
+                let start = Instant::now();
+                let out = run_soak(&cfg).unwrap_or_else(|d| panic!("scaling run stalled:\n{d}"));
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let (base_ms, base_stats) =
+                    reference.get_or_insert((wall_ms, out.stats_json.clone()));
+                assert_eq!(
+                    out.stats_json, *base_stats,
+                    "{scenario}/{}: stats diverged between {} and {} threads — \
+                     determinism contract broken",
+                    policy.label(),
+                    thread_counts[0],
+                    threads
+                );
+                let speedup = *base_ms / wall_ms;
+                let events_per_sec = out.events as f64 / (wall_ms / 1e3);
+                println!(
+                    "{scenario},{},{threads},{wall_ms:.1},{},{events_per_sec:.0},{speedup:.2}",
+                    policy.label(),
+                    out.events
+                );
+                rows.push(Row {
+                    scenario,
+                    policy,
+                    threads,
+                    wall_ms,
+                    events: out.events,
+                    events_per_sec,
+                    speedup,
+                });
+            }
+        }
     }
 
     if let Some(path) = &cli.common.out {
-        write_json(std::path::Path::new(path), &rows).expect("write json");
+        let doc = render(&rows, senders, msgs, size, seed);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output directory");
+            }
+        }
+        std::fs::write(path, &doc).expect("write json");
         eprintln!("scaling: wrote {path}");
     }
-    eprintln!(
-        "scaling: all {} runs produced byte-identical statistics; speedup at {} threads: {:.2}x",
-        rows.len(),
-        rows.last().map_or(0, |r| r.threads),
-        rows.last().map_or(1.0, |r| r.speedup)
-    );
+
+    for scenario in &scenarios {
+        let best = |policy: WindowPolicy| {
+            rows.iter()
+                .filter(|r| r.scenario == *scenario && r.policy == policy)
+                .max_by_key(|r| r.threads)
+        };
+        if let (Some(adaptive), Some(global)) = (best(WindowPolicy::PerEdge), best(WindowPolicy::Global))
+        {
+            eprintln!(
+                "scaling: {scenario} @ {} threads: adaptive {:.1} ms vs global {:.1} ms ({:.2}x), \
+                 adaptive self-speedup {:.2}x",
+                adaptive.threads,
+                adaptive.wall_ms,
+                global.wall_ms,
+                global.wall_ms / adaptive.wall_ms,
+                adaptive.speedup,
+            );
+        }
+    }
+
+    if let Some(path) = cli.get_str("check") {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("scaling: cannot read baseline {path}: {e}"));
+        match check_baseline(&baseline, &rows, tolerance) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!("scaling: within {tolerance}% of baseline {path}");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("scaling: REGRESSION: {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("scaling: bad baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

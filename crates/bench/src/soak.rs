@@ -24,9 +24,10 @@
 //! bound.
 
 use mpiq_dessim::watchdog::Diagnosis;
-use mpiq_dessim::{FaultConfig, SimRng, Time};
+use mpiq_dessim::{FaultConfig, SimRng, Time, WindowPolicy};
 use mpiq_mpi::script::mark_log;
 use mpiq_mpi::{AppProgram, Cluster, ClusterConfig, Script};
+use mpiq_net::NetConfig;
 use mpiq_nic::firmware::check_invariants;
 use mpiq_nic::NicConfig;
 
@@ -88,6 +89,11 @@ pub struct SoakConfig {
     /// Execution engine: 0 = hub fabric on the calling thread; n >= 1 =
     /// sharded engine on n worker threads (identical results for any n).
     pub parallelism: usize,
+    /// Network parameters (wire latency, bandwidth, per-pair profile).
+    pub net: NetConfig,
+    /// Window planning on the sharded engine (adaptive per-edge
+    /// lookahead by default; global window as the perf baseline).
+    pub window_policy: WindowPolicy,
 }
 
 impl SoakConfig {
@@ -108,6 +114,8 @@ impl SoakConfig {
             faults: None,
             deadline: Time::from_ms(500),
             parallelism: 0,
+            net: NetConfig::default(),
+            window_policy: WindowPolicy::default(),
         }
     }
 }
@@ -283,6 +291,8 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
     let nic = base.with_flow_control(cfg.eager_credits, cfg.max_unexpected, cfg.eager_buffer_bytes);
     let mut builder = ClusterConfig::builder(nic)
         .seed(cfg.seed)
+        .net(cfg.net)
+        .window_policy(cfg.window_policy)
         .parallelism(cfg.parallelism);
     if let Some(f) = cfg.faults {
         builder = builder.faults(f);

@@ -1,28 +1,33 @@
 //! Execution cores for [`ShardedSim`]: the strategy that carries shards
 //! through conservative lookahead windows.
 //!
-//! Both cores run the *same* windowed algorithm — plan a global window
-//! from the earliest pending event plus the lookahead, execute every
-//! shard's events inside the window, exchange cross-shard events at a
-//! barrier, repeat. [`Sequential`] executes all shards on the calling
-//! thread; [`Partitioned`] stripes them across a scoped worker pool
-//! (`scoped_pool`). Because the window schedule, per-shard event order,
-//! and barrier exchange order are all independent of which OS thread
-//! carries a shard, the two cores — and any worker count — produce
-//! bit-identical results.
+//! Both cores run the *same* windowed algorithm — plan a window bound
+//! per shard (from the per-edge safe-time table under
+//! [`WindowPolicy::PerEdge`], or one shared cap under
+//! [`WindowPolicy::Global`]), execute every shard's in-window events,
+//! swap cross-shard trays at a barrier, repeat. [`Sequential`] executes
+//! all shards on the calling thread; [`Partitioned`] stripes them
+//! across a scoped worker pool (`scoped_pool`). Because the window
+//! schedule, per-shard event order, and barrier exchange order are all
+//! independent of which OS thread carries a shard, the two cores — and
+//! any worker count — produce bit-identical results.
 //!
 //! Shards live inside `Mutex` cells during a run. The locks are never
 //! contended (each shard is touched by exactly one worker inside a
 //! window, and only the driver touches them between windows); they exist
-//! to give safe `&mut` access from the worker that owns the stripe.
+//! to give safe `&mut` access from the worker that owns the stripe. The
+//! per-shard window bounds are broadcast through a table of relaxed
+//! atomics written only by the driver between barriers.
 //!
 //! Caveat: a panic inside a component handler under [`Partitioned`]
 //! leaves other workers parked at the window barrier; lookahead
 //! violations are therefore asserted on the driver thread (at the
-//! barrier drain) so they surface as ordinary panics in both cores.
+//! barrier tray swap) so they surface as ordinary panics in both cores.
 
-use crate::shard::{drain_shards, Shard, ShardedSim};
+use crate::shard::{exchange_trays, Shard, ShardedSim};
 use crate::time::Time;
+use crate::window::{SafeTimeTable, WindowPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// A strategy for running a [`ShardedSim`] to a horizon.
@@ -65,54 +70,84 @@ fn run_windows(sim: &mut ShardedSim, horizon: Time, threads: usize) {
         return;
     }
     let lookahead = sim.lookahead();
-    let start_floor = sim.floor;
+    let mut planner = match sim.window_policy() {
+        WindowPolicy::Global => None,
+        WindowPolicy::PerEdge => Some(SafeTimeTable::new(nshards, sim.topo.edges())),
+    };
     let stride = threads.min(nshards).max(1);
     let extra = stride - 1;
     let cells: Vec<Mutex<Shard>> = sim.shards.drain(..).map(Mutex::new).collect();
     let topo = &sim.topo;
+    // Per-shard window bounds for the round in flight. Written by the
+    // driver strictly before the start barrier, read by workers strictly
+    // after it; the barrier orders the accesses, so Relaxed suffices.
+    let ends: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(0)).collect();
 
     // One stripe of shards per worker: worker `w` owns shards
     // `w, w+stride, w+2*stride, ...`. The assignment is fixed for the
     // whole run, so a shard's events always execute on the same worker.
-    let run_stripe = |w: usize, window_end: Time| {
+    let run_stripe = |w: usize| {
         for j in (w..cells.len()).step_by(stride) {
+            let end = Time(ends[j].load(Ordering::Relaxed));
             cells[j]
                 .lock()
                 .expect("a worker panicked while running this shard")
-                .run_window(topo, window_end);
+                .run_window(topo, end);
         }
     };
 
-    let final_floor = scoped_pool::run(
+    scoped_pool::run(
         extra,
-        |w, plan| run_stripe(w, Time(plan)),
+        |w, _round| run_stripe(w),
         |pool| {
-            let mut floor = start_floor;
+            let mut round = 0u64;
+            let mut nexts = vec![0u64; nshards];
             loop {
                 // Between windows only the driver is awake; these locks
                 // are uncontended bookkeeping.
-                let (next, stopped) = {
+                let stopped = {
                     let guards = lock_all(&cells);
-                    let next = guards.iter().filter_map(|g| g.next_time()).min();
-                    let stopped = guards.iter().any(|g| g.stop);
-                    (next, stopped)
+                    for (slot, g) in nexts.iter_mut().zip(guards.iter()) {
+                        *slot = g.next_time().map_or(u64::MAX, |t| t.0);
+                    }
+                    guards.iter().any(|g| g.stop)
                 };
                 if stopped {
                     break;
                 }
-                let Some(window_end) = ShardedSim::plan_window(next, lookahead, horizon) else {
+                let min_next = nexts.iter().copied().min().unwrap_or(u64::MAX);
+                // Done when nothing at or below the horizon remains (the
+                // top two u64 values are unreachable: see `plan_window`).
+                if min_next >= u64::MAX - 1 || min_next > horizon.0 {
                     break;
-                };
+                }
+                match planner.as_mut() {
+                    None => {
+                        let end =
+                            ShardedSim::plan_window(Some(Time(min_next)), lookahead, horizon)
+                                .expect("pending event at or below the horizon");
+                        for slot in &ends {
+                            slot.store(end.0, Ordering::Relaxed);
+                        }
+                    }
+                    Some(table) => {
+                        let cap = horizon.0.saturating_add(1).min(u64::MAX - 1);
+                        for (slot, &bound) in ends.iter().zip(table.bounds(&nexts)) {
+                            slot.store(bound.min(cap), Ordering::Relaxed);
+                        }
+                    }
+                }
                 // All workers (and the driver, via the closure) execute
-                // their stripes for [floor, window_end), then meet back
-                // at the pool's completion barrier.
-                pool.step(window_end.0, || run_stripe(0, window_end));
+                // their stripes for [shard.floor, ends[shard]), then
+                // meet back at the pool's completion barrier. The plan
+                // value is only a round tag (kept off the shutdown
+                // sentinel); the real bounds travel through `ends`.
+                pool.step(round, || run_stripe(0));
+                round = (round + 1) % (u64::MAX - 1);
                 let mut guards = lock_all(&cells);
                 let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
-                drain_shards(&mut refs, window_end);
-                floor = window_end;
+                exchange_trays(&mut refs);
             }
-            floor
         },
     );
 
@@ -120,7 +155,6 @@ fn run_windows(sim: &mut ShardedSim, horizon: Time, threads: usize) {
         .into_iter()
         .map(|m| m.into_inner().expect("worker panic already propagated"))
         .collect();
-    sim.floor = final_floor;
 }
 
 fn lock_all(cells: &[Mutex<Shard>]) -> Vec<MutexGuard<'_, Shard>> {

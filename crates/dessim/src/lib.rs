@@ -59,6 +59,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod watchdog;
+pub mod window;
 
 pub use calendar::CalendarQueue;
 pub use clock::Clock;
@@ -77,6 +78,7 @@ pub use trace::{
     AlpuCmdKind, DmaDir, QueueKind, QueueOpKind, SearchSource, TraceEvent, TraceRecord, TraceRing,
 };
 pub use watchdog::{Diagnosis, Health, StallKind};
+pub use window::WindowPolicy;
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {

@@ -8,17 +8,31 @@
 //! registry, so shards can execute concurrently with no shared mutable
 //! state.
 //!
-//! Execution advances in *global windows*. Let `L` be the **lookahead**:
-//! the minimum latency over all cross-shard links. If the earliest
-//! pending event anywhere sits at time `t`, then no shard can receive a
-//! new cross-shard event before `t + L` — any event executing at
-//! `u >= t` that emits across a shard boundary arrives at
-//! `u + latency >= t + L`. All shards therefore agree to execute their
-//! local events with `time < t + L` freely and in parallel (no null
-//! messages, no rollback), then meet at a barrier where buffered
-//! cross-shard events are exchanged in a canonical order (destination
-//! shard, then source shard, then emission order) and the next window is
-//! planned.
+//! Execution advances in *windows* planned at every barrier. Under the
+//! default [`WindowPolicy::PerEdge`] each shard gets its own bound from
+//! the per-edge safe-time table (see [`crate::window`]): the minimum
+//! over its incident cross-shard edges of the peer's safe time plus
+//! that edge's latency. Under [`WindowPolicy::Global`] — the original
+//! algorithm, kept as a baseline — let `L` be the **lookahead** (the
+//! minimum latency over all cross-shard links); if the earliest pending
+//! event anywhere sits at time `t`, every shard shares the window
+//! `[_, t + L)`. Either way shards execute their in-window events
+//! freely and in parallel (no null messages, no rollback), then meet at
+//! a barrier where buffered cross-shard events are exchanged and the
+//! next windows are planned.
+//!
+//! The barrier itself is O(edges), not O(events): each source shard
+//! keeps one *tray* per destination, trays record their minimum event
+//! time as they fill, and the exchange just pointer-swaps each full
+//! tray with the destination's empty mailbox buffer for that edge (the
+//! emptied buffer returns to the sender — a per-edge free list, so
+//! steady-state exchange allocates nothing). Arrived events are then
+//! *batch-drained* inside the destination shard's next window: one
+//! canonical-order sequence assignment, one sort, one bulk heap append,
+//! executed in parallel across shards instead of serially at the
+//! barrier. Direct (unwired) cross-shard sends are only safe along
+//! pairs that also have a registered link; the barrier asserts every
+//! arrival lands at or past its destination's window floor.
 //!
 //! **Determinism by construction.** The window schedule depends only on
 //! heap contents; per-shard execution order depends only on each shard's
@@ -39,8 +53,9 @@ use crate::scheduler::{Link, Scheduled};
 use crate::stats::Stats;
 use crate::time::Time;
 use crate::trace::TraceRing;
+use crate::window::WindowPolicy;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Identifies a shard within a [`ShardedSim`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -59,6 +74,18 @@ pub(crate) struct Topology {
     /// Minimum latency over all cross-shard links; [`Time::MAX`] when no
     /// cross-shard link exists (single shard, or disconnected islands).
     lookahead: Time,
+    /// Minimum link latency per ordered cross-shard pair
+    /// `(src_shard, dst_shard)` — the shard graph the per-edge
+    /// safe-time table relaxes over. `BTreeMap` keeps iteration
+    /// deterministic.
+    edges: BTreeMap<(u32, u32), Time>,
+}
+
+impl Topology {
+    /// The cross-shard pair graph (ordered pairs, minimum latency each).
+    pub(crate) fn edges(&self) -> impl Iterator<Item = ((u32, u32), Time)> + '_ {
+        self.edges.iter().map(|(&k, &v)| (k, v))
+    }
 }
 
 /// A cross-shard event buffered in a tray until the next barrier.
@@ -67,6 +94,33 @@ struct CrossEvent {
     dst: ComponentId,
     port: InPort,
     payload: Payload,
+}
+
+/// One direction of one cross-shard edge's event buffer. The minimum
+/// event time is tracked on push so the barrier can check the lookahead
+/// invariant per *edge* instead of per *event*, and the buffer itself
+/// ping-pongs between the sender's tray slot and the receiver's mailbox
+/// slot — the per-edge free list that keeps steady-state exchange
+/// allocation-free.
+#[derive(Default)]
+struct Tray {
+    events: Vec<CrossEvent>,
+    min_time: Option<Time>,
+}
+
+impl Tray {
+    fn push(&mut self, ev: CrossEvent) {
+        self.min_time = Some(match self.min_time {
+            Some(m) => m.min(ev.time),
+            None => ev.time,
+        });
+        self.events.push(ev);
+    }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        self.min_time = None;
+    }
 }
 
 /// One shard: a private slice of the component graph plus everything it
@@ -84,9 +138,19 @@ pub(crate) struct Shard {
     pub(crate) stop: bool,
     events_processed: u64,
     /// Outbound cross-shard events, one tray per destination shard,
-    /// appended in emission order during a window and drained at the
-    /// barrier.
-    trays: Vec<Vec<CrossEvent>>,
+    /// appended in emission order during a window and swapped into the
+    /// destinations' mailboxes at the barrier.
+    trays: Vec<Tray>,
+    /// Inbound cross-shard events, one buffer per source shard, filled
+    /// by the barrier swap and batch-drained at the start of this
+    /// shard's next window.
+    mailbox: Vec<Tray>,
+    /// Minimum event time across all mailbox buffers ([`Time::MAX`]
+    /// when they are empty) — lets `next_time` stay O(1).
+    mailbox_min: Time,
+    /// End of the last window this shard executed: no future arrival
+    /// may land below it (asserted per edge at every barrier).
+    pub(crate) floor: Time,
 }
 
 impl Shard {
@@ -103,13 +167,54 @@ impl Shard {
             metrics: Metrics::disabled(),
             stop: false,
             events_processed: 0,
-            trays: (0..nshards).map(|_| Vec::new()).collect(),
+            trays: (0..nshards).map(|_| Tray::default()).collect(),
+            mailbox: (0..nshards).map(|_| Tray::default()).collect(),
+            mailbox_min: Time::MAX,
+            floor: Time::ZERO,
         }
     }
 
-    /// Earliest pending local event, if any.
+    /// Earliest pending event, counting undrained mailbox arrivals.
     pub(crate) fn next_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(ev)| ev.time)
+        let local = self.heap.peek().map(|Reverse(ev)| ev.time);
+        match (local, self.mailbox_min) {
+            (_, Time::MAX) => local,
+            (Some(l), m) => Some(l.min(m)),
+            (None, m) => Some(m),
+        }
+    }
+
+    /// Move every mailbox arrival into the local heap: assign arrival
+    /// sequence numbers in canonical order (source shard id, then
+    /// emission order — identical at every thread count), then one sort
+    /// and one bulk heap append. Runs inside the shard's own window, in
+    /// parallel with other shards, instead of serially at the barrier.
+    fn drain_mailbox(&mut self) {
+        if self.mailbox_min == Time::MAX {
+            return;
+        }
+        let mut seq = self.seq;
+        let mut batch: Vec<Reverse<Scheduled>> = Vec::new();
+        for tray in &mut self.mailbox {
+            for ev in tray.events.drain(..) {
+                batch.push(Reverse(Scheduled {
+                    time: ev.time,
+                    seq,
+                    dst: ev.dst,
+                    port: ev.port,
+                    payload: ev.payload,
+                }));
+                seq += 1;
+            }
+            tray.min_time = None;
+        }
+        self.seq = seq;
+        self.mailbox_min = Time::MAX;
+        // Ascending (time, seq) order is a valid layout for the
+        // min-heap, so `from` + `append` is a linear-time bulk insert.
+        batch.sort_unstable_by_key(|Reverse(a)| (a.time, a.seq));
+        let mut incoming = BinaryHeap::from(batch);
+        self.heap.append(&mut incoming);
     }
 
     fn push_local(&mut self, time: Time, dst: ComponentId, port: InPort, payload: Payload) {
@@ -127,8 +232,26 @@ impl Shard {
     /// Execute every pending event with `time < window_end`. Safe to run
     /// concurrently with other shards inside the same window: nothing
     /// here touches shared mutable state (cross-shard emissions go to
-    /// local trays).
+    /// local trays, and the mailbox drained here was filled at the
+    /// previous barrier).
     pub(crate) fn run_window(&mut self, topo: &Topology, window_end: Time) -> u64 {
+        // Nothing runnable this round: leave the shard untouched. The
+        // floor stays put (this shard guarantees nothing beyond what it
+        // has actually executed) and mailbox arrivals — all at or past
+        // the bound — wait for a window that can run them. The decision
+        // depends only on simulation state, never on thread count.
+        match self.next_time() {
+            Some(next) if next < window_end => {}
+            _ => return 0,
+        }
+        debug_assert!(
+            window_end >= self.floor,
+            "window bounds must be monotone per shard: end={} < floor={}",
+            window_end,
+            self.floor
+        );
+        self.drain_mailbox();
+        self.floor = self.floor.max(window_end);
         let mut delivered = 0u64;
         loop {
             match self.heap.peek() {
@@ -252,11 +375,9 @@ pub struct ShardedSim {
     pub(crate) shards: Vec<Shard>,
     threads: usize,
     started: bool,
-    /// Lower bound on the next window: end of the last completed window.
-    /// Cross-shard events arriving below the floor would mean a shard
-    /// already ran past their delivery time — the lookahead invariant
-    /// was violated (checked at every barrier).
-    pub(crate) floor: Time,
+    /// How window bounds are planned at each barrier (the per-shard
+    /// floors live on the shards themselves).
+    window_policy: WindowPolicy,
 }
 
 impl ShardedSim {
@@ -276,12 +397,27 @@ impl ShardedSim {
                 owner: Vec::new(),
                 wiring: Vec::new(),
                 lookahead: Time::MAX,
+                edges: BTreeMap::new(),
             },
             shards,
             threads: 1,
             started: false,
-            floor: Time::ZERO,
+            window_policy: WindowPolicy::default(),
         }
+    }
+
+    /// How the executor plans window bounds (default:
+    /// [`WindowPolicy::PerEdge`]). A pure performance knob *within* a
+    /// policy: for a fixed policy, results are bit-identical at every
+    /// thread count. Across policies the window schedule differs, which
+    /// may legally reorder same-timestamp ties.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.window_policy
+    }
+
+    /// Select the window-planning policy for subsequent runs.
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        self.window_policy = policy;
     }
 
     /// Number of shards.
@@ -343,6 +479,12 @@ impl ShardedSim {
                 self.topo.names[dst.0 as usize],
             );
             self.topo.lookahead = self.topo.lookahead.min(latency);
+            let pair = self
+                .topo
+                .edges
+                .entry((src_shard, dst_shard))
+                .or_insert(Time::MAX);
+            *pair = (*pair).min(latency);
         }
         let ports = self
             .topo
@@ -469,9 +611,11 @@ impl ShardedSim {
             .downcast_mut()
     }
 
-    /// Are all shard heaps empty?
+    /// Are all shard heaps and mailboxes empty?
     pub fn is_idle(&self) -> bool {
-        self.shards.iter().all(|s| s.heap.is_empty())
+        self.shards
+            .iter()
+            .all(|s| s.heap.is_empty() && s.mailbox_min == Time::MAX)
     }
 
     /// Collect [`Component::health`] reports in global-id order.
@@ -539,21 +683,36 @@ impl ShardedSim {
             shards[shard as usize].start_component(topo, local, ComponentId(global as u32));
         }
         let mut refs: Vec<&mut Shard> = self.shards.iter_mut().collect();
-        drain_shards(&mut refs, Time::ZERO);
+        exchange_trays(&mut refs);
     }
 
     /// Plan the next global window: `[_, window_end)` where `window_end`
     /// caps at `min(earliest event + lookahead, horizon + 1)`. `None`
-    /// when no event at or below the horizon remains.
+    /// when no event at or below the horizon remains, or when the
+    /// earliest event sits at the top of the representable range (see
+    /// below) and no finite window can be formed past it.
     pub(crate) fn plan_window(shards_next: Option<Time>, lookahead: Time, horizon: Time) -> Option<Time> {
         let next = shards_next?;
         if next > horizon {
             return None;
         }
-        // Saturating u64 math: `horizon` may be `Time::MAX` and the
-        // window bound is exclusive. (u64::MAX doubles as the worker
-        // pool's shutdown sentinel, so cap one below it — a simulated
-        // time of u64::MAX - 1 ps is over 500 years.)
+        // The window bound is exclusive and u64::MAX doubles as the
+        // worker pool's shutdown sentinel, so no window may end past
+        // u64::MAX - 1 (a simulated time of u64::MAX - 1 ps is over 500
+        // years). Events at or above that bound are unreachable: report
+        // "no window" instead of planning one that makes no progress.
+        if next.0 >= u64::MAX - 1 {
+            return None;
+        }
+        // No cross-shard edges means unbounded lookahead: one window
+        // spans everything up to the horizon. Explicit fast path — the
+        // saturating add below would land on the same cap, but only by
+        // accident of saturation.
+        if lookahead == Time::MAX {
+            let end = horizon.0.saturating_add(1).min(u64::MAX - 1);
+            debug_assert!(end > next.0, "window must make progress");
+            return Some(Time(end));
+        }
         let end = next
             .0
             .saturating_add(lookahead.0)
@@ -564,39 +723,63 @@ impl ShardedSim {
     }
 }
 
-/// Exchange all buffered cross-shard events at a barrier, in canonical
-/// order: destination shard id, then source shard id, then emission
-/// order. Arrival sequence numbers are assigned in this order, so
-/// same-timestamp ties resolve identically for every thread count.
+/// Exchange all buffered cross-shard events at a barrier by swapping
+/// each non-empty tray with the destination's (empty) mailbox buffer
+/// for that edge — O(1) per edge, no per-event work on the driver
+/// thread. Destinations batch-drain their mailboxes inside their next
+/// window in canonical order (destination shard, then source shard,
+/// then emission order), so arrival sequence numbers — and therefore
+/// same-timestamp tie-breaks — are identical at every thread count.
 ///
-/// `floor` is the end of the window just executed: every exchanged event
-/// must be at or past it, otherwise some shard has already simulated
-/// beyond the event's delivery time and the lookahead invariant is
-/// broken (e.g. a zero-delay direct send across shards).
-pub(crate) fn drain_shards(shards: &mut [&mut Shard], floor: Time) {
+/// Each destination's `floor` is the end of the window it just
+/// executed: every arrival must be at or past it, otherwise that shard
+/// already simulated beyond the event's delivery time and the lookahead
+/// invariant is broken (e.g. a too-short direct send across shards, or
+/// one over a pair with no registered link). The check costs one
+/// comparison per edge thanks to the tray-tracked minimum. It runs on
+/// the driver thread on purpose: a panic inside a pooled worker would
+/// park the other workers at the window barrier instead of surfacing.
+pub(crate) fn exchange_trays(shards: &mut [&mut Shard]) {
     let n = shards.len();
     for dst in 0..n {
         for src in 0..n {
-            if src == dst {
-                debug_assert!(shards[src].trays[dst].is_empty());
+            if src == dst || shards[src].trays[dst].events.is_empty() {
                 continue;
             }
-            let mut tray = std::mem::take(&mut shards[src].trays[dst]);
-            for ev in tray.drain(..) {
-                assert!(
-                    ev.time >= floor,
-                    "cross-shard event into `{}` at t={} violates the lookahead \
-                     window (floor {}): a cross-shard delay shorter than the \
-                     registered minimum link latency was used",
-                    shards[dst].id,
-                    ev.time,
-                    floor
-                );
-                let d = &mut shards[dst];
-                d.push_local(ev.time, ev.dst, ev.port, ev.payload);
+            let floor = shards[dst].floor;
+            let tray = std::mem::take(&mut shards[src].trays[dst]);
+            let min = tray.min_time.expect("non-empty tray tracks its minimum");
+            assert!(
+                min >= floor,
+                "cross-shard event into `{}` at t={} violates the lookahead \
+                 window (floor {}): a cross-shard delay shorter than the \
+                 registered minimum link latency was used",
+                shards[dst].id,
+                min,
+                floor
+            );
+            shards[dst].mailbox_min = shards[dst].mailbox_min.min(min);
+            if shards[dst].mailbox[src].events.is_empty() {
+                // Swap: the full tray becomes the mailbox buffer, and
+                // the emptied buffer returns to the sender for the next
+                // window — the common, allocation-free path.
+                let mut spare = std::mem::replace(&mut shards[dst].mailbox[src], tray);
+                spare.reset();
+                shards[src].trays[dst] = spare;
+            } else {
+                // The destination skipped its last window (no runnable
+                // work below its bound), so arrivals accumulate: append
+                // behind the earlier ones to preserve round order.
+                let mut tray = tray;
+                let slot = &mut shards[dst].mailbox[src];
+                slot.min_time = match slot.min_time {
+                    Some(m) => Some(m.min(min)),
+                    None => Some(min),
+                };
+                slot.events.append(&mut tray.events);
+                tray.reset();
+                shards[src].trays[dst] = tray;
             }
-            // Hand the emptied tray back so its allocation is reused.
-            shards[src].trays[dst] = tray;
         }
     }
 }
@@ -751,13 +934,127 @@ mod tests {
         let mut sim = ShardedSim::new(0, 2);
         let b = sim.add_component(ShardId(1), "b", Sink);
         let a = sim.add_component(ShardId(0), "a", Cheater { peer: b });
-        // Register a legitimate 100 ns cross edge so lookahead is 100 ns.
+        // Register legitimate 100 ns cross edges both ways, so each
+        // shard's adaptive bound is finite (100 ns past the peer).
         sim.connect(a, OutPort(0), b, InPort(0), Time::from_ns(100));
-        // Seed activity on BOTH shards so the second window's floor is
-        // past the cheater's 1 ns delivery.
+        sim.connect(b, OutPort(0), a, InPort(0), Time::from_ns(100));
+        // Seed activity on BOTH shards so b's first window runs to
+        // t=100 ns — past the cheater's 1 ns delivery.
         sim.post(b, InPort(0), Payload::empty(), Time::ZERO);
         sim.post(a, InPort(0), Payload::empty(), Time::ZERO);
         sim.run();
+    }
+
+    #[test]
+    fn adaptive_default_and_global_agree_on_semantic_order() {
+        // Same ring workload under both window policies: the delivered
+        // event sequence (sorted by time) and event count must agree —
+        // window planning is a performance knob, not a semantics knob.
+        let run = |policy: WindowPolicy| {
+            let (mut sim, log) = build_ring(4, Time::from_ns(50), 2);
+            sim.set_window_policy(policy);
+            sim.post(ComponentId(0), InPort(0), Payload::new(12u64), Time::ZERO);
+            sim.run();
+            let mut events = log.lock().unwrap().clone();
+            events.sort();
+            (events, sim.events_processed(), sim.now())
+        };
+        assert_eq!(
+            ShardedSim::new(0, 1).window_policy(),
+            WindowPolicy::PerEdge,
+            "adaptive lookahead is the default"
+        );
+        assert_eq!(run(WindowPolicy::PerEdge), run(WindowPolicy::Global));
+    }
+
+    #[test]
+    fn heterogeneous_ring_results_identical_across_threads_and_policies() {
+        // One 10 ns edge in a ring of 1 us edges — the shape adaptive
+        // lookahead exists for. Every (policy, threads) combination must
+        // deliver the same semantic event sequence.
+        let run = |policy: WindowPolicy, threads: usize| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = ShardedSim::new(3, 4);
+            sim.set_window_policy(policy);
+            sim.set_threads(threads);
+            let ids: Vec<ComponentId> = (0..4)
+                .map(|s| {
+                    sim.add_component(
+                        ShardId(s as u32),
+                        &format!("fwd{s}"),
+                        Fwd { log: log.clone(), tag: s as u32 },
+                    )
+                })
+                .collect();
+            for s in 0..4usize {
+                let lat = if s == 0 { Time::from_ns(10) } else { Time::from_us(1) };
+                sim.connect(ids[s], OutPort(0), ids[(s + 1) % 4], InPort(0), lat);
+            }
+            sim.post(ids[0], InPort(0), Payload::new(16u64), Time::ZERO);
+            sim.post(ids[2], InPort(0), Payload::new(9u64), Time::from_ns(4));
+            sim.run();
+            let mut events = log.lock().unwrap().clone();
+            events.sort();
+            (events, sim.events_processed(), sim.stats_merged().to_json())
+        };
+        let base = run(WindowPolicy::PerEdge, 1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(WindowPolicy::PerEdge, threads), base, "diverged at {threads} threads");
+        }
+        let global = run(WindowPolicy::Global, 1);
+        assert_eq!(global.0, base.0, "policies disagree on delivered events");
+        assert_eq!(global.1, base.1, "policies disagree on event count");
+    }
+
+    // ----- plan_window edge cases (the `saturating_add` satellite) -----
+
+    #[test]
+    fn plan_window_no_cross_edges_takes_the_fast_path() {
+        // Infinite lookahead (no cross-shard edges): one window to the
+        // horizon, not a saturation accident.
+        assert_eq!(
+            ShardedSim::plan_window(Some(Time(5)), Time::MAX, Time::from_ns(80)),
+            Some(Time(Time::from_ns(80).0 + 1))
+        );
+        // Infinite lookahead AND infinite horizon: the cap just below
+        // the pool's shutdown sentinel.
+        assert_eq!(
+            ShardedSim::plan_window(Some(Time(5)), Time::MAX, Time::MAX),
+            Some(Time(u64::MAX - 1))
+        );
+    }
+
+    #[test]
+    fn plan_window_rejects_events_at_the_top_of_the_range() {
+        // A pending event at or above u64::MAX - 1 admits no window that
+        // makes progress; plan_window must say "no window", not cap
+        // silently at the horizon.
+        assert_eq!(ShardedSim::plan_window(Some(Time(u64::MAX)), Time::MAX, Time::MAX), None);
+        assert_eq!(
+            ShardedSim::plan_window(Some(Time(u64::MAX - 1)), Time::from_ns(10), Time::MAX),
+            None
+        );
+        // One below the cutoff still plans.
+        assert_eq!(
+            ShardedSim::plan_window(Some(Time(u64::MAX - 2)), Time::from_ns(10), Time::MAX),
+            Some(Time(u64::MAX - 1))
+        );
+    }
+
+    #[test]
+    fn plan_window_basics_still_hold() {
+        // Ordinary case: next + lookahead, capped by horizon + 1.
+        assert_eq!(
+            ShardedSim::plan_window(Some(Time(100)), Time(30), Time(1000)),
+            Some(Time(130))
+        );
+        assert_eq!(
+            ShardedSim::plan_window(Some(Time(990)), Time(30), Time(1000)),
+            Some(Time(1001))
+        );
+        // Past the horizon, or no events at all: no window.
+        assert_eq!(ShardedSim::plan_window(Some(Time(1001)), Time(30), Time(1000)), None);
+        assert_eq!(ShardedSim::plan_window(None, Time(30), Time(1000)), None);
     }
 
     #[test]

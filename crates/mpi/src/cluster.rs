@@ -9,8 +9,9 @@
 //! * **Sharded** (`parallelism >= 1`): one shard per *node* holding that
 //!   node's [`FabricPort`], NIC, and hosts, run by the partitioned
 //!   executor with `parallelism` worker threads. The fabric wires are the
-//!   only cross-shard edges; their 200 ns latency is the conservative
-//!   lookahead. Results are bit-identical for any `parallelism >= 1`
+//!   only cross-shard edges; their (possibly heterogeneous) latencies
+//!   feed the window planner's per-edge lookahead. Results are
+//!   bit-identical for any `parallelism >= 1`
 //!   (that is what `tests/parallel_determinism.rs` pins), but are *not*
 //!   a replay of the hub engine: the distributed fabric breaks
 //!   same-picosecond ties per receiver, the hub globally.
@@ -19,7 +20,7 @@ use crate::app::{AppProgram, PORT_COMPLETION};
 use crate::host::Host;
 use mpiq_dessim::prelude::*;
 use mpiq_dessim::watchdog::{Diagnosis, StallKind};
-use mpiq_dessim::{FaultConfig, Metrics, ShardId, ShardedSim, Stats};
+use mpiq_dessim::{FaultConfig, Metrics, ShardId, ShardedSim, Stats, WindowPolicy};
 use mpiq_net::{Fabric, FabricPort, NetConfig, PORT_FP_INJECT, PORT_FROM_NIC};
 use mpiq_nic::{host_comp_port, Nic, NicConfig, PORT_HOST_REQ, PORT_NET_RX, PORT_NET_TX};
 
@@ -58,6 +59,11 @@ pub struct ClusterConfig {
     /// thread; `n >= 1` runs the sharded engine (one shard per node) on
     /// `n` worker threads. Any `n >= 1` produces identical output.
     pub parallelism: usize,
+    /// Window planning on the sharded engine (ignored by the hub
+    /// engine): adaptive per-edge lookahead by default, or the global
+    /// conservative window as a baseline. For a fixed policy, results
+    /// are identical at every `parallelism >= 1`.
+    pub window_policy: WindowPolicy,
 }
 
 impl ClusterConfig {
@@ -71,6 +77,7 @@ impl ClusterConfig {
             trace_capacity: 0,
             metrics: false,
             parallelism: 0,
+            window_policy: WindowPolicy::default(),
         }
     }
 
@@ -177,6 +184,14 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Window planning policy for the sharded engine (no effect on the
+    /// hub engine). Defaults to adaptive per-edge lookahead; the global
+    /// window remains available as a perf baseline.
+    pub fn window_policy(mut self, policy: WindowPolicy) -> Self {
+        self.cfg.window_policy = policy;
+        self
+    }
+
     /// Finish.
     pub fn build(self) -> ClusterConfig {
         self.cfg
@@ -270,7 +285,8 @@ impl Cluster {
     /// One shard per node: `{FabricPort, Nic, that node's Hosts}`. The
     /// host→NIC request path (direct sends) and NIC→host completion
     /// links are intra-shard; only the port-to-port fabric wires cross
-    /// shards, at `cfg.net.wire_latency` — the engine's lookahead.
+    /// shards, at the per-pair latency from `cfg.net` — the edges the
+    /// window planner derives its lookahead from.
     fn new_sharded(
         cfg: ClusterConfig,
         programs: Vec<Box<dyn AppProgram>>,
@@ -280,6 +296,7 @@ impl Cluster {
     ) -> Cluster {
         let mut sim = ShardedSim::new(cfg.seed, nodes as usize);
         sim.set_threads(cfg.parallelism);
+        sim.set_window_policy(cfg.window_policy);
         if cfg.trace_capacity > 0 {
             sim.enable_tracing(cfg.trace_capacity);
         }

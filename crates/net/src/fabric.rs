@@ -10,13 +10,32 @@ pub const PORT_FROM_NIC: InPort = InPort(0);
 /// Output port index delivering to node `n` is `PORT_TO_NIC + n`.
 pub const PORT_TO_NIC: u16 = 0;
 
+/// Per-pair wire-latency shape overlaid on [`NetConfig::wire_latency`].
+///
+/// The sharded engine derives its conservative lookahead from link
+/// latencies, so heterogeneous wires are first-class here: a single
+/// short link in an otherwise long-haul topology is exactly the shape
+/// that separates per-edge window planning from a global window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireProfile {
+    /// Every pair uses [`NetConfig::wire_latency`].
+    #[default]
+    Uniform,
+    /// Nodes `a` and `b` are joined by a `short` wire (both directions);
+    /// every other pair uses [`NetConfig::wire_latency`].
+    ShortPair { a: NodeId, b: NodeId, short: Time },
+}
+
 /// Network parameters (Table III: 200 ns wire latency).
 #[derive(Clone, Copy, Debug)]
 pub struct NetConfig {
-    /// Propagation latency for any message.
+    /// Propagation latency for any message (see [`NetConfig::profile`]
+    /// for per-pair overrides).
     pub wire_latency: Time,
     /// Link bandwidth in bytes per nanosecond (serialization).
     pub bytes_per_ns: u64,
+    /// Per-pair latency overrides.
+    pub profile: WireProfile,
 }
 
 impl Default for NetConfig {
@@ -25,6 +44,24 @@ impl Default for NetConfig {
             wire_latency: Time::from_ns(200),
             // Red Storm-class injection bandwidth, ~2 GB/s.
             bytes_per_ns: 2,
+            profile: WireProfile::Uniform,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Wire latency between two nodes under the configured profile
+    /// (symmetric; the diagonal also answers `wire_latency`).
+    pub fn latency_between(&self, src: NodeId, dst: NodeId) -> Time {
+        match self.profile {
+            WireProfile::Uniform => self.wire_latency,
+            WireProfile::ShortPair { a, b, short } => {
+                if (src == a && dst == b) || (src == b && dst == a) {
+                    short
+                } else {
+                    self.wire_latency
+                }
+            }
         }
     }
 }
@@ -83,9 +120,10 @@ impl Fabric {
     /// Occupy the destination link and deliver one copy of `msg`.
     fn deliver(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         let dst = msg.header.dst_node;
+        let wire = self.cfg.latency_between(msg.header.src_node, dst);
         let ser = self.serialize(msg.wire_bytes());
         let start = ctx.now().max(self.busy_until[dst as usize]);
-        let deliver = start + ser + self.cfg.wire_latency;
+        let deliver = start + ser + wire;
         self.busy_until[dst as usize] = start + ser;
         ctx.stats().incr("net.messages");
         ctx.stats().add("net.bytes", msg.wire_bytes());
@@ -224,6 +262,7 @@ mod tests {
         let cfg = NetConfig {
             wire_latency: Time::from_ns(200),
             bytes_per_ns: 7,
+            ..NetConfig::default()
         };
         let mut sim = Simulation::new(7);
         let fab = sim.add_component("net", Fabric::new(cfg, 2));
@@ -245,6 +284,7 @@ mod tests {
             NetConfig {
                 wire_latency: Time::ZERO,
                 bytes_per_ns: 64,
+                ..NetConfig::default()
             },
             1,
         );
@@ -253,6 +293,7 @@ mod tests {
             NetConfig {
                 wire_latency: Time::ZERO,
                 bytes_per_ns: 2048,
+                ..NetConfig::default()
             },
             1,
         );

@@ -11,6 +11,6 @@ pub mod fabric;
 pub mod message;
 pub mod port;
 
-pub use fabric::{Fabric, NetConfig, PORT_FROM_NIC, PORT_TO_NIC};
+pub use fabric::{Fabric, NetConfig, WireProfile, PORT_FROM_NIC, PORT_TO_NIC};
 pub use message::{LinkState, Message, MsgHeader, MsgKind, NodeId};
 pub use port::{wire_ports, FabricPort, PORT_FP_INJECT, PORT_FP_WIRE};

@@ -176,18 +176,23 @@ impl Component for FabricPort {
 }
 
 /// Wire every pair of ports together (including each port to itself) at
-/// the configured wire latency. `ports[n]` must be node `n`'s
-/// [`FabricPort`]. In a sharded build this registers the cross-shard
-/// edges that define the lookahead.
+/// the per-pair wire latency from [`NetConfig::latency_between`].
+/// `ports[n]` must be node `n`'s [`FabricPort`]. In a sharded build this
+/// registers the cross-shard edges the window planner derives per-edge
+/// lookahead from — a heterogeneous [`WireProfile`] here is exactly what
+/// lets shards joined by long wires stop synchronizing at a short wire's
+/// cadence.
+///
+/// [`WireProfile`]: crate::fabric::WireProfile
 pub fn wire_ports(sim: &mut mpiq_dessim::ShardedSim, ports: &[ComponentId], cfg: &NetConfig) {
-    for &src in ports {
+    for (s, &src) in ports.iter().enumerate() {
         for (d, &dst) in ports.iter().enumerate() {
             sim.connect(
                 src,
                 FabricPort::out_port(d as NodeId),
                 dst,
                 PORT_FP_WIRE,
-                cfg.wire_latency,
+                cfg.latency_between(s as NodeId, d as NodeId),
             );
         }
     }
@@ -335,6 +340,45 @@ mod tests {
         for t in [2, 4] {
             assert_eq!(run(t), base, "fabric diverged at {t} threads");
         }
+    }
+
+    #[test]
+    fn short_pair_profile_shortens_exactly_that_wire() {
+        use crate::fabric::WireProfile;
+        let cfg = NetConfig {
+            wire_latency: Time::from_us(1),
+            profile: WireProfile::ShortPair {
+                a: 0,
+                b: 1,
+                short: Time::from_ns(10),
+            },
+            ..NetConfig::default()
+        };
+        let mut sim = ShardedSim::new(7, 3);
+        let mut logs: Vec<DeliveryLog> = Vec::new();
+        let mut sinks = Vec::new();
+        for n in 0..3u32 {
+            let log: DeliveryLog = Arc::new(Mutex::new(Vec::new()));
+            let sink = sim.add_component(ShardId(n), &format!("sink{n}"), Sink { got: log.clone() });
+            logs.push(log);
+            sinks.push(sink);
+        }
+        let ports: Vec<ComponentId> = (0..3u32)
+            .map(|n| {
+                let p = FabricPort::new(cfg, 3, n, sinks[n as usize], InPort(0));
+                sim.add_component(ShardId(n), &format!("net{n}"), p)
+            })
+            .collect();
+        wire_ports(&mut sim, &ports, &cfg);
+        // The short pair's wire latency is the engine's tightest edge.
+        assert_eq!(sim.lookahead(), Time::from_ns(10));
+        sim.post(ports[0], PORT_FP_INJECT, Payload::new(msg(0, 1, 0, 1)), Time::ZERO);
+        sim.post(ports[0], PORT_FP_INJECT, Payload::new(msg(0, 2, 0, 2)), Time::ZERO);
+        sim.run();
+        // 0 -> 1 rides the 10 ns wire; 0 -> 2 the 1 us wire; both then
+        // serialize 32 header bytes at 2 B/ns = 16 ns on arrival.
+        assert_eq!(logs[1].lock().unwrap()[0].0, Time::from_ns(10 + 16));
+        assert_eq!(logs[2].lock().unwrap()[0].0, Time::from_ns(1000 + 16));
     }
 
     #[test]

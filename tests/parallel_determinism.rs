@@ -8,6 +8,7 @@ use mpiq::dessim::{
     Component, Ctx, Event, FaultConfig, InPort, OutPort, Payload, ShardId,
     ShardedSim, SimRng, Time,
 };
+use mpiq::net::WireProfile;
 use mpiq_bench::{
     preposted_latency_cfg, run_soak, traced_preposted, traced_unexpected, unexpected_latency_cfg,
     NicVariant, PrepostedPoint, Scenario, SoakConfig, UnexpectedPoint,
@@ -92,6 +93,37 @@ fn soak_incast_stats_byte_identical_across_threads_and_seeds() {
                 assert_eq!(got.runtime, base.runtime, "seed {seed}: virtual time diverged");
             }
         }
+    }
+}
+
+/// A heterogeneous wire profile — one 10 ns edge among 1 µs edges — is
+/// the worst case for window planning: the adaptive planner gives every
+/// shard pair its own lookahead, so the short edge must not perturb
+/// scheduling anywhere else, and the tiny windows it forces on its two
+/// endpoints must still exchange cross-shard events safely. The full
+/// incast soak over that profile must dump byte-identical statistics at
+/// 1, 2, 4, and 8 worker threads.
+#[test]
+fn hetero_latency_soak_byte_identical_across_threads() {
+    let run = |threads: usize| {
+        let mut cfg = SoakConfig::new(Scenario::Incast, 3);
+        cfg.senders = 8;
+        cfg.msgs = 4;
+        cfg.net.wire_latency = Time::from_us(1);
+        cfg.net.profile = WireProfile::ShortPair {
+            a: 1,
+            b: 2,
+            short: Time::from_ns(10),
+        };
+        cfg.parallelism = threads;
+        run_soak(&cfg).expect("soak must drain")
+    };
+    let base = run(1);
+    for t in [2usize, 4, 8] {
+        let got = run(t);
+        assert_eq!(got.stats_json, base.stats_json, "hetero stats diverged at {t} threads");
+        assert_eq!(got.events, base.events, "hetero event count diverged at {t} threads");
+        assert_eq!(got.runtime, base.runtime, "hetero virtual time diverged at {t} threads");
     }
 }
 
