@@ -15,6 +15,11 @@
 //! * **credit-starve** — a tiny per-peer credit allowance against a
 //!   receiver that consumes in widely spaced batches, forcing senders
 //!   to exhaust their credits and fall back to rendezvous.
+//! * **chaos** — component-level faults instead of resource exhaustion:
+//!   a seeded link-flap storm (mean time between failures = `mtbf`), one
+//!   scheduled node crash mid-run, and (with `--alpu`) a permanent ALPU
+//!   death, over ring traffic with pinned sources. Survivors must finish
+//!   around the hole with typed `RankFailed` completions — never hang.
 //!
 //! Every run executes under the [`Cluster::run_watched`] watchdog, so a
 //! flow-control bug shows up as a typed [`Diagnosis`] naming the stuck
@@ -24,7 +29,7 @@
 //! bound.
 
 use mpiq_dessim::watchdog::Diagnosis;
-use mpiq_dessim::{FaultConfig, SimRng, Time, WindowPolicy};
+use mpiq_dessim::{FaultConfig, FaultEvent, FaultSchedule, SimRng, Time, WindowPolicy};
 use mpiq_mpi::script::mark_log;
 use mpiq_mpi::{AppProgram, Cluster, ClusterConfig, Script};
 use mpiq_net::NetConfig;
@@ -40,11 +45,18 @@ pub enum Scenario {
     HotReceiver,
     /// Eager credits exhausted against a slow-draining receiver.
     CreditStarve,
+    /// Component-fault storm: link flaps, a node crash, an ALPU death.
+    Chaos,
 }
 
 impl Scenario {
     /// All scenarios, in presentation order.
-    pub const ALL: [Scenario; 3] = [Scenario::Incast, Scenario::HotReceiver, Scenario::CreditStarve];
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Incast,
+        Scenario::HotReceiver,
+        Scenario::CreditStarve,
+        Scenario::Chaos,
+    ];
 
     /// CLI / CSV name.
     pub fn name(self) -> &'static str {
@@ -52,6 +64,7 @@ impl Scenario {
             Scenario::Incast => "incast",
             Scenario::HotReceiver => "hot-receiver",
             Scenario::CreditStarve => "credit-starve",
+            Scenario::Chaos => "chaos",
         }
     }
 
@@ -94,6 +107,13 @@ pub struct SoakConfig {
     /// Window planning on the sharded engine (adaptive per-edge
     /// lookahead by default; global window as the perf baseline).
     pub window_policy: WindowPolicy,
+    /// Mean time between link flaps for the chaos scenario's seeded
+    /// storm (ignored by the other scenarios). Smaller = stormier.
+    pub mtbf: Time,
+    /// Mean time to repair a flapped link — the outage length, drawn
+    /// independently of `mtbf` so the availability curve has the classic
+    /// `mtbf / (mtbf + mttr)` shape.
+    pub mttr: Time,
 }
 
 impl SoakConfig {
@@ -116,6 +136,8 @@ impl SoakConfig {
             parallelism: 0,
             net: NetConfig::default(),
             window_policy: WindowPolicy::default(),
+            mtbf: Time::from_us(150),
+            mttr: Time::from_us(50),
         }
     }
 }
@@ -144,8 +166,35 @@ pub struct SoakOutcome {
     pub retransmits: u64,
     /// Credit grants receivers issued.
     pub grants_issued: u64,
+    /// Nodes the chaos schedule crash-stopped (0 outside chaos).
+    pub ranks_crashed: u64,
+    /// Peer-death declarations across all NICs (keepalive or dead link).
+    pub peers_failed: u64,
+    /// Operations completed with a typed `RankFailed` error.
+    pub ops_rank_failed: u64,
+    /// Links declared dead by retry-budget exhaustion.
+    pub links_dead: u64,
     /// Full statistics dump (bit-identical across same-seed runs).
     pub stats_json: String,
+}
+
+impl SoakOutcome {
+    /// Fraction of the planned operations that completed *without* a
+    /// typed failure — the availability axis of the chaos curve.
+    pub fn availability(&self, planned_ops: u64) -> f64 {
+        if planned_ops == 0 {
+            return 1.0;
+        }
+        1.0 - self.ops_rank_failed as f64 / planned_ops as f64
+    }
+}
+
+impl SoakConfig {
+    /// Operations (sends + receives) the chaos ring plans across all
+    /// ranks — the denominator of [`SoakOutcome::availability`].
+    pub fn planned_ops(&self) -> u64 {
+        ((self.senders + 1) * self.msgs * 2) as u64
+    }
 }
 
 fn boxed(s: Script) -> Box<dyn AppProgram> {
@@ -269,11 +318,61 @@ fn credit_starve_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
     programs
 }
 
+/// Virtual-time span the chaos storm covers; the ring workload's sleeps
+/// are sized so traffic spans it too.
+const CHAOS_HORIZON: Time = Time::from_us(600);
+
+/// The chaos scenario's deterministic fault timeline: a seeded flap
+/// storm at the configured MTBF, the last node crash-stopped mid-run,
+/// and — when the ALPU variant is on — a permanent ALPU death on node 1.
+/// Pure function of the config, so `run_soak` and its caller agree on
+/// who crashed.
+pub fn chaos_schedule(cfg: &SoakConfig) -> FaultSchedule {
+    let ranks = cfg.senders + 1;
+    let mut sched =
+        FaultSchedule::generate(cfg.seed ^ 0xC4A05, ranks, cfg.mtbf, cfg.mttr, CHAOS_HORIZON);
+    sched.push(
+        Time::from_us(250),
+        FaultEvent::NodeCrash { host: ranks - 1 },
+    );
+    if cfg.alpu {
+        sched.push(Time::from_us(80), FaultEvent::AlpuDeath { nic: 1 });
+    }
+    sched
+}
+
+/// Rotating-partner rounds with pinned sources: in round `r` every rank
+/// sends to `me + s` and receives from `me - s` (s cycling over every
+/// offset), then sleeps, so the rounds spread across the storm horizon
+/// *and* touch every fabric edge — a flap anywhere can bite. Pinned
+/// sources mean every operation doomed by the crash fails typed —
+/// survivors always finish.
+fn chaos_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
+    let ranks = cfg.senders + 1;
+    let gap = Time::from_ps(CHAOS_HORIZON.ps() / cfg.msgs.max(1) as u64);
+    let mut programs = Vec::new();
+    for me in 0..ranks {
+        let mut b = Script::builder();
+        for round in 0..cfg.msgs {
+            let s = 1 + (round % (ranks - 1));
+            let dst = (me + s) % ranks;
+            let src = (me + ranks - s) % ranks;
+            let recv = b.irecv(Some(src as u16), Some(round as u16), cfg.msg_size);
+            let pending = vec![recv, b.isend(dst, round as u16, cfg.msg_size)];
+            b.wait_all(pending);
+            b.sleep(gap);
+        }
+        programs.push(boxed(b.build(mark_log())));
+    }
+    programs
+}
+
 fn build_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
     match cfg.scenario {
         Scenario::Incast => incast_programs(cfg),
         Scenario::HotReceiver => hot_receiver_programs(cfg),
         Scenario::CreditStarve => credit_starve_programs(cfg),
+        Scenario::Chaos => chaos_programs(cfg),
     }
 }
 
@@ -297,20 +396,34 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
     if let Some(f) = cfg.faults {
         builder = builder.faults(f);
     }
+    let crashed: Vec<u32> = if cfg.scenario == Scenario::Chaos {
+        let sched = chaos_schedule(cfg);
+        let crashed = sched.crashed_nodes();
+        builder = builder.fault_schedule(sched);
+        crashed
+    } else {
+        Vec::new()
+    };
     let mut cluster = Cluster::new(builder.build(), build_programs(cfg));
     let events = cluster.run_watched(cfg.deadline)?;
 
-    // Oracle: every queue drained, invariants hold on every NIC.
+    // Oracle: every queue drained, invariants hold on every NIC. Crashed
+    // nodes are exempt — their state froze mid-operation — and under
+    // chaos the drain checks are relaxed everywhere: typed failures
+    // legitimately leave ALPU tombstones in the posted queue and
+    // pre-failure unexpected entries that ULFM keeps deliverable.
     let ranks = cfg.senders + 1;
-    for rank in 0..ranks {
+    for rank in (0..ranks).filter(|r| !crashed.contains(r)) {
         let fw = cluster.nic(rank).firmware();
         check_invariants(fw);
-        assert_eq!(fw.posted_len(), 0, "rank {rank}: posted receives left behind");
-        assert_eq!(
-            fw.unexpected_len(),
-            0,
-            "rank {rank}: unexpected entries never consumed"
-        );
+        if cfg.scenario != Scenario::Chaos {
+            assert_eq!(fw.posted_len(), 0, "rank {rank}: posted receives left behind");
+            assert_eq!(
+                fw.unexpected_len(),
+                0,
+                "rank {rank}: unexpected entries never consumed"
+            );
+        }
     }
 
     let stats = cluster.stats();
@@ -325,6 +438,10 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
         truncated_admits: 0,
         retransmits: 0,
         grants_issued: 0,
+        ranks_crashed: crashed.len() as u64,
+        peers_failed: 0,
+        ops_rank_failed: 0,
+        links_dead: 0,
         stats_json: stats.to_json(),
     };
     for node in 0..ranks {
@@ -337,6 +454,9 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
         out.truncated_admits += get("flow.truncated_admits");
         out.retransmits += get("link.retransmits");
         out.grants_issued += get("flow.grants_issued");
+        out.peers_failed += get("fault.peers_failed");
+        out.ops_rank_failed += get("fault.ops_rank_failed");
+        out.links_dead += get("link.links_dead");
     }
     if cfg.max_unexpected > 0 {
         assert!(
@@ -382,6 +502,37 @@ mod tests {
             out.credit_stalls > 0,
             "2 credits against a 12-message burst must stall: {out:?}"
         );
+    }
+
+    #[test]
+    fn chaos_survivors_finish_with_typed_failures() {
+        let mut cfg = SoakConfig::new(Scenario::Chaos, 5);
+        cfg.senders = 7;
+        let out = run_soak(&cfg).expect("chaos must complete around the hole, never hang");
+        assert_eq!(out.ranks_crashed, 1, "the scheduled crash must land");
+        assert!(
+            out.peers_failed > 0,
+            "nobody ever declared the crashed peer dead: {out:?}"
+        );
+        assert!(
+            out.ops_rank_failed > 0,
+            "a crash mid-ring must doom at least one operation: {out:?}"
+        );
+        let avail = out.availability(cfg.planned_ops());
+        assert!(
+            (0.0..1.0).contains(&avail),
+            "one crashed rank must cost some availability: {avail}"
+        );
+    }
+
+    #[test]
+    fn chaos_same_seed_is_bit_identical() {
+        let mut cfg = SoakConfig::new(Scenario::Chaos, 9);
+        cfg.senders = 7;
+        let a = run_soak(&cfg).expect("run a");
+        let b = run_soak(&cfg).expect("run b");
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.stats_json, b.stats_json, "same-seed chaos diverged");
     }
 
     #[test]

@@ -111,6 +111,10 @@ fn describe(what: &TraceEvent) -> (String, String) {
             "completion".to_string(),
             format!("\"rank\":{rank},\"cancelled\":{cancelled}"),
         ),
+        TraceEvent::ComponentFault { kind, node, peer } => (
+            format!("fault {}", kind.label()),
+            format!("\"node\":{node},\"peer\":{peer}"),
+        ),
     }
 }
 

@@ -12,8 +12,20 @@
 //!
 //! Sites (one plan per fabric, one per offload unit) each get their own
 //! stream id, keeping decisions at different sites uncorrelated.
+//!
+//! Above the message-level streams sits the component level: a
+//! [`FaultSchedule`] is a deterministic *timeline* of component failures —
+//! node crashes, link flaps, fabric partitions, permanent offload-unit
+//! death — evaluated as pure functions of virtual time. Every component
+//! holds its own (shared, immutable) copy of the schedule and asks
+//! "is this edge down at `t`?" locally, so no fault information ever
+//! crosses a shard boundary and the layer is deterministic at any worker
+//! thread count by construction.
 
 use crate::rng::SimRng;
+use crate::time::Time;
+use std::fmt;
+use std::sync::Arc;
 
 /// Probabilities and seed for a fault campaign. `FaultConfig::none()`
 /// (the `Default`) disables everything; injection sites must be zero-cost
@@ -201,6 +213,306 @@ impl FaultPlan {
     }
 }
 
+/// One component-level fault on a [`FaultSchedule`] timeline.
+///
+/// Component identifiers are node ids (`host` and `nic` coincide in this
+/// simulator: one NIC per node); edges are undirected node pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Host (and its NIC) crash-stops: all in-flight state is lost and the
+    /// node never speaks again. Its links are down from this instant on.
+    NodeCrash { host: u32 },
+    /// The undirected edge `a–b` refuses all frames for `down_for`, then
+    /// heals; the go-back-N layer is expected to resync across the gap.
+    LinkFlap { a: u32, b: u32, down_for: Time },
+    /// The fabric splits into the listed `groups` (nodes absent from every
+    /// group form one implicit extra group); all inter-group edges are down
+    /// until the absolute time `heal_at`.
+    Partition { groups: Vec<Vec<u32>>, heal_at: Time },
+    /// The node's offload unit dies permanently: firmware is pinned in the
+    /// software-fallback path and never re-engages the unit.
+    AlpuDeath { nic: u32 },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::NodeCrash { host } => write!(f, "crash node {host}"),
+            FaultEvent::LinkFlap { a, b, down_for } => {
+                write!(f, "flap edge {a}-{b} for {down_for}")
+            }
+            FaultEvent::Partition { groups, heal_at } => {
+                let gs: Vec<String> = groups
+                    .iter()
+                    .map(|g| {
+                        g.iter().map(u32::to_string).collect::<Vec<_>>().join(".")
+                    })
+                    .collect();
+                write!(f, "partition {} until {heal_at}", gs.join("|"))
+            }
+            FaultEvent::AlpuDeath { nic } => write!(f, "alpu death on nic {nic}"),
+        }
+    }
+}
+
+/// A deterministic timeline of component-level faults, shared read-only by
+/// every component (each holds an `Arc`). All queries are pure functions of
+/// `(schedule, time)` so the same schedule gives byte-identical behavior on
+/// the hub engine and on the sharded engine at any thread count.
+///
+/// Build one programmatically with [`FaultSchedule::push`], generate a flap
+/// storm from a seed with [`FaultSchedule::generate`], or parse the text
+/// spec grammar (events separated by `;`):
+///
+/// ```text
+/// crash@500us:node=3
+/// flap@1ms:edge=0-2,down=200us
+/// partition@2ms:groups=0.1|2.3,heal=3ms
+/// alpu@1ms:nic=1
+/// ```
+///
+/// Times are `N` with a `ps`/`ns`/`us`/`ms` suffix.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// `(at, event)`, kept sorted by `at` (ties in insertion order).
+    events: Vec<(Time, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty timeline (nothing ever fails).
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Add an event at absolute time `at`, keeping the timeline sorted.
+    pub fn push(&mut self, at: Time, event: FaultEvent) -> &mut Self {
+        let idx = self.events.partition_point(|&(t, _)| t <= at);
+        self.events.insert(idx, (at, event));
+        self
+    }
+
+    /// The sorted timeline.
+    pub fn events(&self) -> &[(Time, FaultEvent)] {
+        &self.events
+    }
+
+    /// Wrap in the shared handle components hold.
+    pub fn arc(self) -> Arc<FaultSchedule> {
+        Arc::new(self)
+    }
+
+    /// Generate a reproducible link-flap storm: flap arrivals spaced
+    /// uniformly in `[mtbf/2, 3·mtbf/2)` across random edges of a
+    /// `nodes`-node cluster, each outage lasting `[mttr/2, 3·mttr/2)`,
+    /// until `horizon`. Failure rate and repair time are independent
+    /// knobs — availability follows the classic `mtbf / (mtbf + mttr)`
+    /// shape only when the outage length does *not* scale with the
+    /// arrival spacing. Crashes and ALPU deaths are deliberate, targeted
+    /// events — push them explicitly on top of the generated storm.
+    pub fn generate(seed: u64, nodes: u32, mtbf: Time, mttr: Time, horizon: Time) -> FaultSchedule {
+        assert!(nodes >= 2, "a flap needs an edge, so at least two nodes");
+        assert!(mtbf > Time::ZERO, "mtbf must be positive");
+        assert!(mttr > Time::ZERO, "mttr must be positive");
+        let mut rng = SimRng::new(seed ^ 0x5bd1_e995_97f4_a7c5);
+        let mut sched = FaultSchedule::new();
+        let mut at = Time::ZERO;
+        loop {
+            let gap = mtbf.ps() / 2 + rng.gen_range(mtbf.ps().max(1));
+            at += Time::from_ps(gap);
+            if at >= horizon {
+                return sched;
+            }
+            let a = rng.gen_range(nodes as u64) as u32;
+            let mut b = rng.gen_range(nodes as u64 - 1) as u32;
+            if b >= a {
+                b += 1;
+            }
+            let down = mttr.ps() / 2 + rng.gen_range(mttr.ps().max(1));
+            sched.push(at, FaultEvent::LinkFlap { a, b, down_for: Time::from_ps(down) });
+        }
+    }
+
+    /// Is anything scheduled at all?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// When (if ever) does `node` crash-stop? Earliest crash wins.
+    pub fn crash_time(&self, node: u32) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|(_, e)| matches!(e, FaultEvent::NodeCrash { host } if *host == node))
+            .map(|&(t, _)| t)
+    }
+
+    /// Every node with a scheduled crash, deduplicated, ascending.
+    pub fn crashed_nodes(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                FaultEvent::NodeCrash { host } => Some(*host),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// When (if ever) does `nic`'s offload unit die permanently?
+    pub fn alpu_death_time(&self, nic: u32) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|(_, e)| matches!(e, FaultEvent::AlpuDeath { nic: n } if *n == nic))
+            .map(|&(t, _)| t)
+    }
+
+    /// Is the undirected edge `a–b` refusing frames at time `t`? True
+    /// during any covering flap outage, while a partition separates the
+    /// endpoints, or forever once either endpoint has crashed.
+    pub fn edge_down(&self, a: u32, b: u32, t: Time) -> bool {
+        for &(at, ref ev) in &self.events {
+            if at > t {
+                break;
+            }
+            match ev {
+                FaultEvent::NodeCrash { host } if *host == a || *host == b => return true,
+                FaultEvent::LinkFlap { a: fa, b: fb, down_for }
+                    if ((*fa == a && *fb == b) || (*fa == b && *fb == a))
+                        && t < at + *down_for =>
+                {
+                    return true;
+                }
+                FaultEvent::Partition { groups, heal_at } if t < *heal_at => {
+                    let side = |n: u32| groups.iter().position(|g| g.contains(&n));
+                    if side(a) != side(b) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Connectivity groups of an `n`-node cluster at time `t`: connected
+    /// components over the edges currently alive, each component sorted,
+    /// components ordered by their smallest member. Crashed nodes come out
+    /// as singletons (every edge at a crashed endpoint is down). One group
+    /// of `0..n` means "no partition in effect".
+    pub fn groups_at(&self, n: u32, t: Time) -> Vec<Vec<u32>> {
+        let n = n as usize;
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn root(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !self.edge_down(a as u32, b as u32, t) {
+                    let (ra, rb) = (root(&mut parent, a), root(&mut parent, b));
+                    parent[ra.max(rb)] = ra.min(rb);
+                }
+            }
+        }
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = root(&mut parent, x);
+            groups[r].push(x as u32);
+        }
+        groups.retain(|g| !g.is_empty());
+        groups
+    }
+}
+
+/// Parse a time literal like `200us` (suffixes: `ps`, `ns`, `us`, `ms`).
+fn parse_schedule_time(s: &str) -> Result<Time, String> {
+    let (digits, make): (&str, fn(u64) -> Time) = if let Some(d) = s.strip_suffix("ms") {
+        (d, Time::from_ms)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, Time::from_us)
+    } else if let Some(d) = s.strip_suffix("ns") {
+        (d, Time::from_ns)
+    } else if let Some(d) = s.strip_suffix("ps") {
+        (d, Time::from_ps)
+    } else {
+        return Err(format!("time `{s}` needs a ps|ns|us|ms suffix"));
+    };
+    digits
+        .parse()
+        .map(make)
+        .map_err(|_| format!("bad time `{s}`"))
+}
+
+/// Parse the [`FaultSchedule`] spec grammar: `;`-separated events, each
+/// `kind@time:key=value,...` — see the type-level docs for the shapes.
+impl std::str::FromStr for FaultSchedule {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FaultSchedule, String> {
+        let mut sched = FaultSchedule::new();
+        for part in s.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (head, body) = part
+                .split_once(':')
+                .ok_or_else(|| format!("event `{part}` is not kind@time:args"))?;
+            let (kind, at) = head
+                .split_once('@')
+                .ok_or_else(|| format!("event head `{head}` is not kind@time"))?;
+            let at = parse_schedule_time(at)?;
+            let mut args = std::collections::BTreeMap::new();
+            for kv in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("arg `{kv}` is not key=value"))?;
+                args.insert(k, v);
+            }
+            let want = |key: &str| -> Result<&str, String> {
+                args.get(key)
+                    .copied()
+                    .ok_or_else(|| format!("event `{part}` is missing `{key}=`"))
+            };
+            let node = |v: &str| -> Result<u32, String> {
+                v.parse().map_err(|_| format!("bad node id `{v}`"))
+            };
+            let event = match kind {
+                "crash" => FaultEvent::NodeCrash { host: node(want("node")?)? },
+                "alpu" => FaultEvent::AlpuDeath { nic: node(want("nic")?)? },
+                "flap" => {
+                    let edge = want("edge")?;
+                    let (a, b) = edge
+                        .split_once('-')
+                        .ok_or_else(|| format!("edge `{edge}` is not a-b"))?;
+                    FaultEvent::LinkFlap {
+                        a: node(a)?,
+                        b: node(b)?,
+                        down_for: parse_schedule_time(want("down")?)?,
+                    }
+                }
+                "partition" => {
+                    let groups = want("groups")?
+                        .split('|')
+                        .map(|g| g.split('.').map(node).collect())
+                        .collect::<Result<Vec<Vec<u32>>, _>>()?;
+                    FaultEvent::Partition {
+                        groups,
+                        heal_at: parse_schedule_time(want("heal")?)?,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault event `{other}` (want crash|flap|partition|alpu)"
+                    ))
+                }
+            };
+            sched.push(at, event);
+        }
+        Ok(sched)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +607,100 @@ mod tests {
         assert!(!cfg.net_active() && !cfg.alpu_active());
         let mut plan = FaultPlan::new(cfg, 9);
         assert!(plan.roll_leak());
+    }
+
+    #[test]
+    fn schedule_spec_round_trips_every_event_kind() {
+        let sched: FaultSchedule =
+            "crash@500us:node=3; flap@1ms:edge=0-2,down=200us; \
+             partition@2ms:groups=0.1|2.3,heal=3ms; alpu@1ms:nic=1"
+                .parse()
+                .unwrap();
+        assert_eq!(sched.events().len(), 4);
+        assert_eq!(sched.crash_time(3), Some(Time::from_us(500)));
+        assert_eq!(sched.crash_time(0), None);
+        assert_eq!(sched.alpu_death_time(1), Some(Time::from_ms(1)));
+        assert_eq!(sched.crashed_nodes(), vec![3]);
+        // Timeline is sorted by time even though the spec is not.
+        let times: Vec<Time> = sched.events().iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn schedule_spec_rejects_garbage() {
+        assert!("crash@500us".parse::<FaultSchedule>().is_err());
+        assert!("crash:node=1".parse::<FaultSchedule>().is_err());
+        assert!("crash@500us:host=1".parse::<FaultSchedule>().is_err());
+        assert!("flap@1ms:edge=02,down=1us".parse::<FaultSchedule>().is_err());
+        assert!("flap@1ms:edge=0-2,down=1".parse::<FaultSchedule>().is_err());
+        assert!("melt@1ms:node=0".parse::<FaultSchedule>().is_err());
+    }
+
+    #[test]
+    fn flap_downs_edge_for_exactly_the_outage() {
+        let sched: FaultSchedule = "flap@1ms:edge=0-2,down=200us".parse().unwrap();
+        let down = |us| sched.edge_down(0, 2, Time::from_us(us));
+        assert!(!down(999));
+        assert!(down(1000) && down(1100) && down(1199));
+        assert!(!down(1200), "edge must heal at flap end");
+        // Undirected: the reverse orientation sees the same outage.
+        assert!(sched.edge_down(2, 0, Time::from_us(1100)));
+        // Unrelated edges never notice.
+        assert!(!sched.edge_down(0, 1, Time::from_us(1100)));
+    }
+
+    #[test]
+    fn crash_downs_every_adjacent_edge_forever() {
+        let sched: FaultSchedule = "crash@10us:node=1".parse().unwrap();
+        assert!(!sched.edge_down(0, 1, Time::from_us(9)));
+        assert!(sched.edge_down(0, 1, Time::from_us(10)));
+        assert!(sched.edge_down(1, 3, Time::from_ms(500)));
+        assert!(!sched.edge_down(0, 3, Time::from_ms(500)));
+    }
+
+    #[test]
+    fn partition_separates_groups_then_heals() {
+        let sched: FaultSchedule =
+            "partition@2ms:groups=0.1|2.3,heal=3ms".parse().unwrap();
+        let at = Time::from_us(2500);
+        assert!(sched.edge_down(0, 2, at) && sched.edge_down(1, 3, at));
+        assert!(!sched.edge_down(0, 1, at) && !sched.edge_down(2, 3, at));
+        assert!(!sched.edge_down(0, 2, Time::from_ms(3)), "heals at heal_at");
+        assert_eq!(
+            sched.groups_at(4, at),
+            vec![vec![0, 1], vec![2, 3]],
+        );
+        assert_eq!(sched.groups_at(4, Time::from_ms(3)).len(), 1);
+    }
+
+    #[test]
+    fn groups_at_isolates_crashed_nodes() {
+        let sched: FaultSchedule = "crash@10us:node=2".parse().unwrap();
+        assert_eq!(
+            sched.groups_at(4, Time::from_us(11)),
+            vec![vec![0, 1, 3], vec![2]],
+        );
+    }
+
+    #[test]
+    fn generated_storm_is_reproducible_and_bounded() {
+        let a = FaultSchedule::generate(9, 8, Time::from_us(50), Time::from_us(20), Time::from_ms(1));
+        let b = FaultSchedule::generate(9, 8, Time::from_us(50), Time::from_us(20), Time::from_ms(1));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for (t, ev) in a.events() {
+            assert!(*t < Time::from_ms(1));
+            match ev {
+                FaultEvent::LinkFlap { a, b, down_for } => {
+                    assert!(a != b && *a < 8 && *b < 8);
+                    assert!(*down_for >= Time::from_us(10) && *down_for < Time::from_us(30));
+                }
+                other => panic!("generate should only emit flaps, got {other}"),
+            }
+        }
+        let c = FaultSchedule::generate(10, 8, Time::from_us(50), Time::from_us(20), Time::from_ms(1));
+        assert_ne!(a, c, "different seeds should give different storms");
     }
 }

@@ -67,7 +67,7 @@ pub use component::{Component, ComponentId, Ctx};
 pub use event::{Event, InPort, OutPort, Payload};
 pub use exec::{ExecCore, Partitioned, Sequential};
 pub use export::{chrome_trace, chrome_trace_sharded};
-pub use fault::{FaultConfig, FaultPlan, FlipTarget, WireFault};
+pub use fault::{FaultConfig, FaultEvent, FaultPlan, FaultSchedule, FlipTarget, WireFault};
 pub use metrics::{Histogram, Metrics};
 pub use rng::SimRng;
 pub use scheduler::Simulation;
@@ -75,7 +75,8 @@ pub use shard::{ShardId, ShardedSim};
 pub use stats::Stats;
 pub use time::Time;
 pub use trace::{
-    AlpuCmdKind, DmaDir, QueueKind, QueueOpKind, SearchSource, TraceEvent, TraceRecord, TraceRing,
+    AlpuCmdKind, ComponentFaultKind, DmaDir, QueueKind, QueueOpKind, SearchSource, TraceEvent,
+    TraceRecord, TraceRing,
 };
 pub use watchdog::{Diagnosis, Health, StallKind};
 pub use window::WindowPolicy;

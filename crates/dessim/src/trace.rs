@@ -203,6 +203,49 @@ pub enum TraceEvent {
         /// Completion reports a cancellation.
         cancelled: bool,
     },
+    /// A component-level fault transition was observed (scheduled fault
+    /// domains: crashes, link state changes, permanent ALPU death, peer
+    /// declared dead). Always an instant (`ph:"i"` in the Chrome export).
+    ComponentFault {
+        /// What happened.
+        kind: ComponentFaultKind,
+        /// The node reporting (for edges: one endpoint).
+        node: u32,
+        /// The other party (edge endpoint or dead peer); equal to `node`
+        /// for single-component faults.
+        peer: u32,
+    },
+}
+
+/// The component-level fault transitions worth an instant on a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentFaultKind {
+    /// The node crash-stopped.
+    NodeCrash,
+    /// The edge `node–peer` went down (flap or partition onset observed).
+    LinkDown,
+    /// The edge `node–peer` came back up.
+    LinkUp,
+    /// The link layer's retry budget declared the peer's link dead.
+    LinkDead,
+    /// The node's offload unit died permanently (software fallback pinned).
+    AlpuDead,
+    /// The keepalive detector declared the peer's rank(s) failed.
+    PeerDead,
+}
+
+impl ComponentFaultKind {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentFaultKind::NodeCrash => "node-crash",
+            ComponentFaultKind::LinkDown => "link-down",
+            ComponentFaultKind::LinkUp => "link-up",
+            ComponentFaultKind::LinkDead => "link-dead",
+            ComponentFaultKind::AlpuDead => "alpu-dead",
+            ComponentFaultKind::PeerDead => "peer-dead",
+        }
+    }
 }
 
 impl TraceEvent {
@@ -285,6 +328,13 @@ impl fmt::Display for TraceEvent {
                 "completion -> rank{rank}{}",
                 if *cancelled { " (cancelled)" } else { "" }
             ),
+            TraceEvent::ComponentFault { kind, node, peer } => {
+                if node == peer {
+                    write!(f, "fault[{}] node{node}", kind.label())
+                } else {
+                    write!(f, "fault[{}] node{node}-node{peer}", kind.label())
+                }
+            }
         }
     }
 }

@@ -63,7 +63,7 @@ impl Health {
 }
 
 /// How a watched run stalled.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StallKind {
     /// The event heap drained while components still held obligations:
     /// nothing will ever run again, so the missing message is gone for
@@ -73,6 +73,14 @@ pub enum StallKind {
     /// simulation is alive but not converging (livelock, runaway
     /// retransmission, or simply an undersized deadline).
     DeadlineExceeded,
+    /// The stall coincides with an armed fault schedule holding the
+    /// cluster split into these connectivity groups (each sorted,
+    /// ordered by smallest member). Distinct from [`QuiescentDeadlock`]:
+    /// the obligations are not *lost*, they are unreachable across the
+    /// partition — the protocol is a hostage, not a leaker.
+    ///
+    /// [`QuiescentDeadlock`]: StallKind::QuiescentDeadlock
+    Partitioned { groups: Vec<Vec<u32>> },
 }
 
 impl fmt::Display for StallKind {
@@ -80,6 +88,16 @@ impl fmt::Display for StallKind {
         match self {
             StallKind::QuiescentDeadlock => write!(f, "quiescent deadlock"),
             StallKind::DeadlineExceeded => write!(f, "deadline exceeded"),
+            StallKind::Partitioned { groups } => {
+                let gs: Vec<String> = groups
+                    .iter()
+                    .map(|g| {
+                        let ns: Vec<String> = g.iter().map(u32::to_string).collect();
+                        format!("{{{}}}", ns.join(","))
+                    })
+                    .collect();
+                write!(f, "network partition: groups {}", gs.join(" | "))
+            }
         }
     }
 }
@@ -173,6 +191,22 @@ mod tests {
         assert!(s.contains("rank 1 not finished"));
         assert!(!s.contains("nic1"), "idle, note-less components are elided");
         assert_eq!(d.notes_containing("rank 1"), vec!["rank 1 not finished"]);
+    }
+
+    #[test]
+    fn partitioned_diagnosis_names_the_groups() {
+        let d = Diagnosis {
+            kind: StallKind::Partitioned {
+                groups: vec![vec![0, 1], vec![2, 3]],
+            },
+            at: Time::from_us(9),
+            events_processed: 100,
+            components: vec![("nic2".into(), Health::busy())],
+        };
+        let s = d.to_string();
+        assert!(s.contains("network partition"), "{s}");
+        assert!(s.contains("{0,1} | {2,3}"), "{s}");
+        assert_ne!(d.kind, StallKind::QuiescentDeadlock);
     }
 
     #[test]

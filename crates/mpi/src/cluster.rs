@@ -20,9 +20,10 @@ use crate::app::{AppProgram, PORT_COMPLETION};
 use crate::host::Host;
 use mpiq_dessim::prelude::*;
 use mpiq_dessim::watchdog::{Diagnosis, StallKind};
-use mpiq_dessim::{FaultConfig, Metrics, ShardId, ShardedSim, Stats, WindowPolicy};
+use mpiq_dessim::{FaultConfig, FaultSchedule, Metrics, ShardId, ShardedSim, Stats, WindowPolicy};
 use mpiq_net::{Fabric, FabricPort, NetConfig, PORT_FP_INJECT, PORT_FROM_NIC};
 use mpiq_nic::{host_comp_port, Nic, NicConfig, PORT_HOST_REQ, PORT_NET_RX, PORT_NET_TX};
+use std::sync::Arc;
 
 /// Per-NIC flow-control bounds, set as one unit via
 /// [`ClusterConfigBuilder::flow_control`]. The zero value (the default)
@@ -40,7 +41,7 @@ pub struct FlowControl {
 }
 
 /// Everything needed to build a simulated cluster.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// NIC configuration (same on every node).
     pub nic: NicConfig,
@@ -64,6 +65,12 @@ pub struct ClusterConfig {
     /// conservative window as a baseline. For a fixed policy, results
     /// are identical at every `parallelism >= 1`.
     pub window_policy: WindowPolicy,
+    /// Component-level fault timeline (node crashes, link flaps,
+    /// partitions, ALPU deaths), shared by every component that consults
+    /// it. `None` (the default) keeps every fault-domain code path a
+    /// single flag check. Set via
+    /// [`ClusterConfigBuilder::fault_schedule`].
+    pub fault_schedule: Option<Arc<FaultSchedule>>,
 }
 
 impl ClusterConfig {
@@ -78,6 +85,7 @@ impl ClusterConfig {
             metrics: false,
             parallelism: 0,
             window_policy: WindowPolicy::default(),
+            fault_schedule: None,
         }
     }
 
@@ -128,7 +136,7 @@ impl ClusterConfig {
 /// assert_eq!(cfg.parallelism, 4);
 /// assert!(cfg.metrics);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfigBuilder {
     cfg: ClusterConfig,
 }
@@ -192,6 +200,19 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Arm the component-level fault timeline: scheduled node crashes,
+    /// link flaps, network partitions, and ALPU deaths. An empty
+    /// schedule is the same as never calling this. A non-empty schedule
+    /// forces the link reliability layer on — flapping links drop frames,
+    /// and peer-death detection rides the keepalive machinery.
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        if !schedule.is_empty() {
+            self.cfg.nic.reliability = true;
+            self.cfg.fault_schedule = Some(Arc::new(schedule));
+        }
+        self
+    }
+
     /// Finish.
     pub fn build(self) -> ClusterConfig {
         self.cfg
@@ -209,6 +230,12 @@ pub struct Cluster {
     engine: Engine,
     nics: Vec<ComponentId>,
     hosts: Vec<ComponentId>,
+    /// Node count (not rank count) — the fault schedule and partition
+    /// diagnosis are node-granular.
+    nodes: u32,
+    /// The armed fault timeline, if any; consulted by the watchdog to
+    /// tell partition-induced quiescence from a leak deadlock.
+    schedule: Option<Arc<FaultSchedule>>,
 }
 
 impl Cluster {
@@ -243,10 +270,17 @@ impl Cluster {
         if cfg.metrics {
             sim.enable_metrics();
         }
-        let fabric = sim.add_component("net", Fabric::with_faults(cfg.net, nodes, cfg.nic.faults));
+        let fabric = sim.add_component(
+            "net",
+            Fabric::with_faults(cfg.net, nodes, cfg.nic.faults)
+                .with_schedule(cfg.fault_schedule.clone()),
+        );
         let mut node_nics = Vec::new();
         for node in 0..nodes {
-            let nic = sim.add_component(&format!("nic{node}"), Nic::new(node, cfg.nic));
+            let nic = sim.add_component(
+                &format!("nic{node}"),
+                Nic::new(node, cfg.nic).with_schedule(cfg.fault_schedule.clone()),
+            );
             sim.connect(nic, PORT_NET_TX, fabric, PORT_FROM_NIC, Time::ZERO);
             sim.connect(fabric, Fabric::out_port(node), nic, PORT_NET_RX, Time::ZERO);
             node_nics.push(nic);
@@ -255,11 +289,18 @@ impl Cluster {
         let mut hosts = Vec::new();
         for (rank, program) in programs.into_iter().enumerate() {
             let rank = rank as u32;
-            let nic = node_nics[(rank / k) as usize];
-            let host = sim.add_component(
-                &format!("host{rank}"),
-                Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program),
-            );
+            let node = rank / k;
+            let nic = node_nics[node as usize];
+            let mut host =
+                Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
+            if let Some(t) = cfg
+                .fault_schedule
+                .as_ref()
+                .and_then(|s| s.crash_time(node))
+            {
+                host = host.with_crash_at(t);
+            }
+            let host = sim.add_component(&format!("host{rank}"), host);
             // Completion path: one bus transaction back to this process's
             // host, on its per-process port.
             sim.connect(
@@ -279,6 +320,8 @@ impl Cluster {
             engine: Engine::Single(sim),
             nics,
             hosts,
+            nodes,
+            schedule: cfg.fault_schedule,
         }
     }
 
@@ -310,11 +353,16 @@ impl Cluster {
         let mut hosts = Vec::new();
         for node in 0..nodes {
             let shard = ShardId(node);
-            let nic = sim.add_component(shard, &format!("nic{node}"), Nic::new(node, cfg.nic));
+            let nic = sim.add_component(
+                shard,
+                &format!("nic{node}"),
+                Nic::new(node, cfg.nic).with_schedule(cfg.fault_schedule.clone()),
+            );
             let port = sim.add_component(
                 shard,
                 &format!("net{node}"),
-                FabricPort::with_faults(cfg.net, nodes, node, nic, PORT_NET_RX, cfg.nic.faults),
+                FabricPort::with_faults(cfg.net, nodes, node, nic, PORT_NET_RX, cfg.nic.faults)
+                    .with_schedule(cfg.fault_schedule.clone()),
             );
             sim.connect(nic, PORT_NET_TX, port, PORT_FP_INJECT, Time::ZERO);
             node_nics.push(nic);
@@ -325,11 +373,16 @@ impl Cluster {
                     break;
                 }
                 let program = programs.next().expect("one program per rank");
-                let host = sim.add_component(
-                    shard,
-                    &format!("host{rank}"),
-                    Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program),
-                );
+                let mut host =
+                    Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
+                if let Some(t) = cfg
+                    .fault_schedule
+                    .as_ref()
+                    .and_then(|s| s.crash_time(node))
+                {
+                    host = host.with_crash_at(t);
+                }
+                let host = sim.add_component(shard, &format!("host{rank}"), host);
                 sim.connect(
                     nic,
                     host_comp_port(rank % k),
@@ -346,6 +399,8 @@ impl Cluster {
             engine: Engine::Sharded(sim),
             nics,
             hosts,
+            nodes,
+            schedule: cfg.fault_schedule,
         }
     }
 
@@ -369,26 +424,29 @@ impl Cluster {
         self.nics.len() as u32
     }
 
-    /// Run to completion; returns the number of events processed.
+    /// Run to completion; returns the number of events processed. Ranks
+    /// the fault schedule crash-stops are exempt from the finish check —
+    /// a crashed rank *can't* finish, and that is not a deadlock.
     pub fn run(&mut self) -> u64 {
         let n = match &mut self.engine {
             Engine::Single(sim) => sim.run(),
             Engine::Sharded(sim) => sim.run(),
         };
-        // Sanity: every program should have finished (deadlock detector).
+        // Sanity: every surviving program should have finished (deadlock
+        // detector).
         for (rank, &h) in self.hosts.iter().enumerate() {
-            let (done, now) = match &self.engine {
-                Engine::Single(sim) => (
-                    sim.component::<Host>(h).expect("host downcast").done(),
-                    sim.now(),
-                ),
-                Engine::Sharded(sim) => (
-                    sim.component::<Host>(h).expect("host downcast").done(),
-                    sim.now(),
-                ),
+            let (done, crashed, now) = match &self.engine {
+                Engine::Single(sim) => {
+                    let host = sim.component::<Host>(h).expect("host downcast");
+                    (host.done(), host.crashed(), sim.now())
+                }
+                Engine::Sharded(sim) => {
+                    let host = sim.component::<Host>(h).expect("host downcast");
+                    (host.done(), host.crashed(), sim.now())
+                }
             };
             assert!(
-                done,
+                done || crashed,
                 "rank {rank} did not finish: deadlock or missing completion \
                  (events processed: {n}, time: {now})",
             );
@@ -396,14 +454,15 @@ impl Cluster {
         n
     }
 
-    /// Have all programs called `finish`?
+    /// Have all programs called `finish` (or crash-stopped — a crashed
+    /// rank never finishes and is not waited on)?
     pub fn all_done(&self) -> bool {
         self.hosts.iter().all(|&h| {
             let host: &Host = match &self.engine {
                 Engine::Single(sim) => sim.component(h).expect("host downcast"),
                 Engine::Sharded(sim) => sim.component(h).expect("host downcast"),
             };
-            host.done()
+            host.done() || host.crashed()
         })
     }
 
@@ -434,10 +493,18 @@ impl Cluster {
             Engine::Single(sim) => sim.is_idle(),
             Engine::Sharded(sim) => sim.is_idle(),
         };
-        let kind = if idle {
-            StallKind::QuiescentDeadlock
-        } else {
-            StallKind::DeadlineExceeded
+        // A stall while the schedule holds the fabric in more than one
+        // connected group is a partition symptom, not a leak: name the
+        // groups so the operator knows which side each rank is on.
+        let now = self.now();
+        let partition = self.schedule.as_ref().and_then(|s| {
+            let groups = s.groups_at(self.nodes, now);
+            (groups.len() > 1).then_some(groups)
+        });
+        let kind = match partition {
+            Some(groups) => StallKind::Partitioned { groups },
+            None if idle => StallKind::QuiescentDeadlock,
+            None => StallKind::DeadlineExceeded,
         };
         let diagnosis = match &self.engine {
             Engine::Single(sim) => sim.diagnose(kind),

@@ -13,6 +13,16 @@
 //! Data *contents* are not modeled (payloads are synthetic); what these
 //! produce is the exact message pattern — counts, sizes, dependencies —
 //! which is what the NIC-level evaluation cares about.
+//!
+//! **Under component faults** (a scheduled `FaultSchedule` crash or a
+//! link declared dead), collectives never deadlock: every operation in
+//! the tree that names a failed rank completes with
+//! `MpiStatus::error = Some(MpiError::RankFailed{..})` — the ULFM
+//! `MPI_ERR_PROC_FAILED` contract — so the wait unblocks and the script
+//! continues. Survivor-to-survivor edges complete normally; the caller
+//! inspects statuses to learn the collective was cut. There is no
+//! built-in communicator-shrinking (`MPIX_Comm_shrink`) — the typed
+//! error is the recovery surface.
 
 use crate::script::ScriptBuilder;
 use crate::types::CTX_INTERNAL;

@@ -6,16 +6,26 @@
 //! issued request.
 
 use crate::app::{AppProgram, HostState, Mpi, PORT_COMPLETION, PORT_TIMER};
-use crate::types::MpiStatus;
+use crate::types::{MpiError, MpiStatus};
 use mpiq_dessim::prelude::*;
 use mpiq_dessim::watchdog::Health;
 use mpiq_nic::Completion;
 use std::collections::HashMap;
 
+/// Port for the scheduled crash-stop wake (distinct from [`PORT_TIMER`],
+/// which steps the program — a crash must *not* step anything).
+pub const PORT_CRASH: InPort = InPort(2);
+
 /// A host running one application rank.
 pub struct Host {
     state: HostState,
     program: Option<Box<dyn AppProgram>>,
+    /// Scheduled crash-stop instant, if this host's node is on the fault
+    /// schedule's kill list.
+    crash_at: Option<Time>,
+    /// Crash-stop reached: the program is gone, and every later event
+    /// falls on silence.
+    crashed: bool,
 }
 
 impl Host {
@@ -41,12 +51,26 @@ impl Host {
                 issued_this_step: 0,
             },
             program: Some(program),
+            crash_at: None,
+            crashed: false,
         }
+    }
+
+    /// Schedule a crash-stop at `t`: the program's state dies with the
+    /// node and the rank never finishes on its own.
+    pub fn with_crash_at(mut self, t: Time) -> Host {
+        self.crash_at = Some(t);
+        self
     }
 
     /// Has the program called `finish`?
     pub fn done(&self) -> bool {
         self.state.done
+    }
+
+    /// Has the scheduled crash-stop fired?
+    pub fn crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Completions received so far (diagnostics).
@@ -73,11 +97,23 @@ impl Host {
 
 impl Component for Host {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(at) = self.crash_at {
+            let now = ctx.now();
+            ctx.wake_me(PORT_CRASH, Payload::empty(), at.saturating_sub(now));
+        }
         self.step_program(ctx);
     }
 
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            return;
+        }
         match ev.port {
+            PORT_CRASH => {
+                self.crashed = true;
+                self.program = None;
+                return;
+            }
             PORT_COMPLETION => {
                 let comp = *ev
                     .payload
@@ -91,6 +127,9 @@ impl Component for Host {
                         len: comp.len,
                         cancelled: comp.cancelled,
                         overflow: comp.overflow,
+                        error: comp
+                            .rank_failed
+                            .then_some(MpiError::RankFailed { rank: comp.source }),
                     },
                 );
             }
@@ -111,6 +150,18 @@ impl Component for Host {
     /// Watchdog self-report: a host is busy until its program calls
     /// `finish` — an unfinished rank is the canonical deadlock symptom.
     fn health(&self) -> Option<Health> {
+        if self.crashed {
+            // A crashed rank is idle by definition — it will never finish,
+            // and the watchdog must not read it as a leak.
+            return Some(
+                Health::default()
+                    .gauge("completions", self.state.completed.len() as u64)
+                    .note(format!(
+                        "rank {} crashed (scheduled fault)",
+                        self.state.rank
+                    )),
+            );
+        }
         let mut h = Health {
             busy: !self.state.done,
             ..Health::default()

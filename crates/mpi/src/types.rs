@@ -43,6 +43,30 @@ impl Datatype {
     }
 }
 
+/// Typed MPI-level errors, after the User-Level Failure Mitigation (ULFM)
+/// model: a failure surfaces as an error on the operations it dooms, not
+/// as a hang or an aborted job. The subset the simulated cluster can
+/// produce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MpiError {
+    /// The operation's peer rank was declared dead (crash-stop node or a
+    /// link past its retry budget) before the operation could complete —
+    /// ULFM's `MPI_ERR_PROC_FAILED`. The request *is* complete: waits
+    /// return, and the program decides how to go on around the hole.
+    RankFailed {
+        /// The dead peer rank.
+        rank: u16,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::RankFailed { rank } => write!(f, "peer rank {rank} failed"),
+        }
+    }
+}
+
 /// Completion status of a receive — the useful subset of `MPI_Status`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MpiStatus {
@@ -59,6 +83,17 @@ pub struct MpiStatus {
     /// is what actually arrived. Never set when overload protection is
     /// unconfigured.
     pub overflow: bool,
+    /// Typed failure, if the operation ended in one instead of a match
+    /// (`MPI_ERROR` field). `None` on every success path, so status
+    /// checks written before fault domains existed keep their meaning.
+    pub error: Option<MpiError>,
+}
+
+impl MpiStatus {
+    /// Did the operation end in a typed rank failure?
+    pub fn rank_failed(&self) -> bool {
+        matches!(self.error, Some(MpiError::RankFailed { .. }))
+    }
 }
 
 #[cfg(test)]

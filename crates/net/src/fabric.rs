@@ -1,8 +1,11 @@
 //! The crossbar fabric component.
 
 use crate::message::{Message, NodeId};
-use mpiq_dessim::fault::{FaultConfig, FaultPlan};
+use mpiq_dessim::fault::{FaultConfig, FaultPlan, FaultSchedule};
+use mpiq_dessim::trace::{ComponentFaultKind, TraceEvent};
 use mpiq_dessim::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Input port on the fabric where all NICs inject.
 pub const PORT_FROM_NIC: InPort = InPort(0);
@@ -86,6 +89,13 @@ pub struct Fabric {
     nodes: u32,
     busy_until: Vec<Time>,
     faults: Option<FaultPlan>,
+    /// Component-level fault timeline; `None` (the default) keeps the
+    /// scheduled-fault path entirely out of the hot loop.
+    schedule: Option<Arc<FaultSchedule>>,
+    /// Last *observed* up/down state per undirected edge, for counting
+    /// flap transitions edge-triggered on traffic (a deterministic
+    /// function of local deliveries, so it holds at any thread count).
+    edge_seen_down: BTreeMap<(u32, u32), bool>,
 }
 
 impl Fabric {
@@ -103,7 +113,16 @@ impl Fabric {
             faults: faults
                 .net_active()
                 .then(|| FaultPlan::new(faults, FABRIC_FAULT_SITE)),
+            schedule: None,
+            edge_seen_down: BTreeMap::new(),
         }
+    }
+
+    /// Arm a component-level fault timeline: edges the schedule marks
+    /// down refuse (silently drop) every frame until they heal.
+    pub fn with_schedule(mut self, schedule: Option<Arc<FaultSchedule>>) -> Fabric {
+        self.schedule = schedule.filter(|s| !s.is_empty());
+        self
     }
 
     /// Serialization time for a message of `bytes`, rounded up to the next
@@ -115,6 +134,11 @@ impl Fabric {
     /// Output port for a destination node.
     pub fn out_port(dst: NodeId) -> OutPort {
         OutPort(PORT_TO_NIC + dst as u16)
+    }
+
+    /// The armed schedule, if any (used by `Cluster` diagnosis).
+    pub fn schedule(&self) -> Option<&Arc<FaultSchedule>> {
+        self.schedule.as_ref()
     }
 
     /// Occupy the destination link and deliver one copy of `msg`.
@@ -129,6 +153,42 @@ impl Fabric {
         ctx.stats().add("net.bytes", msg.wire_bytes());
         ctx.emit_after(Self::out_port(dst), Payload::new(msg), deliver - ctx.now());
     }
+}
+
+/// Shared scheduled-edge check for the hub fabric and the per-node
+/// [`crate::port::FabricPort`]s: look up the edge's state at `now`,
+/// count/trace the transition if it differs from the last *observed*
+/// state (edge-triggered on traffic — both telemetry sinks are no-ops
+/// unless the harness enabled them), and say whether the frame must be
+/// refused. Pure function of `(schedule, edge, now)` plus locally
+/// observed traffic, so it is deterministic on both engines.
+pub(crate) fn scheduled_edge_refuses(
+    schedule: &Arc<FaultSchedule>,
+    edge_seen_down: &mut BTreeMap<(u32, u32), bool>,
+    src: u32,
+    dst: u32,
+    ctx: &mut Ctx<'_>,
+) -> bool {
+    let down = schedule.edge_down(src, dst, ctx.now());
+    let key = (src.min(dst), src.max(dst));
+    let seen = edge_seen_down.entry(key).or_insert(false);
+    if *seen != down {
+        *seen = down;
+        ctx.metrics().add("fault.flap_transitions", 1);
+        ctx.trace(TraceEvent::ComponentFault {
+            kind: if down {
+                ComponentFaultKind::LinkDown
+            } else {
+                ComponentFaultKind::LinkUp
+            },
+            node: key.0,
+            peer: key.1,
+        });
+    }
+    if down {
+        ctx.stats().incr("net.sched.edge_drops");
+    }
+    down
 }
 
 impl Component for Fabric {
@@ -153,6 +213,19 @@ impl Component for Fabric {
             msg.header.src_node,
             ev.time
         );
+        // Component-level faults outrank message-level ones: a frame on a
+        // downed edge never reaches the wire-fault lottery at all.
+        if let Some(sched) = self.schedule.clone() {
+            if scheduled_edge_refuses(
+                &sched,
+                &mut self.edge_seen_down,
+                msg.header.src_node,
+                dst,
+                ctx,
+            ) {
+                return;
+            }
+        }
         let mut duplicate = false;
         if let Some(plan) = &mut self.faults {
             let verdict = plan.roll_wire();

@@ -28,10 +28,12 @@
 //! traffic — which is what keeps fault campaigns identical across thread
 //! counts too.
 
-use crate::fabric::NetConfig;
+use crate::fabric::{scheduled_edge_refuses, NetConfig};
 use crate::message::{Message, NodeId};
-use mpiq_dessim::fault::{FaultConfig, FaultPlan};
+use mpiq_dessim::fault::{FaultConfig, FaultPlan, FaultSchedule};
 use mpiq_dessim::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Input port where the node's own NIC injects outbound messages.
 pub const PORT_FP_INJECT: InPort = InPort(0);
@@ -67,6 +69,14 @@ pub struct FabricPort {
     /// This node's ingress link occupancy (receiver-side serialization).
     busy_until: Time,
     faults: Option<FaultPlan>,
+    /// Component-level fault timeline; `None` keeps the scheduled path
+    /// out of the hot loop entirely. Checked at the *source* port (like
+    /// the message-level fault rolls), so the verdict is a function of
+    /// local state only and identical at any thread count.
+    schedule: Option<Arc<FaultSchedule>>,
+    /// Last observed up/down state per undirected edge (transition
+    /// telemetry; see [`crate::fabric`]).
+    edge_seen_down: BTreeMap<(u32, u32), bool>,
 }
 
 impl FabricPort {
@@ -94,7 +104,16 @@ impl FabricPort {
             faults: faults
                 .net_active()
                 .then(|| FaultPlan::new(faults, port_fault_site(node))),
+            schedule: None,
+            edge_seen_down: BTreeMap::new(),
         }
+    }
+
+    /// Arm a component-level fault timeline: edges the schedule marks
+    /// down refuse (silently drop) every frame until they heal.
+    pub fn with_schedule(mut self, schedule: Option<Arc<FaultSchedule>>) -> FabricPort {
+        self.schedule = schedule.filter(|s| !s.is_empty());
+        self
     }
 
     /// Output port carrying frames to node `dst`'s [`PORT_FP_WIRE`].
@@ -121,6 +140,19 @@ impl FabricPort {
             msg.header.src_node,
             ctx.now()
         );
+        // Component-level faults outrank message-level ones (see the hub
+        // fabric): a downed edge refuses the frame before any fault roll.
+        if let Some(sched) = self.schedule.clone() {
+            if scheduled_edge_refuses(
+                &sched,
+                &mut self.edge_seen_down,
+                msg.header.src_node,
+                dst,
+                ctx,
+            ) {
+                return;
+            }
+        }
         let mut duplicate = false;
         if let Some(plan) = &mut self.faults {
             let verdict = plan.roll_wire();

@@ -36,7 +36,7 @@ use mpiq_dessim::trace::{
 };
 use mpiq_dessim::{Clock, FaultPlan, Histogram, Time};
 use mpiq_net::{Message, MsgHeader, MsgKind, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// NIC memory map (addresses feed the cache model).
 mod layout {
@@ -427,6 +427,18 @@ pub struct FwStats {
     /// Sends held back behind an in-flight rendezvous to the same peer
     /// (deadlock avoidance while the admission bound is armed).
     pub sends_deferred: u64,
+    /// Peer nodes declared dead (crash-stop detection or a link past its
+    /// retry budget with a fault schedule armed).
+    pub peers_failed: u64,
+    /// Operations finished with a typed `rank_failed` completion instead
+    /// of hanging on a dead peer.
+    pub ops_rank_failed: u64,
+    /// ALPUs permanently retired by a scheduled hardware death (never
+    /// re-engaged; matching pinned to the software path).
+    pub alpus_killed: u64,
+    /// Late rendezvous control frames from an already-declared-dead peer,
+    /// dropped because their parked state was failed at detection time.
+    pub stale_rndv_dropped: u64,
 }
 
 /// Match-path latency histograms, one per entry source (§VI's latency
@@ -505,6 +517,15 @@ pub struct Firmware {
     /// quarantine. Work items consume these (oldest-first, matching the
     /// work FIFO) and fall back to software instead of popping.
     posted_orphans: u64,
+    /// Peer nodes declared dead. Operations naming these peers fail with
+    /// a typed `rank_failed` completion at post time; state already
+    /// parked on them was failed when the peer entered the set. A
+    /// `BTreeSet` so any iteration is deterministic.
+    dead_peers: BTreeSet<NodeId>,
+    /// Scheduled permanent ALPU death: both units are quarantined with
+    /// the cooldown pinned to `Time::MAX`, so the re-engage check in
+    /// `do_update` never fires and matching stays in software forever.
+    alpus_dead: bool,
     stats: FwStats,
     hists: FwHists,
     /// Structured trace events buffered during a work item and drained by
@@ -575,6 +596,8 @@ impl Firmware {
             posted_quarantined_until: None,
             unexpected_quarantined_until: None,
             posted_orphans: 0,
+            dead_peers: BTreeSet::new(),
+            alpus_dead: false,
             stats: FwStats::default(),
             hists: FwHists::default(),
             telemetry: false,
@@ -1197,6 +1220,7 @@ impl Firmware {
                             len: h.payload_len.min(entry.len),
                             cancelled: false,
                             overflow: false,
+                            rank_failed: false,
                         };
                         if h.payload_len > 0 {
                             // DMA payload to the user buffer.
@@ -1334,7 +1358,18 @@ impl Firmware {
             tb = tb.load_chain(entry.addr).int(6);
         }
         let mut t = now + core.run(&tb.build(), now).elapsed;
-        let park = self.send_park.remove(pos.expect("rndv reply for unknown send"));
+        let Some(pos) = pos else {
+            // A clear-to-send whose parked send we already failed when
+            // its peer was declared dead (a link can die asymmetrically:
+            // the reply squeaked through after detection). Drop it.
+            assert!(
+                self.dead_peers.contains(&msg.header.src_node),
+                "rndv reply for unknown send"
+            );
+            self.stats.stale_rndv_dropped += 1;
+            return t;
+        };
+        let park = self.send_park.remove(pos);
         // DMA the payload from host memory and ship it.
         let (_, dma_done) = self.dma_tx.transfer(park.len as u64, t);
         t += core.run(&TraceBuilder::new().int(10).build(), t).elapsed;
@@ -1364,6 +1399,7 @@ impl Firmware {
                 len: park.len,
                 cancelled: false,
                 overflow: false,
+                rank_failed: false,
             },
         ));
         // The data frame is queued (it sequences ahead of anything we
@@ -1413,10 +1449,16 @@ impl Firmware {
         fx: &mut Effects,
     ) -> Time {
         let mut t = now + core.run(&TraceBuilder::new().int(12).build(), now).elapsed;
-        let exp = self
-            .rndv_expect
-            .remove(&(msg.header.src_node, token))
-            .expect("rndv data for unknown token");
+        let Some(exp) = self.rndv_expect.remove(&(msg.header.src_node, token)) else {
+            // Data for an expectation we failed when the sender was
+            // declared dead — the frame outlived the declaration. Drop it.
+            assert!(
+                self.dead_peers.contains(&msg.header.src_node),
+                "rndv data for unknown token"
+            );
+            self.stats.stale_rndv_dropped += 1;
+            return t;
+        };
         let (_, done) = self.dma_rx.transfer(exp.len as u64, t);
         t += core.run(&TraceBuilder::new().int(6).build(), t).elapsed;
         fx.completions.push((
@@ -1428,6 +1470,7 @@ impl Firmware {
                 len: exp.len,
                 cancelled: false,
                 overflow: false,
+                rank_failed: false,
             },
         ));
         t
@@ -1498,6 +1541,25 @@ impl Firmware {
         // FIFO per peer, so MPI ordering is untouched; unarmed
         // configurations never reach this path.
         let peer = self.node_of(dst);
+        // ULFM-style typed failure at post time: the peer is already
+        // declared dead, so this send can never complete — finish it now
+        // instead of parking it forever.
+        if peer != self.node && self.dead_peers.contains(&peer) {
+            self.stats.ops_rank_failed += 1;
+            fx.completions.push((
+                t + self.cfg.completion_cost,
+                Completion {
+                    req,
+                    source: dst as u16,
+                    tag,
+                    len,
+                    cancelled: false,
+                    overflow: false,
+                    rank_failed: true,
+                },
+            ));
+            return t;
+        }
         if self.cfg.max_unexpected > 0
             && peer != self.node
             && (self.rndv_inflight.get(&peer).copied().unwrap_or(0) > 0
@@ -1559,6 +1621,7 @@ impl Firmware {
                     len,
                     cancelled: false,
                     overflow: false,
+                    rank_failed: false,
                 },
             ));
             fx.tx.push((at, msg));
@@ -1755,6 +1818,7 @@ impl Firmware {
                             len: if truncated { 0 } else { h.payload_len.min(len) },
                             cancelled: false,
                             overflow: truncated,
+                            rank_failed: false,
                         };
                         if h.payload_len > 0 && !truncated {
                             if self.cfg.eager_buffer_bytes > 0 {
@@ -1814,6 +1878,30 @@ impl Firmware {
                 }
             }
             None => {
+                // Nothing already arrived: a receive pinned to a rank on
+                // a dead node can never match — fail it typed, now,
+                // instead of posting an obligation nothing will satisfy.
+                // (A match above is still honored: the message was sent
+                // before the failure, which ULFM lets us deliver.)
+                if let Some(s) = src {
+                    let peer = self.node_of(s as u32);
+                    if peer != self.node && self.dead_peers.contains(&peer) {
+                        self.stats.ops_rank_failed += 1;
+                        fx.completions.push((
+                            t + self.cfg.completion_cost,
+                            Completion {
+                                req,
+                                source: s,
+                                tag: tag.unwrap_or(0),
+                                len: 0,
+                                cancelled: false,
+                                overflow: false,
+                                rank_failed: true,
+                            },
+                        ));
+                        return t;
+                    }
+                }
                 // Post it: append to the posted-receive queue.
                 let (key, addr) = self.posted.push(RecvEntry {
                     req,
@@ -1926,6 +2014,7 @@ impl Firmware {
                     len: h.payload_len,
                     cancelled: false,
                     overflow: false,
+                    rank_failed: false,
                 }
             }
             None => Completion {
@@ -1935,6 +2024,7 @@ impl Firmware {
                 len: 0,
                 cancelled: true, // flag == false: nothing waiting
                 overflow: false,
+                rank_failed: false,
             },
         };
         fx.completions.push((t + self.cfg.completion_cost, comp));
@@ -2007,9 +2097,200 @@ impl Firmware {
                 len: 0,
                 cancelled: true,
                 overflow: false,
+                rank_failed: false,
             },
         ));
         t
+    }
+
+    // ------------------------------------------------------------------
+    // Component fault domain: dead peers, dead hardware
+    // ------------------------------------------------------------------
+
+    /// Has `peer` been declared dead?
+    pub fn peer_dead(&self, peer: NodeId) -> bool {
+        self.dead_peers.contains(&peer)
+    }
+
+    /// Number of peers currently declared dead (diagnostics).
+    pub fn dead_peer_count(&self) -> usize {
+        self.dead_peers.len()
+    }
+
+    /// Declare `peer` dead and fail — with typed `rank_failed`
+    /// completions — every operation that can now never finish: posted
+    /// receives pinned to a rank on `peer`, parked and deferred sends
+    /// toward it, and matched rendezvous receives awaiting its data.
+    ///
+    /// Deliberately *kept*: unexpected-queue entries that already
+    /// arrived from `peer` — ULFM lets a receive posted after the
+    /// failure still match a message sent before it — and wildcard
+    /// receives, which any live rank can still satisfy.
+    ///
+    /// The walk costs no simulated firmware time: it models the
+    /// asynchronous cleanup a real NIC would run off the critical path.
+    pub fn fail_peer(&mut self, peer: NodeId, now: Time, fx: &mut Effects) {
+        if peer == self.node || !self.dead_peers.insert(peer) {
+            return;
+        }
+        self.stats.peers_failed += 1;
+        let at = now + self.cfg.completion_cost;
+        let k = self.cfg.ranks_per_node;
+
+        // Posted receives whose source is pinned to a rank on the dead
+        // node. ALPU-resident copies become tombstones, exactly as
+        // `MPI_Cancel` leaves them (no DELETE command, Table I).
+        let victims: Vec<(Key, ReqId, u16, u16, bool)> = self
+            .posted
+            .iter()
+            .filter(|it| {
+                !it.val.ghost
+                    && it.val.mask.0 & mpiq_alpu::MaskWord::ANY_SOURCE.0 == 0
+                    && it.val.word.source() as u32 / k == peer
+            })
+            .map(|it| {
+                (
+                    it.key,
+                    it.val.req,
+                    it.val.word.source(),
+                    it.val.word.tag(),
+                    it.in_alpu,
+                )
+            })
+            .collect();
+        for (key, req, src, tag, in_alpu) in victims {
+            if in_alpu {
+                self.posted_mark_ghost(key);
+            } else {
+                self.posted.remove_key(key);
+                if let Some(index) = &mut self.posted_index {
+                    index.remove(key);
+                }
+            }
+            self.ev(
+                now,
+                TraceEvent::QueueOp {
+                    queue: QueueKind::Posted,
+                    op: if in_alpu {
+                        QueueOpKind::Ghost
+                    } else {
+                        QueueOpKind::Remove
+                    },
+                    depth: self.posted.len() as u32,
+                },
+            );
+            self.stats.ops_rank_failed += 1;
+            fx.completions.push((
+                at,
+                Completion {
+                    req,
+                    source: src,
+                    tag,
+                    len: 0,
+                    cancelled: false,
+                    overflow: false,
+                    rank_failed: true,
+                },
+            ));
+        }
+
+        // Rendezvous sends parked on a clear-to-send that will never come.
+        let mut parked: Vec<SendEntry> = Vec::new();
+        self.send_park.retain(|s| {
+            if s.dst / k == peer {
+                parked.push(*s);
+                false
+            } else {
+                true
+            }
+        });
+        // Sends still held behind one of those handshakes.
+        let mut deferred: Vec<PendingSend> = Vec::new();
+        self.deferred_sends.retain(|p| {
+            if p.dst / k == peer {
+                deferred.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        for (req, dst, tag, len) in parked
+            .into_iter()
+            .map(|s| (s.req, s.dst, s.tag, s.len))
+            .chain(deferred.into_iter().map(|p| (p.req, p.dst, p.tag, p.len)))
+        {
+            self.stats.ops_rank_failed += 1;
+            fx.completions.push((
+                at,
+                Completion {
+                    req,
+                    source: dst as u16,
+                    tag,
+                    len,
+                    cancelled: false,
+                    overflow: false,
+                    rank_failed: true,
+                },
+            ));
+        }
+
+        // Matched rendezvous receives whose data frame died with the
+        // sender. Keys are sorted before removal so the completion order
+        // never depends on hash-map iteration.
+        let mut stale: Vec<(NodeId, u64)> = self
+            .rndv_expect
+            .keys()
+            .filter(|(n, _)| *n == peer)
+            .copied()
+            .collect();
+        stale.sort_unstable();
+        for key in stale {
+            let exp = self.rndv_expect.remove(&key).expect("key just listed");
+            self.stats.ops_rank_failed += 1;
+            fx.completions.push((
+                at,
+                Completion {
+                    req: exp.req,
+                    source: exp.src_rank,
+                    tag: exp.tag,
+                    len: 0,
+                    cancelled: false,
+                    overflow: false,
+                    rank_failed: true,
+                },
+            ));
+        }
+        self.rndv_inflight.remove(&peer);
+    }
+
+    /// Scheduled permanent ALPU death: quarantine both units (RESET-pin
+    /// wipe; orphaned probes fall back to software) and pin the cooldown
+    /// to `Time::MAX`, so the update-item re-engage check never fires. Matching continues on the software queues —
+    /// degraded, never wrong, and never trusted to hardware again.
+    pub fn kill_alpus(&mut self, now: Time) {
+        if self.alpus_dead {
+            return;
+        }
+        self.alpus_dead = true;
+        if self.posted_alpu.is_some() {
+            if self.posted_quarantined_until.is_none() {
+                self.quarantine_posted(now);
+            }
+            self.posted_quarantined_until = Some(Time::MAX);
+            self.stats.alpus_killed += 1;
+        }
+        if self.unexpected_alpu.is_some() {
+            if self.unexpected_quarantined_until.is_none() {
+                self.quarantine_unexpected(now);
+            }
+            self.unexpected_quarantined_until = Some(Time::MAX);
+            self.stats.alpus_killed += 1;
+        }
+    }
+
+    /// Have the ALPUs been permanently retired by a scheduled death?
+    pub fn alpus_dead(&self) -> bool {
+        self.alpus_dead
     }
 
     // ------------------------------------------------------------------

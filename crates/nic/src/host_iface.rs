@@ -102,6 +102,11 @@ pub struct Completion {
     /// (possibly 0), and the application sees `MPI_ERR_TRUNCATE`-like
     /// status (`RecvOverflow`).
     pub overflow: bool,
+    /// The operation's peer rank was declared dead (crash-stop node or a
+    /// link past its retry budget) before the operation could complete:
+    /// the request is finished with a typed ULFM-style `RankFailed` error
+    /// instead of hanging. `source` names the dead peer when known.
+    pub rank_failed: bool,
 }
 
 #[cfg(test)]

@@ -8,14 +8,15 @@
 //! firmware-computed completion timestamps.
 
 use crate::config::NicConfig;
-use crate::firmware::{Firmware, WorkItem};
+use crate::firmware::{Effects, Firmware, WorkItem};
 use crate::host_iface::HostRequest;
 use crate::reliability::{Reliability, ReliabilityConfig};
 use mpiq_cpusim::Core;
 use mpiq_dessim::prelude::*;
-use mpiq_dessim::{watchdog::Health, TraceEvent};
+use mpiq_dessim::{watchdog::Health, ComponentFaultKind, FaultSchedule, TraceEvent};
 use mpiq_net::{Message, MsgKind, NodeId};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Input port: messages from the fabric.
 pub const PORT_NET_RX: InPort = InPort(0);
@@ -25,6 +26,8 @@ pub const PORT_HOST_REQ: InPort = InPort(1);
 pub const PORT_WAKE: InPort = InPort(2);
 /// Retransmit-timer wakeup port (internal; link reliability layer).
 pub const PORT_RETX: InPort = InPort(3);
+/// Scheduled-fault wakeup port (internal; component fault domains).
+pub const PORT_FAULT: InPort = InPort(4);
 /// Output port: messages to the fabric.
 pub const PORT_NET_TX: OutPort = OutPort(0);
 /// Output port: completions to the host of local process 0.
@@ -34,6 +37,19 @@ pub const PORT_HOST_COMP: OutPort = OutPort(1);
 /// (multi-process-per-node NICs; `host_comp_port(0) == PORT_HOST_COMP`).
 pub fn host_comp_port(pid: u32) -> OutPort {
     OutPort(1 + pid as u16)
+}
+
+/// Scheduled-fault wakeup payloads (internal to the NIC). Every wake is
+/// computed locally from the shared [`FaultSchedule`] at start-up, so no
+/// fault information ever crosses shards at run time.
+#[derive(Clone, Copy, Debug)]
+enum FaultWake {
+    /// This node crash-stops now.
+    Crash,
+    /// This NIC's ALPUs die permanently now.
+    AlpuDeath,
+    /// `peer` crashed one keepalive-timeout ago: declare it dead.
+    PeerDead(NodeId),
 }
 
 /// One NIC: firmware + embedded core + work-item scheduler.
@@ -65,6 +81,16 @@ pub struct Nic {
     /// Earliest retransmit wakeup already scheduled, to avoid flooding
     /// the event queue with one wake per transmitted frame.
     retx_scheduled: Option<Time>,
+    /// Scheduled component faults (shared, read-only, pure function of
+    /// time). `None` = unarmed: every fault path below is a single flag
+    /// check and the NIC behaves byte-identically to the pre-fault code.
+    schedule: Option<Arc<FaultSchedule>>,
+    /// Crash-stop: this node died at its scheduled instant. All further
+    /// events fall on silence; in-flight state died with it.
+    crashed: bool,
+    /// How long after a peer's scheduled crash the keepalive declares it
+    /// dead ([`ReliabilityConfig::keepalive_timeout`]).
+    keepalive: Time,
     stat_prefix: String,
     /// Time-weighted queue-occupancy accumulation (for the application
     /// queue-characterization study, after refs [8,9]). Accumulated in
@@ -94,6 +120,9 @@ impl Nic {
                 .reliability
                 .then(|| Reliability::new(node, ReliabilityConfig::default())),
             retx_scheduled: None,
+            schedule: None,
+            crashed: false,
+            keepalive: ReliabilityConfig::default().keepalive_timeout,
             stat_prefix: format!("nic{node}"),
             last_sample: Time::ZERO,
             posted_integral_ps: 0,
@@ -108,6 +137,18 @@ impl Nic {
         self.posted_integral_ps += self.fw.posted_len() as u64 * dt;
         self.unexpected_integral_ps += self.fw.unexpected_len() as u64 * dt;
         self.last_sample = now;
+    }
+
+    /// Arm the component-level fault schedule. `None` (or an empty
+    /// schedule) leaves every fault path disabled.
+    pub fn with_schedule(mut self, schedule: Option<Arc<FaultSchedule>>) -> Nic {
+        self.schedule = schedule.filter(|s| !s.is_empty());
+        self
+    }
+
+    /// Has this node crash-stopped (scheduled fault)?
+    pub fn crashed(&self) -> bool {
+        self.crashed
     }
 
     /// The node this NIC serves.
@@ -231,6 +272,86 @@ impl Nic {
         );
     }
 
+    /// Handle one scheduled-fault wakeup.
+    fn on_fault(&mut self, wake: FaultWake, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        match wake {
+            FaultWake::Crash => {
+                // Crash-stop (fail-stop): all in-flight state — the work
+                // queue, retransmit windows, staged payloads — dies with
+                // the node. Peers learn of it through their keepalive,
+                // never from us.
+                self.crashed = true;
+                self.busy = false;
+                self.work.clear();
+                self.pending_rx_match = 0;
+                ctx.metrics().add("fault.nodes_crashed", 1);
+                ctx.trace(TraceEvent::ComponentFault {
+                    kind: ComponentFaultKind::NodeCrash,
+                    node: self.node,
+                    peer: self.node,
+                });
+                ctx.stats()
+                    .incr(&format!("{}.fault.crashed", self.stat_prefix));
+            }
+            FaultWake::AlpuDeath => {
+                self.fw.set_telemetry(ctx.trace_enabled());
+                self.fw.kill_alpus(now);
+                for (at, what) in self.fw.take_events() {
+                    ctx.trace_at(at, what);
+                }
+                ctx.metrics().add("fault.alpus_dead", 1);
+                ctx.trace(TraceEvent::ComponentFault {
+                    kind: ComponentFaultKind::AlpuDead,
+                    node: self.node,
+                    peer: self.node,
+                });
+                self.publish_stats(ctx);
+            }
+            FaultWake::PeerDead(peer) => {
+                self.declare_peer_dead(peer, ComponentFaultKind::PeerDead, ctx);
+            }
+        }
+    }
+
+    /// Declare `peer` dead: sticky-kill the link, fail every operation
+    /// that can now never finish with a typed `rank_failed` completion,
+    /// and record the transition. Idempotent.
+    fn declare_peer_dead(&mut self, peer: NodeId, kind: ComponentFaultKind, ctx: &mut Ctx<'_>) {
+        if self.fw.peer_dead(peer) {
+            return;
+        }
+        let now = ctx.now();
+        if let Some(link) = self.link.as_mut() {
+            link.mark_peer_dead(peer);
+        }
+        self.fw.set_telemetry(ctx.trace_enabled());
+        let mut fx = Effects::default();
+        self.fw.fail_peer(peer, now, &mut fx);
+        for (at, what) in self.fw.take_events() {
+            ctx.trace_at(at, what);
+        }
+        debug_assert!(fx.tx.is_empty(), "failing a peer sends nothing");
+        for (at, comp) in fx.completions {
+            let pid = comp.req.rank % self.ranks_per_node;
+            ctx.trace_at(
+                at,
+                TraceEvent::HostCompletion {
+                    rank: comp.req.rank,
+                    cancelled: comp.cancelled,
+                },
+            );
+            ctx.emit_after(host_comp_port(pid), Payload::new(comp), at.saturating_sub(now));
+        }
+        ctx.metrics().add("fault.peers_failed", 1);
+        ctx.trace(TraceEvent::ComponentFault {
+            kind,
+            node: self.node,
+            peer,
+        });
+        self.publish_stats(ctx);
+    }
+
     fn publish_stats(&self, ctx: &mut Ctx<'_>) {
         let s = ctx.stats();
         let p = &self.stat_prefix;
@@ -283,6 +404,17 @@ impl Nic {
             s.set(&format!("{p}.link.timer_fires"), ls.timer_fires);
             s.set(&format!("{p}.link.links_dead"), ls.links_dead);
         }
+        // Component-fault counters: keyed only when a schedule is armed,
+        // so unarmed stat dumps stay byte-identical.
+        if self.schedule.is_some() {
+            s.set(&format!("{p}.fault.peers_failed"), fw.peers_failed);
+            s.set(&format!("{p}.fault.ops_rank_failed"), fw.ops_rank_failed);
+            s.set(&format!("{p}.fault.alpus_killed"), fw.alpus_killed);
+            s.set(
+                &format!("{p}.fault.stale_rndv_dropped"),
+                fw.stale_rndv_dropped,
+            );
+        }
         // Flow-control / overload counters: keyed out entirely unless a
         // bound (or the leak fault) is configured, so pre-existing stat
         // dumps stay byte-identical.
@@ -327,7 +459,48 @@ impl Nic {
 }
 
 impl Component for Nic {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Pre-compute every fault wakeup this NIC will ever need from the
+        // shared schedule. All wake times are pure functions of the
+        // schedule, so every NIC — on any shard, at any thread count —
+        // derives the same virtual-time behavior.
+        let Some(sched) = self.schedule.clone() else {
+            return;
+        };
+        let now = ctx.now();
+        if let Some(t) = sched.crash_time(self.node) {
+            ctx.wake_me(
+                PORT_FAULT,
+                Payload::new(FaultWake::Crash),
+                t.saturating_sub(now),
+            );
+        }
+        if let Some(t) = sched.alpu_death_time(self.node) {
+            ctx.wake_me(
+                PORT_FAULT,
+                Payload::new(FaultWake::AlpuDeath),
+                t.saturating_sub(now),
+            );
+        }
+        for peer in sched.crashed_nodes() {
+            if peer == self.node {
+                continue;
+            }
+            let t = sched.crash_time(peer).expect("listed as crashed");
+            ctx.wake_me(
+                PORT_FAULT,
+                Payload::new(FaultWake::PeerDead(peer)),
+                (t + self.keepalive).saturating_sub(now),
+            );
+        }
+    }
+
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        if self.crashed {
+            // Crash-stop: the NIC is gone. Frames, host requests, and
+            // stale timer wakes all fall on silence.
+            return;
+        }
         // Mirror the simulation's tracing state into the firmware and
         // link layer so they buffer structured events only when someone
         // will read them.
@@ -441,6 +614,7 @@ impl Component for Nic {
             }
             PORT_RETX => {
                 self.retx_scheduled = None;
+                let mut newly_dead = Vec::new();
                 if let Some(link) = self.link.as_mut() {
                     for frame in link.on_timer(ctx.now()) {
                         ctx.emit_after(PORT_NET_TX, Payload::new(frame), Time::ZERO);
@@ -455,9 +629,27 @@ impl Component for Nic {
                             },
                         );
                     }
+                    newly_dead = link.take_newly_dead();
+                }
+                // A retry-budget link death escalates to a typed peer
+                // failure only when a fault schedule is armed; unarmed
+                // overload runs keep their established semantics (the
+                // dead link is a watchdog diagnosis, not a completion).
+                if self.schedule.is_some() {
+                    for peer in newly_dead {
+                        ctx.metrics().add("fault.links_dead", 1);
+                        self.declare_peer_dead(peer, ComponentFaultKind::LinkDead, ctx);
+                    }
                 }
                 self.schedule_retx(ctx);
                 self.publish_stats(ctx);
+            }
+            PORT_FAULT => {
+                let wake = *ev
+                    .payload
+                    .downcast::<FaultWake>()
+                    .expect("FAULT carries FaultWake");
+                self.on_fault(wake, ctx);
             }
             other => panic!("nic{}: event on unknown port {other:?}", self.node),
         }
@@ -475,6 +667,14 @@ impl Component for Nic {
     /// parked rendezvous sends, matched-but-undelivered rendezvous
     /// receives, or unacknowledged frames in a retransmit window.
     fn health(&self) -> Option<Health> {
+        if self.crashed {
+            // A crashed node holds no obligations: whatever it owed died
+            // with it. Peers surface the consequences (dead links, failed
+            // ranks) from their own side.
+            return Some(
+                Health::default().note("node crashed (scheduled fault); state died with it"),
+            );
+        }
         let windows = self
             .link
             .as_ref()

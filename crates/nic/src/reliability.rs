@@ -50,6 +50,14 @@ pub struct ReliabilityConfig {
     /// spinning timers forever) and the watchdog diagnosis names the
     /// peer.
     pub retry_budget: u32,
+    /// How long after a peer's (scheduled) crash the NIC's keepalive
+    /// declares it dead. Consumed by the NIC component, not the link
+    /// engine: crash detection needs a shared notion of "the peer went
+    /// silent at T", and only the fault schedule provides one that every
+    /// NIC can evaluate deterministically at any thread count. Distinct
+    /// from the retry budget, which detects dead *links* from this
+    /// side's own (local) retransmission history.
+    pub keepalive_timeout: Time,
 }
 
 impl Default for ReliabilityConfig {
@@ -58,6 +66,7 @@ impl Default for ReliabilityConfig {
             rto: Time::from_us(5),
             rto_max: Time::from_us(80),
             retry_budget: 16,
+            keepalive_timeout: Time::from_us(100),
         }
     }
 }
@@ -173,6 +182,9 @@ pub struct Reliability {
     fires: Vec<RetxFire>,
     /// Peers whose links exhausted the retry budget. Sticky.
     dead: BTreeSet<NodeId>,
+    /// Peers that entered `dead` via retry-budget exhaustion since the
+    /// last [`Reliability::take_newly_dead`] drain.
+    newly_dead: Vec<NodeId>,
     /// Eager credits waiting to ride out on the next ACK to each peer.
     pending_grants: BTreeMap<NodeId, u32>,
     /// Credits extracted from arriving frames, waiting for the firmware
@@ -193,6 +205,7 @@ impl Reliability {
             telemetry: false,
             fires: Vec::new(),
             dead: BTreeSet::new(),
+            newly_dead: Vec::new(),
             pending_grants: BTreeMap::new(),
             credit_returns: Vec::new(),
         }
@@ -228,6 +241,32 @@ impl Reliability {
     /// dead. Empty on a healthy NIC.
     pub fn dead_peers(&self) -> Vec<NodeId> {
         self.dead.iter().copied().collect()
+    }
+
+    /// Is the link to `peer` currently declared dead?
+    pub fn peer_dead(&self, peer: NodeId) -> bool {
+        self.dead.contains(&peer)
+    }
+
+    /// Peers declared dead by retry-budget exhaustion since the last
+    /// drain. Lets the NIC fail the pending operations exactly once.
+    /// (Keepalive deaths are initiated by the NIC itself via
+    /// [`Reliability::mark_peer_dead`] and are not reported here.)
+    pub fn take_newly_dead(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.newly_dead)
+    }
+
+    /// Declare the link to `peer` dead from *outside* the protocol: the
+    /// NIC's keepalive concluded the far end crashed. Sticky, like a
+    /// retry-budget death, but not counted under [`LinkStats::links_dead`]
+    /// — the link did not fail, its far end did. The timer disarms (there
+    /// is no one left to retransmit to) but the window is retained for
+    /// watchdog diagnosis, mirroring the budget-exhaustion path.
+    pub fn mark_peer_dead(&mut self, peer: NodeId) {
+        self.dead.insert(peer);
+        if let Some(link) = self.tx.get_mut(&peer) {
+            link.deadline = None;
+        }
     }
 
     /// In-flight window depth per peer (diagnostics for the watchdog:
@@ -484,6 +523,7 @@ impl Reliability {
                 link.deadline = None;
                 if self.dead.insert(*peer) {
                     self.stats.links_dead += 1;
+                    self.newly_dead.push(*peer);
                 }
                 continue;
             }

@@ -17,7 +17,7 @@
 //!   quarantine → software fallback → re-engagement, visibly counted,
 //!   with the run still completing correctly.
 
-use mpiq::dessim::{FaultConfig, Time};
+use mpiq::dessim::{FaultConfig, FaultSchedule, Time};
 use mpiq::mpi::script::mark_log;
 use mpiq::mpi::{AppProgram, Cluster, ClusterConfig, Script};
 use mpiq::nic::firmware::check_invariants;
@@ -204,6 +204,83 @@ fn inactive_faults_are_zero_cost() {
         );
         // And no reliability-layer traffic exists to account for.
         assert_eq!(armed.stats().sum_prefix("nic0.link."), 0);
+    }
+}
+
+/// Component-level fault schedule (flap storm + node crash + ALPU
+/// death) on the sharded engine: the statistics dump and final time must
+/// be byte-identical at 1, 2, 4, and 8 worker threads. All fault
+/// decisions are pure functions of `(schedule, time)` evaluated locally
+/// per component, so no fault information ever crosses a shard boundary
+/// — that is the property this pins.
+#[test]
+fn scheduled_faults_deterministic_across_thread_counts() {
+    // Pinned-source-only workload (no wildcards, no barriers): every
+    // operation doomed by the crash fails typed, so survivors always
+    // finish and the run quiesces at every thread count.
+    fn chaos_workload() -> Vec<Box<dyn AppProgram>> {
+        let mut programs = Vec::new();
+        for me in 0..RANKS {
+            let mut b = Script::builder();
+            for phase in 0..3u16 {
+                let mut pending = Vec::new();
+                for peer in (0..RANKS).filter(|&p| p != me) {
+                    for i in 0..4u16 {
+                        let tag = 1000 * (phase + 1) + 10 * peer as u16 + i;
+                        pending.push(b.irecv(Some(peer as u16), Some(tag), 512));
+                        let tag = 1000 * (phase + 1) + 10 * me as u16 + i;
+                        pending.push(b.isend(peer, tag, 512));
+                    }
+                    pending.push(b.irecv(Some(peer as u16), Some(99 + phase), 8192));
+                    pending.push(b.isend(peer, 99 + phase, 8192));
+                }
+                b.wait_all(pending);
+                b.sleep(Time::from_us(120));
+            }
+            b.mark(me);
+            programs.push(boxed(b.build(mark_log())));
+        }
+        programs
+    }
+    fn chaos_schedule() -> FaultSchedule {
+        let mut sched = FaultSchedule::generate(
+            9,
+            RANKS,
+            Time::from_us(150),
+            Time::from_us(50),
+            Time::from_ms(2),
+        );
+        for ev in "crash@300us:node=3;alpu@80us:nic=1"
+            .parse::<FaultSchedule>()
+            .expect("spec grammar")
+            .events()
+        {
+            sched.push(ev.0, ev.1.clone());
+        }
+        sched
+    }
+    let run = |threads: usize| {
+        let cfg = ClusterConfig::builder(NicConfig::with_alpus(128))
+            .fault_schedule(chaos_schedule())
+            .parallelism(threads)
+            .build();
+        let mut c = Cluster::new(cfg, chaos_workload());
+        c.run_watched(Time::from_ms(100))
+            .unwrap_or_else(|d| panic!("{threads} threads: stalled: {d}"));
+        (c.now(), c.stats().to_json())
+    };
+    let (t1, json1) = run(1);
+    assert!(
+        json1.contains("fault."),
+        "the chaos schedule never produced a component fault"
+    );
+    for threads in [2, 4, 8] {
+        let (t, json) = run(threads);
+        assert_eq!(t1, t, "final time diverged at {threads} threads");
+        assert_eq!(
+            json1, json,
+            "statistics diverged between 1 and {threads} threads"
+        );
     }
 }
 

@@ -116,7 +116,7 @@ proptest! {
                 .map(|&(_, st)| st);
             prop_assert_eq!(
                 got,
-                Some(MpiStatus { source: m.src as u16, tag: m.tag, len: m.len, cancelled: false, overflow: false }),
+                Some(MpiStatus { source: m.src as u16, tag: m.tag, len: m.len, cancelled: false, overflow: false, error: None }),
                 "message {:?} misdelivered", m
             );
         }
