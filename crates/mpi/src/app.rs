@@ -109,6 +109,25 @@ impl Mpi<'_, '_> {
         self.irecv_ctx(src, crate::types::CTX_WORLD, tag, len)
     }
 
+    /// Offer a whole collective to the NIC (`MPI_Ibarrier` /
+    /// `MPI_Ibcast` / `MPI_Iallreduce` with NIC offload). The NIC either
+    /// runs the shared step plan itself and answers with one completion
+    /// at the end, or declines immediately (`cancelled == true` status)
+    /// — the caller must then replay the identical plan host-side (see
+    /// [`crate::script`]'s `Op::Coll` fallback).
+    pub fn icoll(&mut self, op: mpiq_nic::CollOp, root: u32, len: u32, instance: u16) -> Request {
+        let req = self.alloc_req();
+        self.dispatch(HostRequest::Collective {
+            req: req.0,
+            op,
+            root,
+            len,
+            instance,
+            n: self.st.size,
+        });
+        req
+    }
+
     /// `MPI_Iprobe`: asynchronously ask whether a matching message is
     /// waiting on the unexpected queue. The returned request completes
     /// with `cancelled == false` and the message's envelope if one is

@@ -21,7 +21,10 @@ use crate::host::Host;
 use mpiq_dessim::prelude::*;
 use mpiq_dessim::watchdog::{Diagnosis, StallKind};
 use mpiq_dessim::{FaultConfig, FaultSchedule, Metrics, ShardId, ShardedSim, Stats, WindowPolicy};
-use mpiq_net::{Fabric, FabricPort, NetConfig, PORT_FP_INJECT, PORT_FROM_NIC};
+use mpiq_net::{
+    Fabric, FabricPort, NetConfig, Switch, TopoPlan, Topology, PORT_FP_INJECT, PORT_FP_WIRE,
+    PORT_FROM_NIC, PORT_SW_IN,
+};
 use mpiq_nic::{host_comp_port, Nic, NicConfig, PORT_HOST_REQ, PORT_NET_RX, PORT_NET_TX};
 use std::sync::Arc;
 
@@ -71,6 +74,12 @@ pub struct ClusterConfig {
     /// single flag check. Set via
     /// [`ClusterConfigBuilder::fault_schedule`].
     pub fault_schedule: Option<Arc<FaultSchedule>>,
+    /// Fabric shape. [`Topology::Hub`] (the default) is the historical
+    /// single crossbar. Any switched topology (fat tree, dragonfly,
+    /// torus) always runs on the sharded engine — one shard per edge
+    /// switch, trunks the only cross-shard edges — with
+    /// `max(1, parallelism)` worker threads.
+    pub topology: Topology,
 }
 
 impl ClusterConfig {
@@ -86,6 +95,7 @@ impl ClusterConfig {
             parallelism: 0,
             window_policy: WindowPolicy::default(),
             fault_schedule: None,
+            topology: Topology::Hub,
         }
     }
 
@@ -200,6 +210,15 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Select the fabric shape. The default [`Topology::Hub`] keeps the
+    /// historical crossbar; a switched topology routes every frame
+    /// through [`Switch`] components (per-hop serialization, output
+    /// queueing, link contention) and always runs on the sharded engine.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
     /// Arm the component-level fault timeline: scheduled node crashes,
     /// link flaps, network partitions, and ALPU deaths. An empty
     /// schedule is the same as never calling this. A non-empty schedule
@@ -249,7 +268,9 @@ impl Cluster {
         assert!(n > 0, "cluster needs at least one rank");
         let k = cfg.nic.ranks_per_node.max(1);
         let nodes = n.div_ceil(k);
-        if cfg.parallelism == 0 {
+        if let Some(plan) = cfg.topology.plan(nodes) {
+            Cluster::new_sharded_topo(cfg, programs, n, k, nodes, plan)
+        } else if cfg.parallelism == 0 {
             Cluster::new_single(cfg, programs, n, k, nodes)
         } else {
             Cluster::new_sharded(cfg, programs, n, k, nodes)
@@ -404,6 +425,135 @@ impl Cluster {
         }
     }
 
+    /// The switched-fabric engine: [`Switch`] components routed by a
+    /// [`TopoPlan`], one shard per *edge switch* (its attached nodes —
+    /// `FabricPort`, NIC, hosts — live with it; core switches are
+    /// round-robined). Ports run in uplink mode, so wiring is
+    /// O(nodes + trunks) instead of the all-to-all O(nodes²):
+    ///
+    /// * node uplink → edge switch [`PORT_SW_IN`], at wire latency;
+    /// * trunk `i` of each switch → neighbor's [`PORT_SW_IN`], at wire
+    ///   latency (each direction its own link) — the only cross-shard
+    ///   edges, feeding the window planner's per-edge lookahead;
+    /// * switch node port → node's [`PORT_FP_WIRE`], at wire latency
+    ///   (the receiving port charges downlink serialization).
+    ///
+    /// Scheduled (src, dst) link faults keep hub semantics: the *source*
+    /// port refuses the frame, blackholing the pair end-to-end no matter
+    /// how many switches sit between.
+    fn new_sharded_topo(
+        cfg: ClusterConfig,
+        programs: Vec<Box<dyn AppProgram>>,
+        n: u32,
+        k: u32,
+        nodes: u32,
+        plan: TopoPlan,
+    ) -> Cluster {
+        let plan = Arc::new(plan);
+        let mut sim = ShardedSim::new(cfg.seed, plan.shards as usize);
+        sim.set_threads(cfg.parallelism.max(1));
+        sim.set_window_policy(cfg.window_policy);
+        if cfg.trace_capacity > 0 {
+            sim.enable_tracing(cfg.trace_capacity);
+        }
+        if cfg.metrics {
+            sim.enable_metrics();
+        }
+        let sw: Vec<ComponentId> = (0..plan.switches())
+            .map(|s| {
+                sim.add_component(
+                    ShardId(plan.shard_of_switch[s]),
+                    &format!("sw{s}"),
+                    Switch::new(s, plan.clone(), cfg.net),
+                )
+            })
+            .collect();
+        let mut programs = programs.into_iter();
+        let mut nics = Vec::new();
+        let mut hosts = Vec::new();
+        let mut ports = Vec::new();
+        for node in 0..nodes {
+            let edge = plan.attach[node as usize];
+            let shard = ShardId(plan.shard_of_switch[edge]);
+            let nic = sim.add_component(
+                shard,
+                &format!("nic{node}"),
+                Nic::new(node, cfg.nic).with_schedule(cfg.fault_schedule.clone()),
+            );
+            let port = sim.add_component(
+                shard,
+                &format!("net{node}"),
+                FabricPort::with_faults(cfg.net, nodes, node, nic, PORT_NET_RX, cfg.nic.faults)
+                    .with_schedule(cfg.fault_schedule.clone())
+                    .with_uplink(),
+            );
+            sim.connect(nic, PORT_NET_TX, port, PORT_FP_INJECT, Time::ZERO);
+            sim.connect(
+                port,
+                FabricPort::uplink_port(),
+                sw[edge],
+                PORT_SW_IN,
+                cfg.net.wire_latency,
+            );
+            ports.push(port);
+            for local in 0..k {
+                let rank = node * k + local;
+                if rank >= n {
+                    break;
+                }
+                let program = programs.next().expect("one program per rank");
+                let mut host =
+                    Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
+                if let Some(t) = cfg
+                    .fault_schedule
+                    .as_ref()
+                    .and_then(|s| s.crash_time(node))
+                {
+                    host = host.with_crash_at(t);
+                }
+                let host = sim.add_component(shard, &format!("host{rank}"), host);
+                sim.connect(
+                    nic,
+                    host_comp_port(rank % k),
+                    host,
+                    PORT_COMPLETION,
+                    cfg.nic.bus_latency,
+                );
+                nics.push(nic);
+                hosts.push(host);
+            }
+        }
+        for (a, ns) in plan.neighbors.iter().enumerate() {
+            for (i, &b) in ns.iter().enumerate() {
+                sim.connect(
+                    sw[a],
+                    Switch::trunk_port(&plan, a, i),
+                    sw[b],
+                    PORT_SW_IN,
+                    cfg.net.wire_latency,
+                );
+            }
+        }
+        for (s, att) in plan.attached.iter().enumerate() {
+            for (j, &v) in att.iter().enumerate() {
+                sim.connect(
+                    sw[s],
+                    Switch::node_port(&plan, s, j),
+                    ports[v as usize],
+                    PORT_FP_WIRE,
+                    cfg.net.wire_latency,
+                );
+            }
+        }
+        Cluster {
+            engine: Engine::Sharded(sim),
+            nics,
+            hosts,
+            nodes,
+            schedule: cfg.fault_schedule,
+        }
+    }
+
     /// Is this cluster on the sharded (partitioned-executor) engine?
     pub fn is_sharded(&self) -> bool {
         matches!(self.engine, Engine::Sharded(_))
@@ -511,6 +661,17 @@ impl Cluster {
             Engine::Sharded(sim) => sim.diagnose(kind),
         };
         Err(Box::new(diagnosis))
+    }
+
+    /// Inspect a rank's host, after (or between) runs — e.g.
+    /// [`Host::completions`], the host-round-trip count NIC collective
+    /// offload exists to shrink.
+    pub fn host(&self, rank: u32) -> &Host {
+        let id = self.hosts[rank as usize];
+        match &self.engine {
+            Engine::Single(sim) => sim.component(id).expect("host downcast"),
+            Engine::Sharded(sim) => sim.component(id).expect("host downcast"),
+        }
     }
 
     /// Inspect the NIC serving a rank, after (or between) runs.

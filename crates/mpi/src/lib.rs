@@ -27,5 +27,6 @@ pub mod types;
 
 pub use app::{AppProgram, Mpi, Request};
 pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, FlowControl};
+pub use host::Host;
 pub use script::{MarkLog, Op, Script, SharedLog, StatusLog};
 pub use types::{Datatype, MpiError, MpiStatus, ANY_SOURCE, ANY_TAG, CTX_INTERNAL, CTX_WORLD};

@@ -150,12 +150,51 @@ pub enum Op {
         /// Identifier written alongside.
         id: u32,
     },
+    /// A blocking collective, offered to the NIC first
+    /// ([`Mpi::icoll`]). If the NIC declines (`cancelled` status), the
+    /// script replays the *identical* shared step plan
+    /// ([`mpiq_nic::coll::steps`]) through ordinary sends and receives —
+    /// so offloading and fallback ranks produce the same wire pattern
+    /// and interoperate within one collective.
+    Coll {
+        /// Which collective.
+        op: mpiq_nic::CollOp,
+        /// Root rank (bcast; ignored for barrier/allreduce).
+        root: u32,
+        /// Payload bytes per message.
+        len: u32,
+        /// Record the final status into the status log under this id.
+        sid: Option<u32>,
+    },
 }
 
 #[derive(Debug)]
 struct BarrierRound {
     send: Request,
     recv: Request,
+}
+
+/// In-flight state of one [`Op::Coll`].
+#[derive(Debug)]
+enum CollRun {
+    /// Offered to the NIC; waiting on its single end-of-plan completion.
+    Offload {
+        /// The offload request.
+        req: Request,
+        /// Instance slot, reused verbatim by the fallback plan.
+        instance: u16,
+    },
+    /// NIC declined: the host replays the shared plan, one step at a
+    /// time (each step is a blocking send or receive, exactly what the
+    /// dependency-ordered plan requires).
+    Host {
+        steps: Vec<mpiq_nic::CollStep>,
+        idx: usize,
+        pending: Option<Request>,
+        /// First dead peer seen mid-plan (typed `RankFailed` statuses on
+        /// individual steps); carried into the final synthetic status.
+        failed: Option<u16>,
+    },
 }
 
 /// The interpreter state for one rank's script.
@@ -166,6 +205,11 @@ pub struct Script {
     barrier_instance: u16,
     barrier_round: u32,
     barrier_pending: Option<BarrierRound>,
+    /// Instance-slot counter for [`Op::Coll`] (wraps within the tag
+    /// partition; scripts run collectives sequentially, so slots can't
+    /// collide in flight).
+    coll_instance: u16,
+    coll: Option<CollRun>,
     sleep_until: Option<Time>,
     marks: MarkLog,
     statuses: StatusLog,
@@ -181,6 +225,8 @@ impl Script {
             barrier_instance: 0,
             barrier_round: 0,
             barrier_pending: None,
+            coll_instance: 0,
+            coll: None,
             sleep_until: None,
             marks,
             statuses: SharedLog::new(),
@@ -235,6 +281,102 @@ impl Script {
                 self.barrier_round += 1;
             } else {
                 return false;
+            }
+        }
+    }
+
+    /// Drive one [`Op::Coll`]: offer-to-NIC, then (on decline) the
+    /// host-side replay of the identical plan. Returns the final
+    /// synthetic status when the collective is done, `None` while it is
+    /// still in flight.
+    fn poll_coll(
+        &mut self,
+        mpi: &mut Mpi<'_, '_>,
+        op: mpiq_nic::CollOp,
+        root: u32,
+        len: u32,
+    ) -> Option<crate::types::MpiStatus> {
+        loop {
+            match self.coll.take() {
+                None => {
+                    let instance = self.coll_instance % mpiq_nic::coll::INSTANCES;
+                    self.coll_instance = self.coll_instance.wrapping_add(1);
+                    let req = mpi.icoll(op, root, len, instance);
+                    self.coll = Some(CollRun::Offload { req, instance });
+                }
+                Some(CollRun::Offload { req, instance }) => {
+                    let Some(st) = mpi.status(req) else {
+                        self.coll = Some(CollRun::Offload { req, instance });
+                        return None;
+                    };
+                    if st.cancelled {
+                        // Declined: replay the identical shared plan.
+                        self.coll = Some(CollRun::Host {
+                            steps: mpiq_nic::coll::steps(
+                                op,
+                                mpi.rank(),
+                                mpi.size(),
+                                root,
+                                len,
+                                instance,
+                            ),
+                            idx: 0,
+                            pending: None,
+                            failed: None,
+                        });
+                    } else {
+                        return Some(st);
+                    }
+                }
+                Some(CollRun::Host {
+                    steps,
+                    mut idx,
+                    mut pending,
+                    mut failed,
+                }) => {
+                    loop {
+                        if let Some(r) = pending {
+                            let Some(st) = mpi.status(r) else {
+                                self.coll = Some(CollRun::Host {
+                                    steps,
+                                    idx,
+                                    pending,
+                                    failed,
+                                });
+                                return None;
+                            };
+                            if let Some(crate::types::MpiError::RankFailed { rank }) = st.error {
+                                failed.get_or_insert(rank);
+                            }
+                            idx += 1;
+                        }
+                        let Some(step) = steps.get(idx) else {
+                            // Plan done: one synthetic status, shaped
+                            // exactly like the NIC's end-of-plan
+                            // completion.
+                            return Some(crate::types::MpiStatus {
+                                source: failed.unwrap_or(mpi.rank() as u16),
+                                tag: 0,
+                                len: 0,
+                                cancelled: false,
+                                overflow: false,
+                                error: failed
+                                    .map(|rank| crate::types::MpiError::RankFailed { rank }),
+                            });
+                        };
+                        pending = Some(match step.dir {
+                            mpiq_nic::Dir::Send => {
+                                mpi.isend_ctx(step.peer, CTX_INTERNAL, step.tag, step.len)
+                            }
+                            mpiq_nic::Dir::Recv => mpi.irecv_ctx(
+                                Some(step.peer as u16),
+                                CTX_INTERNAL,
+                                Some(step.tag),
+                                step.len,
+                            ),
+                        });
+                    }
+                }
             }
         }
     }
@@ -303,6 +445,17 @@ impl AppProgram for Script {
                         self.pc += 1;
                     } else {
                         return;
+                    }
+                }
+                Op::Coll { op, root, len, sid } => {
+                    match self.poll_coll(mpi, op, root, len) {
+                        Some(st) => {
+                            if let Some(id) = sid {
+                                self.statuses.borrow_mut().push((id, st));
+                            }
+                            self.pc += 1;
+                        }
+                        None => return,
                     }
                 }
                 Op::Mark { id } => {
@@ -451,6 +604,35 @@ impl ScriptBuilder {
     pub fn status(&mut self, slot: usize, id: u32) -> &mut Self {
         self.ops.push(Op::Status { slot, id });
         self
+    }
+
+    /// A NIC-offloadable collective with host fallback ([`Op::Coll`]).
+    /// `sid` records the final status into the status log.
+    pub fn coll(
+        &mut self,
+        op: mpiq_nic::CollOp,
+        root: u32,
+        len: u32,
+        sid: Option<u32>,
+    ) -> &mut Self {
+        self.ops.push(Op::Coll { op, root, len, sid });
+        self
+    }
+
+    /// `MPI_Barrier` via the NIC-offload path (host fallback on decline).
+    pub fn coll_barrier(&mut self) -> &mut Self {
+        self.coll(mpiq_nic::CollOp::Barrier, 0, 0, None)
+    }
+
+    /// `MPI_Bcast` via the NIC-offload path (host fallback on decline).
+    pub fn coll_bcast(&mut self, root: u32, len: u32) -> &mut Self {
+        self.coll(mpiq_nic::CollOp::Bcast, root, len, None)
+    }
+
+    /// `MPI_Allreduce` via the NIC-offload path (host fallback on
+    /// decline).
+    pub fn coll_allreduce(&mut self, len: u32) -> &mut Self {
+        self.coll(mpiq_nic::CollOp::Allreduce, 0, len, None)
     }
 
     /// Finish, attaching the mark log.

@@ -449,6 +449,41 @@ mod tests {
         assert_eq!(sim.stats().get("net.faults.corrupted"), 1);
     }
 
+    /// `latency_between` is symmetric for every profile — both directions
+    /// of a `ShortPair` answer the short latency, and every other pair
+    /// (including pairs sharing one endpoint with the short pair) answers
+    /// `wire_latency` in both directions. The switched topologies reuse
+    /// `wire_latency` per hop, so this is the invariant that keeps
+    /// multi-hop paths symmetric too.
+    #[test]
+    fn latency_between_is_symmetric_for_all_profiles() {
+        let uniform = NetConfig::default();
+        let short = NetConfig {
+            profile: WireProfile::ShortPair {
+                a: 1,
+                b: 3,
+                short: Time::from_ns(10),
+            },
+            ..NetConfig::default()
+        };
+        for cfg in [uniform, short] {
+            for s in 0..5u32 {
+                for d in 0..5u32 {
+                    assert_eq!(
+                        cfg.latency_between(s, d),
+                        cfg.latency_between(d, s),
+                        "asymmetric wire {s}<->{d}"
+                    );
+                }
+            }
+        }
+        assert_eq!(short.latency_between(3, 1), Time::from_ns(10));
+        assert_eq!(short.latency_between(1, 3), Time::from_ns(10));
+        // Sharing an endpoint with the short pair does not shorten a wire.
+        assert_eq!(short.latency_between(1, 2), short.wire_latency);
+        assert_eq!(short.latency_between(2, 1), short.wire_latency);
+    }
+
     #[test]
     fn empty_fault_config_changes_nothing() {
         let (mut sim, fab, logs) = build_faulty(2, FaultConfig::none());

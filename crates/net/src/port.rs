@@ -59,9 +59,19 @@ fn port_fault_site(node: NodeId) -> u64 {
 /// * Arrivals are handed to the local NIC by direct send to the
 ///   component id and input port given at construction, so `mpiq-net`
 ///   needs no dependency on the NIC crate.
+///
+/// In **uplink mode** ([`FabricPort::with_uplink`], used by the switched
+/// topologies) the per-destination out ports collapse into the single
+/// [`uplink_port`](FabricPort::uplink_port), which the builder wires to
+/// the node's edge switch; routing to the destination happens in the
+/// switch graph. Source-side fault semantics (the scheduled (src, dst)
+/// edge check and the wire-fault rolls) are unchanged, so a downed edge
+/// blackholes the pair end-to-end regardless of the path between them.
 pub struct FabricPort {
     cfg: NetConfig,
     nodes: u32,
+    /// Emit everything on the single uplink port instead of per-dst ports.
+    uplink: bool,
     /// The local NIC and its receive port, for delivery after
     /// serialization.
     nic: ComponentId,
@@ -98,6 +108,7 @@ impl FabricPort {
         FabricPort {
             cfg,
             nodes,
+            uplink: false,
             nic,
             nic_rx,
             busy_until: Time::ZERO,
@@ -116,9 +127,21 @@ impl FabricPort {
         self
     }
 
+    /// Switch to uplink mode: every surviving frame leaves on
+    /// [`uplink_port`](FabricPort::uplink_port) toward the edge switch.
+    pub fn with_uplink(mut self) -> FabricPort {
+        self.uplink = true;
+        self
+    }
+
     /// Output port carrying frames to node `dst`'s [`PORT_FP_WIRE`].
     pub fn out_port(dst: NodeId) -> OutPort {
         OutPort(dst as u16)
+    }
+
+    /// The single out port used in uplink mode.
+    pub fn uplink_port() -> OutPort {
+        OutPort(0)
     }
 
     /// Serialization time for `bytes` on this link, rounded up to the
@@ -176,8 +199,12 @@ impl FabricPort {
     fn put_on_wire(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         ctx.stats().incr("net.messages");
         ctx.stats().add("net.bytes", msg.wire_bytes());
-        let dst = msg.header.dst_node;
-        ctx.emit(Self::out_port(dst), Payload::new(msg));
+        let port = if self.uplink {
+            Self::uplink_port()
+        } else {
+            Self::out_port(msg.header.dst_node)
+        };
+        ctx.emit(port, Payload::new(msg));
     }
 
     /// Receiver side: occupy the ingress link, then hand the frame to

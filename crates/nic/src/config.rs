@@ -129,6 +129,13 @@ pub struct NicConfig {
     /// its FIFO within the firmware's spin budget is declared wedged and
     /// quarantined.
     pub alpu_probe_fifo: u32,
+    /// Accept [`crate::HostRequest::Collective`] offloads: the firmware
+    /// runs barrier/bcast/allreduce step plans NIC-side, combining and
+    /// forwarding without host round-trips. Off by default — the host
+    /// then runs every collective through its own send/recv trees. Even
+    /// when on, individual collectives are declined (and fall back to the
+    /// host) per the rules on [`crate::HostRequest::Collective`].
+    pub coll_offload: bool,
 }
 
 impl NicConfig {
@@ -154,6 +161,7 @@ impl NicConfig {
             eager_buffer_bytes: 0,
             eager_credits: 0,
             alpu_probe_fifo: 0,
+            coll_offload: false,
         }
     }
 

@@ -439,6 +439,19 @@ pub struct FwStats {
     /// Late rendezvous control frames from an already-declared-dead peer,
     /// dropped because their parked state was failed at detection time.
     pub stale_rndv_dropped: u64,
+    /// Collectives accepted for NIC-side offload.
+    pub coll_offloaded: u64,
+    /// Collective offloads declined back to the host (`cancelled`
+    /// completion; the host replays the identical step plan itself).
+    pub coll_declined: u64,
+    /// Collective step frames injected by the NIC engine.
+    pub coll_steps_sent: u64,
+    /// Collective step frames harvested from the unexpected queue by the
+    /// NIC engine.
+    pub coll_steps_recv: u64,
+    /// Offloaded collectives finished with a typed `rank_failed`
+    /// completion because a step peer died mid-plan.
+    pub coll_rank_failed: u64,
 }
 
 /// Match-path latency histograms, one per entry source (§VI's latency
@@ -460,6 +473,24 @@ pub struct FwHists {
     pub unexpected_alpu_hit: Histogram,
     /// Unexpected-queue linear software searches.
     pub unexpected_linear: Histogram,
+}
+
+/// One NIC-resident collective in flight: the shared step plan
+/// ([`crate::coll::steps`]) plus a cursor. Steps run strictly in plan
+/// order; a `Recv` step that no arrived frame satisfies parks the
+/// instance until a collective frame arrives or the step's peer is
+/// declared dead.
+struct CollInstance {
+    /// The host request answered by the single end-of-plan completion.
+    req: ReqId,
+    /// The shared step plan, identical to the host fallback's.
+    steps: Vec<crate::coll::CollStep>,
+    /// Next step to run.
+    idx: usize,
+    /// First dead peer encountered mid-plan: steps naming a dead peer
+    /// are skipped and the end completion is typed `rank_failed` with
+    /// this rank as its source.
+    failed: Option<u16>,
 }
 
 /// The firmware: all NIC-resident MPI state plus the hardware ports.
@@ -522,6 +553,8 @@ pub struct Firmware {
     /// parked on them was failed when the peer entered the set. A
     /// `BTreeSet` so any iteration is deterministic.
     dead_peers: BTreeSet<NodeId>,
+    /// NIC-resident collectives in flight (offloaded step plans).
+    coll: Vec<CollInstance>,
     /// Scheduled permanent ALPU death: both units are quarantined with
     /// the cooldown pinned to `Time::MAX`, so the re-engage check in
     /// `do_update` never fires and matching stays in software forever.
@@ -597,6 +630,7 @@ impl Firmware {
             unexpected_quarantined_until: None,
             posted_orphans: 0,
             dead_peers: BTreeSet::new(),
+            coll: Vec::new(),
             alpus_dead: false,
             stats: FwStats::default(),
             hists: FwHists::default(),
@@ -847,7 +881,18 @@ impl Firmware {
     pub fn process(&mut self, item: WorkItem, now: Time, core: &mut Core) -> (Time, Effects) {
         let mut fx = Effects::default();
         let end = match item {
-            WorkItem::Rx { msg, probed } => self.do_rx(msg, probed, now, core, &mut fx),
+            WorkItem::Rx { msg, probed } => {
+                // A collective frame (internal context, partition-bit
+                // tag) that lands in the unexpected queue may be exactly
+                // what a parked NIC-resident collective is waiting on.
+                let coll_frame = msg.header.context == crate::coll::COLL_CTX
+                    && msg.header.tag & 0x8000 != 0;
+                let mut end = self.do_rx(msg, probed, now, core, &mut fx);
+                if coll_frame && !self.coll.is_empty() {
+                    end = self.coll_poll(end, core, &mut fx);
+                }
+                end
+            }
             WorkItem::Host(req) => self.do_host(req, now, core, &mut fx),
             WorkItem::AlpuUpdate => self.do_update(now, core, &mut fx),
         };
@@ -1516,6 +1561,226 @@ impl Firmware {
                 tag,
                 len,
             } => self.do_post_recv(req, src, context, tag, len, t, core, fx),
+            HostRequest::Collective {
+                req,
+                op,
+                root,
+                len,
+                instance,
+                n,
+            } => self.do_collective(req, op, root, len, instance, n, t, core, fx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NIC-offloaded collectives
+    // ------------------------------------------------------------------
+
+    /// Accept (or decline) a whole-collective offload. A declined
+    /// request answers immediately with `cancelled = true` and the host
+    /// replays the identical step plan itself — so the wire pattern is
+    /// the same either way and mixed offload/fallback ranks interoperate.
+    ///
+    /// Decline conditions: offload not configured, multi-process nodes
+    /// (the engine matches on the bare context), payloads past the eager
+    /// threshold (rendezvous steps would need host buffers), overload
+    /// protection armed (credits and staging accounting belong to the
+    /// host path), or degraded/dead ALPUs (quarantine recovery already
+    /// owns the unexpected queue).
+    #[allow(clippy::too_many_arguments)]
+    fn do_collective(
+        &mut self,
+        req: ReqId,
+        op: crate::coll::CollOp,
+        root: u32,
+        len: u32,
+        instance: u16,
+        n: u32,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let t = now + core.run(&TraceBuilder::new().int(12).build(), now).elapsed;
+        let decline = !self.cfg.coll_offload
+            || self.cfg.ranks_per_node > 1
+            || len > self.cfg.eager_threshold
+            || self.cfg.overload_active()
+            || self.posted_quarantined()
+            || self.unexpected_quarantined()
+            || self.alpus_dead;
+        if decline {
+            self.stats.coll_declined += 1;
+            fx.completions.push((
+                t + self.cfg.completion_cost,
+                Completion {
+                    req,
+                    source: req.rank as u16,
+                    tag: 0,
+                    len: 0,
+                    cancelled: true,
+                    overflow: false,
+                    rank_failed: false,
+                },
+            ));
+            return t;
+        }
+        self.stats.coll_offloaded += 1;
+        self.coll.push(CollInstance {
+            req,
+            steps: crate::coll::steps(op, req.rank, n, root, len, instance),
+            idx: 0,
+            failed: None,
+        });
+        self.coll_poll(t, core, fx)
+    }
+
+    /// Are any offloaded collectives in flight? (diagnostics/tests)
+    pub fn coll_pending(&self) -> bool {
+        !self.coll.is_empty()
+    }
+
+    /// Drive every NIC-resident collective as far as its plan allows,
+    /// emitting the single end-of-plan completion for each instance that
+    /// finishes. Called when an instance is created, when a collective
+    /// frame arrives, and when a peer is declared dead.
+    fn coll_poll(&mut self, now: Time, core: &mut Core, fx: &mut Effects) -> Time {
+        let mut t = now;
+        let mut i = 0;
+        while i < self.coll.len() {
+            t = self.coll_advance(i, t, core, fx);
+            if self.coll[i].idx >= self.coll[i].steps.len() {
+                let inst = self.coll.swap_remove(i);
+                if inst.failed.is_some() {
+                    self.stats.coll_rank_failed += 1;
+                }
+                fx.completions.push((
+                    t + self.cfg.completion_cost,
+                    Completion {
+                        req: inst.req,
+                        source: inst.failed.unwrap_or(inst.req.rank as u16),
+                        tag: 0,
+                        len: 0,
+                        cancelled: false,
+                        overflow: false,
+                        rank_failed: inst.failed.is_some(),
+                    },
+                ));
+                // `swap_remove` moved the former tail into slot `i`:
+                // re-examine it before moving on.
+            } else {
+                i += 1;
+            }
+        }
+        t
+    }
+
+    /// Run instance `i`'s steps in plan order until one parks (a `Recv`
+    /// whose frame has not arrived) or the plan ends. `Send` steps inject
+    /// the frame straight from NIC memory — no host DMA, no per-step
+    /// completion: that is the offload. `Recv` steps harvest from the
+    /// unexpected queue through [`Self::match_unexpected`] (keeping the
+    /// unexpected ALPU's shadow in sync); harvest is tried *before* the
+    /// dead-peer check so a frame sent before its sender died is still
+    /// consumed, exactly as `do_post_recv` orders it.
+    fn coll_advance(&mut self, i: usize, mut t: Time, core: &mut Core, fx: &mut Effects) -> Time {
+        loop {
+            let (req, step) = {
+                let inst = &self.coll[i];
+                match inst.steps.get(inst.idx) {
+                    Some(s) => (inst.req, *s),
+                    None => return t,
+                }
+            };
+            let peer = self.node_of(step.peer);
+            match step.dir {
+                crate::coll::Dir::Send => {
+                    if peer != self.node && self.dead_peers.contains(&peer) {
+                        let inst = &mut self.coll[i];
+                        inst.failed.get_or_insert(step.peer as u16);
+                        inst.idx += 1;
+                        continue;
+                    }
+                    let msg = self.make_msg(
+                        step.peer,
+                        req.rank,
+                        crate::coll::COLL_CTX,
+                        step.tag,
+                        step.len,
+                        MsgKind::Eager,
+                    );
+                    let at = self.inject(msg.wire_bytes(), t);
+                    fx.tx.push((at, msg));
+                    self.stats.coll_steps_sent += 1;
+                    t += core.run(&TraceBuilder::new().int(6).bus_write().build(), t).elapsed;
+                    self.coll[i].idx += 1;
+                }
+                crate::coll::Dir::Recv => {
+                    let probe = Probe::recv(
+                        self.eff_ctx(crate::coll::COLL_CTX, req.rank),
+                        Some(step.peer as u16),
+                        Some(step.tag),
+                    );
+                    let (t2, matched) = self.match_unexpected(probe, t, core);
+                    t = t2;
+                    match matched {
+                        Some(key) => {
+                            let item = self.unexpected.remove_key(key);
+                            self.ev(
+                                t,
+                                TraceEvent::QueueOp {
+                                    queue: QueueKind::Unexpected,
+                                    op: QueueOpKind::Remove,
+                                    depth: self.unexpected.len() as u32,
+                                },
+                            );
+                            let h = item.val.header;
+                            t += core
+                                .run(
+                                    &TraceBuilder::new()
+                                        .load(item.addr)
+                                        .int(10)
+                                        .store(item.addr)
+                                        .build(),
+                                    t,
+                                )
+                                .elapsed;
+                            // The payload is combined in NIC memory — no
+                            // host DMA — but the staged bytes and the
+                            // sender's credit are released exactly as a
+                            // host receive would release them. (Offload
+                            // is declined while overload protection is
+                            // armed, so these branches are dormant; they
+                            // keep the accounting honest regardless.)
+                            if h.payload_len > 0
+                                && !item.val.truncated
+                                && self.cfg.eager_buffer_bytes > 0
+                            {
+                                self.eager_bytes_used = self
+                                    .eager_bytes_used
+                                    .saturating_sub(h.payload_len as u64);
+                            }
+                            if self.cfg.eager_credits > 0
+                                && h.payload_len > 0
+                                && h.src_node != self.node
+                            {
+                                self.grant_credit(h.src_node);
+                            }
+                            self.stats.coll_steps_recv += 1;
+                            self.coll[i].idx += 1;
+                        }
+                        None => {
+                            if peer != self.node && self.dead_peers.contains(&peer) {
+                                let inst = &mut self.coll[i];
+                                inst.failed.get_or_insert(step.peer as u16);
+                                inst.idx += 1;
+                                continue;
+                            }
+                            // Park: the frame is still in flight.
+                            return t;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -1652,19 +1917,21 @@ impl Firmware {
         t
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn do_post_recv(
+    /// Probe the unexpected queue for `probe` — hardware first when the
+    /// unexpected ALPU is engaged, software walk otherwise (or after a
+    /// miss/fallback) — charging the full §IV-D retrieval and search
+    /// costs. Returns the finish time and the matched key, if any. This
+    /// is the matching core both `do_post_recv` and the collective
+    /// engine's harvest path go through: routing *every* consumer here
+    /// keeps the ALPU's hardware shadow in sync with the software queue
+    /// (a hardware match deletes its cell, so the software removal must
+    /// always be paired with the probe that triggered it).
+    fn match_unexpected(
         &mut self,
-        req: ReqId,
-        src: Option<u16>,
-        context: u16,
-        tag: Option<u16>,
-        len: u32,
+        probe: Probe,
         now: Time,
         core: &mut Core,
-        fx: &mut Effects,
-    ) -> Time {
-        let probe = Probe::recv(self.eff_ctx(context, req.rank), src, tag);
+    ) -> (Time, Option<Key>) {
         let mut t = now;
         let mut matched: Option<Key> = None;
         let mut software_from = 0usize;
@@ -1781,6 +2048,23 @@ impl Firmware {
             );
             matched = hit.map(|(_, key)| key);
         }
+        (t, matched)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_post_recv(
+        &mut self,
+        req: ReqId,
+        src: Option<u16>,
+        context: u16,
+        tag: Option<u16>,
+        len: u32,
+        now: Time,
+        core: &mut Core,
+        fx: &mut Effects,
+    ) -> Time {
+        let probe = Probe::recv(self.eff_ctx(context, req.rank), src, tag);
+        let (mut t, matched) = self.match_unexpected(probe, now, core);
 
         match matched {
             Some(key) => {
@@ -2127,9 +2411,12 @@ impl Firmware {
     /// failure still match a message sent before it — and wildcard
     /// receives, which any live rank can still satisfy.
     ///
-    /// The walk costs no simulated firmware time: it models the
-    /// asynchronous cleanup a real NIC would run off the critical path.
-    pub fn fail_peer(&mut self, peer: NodeId, now: Time, fx: &mut Effects) {
+    /// The cleanup walk costs no simulated firmware time: it models the
+    /// asynchronous work a real NIC would run off the critical path.
+    /// NIC-resident collectives parked on the dead peer are the
+    /// exception: skipping their dead steps un-parks the rest of the
+    /// plan, and those live steps charge normal engine time on `core`.
+    pub fn fail_peer(&mut self, peer: NodeId, now: Time, core: &mut Core, fx: &mut Effects) {
         if peer == self.node || !self.dead_peers.insert(peer) {
             return;
         }
@@ -2261,6 +2548,14 @@ impl Firmware {
             ));
         }
         self.rndv_inflight.remove(&peer);
+
+        // Offloaded collectives parked on (or about to step toward) the
+        // dead peer: skip the doomed steps and drive the rest of each
+        // plan, so the surviving tree keeps making progress and every
+        // instance still ends in exactly one (typed) completion.
+        if !self.coll.is_empty() {
+            self.coll_poll(now, core, fx);
+        }
     }
 
     /// Scheduled permanent ALPU death: quarantine both units (RESET-pin

@@ -68,6 +68,27 @@ pub enum HostRequest {
         /// Receive buffer length.
         len: u32,
     },
+    /// Offload a whole collective to the NIC firmware: the firmware runs
+    /// the shared step plan ([`crate::coll::steps`]) without host
+    /// round-trips and answers with a single completion at the end. If
+    /// the NIC cannot (or will not) offload — ALPU quarantined or dead,
+    /// multi-process node, payload past the eager threshold, overload
+    /// protection armed — it answers immediately with `cancelled = true`
+    /// and the host runs the identical plan itself.
+    Collective {
+        /// Request id for the single end-of-collective completion.
+        req: ReqId,
+        /// Which collective.
+        op: crate::coll::CollOp,
+        /// Root rank (bcast; ignored for barrier/allreduce).
+        root: u32,
+        /// Payload length per message.
+        len: u32,
+        /// Collective instance slot (tag-space partition).
+        instance: u16,
+        /// Communicator size.
+        n: u32,
+    },
 }
 
 impl HostRequest {
@@ -76,7 +97,8 @@ impl HostRequest {
         match *self {
             HostRequest::PostSend { req, .. }
             | HostRequest::PostRecv { req, .. }
-            | HostRequest::Probe { req, .. } => req,
+            | HostRequest::Probe { req, .. }
+            | HostRequest::Collective { req, .. } => req,
             HostRequest::CancelRecv { target } => target,
         }
     }

@@ -21,6 +21,7 @@
 //! work items on the processor and lets DMA engines and the ALPUs run
 //! concurrently.
 
+pub mod coll;
 pub mod config;
 pub mod dma;
 pub mod firmware;
@@ -30,6 +31,7 @@ pub mod nic;
 pub mod queues;
 pub mod reliability;
 
+pub use coll::{ctag, CollOp, CollStep, Dir};
 pub use config::{AlpuSetup, NicConfig, SwMatch};
 pub use firmware::FwStats;
 pub use host_iface::{Completion, HostRequest, ReqId};

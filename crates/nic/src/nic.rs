@@ -327,11 +327,19 @@ impl Nic {
         }
         self.fw.set_telemetry(ctx.trace_enabled());
         let mut fx = Effects::default();
-        self.fw.fail_peer(peer, now, &mut fx);
+        self.fw.fail_peer(peer, now, &mut self.core, &mut fx);
         for (at, what) in self.fw.take_events() {
             ctx.trace_at(at, what);
         }
-        debug_assert!(fx.tx.is_empty(), "failing a peer sends nothing");
+        // Failing a peer sends nothing *except* collective step frames
+        // un-parked by skipping the dead peer's steps.
+        for (at, msg) in fx.tx {
+            let msg = match self.link.as_mut() {
+                Some(link) => link.transmit(msg, at),
+                None => msg,
+            };
+            ctx.emit_after(PORT_NET_TX, Payload::new(msg), at.saturating_sub(now));
+        }
         for (at, comp) in fx.completions {
             let pid = comp.req.rank % self.ranks_per_node;
             ctx.trace_at(
@@ -414,6 +422,17 @@ impl Nic {
                 &format!("{p}.fault.stale_rndv_dropped"),
                 fw.stale_rndv_dropped,
             );
+        }
+        // Collective-offload counters: keyed only once the engine has
+        // seen a request (every Collective request increments exactly one
+        // of offloaded/declined), so non-collective stat dumps stay
+        // byte-identical.
+        if fw.coll_offloaded + fw.coll_declined > 0 {
+            s.set(&format!("{p}.coll.offloaded"), fw.coll_offloaded);
+            s.set(&format!("{p}.coll.declined"), fw.coll_declined);
+            s.set(&format!("{p}.coll.steps_sent"), fw.coll_steps_sent);
+            s.set(&format!("{p}.coll.steps_recv"), fw.coll_steps_recv);
+            s.set(&format!("{p}.coll.rank_failed"), fw.coll_rank_failed);
         }
         // Flow-control / overload counters: keyed out entirely unless a
         // bound (or the leak fault) is configured, so pre-existing stat
