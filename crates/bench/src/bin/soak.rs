@@ -36,7 +36,8 @@ struct Row {
 const HEADER: &str = "scenario,seed,senders,msgs,runtime_ns,events,delivered,\
                       unexpected_hw,eager_bytes_hw,admission_refused,credit_stalls,\
                       truncated_admits,retransmits,grants_issued,ranks_crashed,\
-                      peers_failed,ops_rank_failed,links_dead";
+                      peers_failed,ops_rank_failed,links_dead,nodes_restarted,\
+                      peers_revived,epoch_fences,recovery_ns";
 
 impl CsvRow for Row {
     fn csv(&self) -> String {
@@ -61,6 +62,10 @@ impl CsvRow for Row {
                 self.out.peers_failed,
                 self.out.ops_rank_failed,
                 self.out.links_dead,
+                self.out.nodes_restarted,
+                self.out.peers_revived,
+                self.out.epoch_fences,
+                self.out.recovery_ns,
             ])
         )
     }
@@ -87,6 +92,10 @@ impl JsonRow for Row {
             ("peers_failed", self.out.peers_failed.to_string()),
             ("ops_rank_failed", self.out.ops_rank_failed.to_string()),
             ("links_dead", self.out.links_dead.to_string()),
+            ("nodes_restarted", self.out.nodes_restarted.to_string()),
+            ("peers_revived", self.out.peers_revived.to_string()),
+            ("epoch_fences", self.out.epoch_fences.to_string()),
+            ("recovery_ns", self.out.recovery_ns.to_string()),
         ]
     }
 }
@@ -127,7 +136,86 @@ const FLAGS: &[Flag] = &[
         value: None,
         help: "sweep the chaos MTBF and plot availability/goodput",
     },
+    Flag {
+        name: "recovery-curve",
+        value: None,
+        help: "sweep the crashed node's MTTR and plot availability and \
+               crash-to-recovered time",
+    },
+    Flag {
+        name: "node-mttr-us",
+        value: Some("T"),
+        help: "chaos: restart the crashed node T microseconds after its \
+               crash and run the recovery handshake (0 = crash-stop forever, \
+               the default; must be >= 400 so the storm horizon is over)",
+    },
+    Flag {
+        name: "check",
+        value: Some("PATH"),
+        help: "baseline JSON from a previous --out; fail when any run's \
+               recovery_ns/runtime_ns drifts past --tolerance",
+    },
+    Flag {
+        name: "tolerance",
+        value: Some("PCT"),
+        help: "allowed drift in percent for --check (default 10)",
+    },
 ];
+
+/// Compare current rows against a tracked baseline (a previous `--out`
+/// dump). Simulated time is deterministic, so `runtime_ns` — and
+/// `recovery_ns` where restarts ran — drifting past the band in either
+/// direction is a failure. Baseline rows without a matching
+/// (scenario, seed) run are skipped; matching nothing is an error.
+fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Vec<String>, String> {
+    use mpiq_bench::jsonlint::{self, Json};
+    let doc = jsonlint::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let base_rows = doc.as_array().ok_or("baseline is not a JSON array of rows")?;
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for r in rows {
+        let Some(base) = base_rows.iter().find(|b| {
+            b.get("scenario").and_then(Json::as_str) == Some(r.scenario)
+                && b.get("seed").and_then(Json::as_u64) == Some(r.seed)
+                && b.get("senders").and_then(Json::as_u64) == Some(r.cfg.senders as u64)
+        }) else {
+            continue;
+        };
+        matched += 1;
+        for (field, current) in [
+            ("runtime_ns", r.out.runtime.ns()),
+            ("recovery_ns", r.out.recovery_ns),
+        ] {
+            let Some(base_v) = base.get(field).and_then(Json::as_u64) else {
+                continue;
+            };
+            if base_v == 0 && current == 0 {
+                continue;
+            }
+            if base_v == 0 {
+                failures.push(format!(
+                    "{} seed {}: {field} went {current} vs baseline 0",
+                    r.scenario, r.seed
+                ));
+                continue;
+            }
+            let drift = (current as f64 / base_v as f64 - 1.0) * 100.0;
+            if drift.abs() > tolerance_pct {
+                failures.push(format!(
+                    "{} seed {}: {field} {current} drifts {drift:+.1}% from baseline \
+                     {base_v} (tolerance ±{tolerance_pct}%)",
+                    r.scenario, r.seed
+                ));
+            }
+        }
+    }
+    if matched == 0 {
+        return Err("no baseline row matches any current run — \
+                    regenerate the baseline with --out"
+            .to_string());
+    }
+    Ok(failures)
+}
 
 fn main() {
     let cli = Cli::parse("soak", "overload soak scenarios under the deadlock watchdog", FLAGS);
@@ -149,6 +237,7 @@ fn main() {
     let deadline_ms: u64 = cli.get("deadline-ms", 500);
     let mtbf_us: u64 = cli.get("mtbf-us", 150);
     let mttr_us: u64 = cli.get("mttr-us", 50);
+    let node_mttr_us: u64 = cli.get("node-mttr-us", 0);
     let check_determinism = cli.has("check-determinism");
     let parallelism = cli.common.threads;
 
@@ -158,6 +247,10 @@ fn main() {
     }
     if cli.has("chaos-curve") {
         chaos_curve(senders, msgs, size, alpu, parallelism, mttr_us);
+        return;
+    }
+    if cli.has("recovery-curve") {
+        recovery_curve(senders, msgs, size, parallelism);
         return;
     }
 
@@ -177,6 +270,9 @@ fn main() {
             cfg.parallelism = parallelism;
             cfg.mtbf = Time::from_us(mtbf_us);
             cfg.mttr = Time::from_us(mttr_us);
+            if node_mttr_us > 0 && scenario == Scenario::Chaos {
+                cfg.node_mttr = Some(Time::from_us(node_mttr_us));
+            }
             let out = match run_soak(&cfg) {
                 Ok(out) => out,
                 Err(diag) => {
@@ -205,6 +301,26 @@ fn main() {
     write_csv(std::io::stdout().lock(), HEADER, &rows).expect("stdout");
     if let Some(path) = &cli.common.out {
         write_json(std::path::Path::new(path), &rows).expect("json out");
+    }
+    if let Some(path) = cli.get_str("check") {
+        let tolerance: f64 = cli.get("tolerance", 10.0);
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        match check_baseline(&baseline, &rows, tolerance) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!("soak: all runs within ±{tolerance}% of {path}");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("soak DRIFT: {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("soak: baseline check failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     eprintln!(
         "soak: {} run(s) complete; all queues drained, all bounds held{}",
@@ -286,6 +402,78 @@ fn incast_curve(
         err,
         "incast degrades by protocol: load sheds into admission refusals and \
          retransmits while the unexpected queue stays at its bound"
+    );
+}
+
+/// Sweep the crashed node's MTTR with restarts armed: how long the node
+/// stays down governs both how many operations fail typed while it is
+/// gone (availability) and the crash-to-recovered span. Four seeded
+/// storms per point; `recovery_us` reports the p50 and max across the
+/// seeds — time-to-recovery is dominated by the scheduled MTTR plus the
+/// keepalive declaration and the retry backoff ladder, so the spread is
+/// the storm's contribution.
+fn recovery_curve(senders: u32, msgs: u32, size: u32, parallelism: usize) {
+    let mttrs_us = [400u64, 600, 800, 1200, 1600, 2400];
+    const CURVE_SEEDS: [u64; 4] = [1, 2, 3, 5];
+    let mut availability = Vec::new();
+    let mut recovery = Vec::new();
+    println!("node_mttr_us,availability,recovery_us_p50,recovery_us_max,ops_rank_failed,epoch_fences");
+    for &mttr in &mttrs_us {
+        let mut avail_sum = 0.0f64;
+        let (mut failed, mut fences) = (0u64, 0u64);
+        let mut spans_us: Vec<f64> = Vec::new();
+        for &seed in &CURVE_SEEDS {
+            let mut cfg = SoakConfig::new(Scenario::Chaos, seed);
+            cfg.senders = senders;
+            cfg.msgs = msgs;
+            cfg.msg_size = size;
+            cfg.parallelism = parallelism;
+            cfg.deadline = Time::from_ms(2_000);
+            cfg.node_mttr = Some(Time::from_us(mttr));
+            let out = run_soak(&cfg)
+                .unwrap_or_else(|d| panic!("recovery mttr={mttr}us seed={seed} stalled:\n{d}"));
+            avail_sum += out.availability(cfg.planned_ops());
+            spans_us.push(out.recovery_ns as f64 / 1e3);
+            failed += out.ops_rank_failed;
+            fences += out.epoch_fences;
+        }
+        spans_us.sort_by(|a, b| a.total_cmp(b));
+        let p50 = spans_us[spans_us.len() / 2];
+        let max = spans_us[spans_us.len() - 1];
+        let avail = avail_sum / CURVE_SEEDS.len() as f64;
+        println!("{mttr},{avail:.4},{p50:.1},{max:.1},{failed},{fences}");
+        availability.push((mttr as f64, avail));
+        recovery.push((mttr as f64, p50));
+    }
+    // Normalise the recovery span so both series share the [0, 1] axis.
+    let rmax = recovery.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
+    let recovery_rel: Vec<(f64, f64)> = recovery.iter().map(|&(m, r)| (m, r / rmax)).collect();
+    let plot = render(
+        &[
+            Series {
+                label: "availability (fraction of ops ok)".into(),
+                glyph: 'a',
+                points: availability,
+            },
+            Series {
+                label: format!("crash-to-recovered p50 (fraction of {rmax:.0} us)"),
+                glyph: 'r',
+                points: recovery_rel,
+            },
+        ],
+        72,
+        20,
+        "node MTTR (us)",
+        "",
+    );
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{plot}");
+    let _ = writeln!(
+        err,
+        "recovery time tracks the MTTR almost linearly (the detector and the \
+         retry ladder add a near-constant tail); availability falls as the \
+         node stays down longer, because the survivors' reconnect retries \
+         keep paying typed failures until the rebirth"
     );
 }
 

@@ -114,6 +114,15 @@ pub struct SoakConfig {
     /// independently of `mtbf` so the availability curve has the classic
     /// `mtbf / (mtbf + mttr)` shape.
     pub mttr: Time,
+    /// Chaos only: restart the crashed node this long after its crash
+    /// (`None` = crash-stop forever, the pre-recovery behavior). The
+    /// reborn rank boots a staged recovery program and every survivor
+    /// reconnects to it through the retry-with-backoff verbs, so the run
+    /// additionally measures crash-to-recovered time. Must exceed the
+    /// NIC keepalive so the death is *declared* before the rebirth —
+    /// pinned round receives fail typed instead of parking on a peer
+    /// that silently returned.
+    pub node_mttr: Option<Time>,
 }
 
 impl SoakConfig {
@@ -138,6 +147,7 @@ impl SoakConfig {
             window_policy: WindowPolicy::default(),
             mtbf: Time::from_us(150),
             mttr: Time::from_us(50),
+            node_mttr: None,
         }
     }
 }
@@ -170,10 +180,23 @@ pub struct SoakOutcome {
     pub ranks_crashed: u64,
     /// Peer-death declarations across all NICs (keepalive or dead link).
     pub peers_failed: u64,
-    /// Operations completed with a typed `RankFailed` error.
+    /// Operations completed with a typed `RankFailed` error. With
+    /// restarts enabled this includes the survivors' failed retry
+    /// *attempts* against the still-down node — the price of
+    /// reconnecting is on the books, not hidden.
     pub ops_rank_failed: u64,
     /// Links declared dead by retry-budget exhaustion.
     pub links_dead: u64,
+    /// Nodes that came back under a new incarnation (restart mode).
+    pub nodes_restarted: u64,
+    /// Per-NIC revivals of a previously-dead peer, summed.
+    pub peers_revived: u64,
+    /// Stale pre-crash link state fenced on an incarnation change.
+    pub epoch_fences: u64,
+    /// Crash-to-recovered span: from the scheduled crash instant to the
+    /// fully drained cluster — every survivor reconnected to the reborn
+    /// rank and the recovery handshake completed. Zero without restarts.
+    pub recovery_ns: u64,
     /// Full statistics dump (bit-identical across same-seed runs).
     pub stats_json: String,
 }
@@ -322,19 +345,23 @@ fn credit_starve_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
 /// are sized so traffic spans it too.
 const CHAOS_HORIZON: Time = Time::from_us(600);
 
+/// When the chaos scenario's scheduled node crash lands.
+const CHAOS_CRASH_AT: Time = Time::from_us(250);
+
 /// The chaos scenario's deterministic fault timeline: a seeded flap
 /// storm at the configured MTBF, the last node crash-stopped mid-run,
 /// and — when the ALPU variant is on — a permanent ALPU death on node 1.
-/// Pure function of the config, so `run_soak` and its caller agree on
-/// who crashed.
+/// With `node_mttr` set, the crashed node restarts that long after the
+/// crash (under a new incarnation epoch). Pure function of the config,
+/// so `run_soak` and its caller agree on who crashed.
 pub fn chaos_schedule(cfg: &SoakConfig) -> FaultSchedule {
     let ranks = cfg.senders + 1;
     let mut sched =
         FaultSchedule::generate(cfg.seed ^ 0xC4A05, ranks, cfg.mtbf, cfg.mttr, CHAOS_HORIZON);
-    sched.push(
-        Time::from_us(250),
-        FaultEvent::NodeCrash { host: ranks - 1 },
-    );
+    sched.push(CHAOS_CRASH_AT, FaultEvent::NodeCrash { host: ranks - 1 });
+    if let Some(mttr) = cfg.node_mttr {
+        sched.push(CHAOS_CRASH_AT + mttr, FaultEvent::NodeRestart { host: ranks - 1 });
+    }
     if cfg.alpu {
         sched.push(Time::from_us(80), FaultEvent::AlpuDeath { nic: 1 });
     }
@@ -362,9 +389,42 @@ fn chaos_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
             b.wait_all(pending);
             b.sleep(gap);
         }
+        if cfg.node_mttr.is_some() && me != ranks - 1 {
+            // Recovery epilogue: reconnect to the reborn rank through the
+            // retry verbs. Backoff absorbs all timing uncertainty — an
+            // attempt against the still-down node fails typed and backs
+            // off; once the node is back the exchange just completes.
+            let dead = ranks - 1;
+            b.retry_recv(dead as u16, 999, cfg.msg_size, 20, Time::from_us(25), None);
+            b.retry_send(dead, 998, cfg.msg_size, 20, Time::from_us(25), None);
+        }
         programs.push(boxed(b.build(mark_log())));
     }
     programs
+}
+
+/// The crashed rank's staged recovery program (restart mode): greet
+/// every survivor, then collect each survivor's reconnect message. No
+/// pre-crash state survives the reboot — this is a fresh script matched
+/// against the survivors' retry epilogue.
+fn chaos_recovery_programs(cfg: &SoakConfig) -> Vec<Option<Box<dyn AppProgram>>> {
+    let ranks = cfg.senders + 1;
+    (0..ranks)
+        .map(|me| {
+            if cfg.scenario != Scenario::Chaos || cfg.node_mttr.is_none() || me != ranks - 1 {
+                return None;
+            }
+            let mut b = Script::builder();
+            for peer in 0..ranks - 1 {
+                b.isend(peer, 999, cfg.msg_size);
+            }
+            for peer in 0..ranks - 1 {
+                let r = b.irecv(Some(peer as u16), Some(998), cfg.msg_size);
+                b.wait(r);
+            }
+            Some(boxed(b.build(mark_log())))
+        })
+        .collect()
 }
 
 fn build_programs(cfg: &SoakConfig) -> Vec<Box<dyn AppProgram>> {
@@ -396,6 +456,17 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
     if let Some(f) = cfg.faults {
         builder = builder.faults(f);
     }
+    if let Some(mttr) = cfg.node_mttr {
+        assert_eq!(cfg.scenario, Scenario::Chaos, "node restarts are a chaos knob");
+        // The reborn node must come back only after the ring rounds are
+        // over (and well past the keepalive declaration), or a pinned
+        // round receive could park forever on a peer that silently
+        // returned with no program left to send that round.
+        assert!(
+            mttr >= Time::from_us(400),
+            "node_mttr must leave the storm horizon behind before the restart"
+        );
+    }
     let crashed: Vec<u32> = if cfg.scenario == Scenario::Chaos {
         let sched = chaos_schedule(cfg);
         let crashed = sched.crashed_nodes();
@@ -404,7 +475,8 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
     } else {
         Vec::new()
     };
-    let mut cluster = Cluster::new(builder.build(), build_programs(cfg));
+    let mut cluster =
+        Cluster::with_recovery(builder.build(), build_programs(cfg), chaos_recovery_programs(cfg));
     let events = cluster.run_watched(cfg.deadline)?;
 
     // Oracle: every queue drained, invariants hold on every NIC. Crashed
@@ -438,10 +510,18 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
         truncated_admits: 0,
         retransmits: 0,
         grants_issued: 0,
-        ranks_crashed: crashed.len() as u64,
+        ranks_crashed: 0,
         peers_failed: 0,
         ops_rank_failed: 0,
         links_dead: 0,
+        nodes_restarted: 0,
+        peers_revived: 0,
+        epoch_fences: 0,
+        recovery_ns: if cfg.node_mttr.is_some() {
+            (cluster.now() - CHAOS_CRASH_AT).ns()
+        } else {
+            0
+        },
         stats_json: stats.to_json(),
     };
     for node in 0..ranks {
@@ -457,6 +537,23 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, Box<Diagnosis>> {
         out.peers_failed += get("fault.peers_failed");
         out.ops_rank_failed += get("fault.ops_rank_failed");
         out.links_dead += get("link.links_dead");
+        out.ranks_crashed += get("fault.crashed");
+        // A NIC's incarnation counts its completed restarts.
+        out.nodes_restarted += get("fault.incarnation");
+        out.peers_revived += get("fault.peers_revived");
+        out.epoch_fences += get("fault.epoch_fences");
+    }
+    if cfg.node_mttr.is_some() {
+        // Restart-mode oracle: the crash landed, the node came back, and
+        // every survivor both revived it and fenced its stale epoch.
+        assert_eq!(out.nodes_restarted, 1, "the scheduled restart never landed");
+        assert!(
+            out.peers_revived >= cfg.senders as u64,
+            "only {} of {} survivors revived the reborn peer",
+            out.peers_revived,
+            cfg.senders
+        );
+        assert!(out.epoch_fences >= 1, "nobody fenced the old incarnation");
     }
     if cfg.max_unexpected > 0 {
         assert!(
@@ -523,6 +620,40 @@ mod tests {
             (0.0..1.0).contains(&avail),
             "one crashed rank must cost some availability: {avail}"
         );
+    }
+
+    #[test]
+    fn chaos_with_restarts_recovers_and_reconnects() {
+        let mut cfg = SoakConfig::new(Scenario::Chaos, 5);
+        cfg.senders = 7;
+        cfg.node_mttr = Some(Time::from_us(600));
+        let out = run_soak(&cfg).expect("chaos-with-restarts must drain, never hang");
+        assert_eq!(out.ranks_crashed, 1, "the scheduled crash must land");
+        assert_eq!(out.nodes_restarted, 1, "the scheduled restart must land");
+        assert!(
+            out.peers_revived >= cfg.senders as u64,
+            "every survivor must revive the reborn peer: {out:?}"
+        );
+        assert!(out.epoch_fences >= 1, "the old incarnation was never fenced");
+        assert!(
+            out.recovery_ns > 0,
+            "crash-to-recovered span must be measured: {out:?}"
+        );
+        // Recovery is not free: the crash still doomed mid-ring ops and
+        // the reconnect retries paid typed failures while the node was
+        // down — but the run *drained*, which a crash-stop alone cannot
+        // claim for the reconnect handshake.
+        assert!(out.ops_rank_failed > 0, "{out:?}");
+    }
+
+    #[test]
+    fn chaos_with_restarts_same_seed_is_bit_identical() {
+        let mut cfg = SoakConfig::new(Scenario::Chaos, 9);
+        cfg.senders = 7;
+        cfg.node_mttr = Some(Time::from_us(600));
+        let a = run_soak(&cfg).expect("run a");
+        let b = run_soak(&cfg).expect("run b");
+        assert_eq!(a.stats_json, b.stats_json, "same-seed recovery chaos diverged");
     }
 
     #[test]

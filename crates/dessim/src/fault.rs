@@ -232,6 +232,11 @@ pub enum FaultEvent {
     /// The node's offload unit dies permanently: firmware is pinned in the
     /// software-fallback path and never re-engages the unit.
     AlpuDeath { nic: u32 },
+    /// A previously crashed host (and its NIC) comes back up with *all*
+    /// volatile state wiped — queues, ALPU contents, link windows — under
+    /// a new incarnation epoch. Its links carry frames again from this
+    /// instant; peers fence any state keyed to the old incarnation.
+    NodeRestart { host: u32 },
 }
 
 impl fmt::Display for FaultEvent {
@@ -251,6 +256,7 @@ impl fmt::Display for FaultEvent {
                 write!(f, "partition {} until {heal_at}", gs.join("|"))
             }
             FaultEvent::AlpuDeath { nic } => write!(f, "alpu death on nic {nic}"),
+            FaultEvent::NodeRestart { host } => write!(f, "restart node {host}"),
         }
     }
 }
@@ -266,12 +272,17 @@ impl fmt::Display for FaultEvent {
 ///
 /// ```text
 /// crash@500us:node=3
+/// crash@500us:node=3,mttr=300us     (sugar: crash + restart@800us)
+/// restart@800us:node=3
 /// flap@1ms:edge=0-2,down=200us
 /// partition@2ms:groups=0.1|2.3,heal=3ms
 /// alpu@1ms:nic=1
 /// ```
 ///
-/// Times are `N` with a `ps`/`ns`/`us`/`ms` suffix.
+/// Times are `N` with a `ps`/`ns`/`us`/`ms` suffix. [`fmt::Display`]
+/// renders the canonical spec (the `mttr=` sugar desugars into an
+/// explicit `restart@`), so `format(parse(s))` parses back to the same
+/// schedule for every event kind.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultSchedule {
     /// `(at, event)`, kept sorted by `at` (ties in insertion order).
@@ -332,12 +343,57 @@ impl FaultSchedule {
         }
     }
 
+    /// Generate a reproducible crash/restart storm: crash arrivals spaced
+    /// uniformly in `[mtbf/2, 3·mtbf/2)` across random nodes, each outage
+    /// lasting `[mttr/2, 3·mttr/2)` before the node restarts under a new
+    /// incarnation — `NodeCrash` with an MTTR, exactly as
+    /// [`FaultSchedule::generate`] gives `LinkFlap` one. A node is never
+    /// re-crashed while still down, and a crash whose restart would land
+    /// past `horizon` is emitted without one (it stays down).
+    pub fn generate_crashes(
+        seed: u64,
+        nodes: u32,
+        mtbf: Time,
+        mttr: Time,
+        horizon: Time,
+    ) -> FaultSchedule {
+        assert!(nodes >= 2, "a crash needs surviving peers, so at least two nodes");
+        assert!(mtbf > Time::ZERO, "mtbf must be positive");
+        assert!(mttr > Time::ZERO, "mttr must be positive");
+        let mut rng = SimRng::new(seed ^ 0x94d0_49bb_1331_11eb);
+        let mut sched = FaultSchedule::new();
+        let mut down_until = vec![Time::ZERO; nodes as usize];
+        let mut at = Time::ZERO;
+        loop {
+            let gap = mtbf.ps() / 2 + rng.gen_range(mtbf.ps().max(1));
+            at += Time::from_ps(gap);
+            if at >= horizon {
+                return sched;
+            }
+            // Draw the victim *before* filtering so the stream of draws —
+            // and thus the storm — does not depend on outage overlap.
+            let host = rng.gen_range(nodes as u64) as u32;
+            let down = mttr.ps() / 2 + rng.gen_range(mttr.ps().max(1));
+            if at < down_until[host as usize] {
+                continue; // still rebooting from its previous crash
+            }
+            sched.push(at, FaultEvent::NodeCrash { host });
+            let up = at + Time::from_ps(down);
+            if up < horizon {
+                sched.push(up, FaultEvent::NodeRestart { host });
+                down_until[host as usize] = up;
+            } else {
+                down_until[host as usize] = Time::MAX;
+            }
+        }
+    }
+
     /// Is anything scheduled at all?
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// When (if ever) does `node` crash-stop? Earliest crash wins.
+    /// When (if ever) does `node` first crash-stop? Earliest crash wins.
     pub fn crash_time(&self, node: u32) -> Option<Time> {
         self.events
             .iter()
@@ -345,8 +401,83 @@ impl FaultSchedule {
             .map(|&(t, _)| t)
     }
 
-    /// Every node with a scheduled crash, deduplicated, ascending.
+    /// Every crash instant of `node`, ascending.
+    pub fn crash_times(&self, node: u32) -> Vec<Time> {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::NodeCrash { host } if *host == node))
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// Every restart instant of `node`, ascending.
+    pub fn restart_times(&self, node: u32) -> Vec<Time> {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::NodeRestart { host } if *host == node))
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// The earliest restart of `node` strictly after `at`, if any.
+    fn restart_after(&self, node: u32, at: Time) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|&&(t, ref e)| {
+                t > at && matches!(e, FaultEvent::NodeRestart { host } if *host == node)
+            })
+            .map(|&(t, _)| t)
+    }
+
+    /// Is `node` down — crashed and not (yet) restarted — at time `t`?
+    pub fn node_down(&self, node: u32, t: Time) -> bool {
+        self.events
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .filter_map(|(_, e)| match e {
+                FaultEvent::NodeCrash { host } if *host == node => Some(true),
+                FaultEvent::NodeRestart { host } if *host == node => Some(false),
+                _ => None,
+            })
+            .last()
+            .unwrap_or(false)
+    }
+
+    /// `node`'s incarnation epoch at time `t`: 0 from boot, bumped by
+    /// every completed restart. Pure function of `(schedule, time)`, so
+    /// every component — on any shard — agrees on the epoch without
+    /// exchanging fault information.
+    pub fn incarnation_at(&self, node: u32, t: Time) -> u32 {
+        self.events
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .filter(|(_, e)| matches!(e, FaultEvent::NodeRestart { host } if *host == node))
+            .count() as u32
+    }
+
+    /// Every node down at the *end* of the timeline (a crash with no
+    /// later restart), deduplicated, ascending. A node that crashed and
+    /// came back is not listed: it finishes the run alive.
     pub fn crashed_nodes(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|&(t, ref e)| match e {
+                FaultEvent::NodeCrash { host } if self.restart_after(*host, t).is_none() => {
+                    Some(*host)
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every node with at least one crash anywhere on the timeline —
+    /// including nodes that later restart — deduplicated, ascending.
+    /// Peers schedule one keepalive-detection wake per crash instant.
+    pub fn crashing_nodes(&self) -> Vec<u32> {
         let mut out: Vec<u32> = self
             .events
             .iter()
@@ -370,14 +501,20 @@ impl FaultSchedule {
 
     /// Is the undirected edge `a–b` refusing frames at time `t`? True
     /// during any covering flap outage, while a partition separates the
-    /// endpoints, or forever once either endpoint has crashed.
+    /// endpoints, or while either endpoint is crashed — until that
+    /// endpoint's next scheduled restart (forever, absent one).
     pub fn edge_down(&self, a: u32, b: u32, t: Time) -> bool {
         for &(at, ref ev) in &self.events {
             if at > t {
                 break;
             }
             match ev {
-                FaultEvent::NodeCrash { host } if *host == a || *host == b => return true,
+                FaultEvent::NodeCrash { host } if *host == a || *host == b => {
+                    match self.restart_after(*host, at) {
+                        Some(up) if t >= up => {} // already back: this crash is history
+                        _ => return true,
+                    }
+                }
                 FaultEvent::LinkFlap { a: fa, b: fb, down_for }
                     if ((*fa == a && *fb == b) || (*fa == b && *fb == a))
                         && t < at + *down_for =>
@@ -426,6 +563,61 @@ impl FaultSchedule {
         }
         groups.retain(|g| !g.is_empty());
         groups
+    }
+}
+
+/// Render a time as the spec grammar's `N<suffix>` literal, picking the
+/// coarsest suffix that loses nothing — the inverse of
+/// [`parse_schedule_time`].
+fn fmt_schedule_time(t: Time) -> String {
+    let ps = t.ps();
+    if ps == 0 {
+        "0ns".to_string()
+    } else if ps.is_multiple_of(1_000_000_000) {
+        format!("{}ms", ps / 1_000_000_000)
+    } else if ps.is_multiple_of(1_000_000) {
+        format!("{}us", ps / 1_000_000)
+    } else if ps.is_multiple_of(1_000) {
+        format!("{}ns", ps / 1_000)
+    } else {
+        format!("{ps}ps")
+    }
+}
+
+/// Render the canonical spec grammar: `;`-separated `kind@time:args`
+/// events in timeline order. Round-trips through [`FromStr`]: parsing the
+/// rendered text reproduces the schedule exactly.
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(at, ref ev) in &self.events {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            let at = fmt_schedule_time(at);
+            match ev {
+                FaultEvent::NodeCrash { host } => write!(f, "crash@{at}:node={host}")?,
+                FaultEvent::NodeRestart { host } => write!(f, "restart@{at}:node={host}")?,
+                FaultEvent::AlpuDeath { nic } => write!(f, "alpu@{at}:nic={nic}")?,
+                FaultEvent::LinkFlap { a, b, down_for } => {
+                    write!(f, "flap@{at}:edge={a}-{b},down={}", fmt_schedule_time(*down_for))?
+                }
+                FaultEvent::Partition { groups, heal_at } => {
+                    let gs: Vec<String> = groups
+                        .iter()
+                        .map(|g| g.iter().map(u32::to_string).collect::<Vec<_>>().join("."))
+                        .collect();
+                    write!(
+                        f,
+                        "partition@{at}:groups={},heal={}",
+                        gs.join("|"),
+                        fmt_schedule_time(*heal_at)
+                    )?
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -478,7 +670,18 @@ impl std::str::FromStr for FaultSchedule {
                 v.parse().map_err(|_| format!("bad node id `{v}`"))
             };
             let event = match kind {
-                "crash" => FaultEvent::NodeCrash { host: node(want("node")?)? },
+                "crash" => {
+                    let host = node(want("node")?)?;
+                    if let Some(mttr) = args.get("mttr") {
+                        // Sugar: a crash with a mean-time-to-repair is a
+                        // crash plus an explicit restart `mttr` later.
+                        sched.push(at + parse_schedule_time(mttr)?, FaultEvent::NodeRestart {
+                            host,
+                        });
+                    }
+                    FaultEvent::NodeCrash { host }
+                }
+                "restart" => FaultEvent::NodeRestart { host: node(want("node")?)? },
                 "alpu" => FaultEvent::AlpuDeath { nic: node(want("nic")?)? },
                 "flap" => {
                     let edge = want("edge")?;
@@ -503,7 +706,7 @@ impl std::str::FromStr for FaultSchedule {
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault event `{other}` (want crash|flap|partition|alpu)"
+                        "unknown fault event `{other}` (want crash|restart|flap|partition|alpu)"
                     ))
                 }
             };
@@ -682,6 +885,105 @@ mod tests {
             sched.groups_at(4, Time::from_us(11)),
             vec![vec![0, 1, 3], vec![2]],
         );
+    }
+
+    #[test]
+    fn restart_heals_crashed_edges_and_bumps_incarnation() {
+        let sched: FaultSchedule = "crash@10us:node=1; restart@60us:node=1".parse().unwrap();
+        assert!(!sched.edge_down(0, 1, Time::from_us(9)));
+        assert!(sched.edge_down(0, 1, Time::from_us(10)));
+        assert!(sched.edge_down(0, 1, Time::from_us(59)));
+        assert!(!sched.edge_down(0, 1, Time::from_us(60)), "restart must heal the edge");
+        assert!(!sched.edge_down(0, 1, Time::from_ms(500)));
+        assert!(sched.node_down(1, Time::from_us(30)));
+        assert!(!sched.node_down(1, Time::from_us(60)));
+        assert_eq!(sched.incarnation_at(1, Time::from_us(59)), 0);
+        assert_eq!(sched.incarnation_at(1, Time::from_us(60)), 1);
+        assert_eq!(sched.incarnation_at(0, Time::from_ms(1)), 0, "peers keep epoch 0");
+        // A restarted node is alive at the end: not a crashed node.
+        assert!(sched.crashed_nodes().is_empty());
+        assert_eq!(sched.crash_times(1), vec![Time::from_us(10)]);
+        assert_eq!(sched.restart_times(1), vec![Time::from_us(60)]);
+        // groups_at folds the node back into the connected component.
+        assert_eq!(sched.groups_at(3, Time::from_us(30)), vec![vec![0, 2], vec![1]]);
+        assert_eq!(sched.groups_at(3, Time::from_us(61)).len(), 1);
+    }
+
+    #[test]
+    fn crash_mttr_sugar_desugars_to_restart() {
+        let sugar: FaultSchedule = "crash@10us:node=1,mttr=50us".parse().unwrap();
+        let explicit: FaultSchedule = "crash@10us:node=1; restart@60us:node=1".parse().unwrap();
+        assert_eq!(sugar, explicit);
+    }
+
+    #[test]
+    fn second_incarnation_counts_repeat_crashes() {
+        let sched: FaultSchedule =
+            "crash@10us:node=2,mttr=20us; crash@50us:node=2,mttr=20us".parse().unwrap();
+        assert_eq!(sched.incarnation_at(2, Time::from_us(29)), 0);
+        assert_eq!(sched.incarnation_at(2, Time::from_us(30)), 1);
+        assert_eq!(sched.incarnation_at(2, Time::from_us(70)), 2);
+        assert!(sched.edge_down(0, 2, Time::from_us(55)));
+        assert!(!sched.edge_down(0, 2, Time::from_us(40)));
+        assert!(!sched.edge_down(0, 2, Time::from_us(70)));
+    }
+
+    #[test]
+    fn schedule_display_round_trips_every_event_kind() {
+        let spec = "crash@500us:node=3; flap@1ms:edge=0-2,down=200us; \
+                    partition@2ms:groups=0.1|2.3,heal=3ms; alpu@1ms:nic=1; \
+                    restart@4ms:node=3";
+        let sched: FaultSchedule = spec.parse().unwrap();
+        let rendered = sched.to_string();
+        let reparsed: FaultSchedule = rendered.parse().unwrap_or_else(|e| {
+            panic!("canonical render `{rendered}` failed to parse: {e}")
+        });
+        assert_eq!(sched, reparsed, "format→parse must be the identity");
+        // Sub-microsecond times survive too (suffix selection).
+        let odd: FaultSchedule = "flap@1500ns:edge=0-1,down=750ps".parse().unwrap();
+        assert_eq!(odd, odd.to_string().parse().unwrap());
+        // The mttr sugar renders as its desugared pair.
+        let sugar: FaultSchedule = "crash@10us:node=1,mttr=50us".parse().unwrap();
+        assert_eq!(sugar, sugar.to_string().parse().unwrap());
+    }
+
+    #[test]
+    fn generated_crash_storm_is_reproducible_and_paired() {
+        let mk = || {
+            FaultSchedule::generate_crashes(
+                7,
+                6,
+                Time::from_us(100),
+                Time::from_us(40),
+                Time::from_ms(1),
+            )
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        assert!(!a.is_empty());
+        let mut down: Vec<Option<Time>> = vec![None; 6];
+        for &(t, ref ev) in a.events() {
+            assert!(t < Time::from_ms(1));
+            match ev {
+                FaultEvent::NodeCrash { host } => {
+                    assert!(
+                        down[*host as usize].is_none(),
+                        "node {host} re-crashed while still down"
+                    );
+                    down[*host as usize] = Some(t);
+                }
+                FaultEvent::NodeRestart { host } => {
+                    let since = down[*host as usize].take().expect("restart without a crash");
+                    let outage = t - since;
+                    assert!(outage >= Time::from_us(20) && outage < Time::from_us(60));
+                }
+                other => panic!("crash storm emitted {other}"),
+            }
+        }
+        // Every node that restarted is alive at the end.
+        for host in a.crashed_nodes() {
+            assert!(down[host as usize].is_some());
+        }
     }
 
     #[test]

@@ -232,6 +232,11 @@ pub enum ComponentFaultKind {
     AlpuDead,
     /// The keepalive detector declared the peer's rank(s) failed.
     PeerDead,
+    /// The node restarted under a new incarnation epoch (wiped state).
+    NodeRestart,
+    /// A restarted peer's stale link state was fenced (reincarnation
+    /// guard) and, if it had been declared dead, revived.
+    PeerRestart,
 }
 
 impl ComponentFaultKind {
@@ -244,6 +249,8 @@ impl ComponentFaultKind {
             ComponentFaultKind::LinkDead => "link-dead",
             ComponentFaultKind::AlpuDead => "alpu-dead",
             ComponentFaultKind::PeerDead => "peer-dead",
+            ComponentFaultKind::NodeRestart => "node-restart",
+            ComponentFaultKind::PeerRestart => "peer-restart",
         }
     }
 }

@@ -219,6 +219,18 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Tune the NIC failure detector: how long a peer may stay silent
+    /// before keepalive probing starts (`keepalive`), and how many
+    /// unanswered retransmits declare it dead (`retry_budget`). The
+    /// defaults are aggressive so tests converge quickly; deployments
+    /// facing long-but-survivable link outages want a *lenient* detector
+    /// (longer keepalive, bigger budget) so a slow-but-alive peer is not
+    /// falsely declared dead — see `tests/recovery.rs`.
+    pub fn failure_detector(mut self, keepalive: Time, retry_budget: u32) -> Self {
+        self.cfg.nic = self.cfg.nic.with_failure_detector(keepalive, retry_budget);
+        self
+    }
+
     /// Arm the component-level fault timeline: scheduled node crashes,
     /// link flaps, network partitions, and ALPU deaths. An empty
     /// schedule is the same as never calling this. A non-empty schedule
@@ -264,22 +276,68 @@ impl Cluster {
     /// multi-process extension. `cfg.parallelism` selects the engine —
     /// see the module docs.
     pub fn new(cfg: ClusterConfig, programs: Vec<Box<dyn AppProgram>>) -> Cluster {
+        let recovery = programs.iter().map(|_| None).collect();
+        Cluster::with_recovery(cfg, programs, recovery)
+    }
+
+    /// Like [`Cluster::new`], but with a recovery program staged per
+    /// rank (`None` = nothing to run after a restart). When the fault
+    /// schedule restarts a rank's node, its host boots the staged
+    /// program from scratch — pre-crash program state is gone, matching
+    /// the crash-stop model. Ranks whose nodes never restart never
+    /// consume their entry.
+    pub fn with_recovery(
+        cfg: ClusterConfig,
+        programs: Vec<Box<dyn AppProgram>>,
+        recovery: Vec<Option<Box<dyn AppProgram>>>,
+    ) -> Cluster {
         let n = programs.len() as u32;
         assert!(n > 0, "cluster needs at least one rank");
+        assert_eq!(
+            programs.len(),
+            recovery.len(),
+            "one recovery slot (possibly None) per rank"
+        );
         let k = cfg.nic.ranks_per_node.max(1);
         let nodes = n.div_ceil(k);
         if let Some(plan) = cfg.topology.plan(nodes) {
-            Cluster::new_sharded_topo(cfg, programs, n, k, nodes, plan)
+            Cluster::new_sharded_topo(cfg, programs, recovery, n, k, nodes, plan)
         } else if cfg.parallelism == 0 {
-            Cluster::new_single(cfg, programs, n, k, nodes)
+            Cluster::new_single(cfg, programs, recovery, n, k, nodes)
         } else {
-            Cluster::new_sharded(cfg, programs, n, k, nodes)
+            Cluster::new_sharded(cfg, programs, recovery, n, k, nodes)
         }
+    }
+
+    /// Build one rank's host with its fault timeline applied: every
+    /// scheduled crash of its node, plus restarts (booting the staged
+    /// recovery program at the first one).
+    fn faulted_host(
+        cfg: &ClusterConfig,
+        rank: u32,
+        n: u32,
+        nic: ComponentId,
+        program: Box<dyn AppProgram>,
+        recovery: Option<Box<dyn AppProgram>>,
+        node: u32,
+    ) -> Host {
+        let mut host = Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
+        if let Some(s) = cfg.fault_schedule.as_ref() {
+            for t in s.crash_times(node) {
+                host = host.with_crash_at(t);
+            }
+            let restarts = s.restart_times(node);
+            if !restarts.is_empty() {
+                host = host.with_restarts(restarts, recovery);
+            }
+        }
+        host
     }
 
     fn new_single(
         cfg: ClusterConfig,
         programs: Vec<Box<dyn AppProgram>>,
+        recovery: Vec<Option<Box<dyn AppProgram>>>,
         n: u32,
         k: u32,
         nodes: u32,
@@ -308,19 +366,11 @@ impl Cluster {
         }
         let mut nics = Vec::new();
         let mut hosts = Vec::new();
-        for (rank, program) in programs.into_iter().enumerate() {
+        for (rank, (program, recovery)) in programs.into_iter().zip(recovery).enumerate() {
             let rank = rank as u32;
             let node = rank / k;
             let nic = node_nics[node as usize];
-            let mut host =
-                Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
-            if let Some(t) = cfg
-                .fault_schedule
-                .as_ref()
-                .and_then(|s| s.crash_time(node))
-            {
-                host = host.with_crash_at(t);
-            }
+            let host = Cluster::faulted_host(&cfg, rank, n, nic, program, recovery, node);
             let host = sim.add_component(&format!("host{rank}"), host);
             // Completion path: one bus transaction back to this process's
             // host, on its per-process port.
@@ -354,6 +404,7 @@ impl Cluster {
     fn new_sharded(
         cfg: ClusterConfig,
         programs: Vec<Box<dyn AppProgram>>,
+        recovery: Vec<Option<Box<dyn AppProgram>>>,
         n: u32,
         k: u32,
         nodes: u32,
@@ -367,7 +418,7 @@ impl Cluster {
         if cfg.metrics {
             sim.enable_metrics();
         }
-        let mut programs = programs.into_iter();
+        let mut programs = programs.into_iter().zip(recovery);
         let mut node_nics = Vec::new();
         let mut ports = Vec::new();
         let mut nics = Vec::new();
@@ -393,16 +444,8 @@ impl Cluster {
                 if rank >= n {
                     break;
                 }
-                let program = programs.next().expect("one program per rank");
-                let mut host =
-                    Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
-                if let Some(t) = cfg
-                    .fault_schedule
-                    .as_ref()
-                    .and_then(|s| s.crash_time(node))
-                {
-                    host = host.with_crash_at(t);
-                }
+                let (program, recovery) = programs.next().expect("one program per rank");
+                let host = Cluster::faulted_host(&cfg, rank, n, nic, program, recovery, node);
                 let host = sim.add_component(shard, &format!("host{rank}"), host);
                 sim.connect(
                     nic,
@@ -444,6 +487,7 @@ impl Cluster {
     fn new_sharded_topo(
         cfg: ClusterConfig,
         programs: Vec<Box<dyn AppProgram>>,
+        recovery: Vec<Option<Box<dyn AppProgram>>>,
         n: u32,
         k: u32,
         nodes: u32,
@@ -468,7 +512,7 @@ impl Cluster {
                 )
             })
             .collect();
-        let mut programs = programs.into_iter();
+        let mut programs = programs.into_iter().zip(recovery);
         let mut nics = Vec::new();
         let mut hosts = Vec::new();
         let mut ports = Vec::new();
@@ -501,16 +545,8 @@ impl Cluster {
                 if rank >= n {
                     break;
                 }
-                let program = programs.next().expect("one program per rank");
-                let mut host =
-                    Host::new(rank, n, nic, cfg.host_dispatch, cfg.nic.bus_latency, program);
-                if let Some(t) = cfg
-                    .fault_schedule
-                    .as_ref()
-                    .and_then(|s| s.crash_time(node))
-                {
-                    host = host.with_crash_at(t);
-                }
+                let (program, recovery) = programs.next().expect("one program per rank");
+                let host = Cluster::faulted_host(&cfg, rank, n, nic, program, recovery, node);
                 let host = sim.add_component(shard, &format!("host{rank}"), host);
                 sim.connect(
                     nic,

@@ -16,15 +16,25 @@ use std::collections::HashMap;
 /// which steps the program — a crash must *not* step anything).
 pub const PORT_CRASH: InPort = InPort(2);
 
+/// Port for the scheduled restart wake: the node comes back up with a
+/// fresh incarnation, and the host boots its staged recovery program (if
+/// any) from scratch — nothing of the pre-crash program survives.
+pub const PORT_RESTART: InPort = InPort(3);
+
 /// A host running one application rank.
 pub struct Host {
     state: HostState,
     program: Option<Box<dyn AppProgram>>,
-    /// Scheduled crash-stop instant, if this host's node is on the fault
-    /// schedule's kill list.
-    crash_at: Option<Time>,
+    /// Scheduled crash-stop instants, if this host's node is on the
+    /// fault schedule's kill list (possibly again after a restart).
+    crash_times: Vec<Time>,
+    /// Scheduled restart instants (each follows a crash).
+    restart_times: Vec<Time>,
+    /// Program staged to boot at the first restart. Consumed then; later
+    /// restarts of the same node come back up with nothing to run.
+    recovery: Option<Box<dyn AppProgram>>,
     /// Crash-stop reached: the program is gone, and every later event
-    /// falls on silence.
+    /// falls on silence until a scheduled restart (if any).
     crashed: bool,
 }
 
@@ -51,15 +61,33 @@ impl Host {
                 issued_this_step: 0,
             },
             program: Some(program),
-            crash_at: None,
+            crash_times: Vec::new(),
+            restart_times: Vec::new(),
+            recovery: None,
             crashed: false,
         }
     }
 
     /// Schedule a crash-stop at `t`: the program's state dies with the
-    /// node and the rank never finishes on its own.
+    /// node and the rank never finishes on its own (unless a restart is
+    /// also scheduled).
     pub fn with_crash_at(mut self, t: Time) -> Host {
-        self.crash_at = Some(t);
+        self.crash_times.push(t);
+        self
+    }
+
+    /// Schedule restarts at `times` (each must follow a crash on the
+    /// fault schedule), staging `recovery` to boot at the first one. A
+    /// restarted host with no recovery program simply reports itself
+    /// finished — the node is back (its NIC answers keepalives and
+    /// serves peers), but the rank has nothing left to run.
+    pub fn with_restarts(
+        mut self,
+        times: Vec<Time>,
+        recovery: Option<Box<dyn AppProgram>>,
+    ) -> Host {
+        self.restart_times = times;
+        self.recovery = recovery;
         self
     }
 
@@ -97,14 +125,36 @@ impl Host {
 
 impl Component for Host {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some(at) = self.crash_at {
-            let now = ctx.now();
+        let now = ctx.now();
+        for &at in &self.crash_times {
             ctx.wake_me(PORT_CRASH, Payload::empty(), at.saturating_sub(now));
+        }
+        for &at in &self.restart_times {
+            ctx.wake_me(PORT_RESTART, Payload::empty(), at.saturating_sub(now));
         }
         self.step_program(ctx);
     }
 
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        if ev.port == PORT_RESTART {
+            if !self.crashed {
+                return; // stale wake: the grammar puts restarts after crashes
+            }
+            self.crashed = false;
+            // Nothing of the old life survives except `next_seq`: request
+            // ids stay unique across incarnations so a straggler
+            // completion from before the crash can never satisfy a
+            // recovery-program request.
+            self.state.completed.clear();
+            self.program = self.recovery.take();
+            if self.program.is_some() {
+                self.state.done = false;
+                self.step_program(ctx);
+            } else {
+                self.state.done = true;
+            }
+            return;
+        }
         if self.crashed {
             return;
         }

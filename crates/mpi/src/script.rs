@@ -166,6 +166,86 @@ pub enum Op {
         /// Record the final status into the status log under this id.
         sid: Option<u32>,
     },
+    /// Fault-tolerant agreement on the failed-rank set (ULFM
+    /// `MPI_Comm_agree` shape): a fixed number of all-exchange
+    /// [`mpiq_nic::CollOp::Agree`] sweeps, each offered to the NIC first
+    /// with the shared-plan host fallback on decline. The sweep count is
+    /// fixed — not run-until-stable — so every survivor performs the
+    /// same wire pattern and no rank stops a sweep early while a partner
+    /// still waits on it. Each sweep is seeded with the mask accumulated
+    /// so far; with all-to-all exchange every survivor hears about a
+    /// rank that died in sweep `j` by the end of sweep `j + 1`, so the
+    /// default 3 sweeps converge for failures up to the penultimate
+    /// sweep. The agreed mask persists in the script (input to
+    /// [`Op::Shrink`]) and is recorded as the status `len` under `sid`.
+    Agree {
+        /// All-exchange sweeps to run (≥ 2; default 3).
+        sweeps: u32,
+        /// Record the agreed mask (status `len`) under this id.
+        sid: Option<u32>,
+    },
+    /// Rebuild a dense rank mapping over the survivors of the last
+    /// [`Op::Agree`] (ULFM `MPI_Comm_shrink` shape): survivors are the
+    /// world ranks whose bit is clear in the agreed mask, in ascending
+    /// world-rank order, and this rank's shrunk rank is its index in
+    /// that list. Purely local — consistency comes from agreement, so no
+    /// further communication is needed. Records a status under `sid`
+    /// with `source` = shrunk rank and `len` = survivor count.
+    Shrink {
+        /// Record the shrunk mapping under this id.
+        sid: Option<u32>,
+    },
+    /// A collective over the *shrunk* communicator: the shared step plan
+    /// generated in shrunk rank space, with every peer translated back
+    /// to its world rank through the survivor list, replayed host-side.
+    /// (The NIC offload engine derives peers from `rank == node`, which
+    /// no longer holds after a shrink, so these always run on the host.)
+    /// `root` is a shrunk-space rank. A rank excluded by the shrink —
+    /// its own bit set in the agreed mask — completes immediately with a
+    /// `cancelled` status.
+    ShrunkColl {
+        /// Which collective.
+        op: mpiq_nic::CollOp,
+        /// Root rank in shrunk space (bcast; ignored otherwise).
+        root: u32,
+        /// Payload bytes per message.
+        len: u32,
+        /// Record the final status into the status log under this id.
+        sid: Option<u32>,
+    },
+    /// `MPI_Send` with retry-and-backoff: on a typed `RankFailed`, sleep
+    /// the (doubling) backoff and reissue, up to `tries` attempts total.
+    /// A peer that restarts within the retry budget turns a
+    /// would-be-fatal send into a delayed success.
+    RetrySend {
+        /// Destination rank.
+        dst: u32,
+        /// Tag.
+        tag: u16,
+        /// Payload bytes.
+        len: u32,
+        /// Total attempts (≥ 1).
+        tries: u32,
+        /// Initial backoff before the second attempt; doubles per retry.
+        backoff: Time,
+        /// Record the final status under this id.
+        sid: Option<u32>,
+    },
+    /// `MPI_Recv` with retry-and-backoff; see [`Op::RetrySend`].
+    RetryRecv {
+        /// Source rank.
+        src: u16,
+        /// Tag.
+        tag: u16,
+        /// Buffer bytes.
+        len: u32,
+        /// Total attempts (≥ 1).
+        tries: u32,
+        /// Initial backoff before the second attempt; doubles per retry.
+        backoff: Time,
+        /// Record the final status under this id.
+        sid: Option<u32>,
+    },
 }
 
 #[derive(Debug)]
@@ -193,8 +273,27 @@ enum CollRun {
         pending: Option<Request>,
         /// First dead peer seen mid-plan (typed `RankFailed` statuses on
         /// individual steps); carried into the final synthetic status.
+        /// Never set in agree mode, where failures are the payload.
         failed: Option<u16>,
+        /// Agreement mode: sends stamp the accumulated `mask` as their
+        /// length, received lengths and per-step `RankFailed` ranks OR
+        /// into it, and the final status carries it as `len` — mirroring
+        /// the firmware's offloaded accumulation step for step.
+        agree: bool,
+        /// Accumulated failed-rank bitmask (agree mode only).
+        mask: u16,
     },
+}
+
+/// In-flight state of one [`Op::RetrySend`]/[`Op::RetryRecv`].
+#[derive(Debug)]
+struct RetryRun {
+    /// The outstanding attempt, `None` while backing off before reissue.
+    pending: Option<Request>,
+    /// Attempts left after the outstanding one.
+    tries_left: u32,
+    /// Backoff before the next reissue (doubles each retry).
+    backoff: Time,
 }
 
 /// The interpreter state for one rank's script.
@@ -210,6 +309,16 @@ pub struct Script {
     /// collide in flight).
     coll_instance: u16,
     coll: Option<CollRun>,
+    /// Completed sweeps of the current [`Op::Agree`].
+    agree_sweep: u32,
+    /// The failed-rank mask accumulated across agree sweeps. Monotonic
+    /// across the script's lifetime (a rank, once agreed dead, stays
+    /// dead), read by [`Op::Shrink`].
+    agree_mask: u16,
+    /// Survivor list (world ranks, ascending) set by [`Op::Shrink`].
+    shrunk: Option<Vec<u32>>,
+    /// In-flight retry verb state.
+    retry: Option<RetryRun>,
     sleep_until: Option<Time>,
     marks: MarkLog,
     statuses: StatusLog,
@@ -227,6 +336,10 @@ impl Script {
             barrier_pending: None,
             coll_instance: 0,
             coll: None,
+            agree_sweep: 0,
+            agree_mask: 0,
+            shrunk: None,
+            retry: None,
             sleep_until: None,
             marks,
             statuses: SharedLog::new(),
@@ -236,6 +349,18 @@ impl Script {
     /// Attach a status log for [`Op::Status`] records.
     pub fn with_status_log(mut self, log: StatusLog) -> Script {
         self.statuses = log;
+        self
+    }
+
+    /// Start the collective and barrier instance counters at a given
+    /// base instead of 0. Recovery programs staged for a restarted node
+    /// use this to align their instance slots (and therefore tags) with
+    /// the survivors' scripts, which have already consumed some slots —
+    /// without alignment a post-rejoin collective would cross-match
+    /// against a different instance's tags and deadlock.
+    pub fn with_instance_base(mut self, coll: u16, barrier: u16) -> Script {
+        self.coll_instance = coll;
+        self.barrier_instance = barrier;
         self
     }
 
@@ -285,24 +410,70 @@ impl Script {
         }
     }
 
-    /// Drive one [`Op::Coll`]: offer-to-NIC, then (on decline) the
-    /// host-side replay of the identical plan. Returns the final
-    /// synthetic status when the collective is done, `None` while it is
-    /// still in flight.
+    /// Drive one [`Op::Coll`] (or one agree sweep, or one
+    /// [`Op::ShrunkColl`]): offer-to-NIC, then (on decline) the
+    /// host-side replay of the identical plan. Shrunk collectives skip
+    /// the offer and go straight to a peer-translated host plan. Returns
+    /// the final synthetic status when the collective is done, `None`
+    /// while it is still in flight. In agree mode (`op` is
+    /// [`mpiq_nic::CollOp::Agree`]) `len` seeds the failed-rank mask and
+    /// the returned status's `len` carries the accumulated mask.
     fn poll_coll(
         &mut self,
         mpi: &mut Mpi<'_, '_>,
         op: mpiq_nic::CollOp,
         root: u32,
         len: u32,
+        shrunk: bool,
     ) -> Option<crate::types::MpiStatus> {
+        let agree = op == mpiq_nic::CollOp::Agree;
         loop {
             match self.coll.take() {
                 None => {
                     let instance = self.coll_instance % mpiq_nic::coll::INSTANCES;
                     self.coll_instance = self.coll_instance.wrapping_add(1);
-                    let req = mpi.icoll(op, root, len, instance);
-                    self.coll = Some(CollRun::Offload { req, instance });
+                    if shrunk {
+                        let survivors =
+                            self.shrunk.clone().expect("ShrunkColl before Shrink");
+                        let Some(me) =
+                            survivors.iter().position(|&r| r == mpi.rank())
+                        else {
+                            // This rank was shrunk out: nothing to do.
+                            return Some(crate::types::MpiStatus {
+                                source: mpi.rank() as u16,
+                                tag: 0,
+                                len: 0,
+                                cancelled: true,
+                                overflow: false,
+                                error: None,
+                            });
+                        };
+                        let steps = mpiq_nic::coll::steps(
+                            op,
+                            me as u32,
+                            survivors.len() as u32,
+                            root,
+                            len,
+                            instance,
+                        )
+                        .into_iter()
+                        .map(|s| mpiq_nic::CollStep {
+                            peer: survivors[s.peer as usize],
+                            ..s
+                        })
+                        .collect();
+                        self.coll = Some(CollRun::Host {
+                            steps,
+                            idx: 0,
+                            pending: None,
+                            failed: None,
+                            agree,
+                            mask: len as u16,
+                        });
+                    } else {
+                        let req = mpi.icoll(op, root, len, instance);
+                        self.coll = Some(CollRun::Offload { req, instance });
+                    }
                 }
                 Some(CollRun::Offload { req, instance }) => {
                     let Some(st) = mpi.status(req) else {
@@ -323,6 +494,8 @@ impl Script {
                             idx: 0,
                             pending: None,
                             failed: None,
+                            agree,
+                            mask: len as u16,
                         });
                     } else {
                         return Some(st);
@@ -333,6 +506,8 @@ impl Script {
                     mut idx,
                     mut pending,
                     mut failed,
+                    agree,
+                    mut mask,
                 }) => {
                     loop {
                         if let Some(r) = pending {
@@ -342,11 +517,19 @@ impl Script {
                                     idx,
                                     pending,
                                     failed,
+                                    agree,
+                                    mask,
                                 });
                                 return None;
                             };
                             if let Some(crate::types::MpiError::RankFailed { rank }) = st.error {
-                                failed.get_or_insert(rank);
+                                if agree {
+                                    mask |= 1 << rank.min(15);
+                                } else {
+                                    failed.get_or_insert(rank);
+                                }
+                            } else if agree && steps[idx].dir == mpiq_nic::Dir::Recv {
+                                mask |= st.len as u16;
                             }
                             idx += 1;
                         }
@@ -357,7 +540,7 @@ impl Script {
                             return Some(crate::types::MpiStatus {
                                 source: failed.unwrap_or(mpi.rank() as u16),
                                 tag: 0,
-                                len: 0,
+                                len: if agree { mask as u32 } else { 0 },
                                 cancelled: false,
                                 overflow: false,
                                 error: failed
@@ -366,17 +549,96 @@ impl Script {
                         };
                         pending = Some(match step.dir {
                             mpiq_nic::Dir::Send => {
-                                mpi.isend_ctx(step.peer, CTX_INTERNAL, step.tag, step.len)
+                                // Agreement frames carry the current
+                                // mask, exactly as the firmware stamps
+                                // them.
+                                let slen = if agree { mask as u32 } else { step.len };
+                                mpi.isend_ctx(step.peer, CTX_INTERNAL, step.tag, slen)
                             }
-                            mpiq_nic::Dir::Recv => mpi.irecv_ctx(
-                                Some(step.peer as u16),
-                                CTX_INTERNAL,
-                                Some(step.tag),
-                                step.len,
-                            ),
+                            mpiq_nic::Dir::Recv => {
+                                // Agree recvs post a full-mask-sized
+                                // buffer: the arriving length is the
+                                // sender's mask at stamp time, not the
+                                // plan's static length.
+                                let rlen = if agree { u16::MAX as u32 } else { step.len };
+                                mpi.irecv_ctx(
+                                    Some(step.peer as u16),
+                                    CTX_INTERNAL,
+                                    Some(step.tag),
+                                    rlen,
+                                )
+                            }
                         });
                     }
                 }
+            }
+        }
+    }
+
+    /// Drive one retry verb. Returns `true` when the op (with all its
+    /// retries) has concluded and the script may advance.
+    #[allow(clippy::too_many_arguments)]
+    fn poll_retry(
+        &mut self,
+        mpi: &mut Mpi<'_, '_>,
+        send: bool,
+        peer: u32,
+        tag: u16,
+        len: u32,
+        tries: u32,
+        backoff: Time,
+        sid: Option<u32>,
+    ) -> bool {
+        loop {
+            // Between attempts: hold until the backoff elapses.
+            if let Some(until) = self.sleep_until {
+                if mpi.now() < until {
+                    return false;
+                }
+                self.sleep_until = None;
+            }
+            let issue = |mpi: &mut Mpi<'_, '_>| {
+                if send {
+                    mpi.isend(peer, tag, len)
+                } else {
+                    mpi.irecv(Some(peer as u16), Some(tag), len)
+                }
+            };
+            match self.retry.take() {
+                None => {
+                    self.retry = Some(RetryRun {
+                        pending: Some(issue(mpi)),
+                        tries_left: tries.saturating_sub(1),
+                        backoff,
+                    });
+                }
+                Some(mut run) => match run.pending {
+                    None => {
+                        // Backoff elapsed: reissue.
+                        run.pending = Some(issue(mpi));
+                        self.retry = Some(run);
+                    }
+                    Some(r) => {
+                        let Some(st) = mpi.status(r) else {
+                            self.retry = Some(run);
+                            return false;
+                        };
+                        if st.rank_failed() && run.tries_left > 0 {
+                            run.tries_left -= 1;
+                            run.pending = None;
+                            self.sleep_until = Some(mpi.now() + run.backoff);
+                            mpi.wake_after(run.backoff);
+                            run.backoff = Time(run.backoff.0 * 2);
+                            self.retry = Some(run);
+                            return false;
+                        }
+                        if let Some(id) = sid {
+                            self.statuses.borrow_mut().push((id, st));
+                        }
+                        self.retry = None;
+                        return true;
+                    }
+                },
             }
         }
     }
@@ -448,7 +710,7 @@ impl AppProgram for Script {
                     }
                 }
                 Op::Coll { op, root, len, sid } => {
-                    match self.poll_coll(mpi, op, root, len) {
+                    match self.poll_coll(mpi, op, root, len, false) {
                         Some(st) => {
                             if let Some(id) = sid {
                                 self.statuses.borrow_mut().push((id, st));
@@ -456,6 +718,98 @@ impl AppProgram for Script {
                             self.pc += 1;
                         }
                         None => return,
+                    }
+                }
+                Op::Agree { sweeps, sid } => {
+                    let mut done = false;
+                    while !done {
+                        let seed = self.agree_mask as u32;
+                        match self.poll_coll(mpi, mpiq_nic::CollOp::Agree, 0, seed, false) {
+                            Some(st) => {
+                                self.agree_mask |= st.len as u16;
+                                self.agree_sweep += 1;
+                                if self.agree_sweep >= sweeps {
+                                    self.agree_sweep = 0;
+                                    if let Some(id) = sid {
+                                        self.statuses.borrow_mut().push((
+                                            id,
+                                            crate::types::MpiStatus {
+                                                source: mpi.rank() as u16,
+                                                tag: 0,
+                                                len: self.agree_mask as u32,
+                                                cancelled: false,
+                                                overflow: false,
+                                                error: None,
+                                            },
+                                        ));
+                                    }
+                                    self.pc += 1;
+                                    done = true;
+                                }
+                            }
+                            None => return,
+                        }
+                    }
+                }
+                Op::Shrink { sid } => {
+                    let mask = self.agree_mask;
+                    let survivors: Vec<u32> = (0..mpi.size())
+                        .filter(|&r| r >= 16 || mask & (1 << r) == 0)
+                        .collect();
+                    let me = survivors.iter().position(|&r| r == mpi.rank());
+                    if let Some(id) = sid {
+                        self.statuses.borrow_mut().push((
+                            id,
+                            crate::types::MpiStatus {
+                                source: me.map_or(u16::MAX, |i| i as u16),
+                                tag: 0,
+                                len: survivors.len() as u32,
+                                cancelled: me.is_none(),
+                                overflow: false,
+                                error: None,
+                            },
+                        ));
+                    }
+                    self.shrunk = Some(survivors);
+                    self.pc += 1;
+                }
+                Op::ShrunkColl { op, root, len, sid } => {
+                    match self.poll_coll(mpi, op, root, len, true) {
+                        Some(st) => {
+                            if let Some(id) = sid {
+                                self.statuses.borrow_mut().push((id, st));
+                            }
+                            self.pc += 1;
+                        }
+                        None => return,
+                    }
+                }
+                Op::RetrySend {
+                    dst,
+                    tag,
+                    len,
+                    tries,
+                    backoff,
+                    sid,
+                } => {
+                    if self.poll_retry(mpi, true, dst, tag, len, tries, backoff, sid) {
+                        self.pc += 1;
+                    } else {
+                        return;
+                    }
+                }
+                Op::RetryRecv {
+                    src,
+                    tag,
+                    len,
+                    tries,
+                    backoff,
+                    sid,
+                } => {
+                    if self.poll_retry(mpi, false, src as u32, tag, len, tries, backoff, sid) {
+                        self.pc += 1;
+                    } else {
+                        return;
                     }
                 }
                 Op::Mark { id } => {
@@ -633,6 +987,88 @@ impl ScriptBuilder {
     /// decline).
     pub fn coll_allreduce(&mut self, len: u32) -> &mut Self {
         self.coll(mpiq_nic::CollOp::Allreduce, 0, len, None)
+    }
+
+    /// Fault-tolerant agreement on the failed-rank set with the default
+    /// 3 all-exchange sweeps ([`Op::Agree`]). The agreed mask is
+    /// recorded as the status `len` under `sid`.
+    pub fn agree(&mut self, sid: Option<u32>) -> &mut Self {
+        self.agree_sweeps(3, sid)
+    }
+
+    /// [`Op::Agree`] with an explicit sweep count (≥ 2 for masks to
+    /// propagate between survivors that never directly heard the same
+    /// failure).
+    pub fn agree_sweeps(&mut self, sweeps: u32, sid: Option<u32>) -> &mut Self {
+        assert!(sweeps >= 2, "agreement needs at least 2 sweeps to converge");
+        self.ops.push(Op::Agree { sweeps, sid });
+        self
+    }
+
+    /// Rebuild a dense rank mapping over the survivors of the last
+    /// agreement ([`Op::Shrink`]).
+    pub fn shrink(&mut self, sid: Option<u32>) -> &mut Self {
+        self.ops.push(Op::Shrink { sid });
+        self
+    }
+
+    /// A collective over the shrunk communicator ([`Op::ShrunkColl`]);
+    /// `root` is a shrunk-space rank.
+    pub fn shrunk_coll(
+        &mut self,
+        op: mpiq_nic::CollOp,
+        root: u32,
+        len: u32,
+        sid: Option<u32>,
+    ) -> &mut Self {
+        self.ops.push(Op::ShrunkColl { op, root, len, sid });
+        self
+    }
+
+    /// `MPI_Barrier` over the shrunk communicator.
+    pub fn shrunk_barrier(&mut self) -> &mut Self {
+        self.shrunk_coll(mpiq_nic::CollOp::Barrier, 0, 0, None)
+    }
+
+    /// `MPI_Bcast` over the shrunk communicator (`root` in shrunk space).
+    pub fn shrunk_bcast(&mut self, root: u32, len: u32) -> &mut Self {
+        self.shrunk_coll(mpiq_nic::CollOp::Bcast, root, len, None)
+    }
+
+    /// `MPI_Allreduce` over the shrunk communicator.
+    pub fn shrunk_allreduce(&mut self, len: u32) -> &mut Self {
+        self.shrunk_coll(mpiq_nic::CollOp::Allreduce, 0, len, None)
+    }
+
+    /// Blocking send with retry-and-doubling-backoff ([`Op::RetrySend`]).
+    pub fn retry_send(
+        &mut self,
+        dst: u32,
+        tag: u16,
+        len: u32,
+        tries: u32,
+        backoff: Time,
+        sid: Option<u32>,
+    ) -> &mut Self {
+        assert!(tries >= 1);
+        self.ops.push(Op::RetrySend { dst, tag, len, tries, backoff, sid });
+        self
+    }
+
+    /// Blocking receive with retry-and-doubling-backoff
+    /// ([`Op::RetryRecv`]).
+    pub fn retry_recv(
+        &mut self,
+        src: u16,
+        tag: u16,
+        len: u32,
+        tries: u32,
+        backoff: Time,
+        sid: Option<u32>,
+    ) -> &mut Self {
+        assert!(tries >= 1);
+        self.ops.push(Op::RetryRecv { src, tag, len, tries, backoff, sid });
+        self
     }
 
     /// Finish, attaching the mark log.

@@ -65,6 +65,11 @@ pub struct LinkState {
     /// Piggybacked on ACK frames by the reliability layer; `0` everywhere
     /// when credit flow control is unconfigured.
     pub credit: u32,
+    /// The sending node's incarnation epoch, stamped by the reliability
+    /// layer. `0` from boot; bumped each time the node restarts after a
+    /// crash. Receivers fence go-back-N state keyed to an older epoch and
+    /// drop frames *from* an older epoch — the reincarnation guard.
+    pub incarnation: u32,
 }
 
 impl Default for LinkState {
@@ -73,6 +78,7 @@ impl Default for LinkState {
             seq: 0,
             crc_ok: true,
             credit: 0,
+            incarnation: 0,
         }
     }
 }

@@ -62,6 +62,14 @@ pub enum CollOp {
     /// Reduce-to-0 then broadcast-from-0 (message pattern only; the
     /// combining arithmetic is not modeled).
     Allreduce,
+    /// Fault-tolerant agreement on a failed-rank bitmask (ULFM
+    /// `MPI_Comm_agree` shape). All-exchange rather than a tree: a tree
+    /// edge through a dead rank would sever mask propagation, while the
+    /// all-exchange plan keeps every pair of survivors directly
+    /// connected. The mask itself rides in `payload_len` — the only data
+    /// plane this simulator has — so `len` here is the *seed* mask and
+    /// the firmware/fallback runner OR in everything they learn.
+    Agree,
 }
 
 /// Direction of one collective step.
@@ -156,6 +164,36 @@ pub fn bcast_steps(me: u32, n: u32, root: u32, len: u32, instance: u16) -> Vec<C
     steps
 }
 
+/// Steps of one fault-tolerant agreement sweep for rank `me` of `n`:
+/// send the local failed-set mask to every other rank on this rank's
+/// per-rank tag (`k = 2 + me`), then collect every other rank's mask
+/// from *its* per-rank tag (`k = 2 + peer`), both in ascending peer
+/// order. Sends come first so a rank never blocks its own contribution
+/// behind a recv from a rank that may be dead.
+///
+/// The mask is a `u16`, one bit per world rank, so agreement is capped
+/// at 16 ranks — far above the rank counts recovery scenarios run at,
+/// and small enough that the mask-as-`payload_len` stays below the
+/// eager threshold (offload and host fallback then use the same wire
+/// protocol for every frame).
+pub fn agree_steps(me: u32, n: u32, len: u32, instance: u16) -> Vec<CollStep> {
+    assert!(me < n);
+    assert!(n <= 16, "agreement mask is one u16 bit per rank");
+    let mut steps = Vec::new();
+    for peer in (0..n).filter(|&p| p != me) {
+        steps.push(CollStep { dir: Dir::Send, peer, tag: ctag(instance, 2 + me as u16), len });
+    }
+    for peer in (0..n).filter(|&p| p != me) {
+        steps.push(CollStep {
+            dir: Dir::Recv,
+            peer,
+            tag: ctag(instance, 2 + peer as u16),
+            len,
+        });
+    }
+    steps
+}
+
 /// The full step list for rank `me` of `n` in one collective instance.
 ///
 /// `root` is ignored for [`CollOp::Barrier`] and [`CollOp::Allreduce`]
@@ -165,6 +203,7 @@ pub fn bcast_steps(me: u32, n: u32, root: u32, len: u32, instance: u16) -> Vec<C
 pub fn steps(op: CollOp, me: u32, n: u32, root: u32, len: u32, instance: u16) -> Vec<CollStep> {
     match op {
         CollOp::Bcast => bcast_steps(me, n, root, len, instance),
+        CollOp::Agree => agree_steps(me, n, len, instance),
         CollOp::Barrier | CollOp::Allreduce => {
             let len = if op == CollOp::Barrier { 0 } else { len };
             let mut s = reduce_steps(me, n, 0, len, instance);
@@ -365,6 +404,33 @@ mod tests {
                 let tags: HashSet<u16> = s.iter().map(|&(_, _, t, _)| t).collect();
                 assert_eq!(tags.len(), 2, "up and down phases share an instance");
                 assert_eq!(tags, HashSet::from([ctag(9, 0), ctag(9, 1)]));
+            }
+        }
+    }
+
+    /// Agree oracle: every rank exchanges exactly once with every other
+    /// rank in both directions, each send pairs with exactly one recv on
+    /// the sender's per-rank tag, and all sends precede all recvs so no
+    /// rank's contribution waits behind a possibly-dead peer.
+    #[test]
+    fn agree_is_a_complete_exchange_with_sends_first() {
+        for n in [2u32, 3, 5, 8, 16] {
+            let (mut s, mut r) = edges(CollOp::Agree, n, 0, 0b101, 4);
+            assert_eq!(s.len(), (n * (n - 1)) as usize);
+            s.sort_unstable();
+            r.sort_unstable();
+            assert_eq!(s, r, "n={n}: unmatched edges");
+            for &(from, to, tag, _) in &s {
+                assert_ne!(from, to);
+                assert_eq!(tag, ctag(4, 2 + from as u16), "mask travels on sender's tag");
+            }
+            for me in 0..n {
+                let st = agree_steps(me, n, 0, 4);
+                let first_recv = st.iter().position(|x| x.dir == Dir::Recv).unwrap();
+                assert!(
+                    st[..first_recv].iter().all(|x| x.dir == Dir::Send),
+                    "n={n} me={me}: send phase must fully precede recv phase"
+                );
             }
         }
     }

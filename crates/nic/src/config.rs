@@ -1,5 +1,6 @@
 //! NIC configuration.
 
+use crate::reliability::ReliabilityConfig;
 use mpiq_cpusim::CoreConfig;
 use mpiq_dessim::{FaultConfig, Time};
 
@@ -105,6 +106,14 @@ pub struct NicConfig {
     /// the layer is pure overhead, and leaving it unconstructed keeps the
     /// fault machinery zero-cost.
     pub reliability: bool,
+    /// Link-protocol tunables, including the peer-death detector
+    /// thresholds: `keepalive_timeout` (how long after a peer goes
+    /// silent its ranks are declared failed) and `retry_budget` (local
+    /// retransmissions tolerated before a link is declared dead). Only
+    /// consulted when `reliability` is on. Lenient detectors ride out
+    /// long link flaps without false positives; aggressive ones detect
+    /// real crashes faster.
+    pub link: ReliabilityConfig,
     /// Maximum unexpected-queue entries this NIC will hold. Arrivals that
     /// would exceed the bound are *refused at the wire* (the link layer
     /// never accepts them, so go-back-N retransmission becomes the
@@ -157,6 +166,7 @@ impl NicConfig {
             ranks_per_node: 1,
             faults: FaultConfig::none(),
             reliability: false,
+            link: ReliabilityConfig::default(),
             max_unexpected: 0,
             eager_buffer_bytes: 0,
             eager_credits: 0,
@@ -216,6 +226,16 @@ impl NicConfig {
             sw_match: SwMatch::HashBins { bins },
             ..NicConfig::baseline()
         }
+    }
+
+    /// Tune the peer-death detector: `keepalive` is the silence after a
+    /// peer's crash before its ranks are declared failed;
+    /// `retry_budget` the local window retransmissions tolerated before
+    /// a link is declared dead.
+    pub fn with_failure_detector(mut self, keepalive: Time, retry_budget: u32) -> NicConfig {
+        self.link.keepalive_timeout = keepalive;
+        self.link.retry_budget = retry_budget;
+        self
     }
 
     /// Baseline plus ALPUs of `cells` entries on both queues.

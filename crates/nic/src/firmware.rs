@@ -439,6 +439,9 @@ pub struct FwStats {
     /// Late rendezvous control frames from an already-declared-dead peer,
     /// dropped because their parked state was failed at detection time.
     pub stale_rndv_dropped: u64,
+    /// Dead peers un-declared because they restarted under a new
+    /// incarnation epoch (the sticky death cleared; traffic may resume).
+    pub peers_revived: u64,
     /// Collectives accepted for NIC-side offload.
     pub coll_offloaded: u64,
     /// Collective offloads declined back to the host (`cancelled`
@@ -489,8 +492,19 @@ struct CollInstance {
     idx: usize,
     /// First dead peer encountered mid-plan: steps naming a dead peer
     /// are skipped and the end completion is typed `rank_failed` with
-    /// this rank as its source.
+    /// this rank as its source. Never set for agreement instances —
+    /// there, dead peers are the *payload*, not an error.
     failed: Option<u16>,
+    /// True for [`crate::coll::CollOp::Agree`] instances: the failed-set
+    /// mask below rides in every sent frame's `payload_len`, arriving
+    /// frames OR theirs in, and the end completion reports the mask in
+    /// `len` instead of typing a failure.
+    agree: bool,
+    /// Accumulated failed-rank bitmask (agreement instances only):
+    /// seeded from the request's `len`, grown by every received mask and
+    /// every dead peer met mid-plan (in step order, matching the host
+    /// fallback's discovery order byte for byte).
+    mask: u16,
 }
 
 /// The firmware: all NIC-resident MPI state plus the hardware ports.
@@ -1625,11 +1639,20 @@ impl Firmware {
             return t;
         }
         self.stats.coll_offloaded += 1;
+        let agree = op == crate::coll::CollOp::Agree;
+        // Agreement seeds only from the host's view (carried in `len`);
+        // peers this NIC already declared dead are discovered *in step
+        // order* (each skipped step ORs its bit in), exactly as the host
+        // fallback discovers them through typed per-step failures — so
+        // both paths stamp identical masks on identical frames.
+        let mask = if agree { len as u16 } else { 0 };
         self.coll.push(CollInstance {
             req,
             steps: crate::coll::steps(op, req.rank, n, root, len, instance),
             idx: 0,
             failed: None,
+            agree,
+            mask,
         });
         self.coll_poll(t, core, fx)
     }
@@ -1659,7 +1682,10 @@ impl Firmware {
                         req: inst.req,
                         source: inst.failed.unwrap_or(inst.req.rank as u16),
                         tag: 0,
-                        len: 0,
+                        // Agreement returns its accumulated failed-set
+                        // mask as the completion length — failures are
+                        // the collective's *output*, never an error.
+                        len: if inst.agree { inst.mask as u32 } else { 0 },
                         cancelled: false,
                         overflow: false,
                         rank_failed: inst.failed.is_some(),
@@ -1696,16 +1722,24 @@ impl Firmware {
                 crate::coll::Dir::Send => {
                     if peer != self.node && self.dead_peers.contains(&peer) {
                         let inst = &mut self.coll[i];
-                        inst.failed.get_or_insert(step.peer as u16);
+                        if inst.agree {
+                            inst.mask |= 1 << step.peer.min(15);
+                        } else {
+                            inst.failed.get_or_insert(step.peer as u16);
+                        }
                         inst.idx += 1;
                         continue;
                     }
+                    // Agreement frames carry the *current* mask, not the
+                    // plan's static length — the mask is the data plane.
+                    let len =
+                        if self.coll[i].agree { self.coll[i].mask as u32 } else { step.len };
                     let msg = self.make_msg(
                         step.peer,
                         req.rank,
                         crate::coll::COLL_CTX,
                         step.tag,
-                        step.len,
+                        len,
                         MsgKind::Eager,
                     );
                     let at = self.inject(msg.wire_bytes(), t);
@@ -1766,12 +1800,20 @@ impl Firmware {
                                 self.grant_credit(h.src_node);
                             }
                             self.stats.coll_steps_recv += 1;
-                            self.coll[i].idx += 1;
+                            let inst = &mut self.coll[i];
+                            if inst.agree {
+                                inst.mask |= h.payload_len as u16;
+                            }
+                            inst.idx += 1;
                         }
                         None => {
                             if peer != self.node && self.dead_peers.contains(&peer) {
                                 let inst = &mut self.coll[i];
-                                inst.failed.get_or_insert(step.peer as u16);
+                                if inst.agree {
+                                    inst.mask |= 1 << step.peer.min(15);
+                                } else {
+                                    inst.failed.get_or_insert(step.peer as u16);
+                                }
                                 inst.idx += 1;
                                 continue;
                             }
@@ -2556,6 +2598,24 @@ impl Firmware {
         if !self.coll.is_empty() {
             self.coll_poll(now, core, fx);
         }
+    }
+
+    /// `peer` restarted under a new incarnation: clear the sticky death
+    /// so fresh operations toward it flow again, and forget every piece
+    /// of sender-side state keyed to its previous life — the credit pool
+    /// (re-seeded at full on next use; the reborn NIC's staging is empty)
+    /// and any rendezvous-in-flight count. Operations failed at detection
+    /// time stay failed: recovery is the application's job (`agree` /
+    /// `shrink` / retry), not a silent un-failing. Returns whether the
+    /// peer had actually been declared dead.
+    pub fn revive_peer(&mut self, peer: NodeId) -> bool {
+        if peer == self.node || !self.dead_peers.remove(&peer) {
+            return false;
+        }
+        self.credits.remove(&peer);
+        self.rndv_inflight.remove(&peer);
+        self.stats.peers_revived += 1;
+        true
     }
 
     /// Scheduled permanent ALPU death: quarantine both units (RESET-pin

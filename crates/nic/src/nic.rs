@@ -10,7 +10,7 @@
 use crate::config::NicConfig;
 use crate::firmware::{Effects, Firmware, WorkItem};
 use crate::host_iface::HostRequest;
-use crate::reliability::{Reliability, ReliabilityConfig};
+use crate::reliability::Reliability;
 use mpiq_cpusim::Core;
 use mpiq_dessim::prelude::*;
 use mpiq_dessim::{watchdog::Health, ComponentFaultKind, FaultSchedule, TraceEvent};
@@ -48,8 +48,18 @@ enum FaultWake {
     Crash,
     /// This NIC's ALPUs die permanently now.
     AlpuDeath,
-    /// `peer` crashed one keepalive-timeout ago: declare it dead.
+    /// `peer` crashed one keepalive-timeout ago: declare it dead —
+    /// unless the schedule shows it already restarted (a slow-but-alive
+    /// peer must not be declared dead by a lenient detector).
     PeerDead(NodeId),
+    /// This node restarts now: fresh firmware, core, and link engine
+    /// under the next incarnation epoch. The wipe is the point — a
+    /// restarted node remembers nothing.
+    Restart,
+    /// `peer` restarts now: fence its stale link state (the proactive
+    /// half of the reincarnation guard; the frame-borne epoch stamp
+    /// covers ghosts already in the fabric) and clear its sticky death.
+    PeerRestart(NodeId),
 }
 
 /// One NIC: firmware + embedded core + work-item scheduler.
@@ -70,6 +80,10 @@ pub struct Nic {
     /// overshoot the bound between wire acceptance and staging. Only
     /// maintained when the bound is armed.
     pending_rx_match: u32,
+    /// The construction config, kept so a scheduled restart can rebuild
+    /// the firmware/core/link stack from scratch (wiped state is the
+    /// semantic, not an accident).
+    cfg: NicConfig,
     fw: Firmware,
     core: Core,
     work: VecDeque<WorkItem>,
@@ -111,18 +125,17 @@ impl Nic {
             max_unexpected: cfg.max_unexpected,
             overload: cfg.overload_active() || cfg.faults.leak_active(),
             pending_rx_match: 0,
+            cfg,
             fw: Firmware::new(node, cfg),
             core: Core::new(cfg.core),
             work: VecDeque::new(),
             busy: false,
             update_queued: false,
-            link: cfg
-                .reliability
-                .then(|| Reliability::new(node, ReliabilityConfig::default())),
+            link: cfg.reliability.then(|| Reliability::new(node, cfg.link)),
             retx_scheduled: None,
             schedule: None,
             crashed: false,
-            keepalive: ReliabilityConfig::default().keepalive_timeout,
+            keepalive: cfg.link.keepalive_timeout,
             stat_prefix: format!("nic{node}"),
             last_sample: Time::ZERO,
             posted_integral_ps: 0,
@@ -309,7 +322,93 @@ impl Nic {
                 self.publish_stats(ctx);
             }
             FaultWake::PeerDead(peer) => {
+                // False-positive guard: if the schedule shows the peer
+                // back up by detection time, it answered (or will answer)
+                // keepalives — a slow-but-alive peer is not a dead one.
+                if self
+                    .schedule
+                    .as_ref()
+                    .is_some_and(|s| !s.node_down(peer, now))
+                {
+                    return;
+                }
                 self.declare_peer_dead(peer, ComponentFaultKind::PeerDead, ctx);
+            }
+            FaultWake::Restart => {
+                // Rebirth under the next incarnation epoch: everything is
+                // rebuilt from the construction config — queues, ALPUs,
+                // caches, link windows. Only the epoch distinguishes the
+                // reborn NIC from a cold boot, and only the epoch needs
+                // to: peers fence on it.
+                let epoch = self
+                    .schedule
+                    .as_ref()
+                    .map_or(0, |s| s.incarnation_at(self.node, now));
+                self.crashed = false;
+                self.busy = false;
+                self.work.clear();
+                self.update_queued = false;
+                self.pending_rx_match = 0;
+                self.retx_scheduled = None;
+                self.fw = Firmware::new(self.node, self.cfg);
+                self.core = Core::new(self.cfg.core);
+                self.link = self.cfg.reliability.then(|| {
+                    let mut l = Reliability::new(self.node, self.cfg.link);
+                    l.set_epoch(epoch);
+                    l
+                });
+                self.last_sample = now;
+                ctx.metrics().add("fault.nodes_restarted", 1);
+                ctx.trace(TraceEvent::ComponentFault {
+                    kind: ComponentFaultKind::NodeRestart,
+                    node: self.node,
+                    peer: self.node,
+                });
+                ctx.stats()
+                    .set(&format!("{}.fault.incarnation", self.stat_prefix), epoch as u64);
+                // Detection wakes that fired during our downtime were
+                // (correctly) swallowed — a dead node observes nothing.
+                // Re-derive them: every peer still down right now gets a
+                // fresh keepalive wake, clamped to fire no earlier than
+                // our rebirth.
+                if let Some(sched) = self.schedule.clone() {
+                    for peer in sched.crashing_nodes() {
+                        if peer == self.node || !sched.node_down(peer, now) {
+                            continue;
+                        }
+                        let crashed_at = sched
+                            .crash_times(peer)
+                            .into_iter()
+                            .rfind(|&t| t <= now)
+                            .unwrap_or(now);
+                        ctx.wake_me(
+                            PORT_FAULT,
+                            Payload::new(FaultWake::PeerDead(peer)),
+                            (crashed_at + self.keepalive).saturating_sub(now),
+                        );
+                    }
+                }
+                self.publish_stats(ctx);
+            }
+            FaultWake::PeerRestart(peer) => {
+                let epoch = self
+                    .schedule
+                    .as_ref()
+                    .map_or(0, |s| s.incarnation_at(peer, now));
+                let mut revived = false;
+                if let Some(link) = self.link.as_mut() {
+                    revived |= link.fence_peer(peer, epoch);
+                }
+                revived |= self.fw.revive_peer(peer);
+                if revived {
+                    ctx.metrics().add("fault.peers_revived", 1);
+                }
+                ctx.trace(TraceEvent::ComponentFault {
+                    kind: ComponentFaultKind::PeerRestart,
+                    node: self.node,
+                    peer,
+                });
+                self.publish_stats(ctx);
             }
         }
     }
@@ -422,6 +521,15 @@ impl Nic {
                 &format!("{p}.fault.stale_rndv_dropped"),
                 fw.stale_rndv_dropped,
             );
+            s.set(&format!("{p}.fault.peers_revived"), fw.peers_revived);
+            if let Some(link) = &self.link {
+                let ls = link.stats();
+                s.set(&format!("{p}.fault.epoch_fences"), ls.epoch_fences);
+                s.set(
+                    &format!("{p}.fault.stale_epoch_dropped"),
+                    ls.stale_epoch_dropped,
+                );
+            }
         }
         // Collective-offload counters: keyed only once the engine has
         // seen a request (every Collective request increments exactly one
@@ -487,10 +595,17 @@ impl Component for Nic {
             return;
         };
         let now = ctx.now();
-        if let Some(t) = sched.crash_time(self.node) {
+        for t in sched.crash_times(self.node) {
             ctx.wake_me(
                 PORT_FAULT,
                 Payload::new(FaultWake::Crash),
+                t.saturating_sub(now),
+            );
+        }
+        for t in sched.restart_times(self.node) {
+            ctx.wake_me(
+                PORT_FAULT,
+                Payload::new(FaultWake::Restart),
                 t.saturating_sub(now),
             );
         }
@@ -501,23 +616,45 @@ impl Component for Nic {
                 t.saturating_sub(now),
             );
         }
-        for peer in sched.crashed_nodes() {
+        for peer in sched.crashing_nodes() {
             if peer == self.node {
                 continue;
             }
-            let t = sched.crash_time(peer).expect("listed as crashed");
-            ctx.wake_me(
-                PORT_FAULT,
-                Payload::new(FaultWake::PeerDead(peer)),
-                (t + self.keepalive).saturating_sub(now),
-            );
+            // One detection wake per crash instant (a node may die more
+            // than once); the handler re-checks the schedule so a peer
+            // that restarted inside the keepalive window is spared.
+            for t in sched.crash_times(peer) {
+                ctx.wake_me(
+                    PORT_FAULT,
+                    Payload::new(FaultWake::PeerDead(peer)),
+                    (t + self.keepalive).saturating_sub(now),
+                );
+            }
+            for t in sched.restart_times(peer) {
+                ctx.wake_me(
+                    PORT_FAULT,
+                    Payload::new(FaultWake::PeerRestart(peer)),
+                    t.saturating_sub(now),
+                );
+            }
         }
     }
 
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         if self.crashed {
-            // Crash-stop: the NIC is gone. Frames, host requests, and
-            // stale timer wakes all fall on silence.
+            // Crash-stop: the NIC is gone. Frames, host requests, stale
+            // timer wakes, and even fault wakes about *other* components
+            // all fall on silence — a dead node observes nothing. The
+            // one exception is its own scheduled rebirth.
+            if ev.port == PORT_FAULT {
+                let wake = *ev
+                    .payload
+                    .downcast::<FaultWake>()
+                    .expect("FAULT carries FaultWake");
+                if matches!(wake, FaultWake::Restart) {
+                    self.on_fault(wake, ctx);
+                }
+            }
             return;
         }
         // Mirror the simulation's tracing state into the firmware and

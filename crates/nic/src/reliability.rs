@@ -95,6 +95,12 @@ pub struct LinkStats {
     pub credits_granted: u64,
     /// Eager flow-control credits received from peers.
     pub credits_received: u64,
+    /// Per-peer link states wiped because the peer came back under a new
+    /// incarnation (scheduled restart wake or a higher-epoch frame).
+    pub epoch_fences: u64,
+    /// Frames dropped because they carried a *pre-restart* incarnation —
+    /// ghost traffic from a dead epoch that must never resync the window.
+    pub stale_epoch_dropped: u64,
 }
 
 /// Sender-side state for one peer.
@@ -190,6 +196,13 @@ pub struct Reliability {
     /// Credits extracted from arriving frames, waiting for the firmware
     /// to collect ([`Reliability::take_credit_returns`]).
     credit_returns: Vec<(NodeId, u32)>,
+    /// This node's incarnation epoch, stamped on every outgoing frame.
+    /// 0 from boot; a NIC reborn after a crash constructs its fresh
+    /// engine with the bumped epoch.
+    epoch: u32,
+    /// Highest incarnation seen (or scheduled) per peer. Frames below a
+    /// peer's entry are ghosts from a dead epoch and are fenced.
+    peer_epoch: BTreeMap<NodeId, u32>,
 }
 
 impl Reliability {
@@ -208,7 +221,41 @@ impl Reliability {
             newly_dead: Vec::new(),
             pending_grants: BTreeMap::new(),
             credit_returns: Vec::new(),
+            epoch: 0,
+            peer_epoch: BTreeMap::new(),
         }
+    }
+
+    /// Set this node's incarnation epoch (a reborn NIC constructs its
+    /// fresh engine, then stamps it with the post-restart epoch).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// This node's current incarnation epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// `peer` is (about to be) back under incarnation `epoch`: wipe every
+    /// piece of link state keyed to its previous life — the tx window and
+    /// its ghost sequence numbers, the rx cursor, pending credit grants,
+    /// and the sticky dead mark — so the next exchange starts from seq 1
+    /// on both sides instead of deadlocking on pre-crash numbers. Returns
+    /// whether the peer had been marked dead (i.e. this is a revival).
+    /// Idempotent per epoch: a second fence at the same epoch is a no-op.
+    pub fn fence_peer(&mut self, peer: NodeId, epoch: u32) -> bool {
+        let known = self.peer_epoch.get(&peer).copied().unwrap_or(0);
+        if epoch <= known {
+            return false;
+        }
+        self.peer_epoch.insert(peer, epoch);
+        self.tx.remove(&peer);
+        self.rx.remove(&peer);
+        self.pending_grants.remove(&peer);
+        let was_dead = self.dead.remove(&peer);
+        self.stats.epoch_fences += 1;
+        was_dead
     }
 
     /// Counter snapshot.
@@ -298,7 +345,7 @@ impl Reliability {
                 continue;
             }
             let cum = self.rx.get(&peer).map_or(0, |l| l.expected - 1);
-            let mut m = Self::control(self.node, peer, MsgKind::Ack { cum });
+            let mut m = Self::control(self.node, peer, MsgKind::Ack { cum }, self.epoch);
             m.link.credit = n;
             self.stats.credits_granted += n as u64;
             self.stats.acks_sent += 1;
@@ -325,9 +372,14 @@ impl Reliability {
             return None;
         }
         let peer = msg.header.src_node;
+        if msg.link.incarnation < self.peer_epoch.get(&peer).copied().unwrap_or(0) {
+            // Ghost frame from a dead epoch: no keepalive for the dead.
+            self.stats.stale_epoch_dropped += 1;
+            return None;
+        }
         let cum = self.rx.get(&peer).map_or(0, |l| l.expected - 1);
         self.stats.acks_sent += 1;
-        let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum });
+        let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum }, self.epoch);
         self.attach_grants(peer, &mut ack);
         Some(ack)
     }
@@ -347,6 +399,7 @@ impl Reliability {
     /// retransmit timer arms from it). Control frames pass through
     /// unsequenced.
     pub fn transmit(&mut self, mut msg: Message, at: Time) -> Message {
+        msg.link.incarnation = self.epoch;
         if msg.header.kind.is_link_control() {
             return msg;
         }
@@ -375,6 +428,21 @@ impl Reliability {
             // trusted (not even its sequence number). Drop it on the
             // floor; NACK/timer recovery covers it like a plain loss.
             self.stats.crc_dropped += 1;
+            return out;
+        }
+        // Incarnation gate, ahead of everything else the frame could
+        // touch: a frame from a *newer* epoch proves the peer restarted —
+        // fence its stale link state first, then process the frame
+        // against the fresh window. A frame from an *older* epoch is
+        // ghost traffic (a pre-crash frame still in the fabric, or a
+        // stale retransmission): accepting it — or even ACK/NACKing it —
+        // would resync the new link onto dead sequence numbers.
+        let peer = msg.header.src_node;
+        let known = self.peer_epoch.get(&peer).copied().unwrap_or(0);
+        if msg.link.incarnation > known {
+            self.fence_peer(peer, msg.link.incarnation);
+        } else if msg.link.incarnation < known {
+            self.stats.stale_epoch_dropped += 1;
             return out;
         }
         if msg.link.credit > 0 {
@@ -409,7 +477,7 @@ impl Reliability {
             link.expected += 1;
             link.nacked_for = 0;
             self.stats.acks_sent += 1;
-            let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum: seq });
+            let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum: seq }, self.epoch);
             self.attach_grants(peer, &mut ack);
             out.send.push(ack);
             out.deliver = Some(msg);
@@ -419,7 +487,7 @@ impl Reliability {
             self.stats.dup_discarded += 1;
             self.stats.acks_sent += 1;
             let cum = link.expected - 1;
-            let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum });
+            let mut ack = Self::control(self.node, peer, MsgKind::Ack { cum }, self.epoch);
             self.attach_grants(peer, &mut ack);
             out.send.push(ack);
         } else {
@@ -431,7 +499,7 @@ impl Reliability {
                 link.nacked_for = link.expected;
                 self.stats.nacks_sent += 1;
                 let expect = link.expected;
-                out.send.push(Self::control(self.node, peer, MsgKind::Nack { expect }));
+                out.send.push(Self::control(self.node, peer, MsgKind::Nack { expect }, self.epoch));
             }
         }
     }
@@ -547,9 +615,10 @@ impl Reliability {
         resend
     }
 
-    /// Header-only link control frame (ACK/NACK).
-    fn control(src: NodeId, dst: NodeId, kind: MsgKind) -> Message {
-        Message::new(
+    /// Header-only link control frame (ACK/NACK), stamped with the
+    /// sender's incarnation epoch.
+    fn control(src: NodeId, dst: NodeId, kind: MsgKind, epoch: u32) -> Message {
+        let mut m = Message::new(
             MsgHeader {
                 src_node: src,
                 dst_node: dst,
@@ -562,7 +631,9 @@ impl Reliability {
                 seq: 0,
             },
             Bytes::new(),
-        )
+        );
+        m.link.incarnation = epoch;
+        m
     }
 }
 
@@ -678,7 +749,7 @@ mod tests {
         let d2 = tx.next_deadline().expect("re-armed");
         assert_eq!(d2, d1 + Time::from_us(10), "backoff doubled the RTO");
         // An ACK clears the window and the timer, and resets backoff.
-        let ack = Reliability::control(1, 0, MsgKind::Ack { cum: 1 });
+        let ack = Reliability::control(1, 0, MsgKind::Ack { cum: 1 }, 0);
         tx.receive(ack, d2);
         assert_eq!(tx.next_deadline(), None);
         assert_eq!(tx.unacked_frames(), 0);
@@ -761,7 +832,7 @@ mod tests {
     #[test]
     fn control_frames_pass_transmit_unsequenced() {
         let mut tx = Reliability::new(0, cfg());
-        let ack = Reliability::control(0, 1, MsgKind::Ack { cum: 9 });
+        let ack = Reliability::control(0, 1, MsgKind::Ack { cum: 9 }, 0);
         let out = tx.transmit(ack, Time::ZERO);
         assert_eq!(out.link.seq, 0);
         assert_eq!(tx.unacked_frames(), 0, "control frames are not buffered");
@@ -773,5 +844,73 @@ mod tests {
         assert_eq!(tx.transmit(data(0, 1, 0), Time::ZERO).link.seq, 1);
         assert_eq!(tx.transmit(data(0, 2, 1), Time::ZERO).link.seq, 1);
         assert_eq!(tx.transmit(data(0, 1, 2), Time::ZERO).link.seq, 2);
+    }
+
+    /// The reincarnation bug, pinned at the link layer: node 0 delivers a
+    /// few frames, crashes, and comes back with a fresh engine whose
+    /// sequences restart at 1. Without fencing, the receiver's old
+    /// `expected` cursor reads the reborn node's seq 1 as an ancient
+    /// duplicate and discards it forever. The epoch stamp must (a) wipe
+    /// the stale rx cursor so post-restart traffic delivers, and (b) drop
+    /// ghost frames from the dead epoch without ACK/NACKing them.
+    #[test]
+    fn reincarnation_fence_resyncs_window_and_drops_ghosts() {
+        let mut tx = Reliability::new(0, cfg());
+        let mut rx = Reliability::new(1, cfg());
+        // Pre-crash life: three frames delivered, cursor at expected=4.
+        for i in 0..3u64 {
+            let m = tx.transmit(data(0, 1, i), Time::from_ns(10 * i));
+            assert!(rx.receive(m, Time::from_ns(10 * i + 5)).deliver.is_some());
+        }
+        // A pre-crash frame still sitting in the fabric.
+        let ghost = tx.transmit(data(0, 1, 3), Time::from_ns(40));
+        assert_eq!(ghost.link.seq, 4);
+        assert_eq!(ghost.link.incarnation, 0);
+        // Node 0 crashes and is reborn: fresh engine, epoch 1, seq from 1.
+        let mut tx = Reliability::new(0, cfg());
+        tx.set_epoch(1);
+        let reborn = tx.transmit(data(0, 1, 0), Time::from_us(300));
+        assert_eq!(reborn.link.seq, 1);
+        assert_eq!(reborn.link.incarnation, 1);
+        // Without fencing this would be dup_discarded; the epoch bump
+        // must wipe the stale cursor and deliver.
+        let r = rx.receive(reborn, Time::from_us(300));
+        assert!(r.deliver.is_some(), "post-restart seq 1 must deliver");
+        assert_eq!(r.send[0].header.kind, MsgKind::Ack { cum: 1 });
+        assert_eq!(rx.stats().dup_discarded, 0);
+        assert_eq!(rx.stats().epoch_fences, 1);
+        // The ghost arrives late: dropped cold — no deliver, no control
+        // frame that could resync either side onto dead numbers.
+        let g = rx.receive(ghost.clone(), Time::from_us(301));
+        assert!(g.deliver.is_none() && g.send.is_empty());
+        assert_eq!(rx.stats().stale_epoch_dropped, 1);
+        // Refusal path: a stale frame gets no keepalive ACK either.
+        assert!(rx.refuse(&ghost).is_none());
+        assert_eq!(rx.stats().stale_epoch_dropped, 2);
+        // Fencing is idempotent per epoch.
+        assert!(!rx.fence_peer(0, 1));
+        assert_eq!(rx.stats().epoch_fences, 1);
+    }
+
+    /// A proactive fence (scheduled restart wake) revives a dead peer:
+    /// the sticky dead mark, the stale tx window, and pending grants all
+    /// clear so the next exchange starts from scratch.
+    #[test]
+    fn fence_revives_dead_peer_and_clears_tx_state() {
+        let mut tx = Reliability::new(0, cfg());
+        tx.transmit(data(0, 1, 0), Time::ZERO);
+        tx.queue_grant(1, 4);
+        tx.mark_peer_dead(1);
+        assert!(tx.peer_dead(1));
+        assert_eq!(tx.unacked_frames(), 1);
+        let was_dead = tx.fence_peer(1, 1);
+        assert!(was_dead, "fence must report the revival");
+        assert!(!tx.peer_dead(1));
+        assert_eq!(tx.unacked_frames(), 0, "stale window wiped");
+        assert!(tx.flush_grants().is_empty(), "stale grants wiped");
+        // Fresh traffic restarts at seq 1 with a live timer.
+        let m = tx.transmit(data(0, 1, 1), Time::from_us(10));
+        assert_eq!(m.link.seq, 1);
+        assert!(tx.next_deadline().is_some());
     }
 }
