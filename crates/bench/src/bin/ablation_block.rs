@@ -7,44 +7,33 @@
 //! pipeline model to report the *effective match service time* for every
 //! geometry, on the FPGA and with the paper's conservative 5x ASIC
 //! projection.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin ablation_block -- [--server ADDR]
+//! ```
 
-use mpiq_alpu::PipelineTiming;
 use mpiq_bench::cli::Cli;
-use mpiq_fpga::{estimate, Variant};
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
-    let _cli = Cli::parse(
+    let cli = Cli::parse(
         "ablation_block",
         "ALPU block-size design space: area, clock, and match service time",
-        &[],
+        flags("ablation_block"),
     );
-    println!(
-        "{:>6} {:>6} | {:>7} {:>7} {:>7} | {:>7} {:>5} | {:>12} {:>12}",
-        "cells", "block", "LUTs", "FFs", "slices", "MHz", "lat", "FPGA ns/match", "ASIC ns/match"
-    );
-    println!("{}", "-".repeat(92));
-    for cells in [64usize, 128, 256, 512] {
-        for block in [4usize, 8, 16, 32, 64] {
-            if block > cells {
-                continue;
-            }
-            let e = estimate(Variant::PostedReceive, cells, block);
-            let t = PipelineTiming::for_geometry(cells, block);
-            let fpga_ns = t.match_latency as f64 * 1000.0 / e.mhz;
-            let asic_ns = t.match_latency as f64 * 1000.0 / e.asic_mhz();
-            println!(
-                "{:>6} {:>6} | {:>7} {:>7} {:>7} | {:>7.1} {:>5} | {:>12.1} {:>12.1}",
-                cells, block, e.luts, e.ffs, e.slices, e.mhz, t.match_latency, fpga_ns, asic_ns
-            );
-        }
-        println!();
+    let spec = RunSpec::from_cli("ablation_block", &cli).unwrap_or_else(|e| {
+        eprintln!("ablation_block: {e}");
+        std::process::exit(2);
+    });
+    let result = service::run_for_cli("ablation_block", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("ablation_block: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
-    // The sweet spot the paper chose to highlight.
-    let best = [(8usize, 16usize), (16, 16), (32, 16)];
-    let _ = best;
-    eprintln!(
-        "ablation_block: block 16 balances the trade — 6-cycle pipelines at the \
-         full ~112 MHz FPGA clock for mid-size arrays, without block-32's \
-         slow intra-block tree or block-8's register overhead."
-    );
 }

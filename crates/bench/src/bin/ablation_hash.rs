@@ -9,68 +9,33 @@
 //! 2. zero-depth row — where hashing hurts (insert overhead in the loop);
 //! 3. wildcard-depth sweep — where hashing collapses back to a scan and
 //!    the ALPU does not.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin ablation_hash -- [--server ADDR]
+//! ```
 
 use mpiq_bench::cli::Cli;
-use mpiq_bench::{postloop_rtt, run_parallel, PostLoopPoint};
-use mpiq_nic::NicConfig;
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
-    let cli = Cli::parse("ablation_hash", "linear list vs hash-binned matching vs ALPU", &[]);
-    let configs: Vec<(&str, NicConfig)> = vec![
-        ("list", NicConfig::baseline()),
-        ("hash16", NicConfig::with_hash(16)),
-        ("hash64", NicConfig::with_hash(64)),
-        ("hash256", NicConfig::with_hash(256)),
-        ("alpu256", NicConfig::with_alpus(256)),
-    ];
-
-    println!("# exact-depth sweep (wildcards = 0), per-iteration RTT in us");
-    sweep(&configs, &cli.common, |q| PostLoopPoint {
-        exact_prepost: q,
-        wildcard_prepost: 0,
-        msg_size: 0,
-    });
-
-    println!("\n# wildcard-depth sweep (exact = 0), per-iteration RTT in us");
-    sweep(&configs, &cli.common, |q| PostLoopPoint {
-        exact_prepost: 0,
-        wildcard_prepost: q,
-        msg_size: 0,
-    });
-
-    eprintln!(
-        "\nablation_hash: hashing wins on deep exact queues, loses the \
-         zero-depth row to its insertion cost, and degenerates under \
-         wildcard pollution; the ALPU dominates all three regimes."
+    let cli = Cli::parse(
+        "ablation_hash",
+        "linear list vs hash-binned matching vs ALPU",
+        flags("ablation_hash"),
     );
-}
-
-fn sweep(
-    configs: &[(&str, NicConfig)],
-    common: &mpiq_bench::cli::Common,
-    point: impl Fn(usize) -> PostLoopPoint + Sync,
-) {
-    let depths = [0usize, 25, 50, 100, 200, 300, 400];
-    print!("{:>8}", "depth");
-    for (label, _) in configs {
-        print!("{label:>10}");
-    }
-    println!();
-    let work: Vec<(usize, usize)> = depths
-        .iter()
-        .enumerate()
-        .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
-        .collect();
-    let engine_threads = common.threads;
-    let results = run_parallel(work.clone(), common.sweep_threads, move |&(qi, ci)| {
-        postloop_rtt(configs[ci].1, point(depths[qi]), engine_threads).as_us_f64()
+    let spec = RunSpec::from_cli("ablation_hash", &cli).unwrap_or_else(|e| {
+        eprintln!("ablation_hash: {e}");
+        std::process::exit(2);
     });
-    for (qi, &q) in depths.iter().enumerate() {
-        print!("{q:>8}");
-        for ci in 0..configs.len() {
-            let idx = work.iter().position(|&w| w == (qi, ci)).expect("present");
-            print!("{:>10.3}", results[idx]);
-        }
-        println!();
+    let result = service::run_for_cli("ablation_hash", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("ablation_hash: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
 }

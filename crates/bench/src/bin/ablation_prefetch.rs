@@ -10,71 +10,33 @@
 //! L1 already at capacity. It also cannot touch the in-cache 15 ns/entry
 //! issue-bound cost. The measurement argues the paper's §VII question has
 //! no easy cache-side answer; the ALPU's flat curve stands alone.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin ablation_prefetch -- [--server ADDR]
+//! ```
 
 use mpiq_bench::cli::Cli;
-use mpiq_bench::{preposted_latency_cfg, run_parallel, PrepostedPoint};
-use mpiq_nic::NicConfig;
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
     let cli = Cli::parse(
         "ablation_prefetch",
         "next-line prefetch vs the ALPU at the cache cliff (§VII)",
-        &[],
+        flags("ablation_prefetch"),
     );
-    let engine_threads = cli.common.threads;
-    let configs: Vec<(&str, NicConfig)> = vec![
-        ("baseline", NicConfig::baseline()),
-        ("prefetch", NicConfig::with_prefetch()),
-        ("alpu256", NicConfig::with_alpus(256)),
-    ];
-    let queues = [0usize, 100, 200, 300, 400, 450, 500];
-
-    print!("{:>8}", "queue");
-    for (label, _) in &configs {
-        print!("{label:>12}");
-    }
-    println!("   (one-way latency, us; fraction = 1.0, 0 B)");
-
-    let work: Vec<(usize, usize)> = queues
-        .iter()
-        .enumerate()
-        .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
-        .collect();
-    let results = run_parallel(work.clone(), cli.common.sweep_threads, |&(qi, ci)| {
-        preposted_latency_cfg(
-            configs[ci].1,
-            PrepostedPoint {
-                queue_len: queues[qi],
-                fraction: 1.0,
-                msg_size: 0,
-            },
-            engine_threads,
-        )
-        .latency
-        .as_us_f64()
+    let spec = RunSpec::from_cli("ablation_prefetch", &cli).unwrap_or_else(|e| {
+        eprintln!("ablation_prefetch: {e}");
+        std::process::exit(2);
     });
-    for (qi, &q) in queues.iter().enumerate() {
-        print!("{q:>8}");
-        for ci in 0..configs.len() {
-            let idx = work.iter().position(|&w| w == (qi, ci)).expect("present");
-            print!("{:>12.3}", results[idx]);
-        }
-        println!();
+    let result = service::run_for_cli("ablation_prefetch", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("ablation_prefetch: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
-
-    // Marginal cost in the out-of-cache band.
-    let get = |label: &str, q: usize| {
-        let ci = configs.iter().position(|(l, _)| *l == label).expect("label");
-        let qi = queues.iter().position(|&x| x == q).expect("queue");
-        results[work.iter().position(|&w| w == (qi, ci)).expect("present")]
-    };
-    for label in ["baseline", "prefetch"] {
-        let slope = (get(label, 500) - get(label, 450)) / 50.0 * 1000.0;
-        eprintln!("ablation_prefetch: {label} out-of-cache marginal cost {slope:.0} ns/entry");
-    }
-    eprintln!(
-        "ablation_prefetch: prefetching shaves cold-start costs but loses at \
-         the cache cliff (bank contention + pollution) and never touches the \
-         issue-bound walk; only the ALPU flattens the curve."
-    );
 }

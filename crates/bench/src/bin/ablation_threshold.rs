@@ -5,79 +5,33 @@
 //! harness implements exactly that knob (`AlpuSetup::engage_threshold`)
 //! and sweeps it: with the threshold at 5, the zero-length penalty
 //! disappears while the deep-queue win is retained.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin ablation_threshold -- [--server ADDR]
+//! ```
 
 use mpiq_bench::cli::Cli;
-use mpiq_bench::{preposted_latency_cfg, run_parallel, PrepostedPoint};
-use mpiq_nic::{AlpuSetup, NicConfig};
-
-fn with_threshold(cells: usize, threshold: usize) -> NicConfig {
-    let mut cfg = NicConfig::with_alpus(cells);
-    let setup = AlpuSetup {
-        engage_threshold: threshold,
-        ..cfg.posted_alpu.expect("alpus configured")
-    };
-    cfg.posted_alpu = Some(setup);
-    cfg.unexpected_alpu = Some(setup);
-    cfg
-}
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
     let cli = Cli::parse(
         "ablation_threshold",
         "§VI-B engagement heuristic: ALPU engage threshold sweep",
-        &[],
+        flags("ablation_threshold"),
     );
-    let engine_threads = cli.common.threads;
-    let thresholds = [0usize, 5, 10];
-    let queues: Vec<usize> = (0..=16).chain([32, 64, 128].iter().copied()).collect();
-
-    let mut configs: Vec<(String, NicConfig)> =
-        vec![("baseline".to_string(), NicConfig::baseline())];
-    for &t in &thresholds {
-        configs.push((format!("alpu128(thr={t})"), with_threshold(128, t)));
-    }
-
-    print!("{:>8}", "queue");
-    for (label, _) in &configs {
-        print!("{label:>16}");
-    }
-    println!();
-
-    let work: Vec<(usize, usize)> = queues
-        .iter()
-        .enumerate()
-        .flat_map(|(qi, _)| (0..configs.len()).map(move |ci| (qi, ci)))
-        .collect();
-    let results = run_parallel(work.clone(), cli.common.sweep_threads, |&(qi, ci)| {
-        preposted_latency_cfg(
-            configs[ci].1,
-            PrepostedPoint {
-                queue_len: queues[qi],
-                fraction: 1.0,
-                msg_size: 0,
-            },
-            engine_threads,
-        )
-        .latency
-        .as_us_f64()
+    let spec = RunSpec::from_cli("ablation_threshold", &cli).unwrap_or_else(|e| {
+        eprintln!("ablation_threshold: {e}");
+        std::process::exit(2);
     });
-
-    for (qi, &q) in queues.iter().enumerate() {
-        print!("{q:>8}");
-        for ci in 0..configs.len() {
-            let idx = work.iter().position(|&w| w == (qi, ci)).expect("present");
-            print!("{:>16.3}", results[idx]);
-        }
-        println!();
-    }
-
-    // Summary: penalty at queue 0 per threshold.
-    let base0 = results[work.iter().position(|&w| w == (0, 0)).unwrap()];
-    for (ci, (label, _)) in configs.iter().enumerate().skip(1) {
-        let v0 = results[work.iter().position(|&w| w == (0, ci)).unwrap()];
-        eprintln!(
-            "ablation_threshold: {label} zero-length penalty {:.0} ns",
-            (v0 - base0) * 1000.0
-        );
+    let result = service::run_for_cli("ablation_threshold", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("ablation_threshold: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
 }

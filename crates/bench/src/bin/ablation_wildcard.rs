@@ -3,60 +3,33 @@
 //! unused" — quantifying why the paper calls the workaround "an
 //! inefficient use of processing and memory resources", and what cancels
 //! do to DELETE-less ALPU hardware.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin ablation_wildcard -- [--server ADDR]
+//! ```
 
 use mpiq_bench::cli::Cli;
-use mpiq_bench::wildcard::{wildcard_workaround, RecvStrategy, WildcardStudy};
-use mpiq_bench::{run_parallel, NicVariant};
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
     let cli = Cli::parse(
         "ablation_wildcard",
         "MPI_ANY_SOURCE vs the post-all-and-cancel workaround (§II)",
-        &[],
+        flags("ablation_wildcard"),
     );
-    let engine_threads = cli.common.threads;
-    let iters = 48u32;
-    let sender_counts = [2u32, 4, 8, 12];
-    let work: Vec<(NicVariant, RecvStrategy, u32)> = sender_counts
-        .iter()
-        .flat_map(|&s| {
-            [NicVariant::Baseline, NicVariant::Alpu128]
-                .into_iter()
-                .flat_map(move |v| {
-                    [RecvStrategy::AnySource, RecvStrategy::PostAllCancel]
-                        .into_iter()
-                        .map(move |st| (v, st, s))
-                })
-        })
-        .collect();
-    let results: Vec<WildcardStudy> = run_parallel(work.clone(), cli.common.sweep_threads, move |&(v, st, s)| {
-        wildcard_workaround(v.config(), st, s, iters, engine_threads)
+    let spec = RunSpec::from_cli("ablation_wildcard", &cli).unwrap_or_else(|e| {
+        eprintln!("ablation_wildcard: {e}");
+        std::process::exit(2);
     });
-
-    println!(
-        "{:>8} {:>9} {:>15} | {:>10} {:>11} {:>9} {:>7}",
-        "senders", "config", "strategy", "total_us", "traversed", "ghosts", "purges"
-    );
-    for (i, &(v, st, s)) in work.iter().enumerate() {
-        let r = &results[i];
-        println!(
-            "{:>8} {:>9} {:>15} | {:>10.1} {:>11} {:>9} {:>7}",
-            s,
-            v.label(),
-            match st {
-                RecvStrategy::AnySource => "any_source",
-                RecvStrategy::PostAllCancel => "post_all+cancel",
-            },
-            r.total.as_us_f64(),
-            r.software_traversed,
-            r.ghosted_cancels,
-            r.purges
-        );
+    let result = service::run_for_cli("ablation_wildcard", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("ablation_wildcard: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
-    eprintln!(
-        "\nablation_wildcard: the workaround multiplies receiver-side work by \
-         the source count and — on ALPU hardware with no DELETE command — \
-         fills the unit with tombstones, forcing RESET+rebuild purges. \
-         MPI_ANY_SOURCE costs none of that (§II)."
-    );
 }

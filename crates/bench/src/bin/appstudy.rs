@@ -1,60 +1,33 @@
 //! Application queue-characterization study (the methodology of refs
 //! [8, 9], which motivate the paper): queue depths and traversal work for
 //! four application communication patterns, per NIC configuration.
+//!
+//! ```text
+//! cargo run -p mpiq-bench --bin appstudy -- [--server ADDR]
+//! ```
 
-use mpiq_bench::appsim::{run_app, AppPattern};
 use mpiq_bench::cli::Cli;
-use mpiq_bench::{run_parallel, NicVariant};
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
     let cli = Cli::parse(
         "appstudy",
         "queue depths and traversal work for four application patterns",
-        &[],
+        flags("appstudy"),
     );
-    let engine_threads = cli.common.threads;
-    let patterns = [
-        AppPattern::Stencil2D {
-            side: 4,
-            iters: 16,
-            prepost_depth: 16,
-        },
-        AppPattern::Wavefront { side: 4, sweeps: 8 },
-        AppPattern::MasterWorker {
-            workers: 12,
-            rounds: 16,
-            compute_ns: 4_000,
-        },
-        AppPattern::Transpose { ranks: 8, rounds: 6 },
-    ];
-
-    println!(
-        "{:>14} {:>9} | {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "pattern", "config", "max_posted", "avg_posted", "max_unexp", "avg_unexp", "traversed", "runtime_us"
-    );
-    let work: Vec<(usize, NicVariant)> = (0..patterns.len())
-        .flat_map(|p| NicVariant::ALL.map(|v| (p, v)))
-        .collect();
-    let results = run_parallel(work.clone(), cli.common.sweep_threads, move |&(p, v)| {
-        run_app(v.config(), patterns[p], engine_threads)
+    let spec = RunSpec::from_cli("appstudy", &cli).unwrap_or_else(|e| {
+        eprintln!("appstudy: {e}");
+        std::process::exit(2);
     });
-    for (i, &(p, v)) in work.iter().enumerate() {
-        let s = &results[i];
-        println!(
-            "{:>14} {:>9} | {:>10} {:>10.1} {:>12} {:>12.1} {:>12} {:>12.1}",
-            patterns[p].name(),
-            v.label(),
-            s.max_posted,
-            s.avg_posted,
-            s.max_unexpected,
-            s.avg_unexpected,
-            s.traversed,
-            s.runtime.as_us_f64()
-        );
+    let result = service::run_for_cli("appstudy", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("appstudy: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
-    eprintln!(
-        "\nappstudy: queue depths reach tens-to-hundreds of entries exactly as \
-         the motivating studies [8,9] report; the ALPU configurations absorb \
-         the traversal work."
-    );
 }

@@ -5,76 +5,31 @@
 //! least 5 entries long".
 //!
 //! ```text
-//! cargo run -p mpiq-bench --bin breakeven -- [MAX_QUEUE]
+//! cargo run -p mpiq-bench --bin breakeven -- [MAX_QUEUE] [--server ADDR]
 //! ```
 
 use mpiq_bench::cli::Cli;
-use mpiq_bench::{preposted_latency_cfg, run_parallel, NicVariant, PrepostedPoint};
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
     let cli = Cli::parse(
         "breakeven",
         "§VI-B break-even: queue length where the ALPU pays for itself (positional: MAX_QUEUE)",
-        &[],
+        flags("breakeven"),
     );
-    let max: usize = cli
-        .positionals()
-        .first()
-        .map(|s| s.parse().expect("MAX_QUEUE: usize"))
-        .unwrap_or(16);
-    let engine_threads = cli.common.threads;
-    let points: Vec<(NicVariant, usize)> = (0..=max)
-        .flat_map(|q| {
-            [
-                (NicVariant::Baseline, q),
-                (NicVariant::Alpu128, q),
-                (NicVariant::Alpu256, q),
-            ]
-        })
-        .collect();
-    let rows = run_parallel(points.clone(), cli.common.sweep_threads, move |&(v, q)| {
-        preposted_latency_cfg(
-            v.config(),
-            PrepostedPoint {
-                queue_len: q,
-                fraction: 1.0,
-                msg_size: 0,
-            },
-            engine_threads,
-        )
-        .latency
+    let spec = RunSpec::from_cli("breakeven", &cli).unwrap_or_else(|e| {
+        eprintln!("breakeven: {e}");
+        std::process::exit(2);
     });
-
-    println!("queue_len,baseline_us,alpu128_us,alpu256_us,alpu128_delta_ns");
-    let mut breakeven = None;
-    for q in 0..=max {
-        let get = |v: NicVariant| {
-            points
-                .iter()
-                .zip(&rows)
-                .find(|((pv, pq), _)| *pv == v && *pq == q)
-                .map(|(_, &t)| t)
-                .expect("present")
-        };
-        let b = get(NicVariant::Baseline);
-        let a128 = get(NicVariant::Alpu128);
-        let a256 = get(NicVariant::Alpu256);
-        let delta_ns = a128.as_ns_f64() - b.as_ns_f64();
-        println!(
-            "{q},{:.4},{:.4},{:.4},{:.1}",
-            b.as_us_f64(),
-            a128.as_us_f64(),
-            a256.as_us_f64(),
-            delta_ns
-        );
-        if breakeven.is_none() && delta_ns <= 0.0 {
-            breakeven = Some(q);
-        }
+    let result = service::run_for_cli("breakeven", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("breakeven: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
-    eprintln!(
-        "breakeven: ALPU-128 pays for itself at queue length {:?} (paper: ~5); \
-         zero-length penalty {:.0} ns (paper: ~80)",
-        breakeven,
-        rows[1].as_ns_f64() - rows[0].as_ns_f64()
-    );
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p mpiq-bench --bin collectives -- [--ranks 64,128]
 //!     [--ops barrier,allreduce] [--topos hub,fattree] [--modes offload,host]
-//!     [--len 64] [--iters 4] [--threads 4]
+//!     [--len 64] [--iters 4] [--threads 4] [--server 127.0.0.1:7171]
 //!     [--out BENCH_collectives.json] [--check BENCH_collectives.json]
 //!     [--tolerance 10]
 //! ```
@@ -22,150 +22,24 @@
 //!   tree edge to one per collective per rank;
 //! * `events`, `wall_ms` — engine cost of the cell (not gated).
 //!
-//! In `offload` mode the NIC accepts every collective
-//! (`NicConfig::coll_offload = true`); in `host` mode it declines and
-//! the script replays the identical shared step plan through ordinary
-//! sends and receives — so a cell pair isolates exactly the offload
-//! benefit on identical wire traffic patterns.
+//! The flags assemble a [`RunSpec`] executed by [`mpiq_bench::exec`] —
+//! locally, or on a `simd` daemon with `--server ADDR`. The headline
+//! acceptance claim (offload must finish with fewer host completions
+//! and no more simulated time than host-driven on the same fabric) is
+//! enforced inside the executor; violations come back as result
+//! failures and exit 1.
 //!
 //! `--check PATH` compares every current cell against the tracked
 //! baseline's matching cell and fails (exit 1) when `sim_ns_per_op`
 //! drifts more than `--tolerance` percent in *either* direction — these
 //! are simulated numbers, so both regressions and silent model changes
-//! are findings. The run also enforces the headline acceptance claim on
-//! every fat-tree pair: offload must finish with fewer host completions
-//! and no more simulated time than host-driven.
+//! are findings.
 
-use mpiq_bench::cli::{Cli, Flag};
+use mpiq_bench::cli::Cli;
 use mpiq_bench::jsonlint::{self, Json};
 use mpiq_bench::report::{json_f64, json_str};
-use mpiq_dessim::Time;
-use mpiq_mpi::script::{mark_log, MarkLog};
-use mpiq_mpi::{AppProgram, Cluster, ClusterConfig, Script};
-use mpiq_net::Topology;
-use mpiq_nic::{CollOp, NicConfig};
-use std::time::Instant;
-
-struct Row {
-    ranks: u32,
-    op: &'static str,
-    topo: &'static str,
-    mode: &'static str,
-    sim_ns_per_op: f64,
-    host_completions: u64,
-    events: u64,
-    wall_ms: f64,
-}
-
-const FLAGS: &[Flag] = &[
-    Flag { name: "ranks", value: Some("LIST"), help: "rank counts to sweep (default 64,128)" },
-    Flag {
-        name: "ops",
-        value: Some("LIST"),
-        help: "collectives to run: barrier, bcast, allreduce (default barrier,allreduce)",
-    },
-    Flag {
-        name: "topos",
-        value: Some("LIST"),
-        help: "fabrics to run: hub, fattree (default both)",
-    },
-    Flag {
-        name: "modes",
-        value: Some("LIST"),
-        help: "collective engines: offload, host (default both)",
-    },
-    Flag { name: "len", value: Some("B"), help: "bcast/allreduce payload bytes (default 64)" },
-    Flag { name: "iters", value: Some("N"), help: "collectives per rank per cell (default 4)" },
-    Flag {
-        name: "check",
-        value: Some("PATH"),
-        help: "baseline BENCH_collectives.json; fail when sim_ns_per_op drifts past --tolerance",
-    },
-    Flag {
-        name: "tolerance",
-        value: Some("PCT"),
-        help: "allowed sim_ns_per_op drift vs the baseline, percent, both directions (default 10)",
-    },
-];
-
-fn parse_op(name: &str) -> (&'static str, CollOp, u32) {
-    match name {
-        "barrier" => ("barrier", CollOp::Barrier, 0),
-        "bcast" => ("bcast", CollOp::Bcast, 1),
-        "allreduce" => ("allreduce", CollOp::Allreduce, 0),
-        other => panic!("unknown op `{other}` (expected barrier, bcast, or allreduce)"),
-    }
-}
-
-/// The fat tree used at each scale: 8-port edge switches up to 64
-/// ranks, 16-port beyond, always half the radix up.
-fn fat_tree(ranks: u32) -> Topology {
-    let down = if ranks <= 64 { 8 } else { 16 };
-    Topology::FatTree { down, up: down / 2 }
-}
-
-fn topology(topo: &str, ranks: u32) -> Topology {
-    match topo {
-        "hub" => Topology::Hub,
-        "fattree" => fat_tree(ranks),
-        other => panic!("unknown topo `{other}` (expected hub or fattree)"),
-    }
-}
-
-/// One cell: every rank runs `iters` back-to-back collectives between a
-/// pair of marks.
-fn run_cell(
-    ranks: u32,
-    op: CollOp,
-    root: u32,
-    len: u32,
-    iters: u32,
-    topo: Topology,
-    offload: bool,
-    threads: usize,
-    seed: u64,
-) -> (f64, u64, u64, f64) {
-    let mut marks: Vec<MarkLog> = Vec::new();
-    let programs: Vec<Box<dyn AppProgram>> = (0..ranks)
-        .map(|_| {
-            let mark = mark_log();
-            let mut b = Script::builder();
-            b.mark(0);
-            for _ in 0..iters {
-                b.coll(op, root, len, None);
-            }
-            b.mark(1);
-            marks.push(mark.clone());
-            Box::new(b.build(mark)) as Box<dyn AppProgram>
-        })
-        .collect();
-    let mut nic = NicConfig::baseline();
-    nic.coll_offload = offload;
-    let cfg = ClusterConfig::builder(nic)
-        .seed(seed)
-        .topology(topo)
-        .parallelism(threads)
-        .build();
-    let start = Instant::now();
-    let mut c = Cluster::new(cfg, programs);
-    let events = c
-        .run_watched(Time::from_ms(2000))
-        .unwrap_or_else(|d| panic!("collectives cell stalled:\n{d}"));
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let t0 = marks
-        .iter()
-        .filter_map(|m| m.borrow().iter().find(|(id, _)| *id == 0).map(|&(_, t)| t))
-        .min()
-        .expect("every rank recorded its start mark");
-    let t1 = marks
-        .iter()
-        .filter_map(|m| m.borrow().iter().find(|(id, _)| *id == 1).map(|&(_, t)| t))
-        .max()
-        .expect("every rank recorded its end mark");
-    let sim_ns_per_op = (t1 - t0).as_ns_f64() / iters as f64;
-    let host_completions: u64 = (0..ranks).map(|r| c.host(r).completions() as u64).sum();
-    (sim_ns_per_op, host_completions, events, wall_ms)
-}
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, BenchSpec, ResultRow, RunSpec};
 
 /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
 fn code_version() -> String {
@@ -181,7 +55,7 @@ fn code_version() -> String {
 }
 
 /// Render the tracked document; validated by `jsonlint` before writing.
-fn render(rows: &[Row], len: u32, iters: u32, seed: u64) -> String {
+fn render(rows: &[ResultRow], len: u32, iters: u32, seed: u64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"collectives\",\n");
@@ -196,14 +70,14 @@ fn render(rows: &[Row], len: u32, iters: u32, seed: u64) -> String {
             "    {{\"ranks\": {}, \"op\": {}, \"topo\": {}, \"mode\": {}, \
              \"sim_ns_per_op\": {}, \"host_completions\": {}, \"events\": {}, \
              \"wall_ms\": {}}}{comma}\n",
-            r.ranks,
-            json_str(r.op),
-            json_str(r.topo),
-            json_str(r.mode),
-            json_f64(r.sim_ns_per_op),
-            r.host_completions,
-            r.events,
-            json_f64(r.wall_ms),
+            r.num("ranks").unwrap_or(0.0) as u64,
+            json_str(&r.text("op").unwrap_or_default()),
+            json_str(&r.text("topo").unwrap_or_default()),
+            json_str(&r.text("mode").unwrap_or_default()),
+            json_f64(r.num("sim_ns_per_op").unwrap_or(0.0)),
+            r.num("host_completions").unwrap_or(0.0) as u64,
+            r.num("events").unwrap_or(0.0) as u64,
+            json_f64(r.num("wall_ms").unwrap_or(0.0)),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -215,7 +89,11 @@ fn render(rows: &[Row], len: u32, iters: u32, seed: u64) -> String {
 /// is deterministic, so drift in either direction past the band is a
 /// failure. Baseline rows with no matching current cell are skipped; a
 /// baseline matching nothing is an error (the gate would be vacuous).
-fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Vec<String>, String> {
+fn check_baseline(
+    baseline: &str,
+    rows: &[ResultRow],
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
     let doc = jsonlint::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let base_rows = doc
         .get("rows")
@@ -225,28 +103,29 @@ fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Ve
     let mut failures = Vec::new();
     let mut matched = 0usize;
     for r in rows {
+        let ranks = r.num("ranks").unwrap_or(0.0) as u64;
+        let op = r.text("op").unwrap_or_default();
+        let topo = r.text("topo").unwrap_or_default();
+        let mode = r.text("mode").unwrap_or_default();
+        let sim_ns_per_op = r.num("sim_ns_per_op").unwrap_or(0.0);
         let Some(base) = base_rows.iter().find(|b| {
-            b.get("ranks").and_then(Json::as_u64) == Some(r.ranks as u64)
-                && b.get("op").and_then(Json::as_str) == Some(r.op)
-                && b.get("topo").and_then(Json::as_str) == Some(r.topo)
-                && b.get("mode").and_then(Json::as_str) == Some(r.mode)
+            b.get("ranks").and_then(Json::as_u64) == Some(ranks)
+                && b.get("op").and_then(Json::as_str) == Some(op.as_str())
+                && b.get("topo").and_then(Json::as_str) == Some(topo.as_str())
+                && b.get("mode").and_then(Json::as_str) == Some(mode.as_str())
         }) else {
             continue;
         };
         let base_ns = base.get("sim_ns_per_op").and_then(Json::as_f64).ok_or_else(|| {
-            format!(
-                "baseline row ({} ranks, {}, {}, {}) has no sim_ns_per_op",
-                r.ranks, r.op, r.topo, r.mode
-            )
+            format!("baseline row ({ranks} ranks, {op}, {topo}, {mode}) has no sim_ns_per_op")
         })?;
         matched += 1;
-        let drift = (r.sim_ns_per_op / base_ns - 1.0) * 100.0;
+        let drift = (sim_ns_per_op / base_ns - 1.0) * 100.0;
         if drift.abs() > tolerance_pct {
             failures.push(format!(
                 "{} ranks {} {} {}: {:.0} ns/op drifts {:+.1}% from baseline {:.0} \
                  (version {}, tolerance ±{}%)",
-                r.ranks, r.op, r.topo, r.mode, r.sim_ns_per_op, drift, base_ns,
-                base_version, tolerance_pct,
+                ranks, op, topo, mode, sim_ns_per_op, drift, base_ns, base_version, tolerance_pct,
             ));
         }
     }
@@ -262,119 +141,35 @@ fn main() {
     let cli = Cli::parse(
         "collectives",
         "NIC-offloaded vs host-driven collectives across fabrics and scales",
-        FLAGS,
+        flags("collectives"),
     );
-    let ranks_list: Vec<u32> = cli.get_list("ranks", vec![64, 128]);
-    let ops: Vec<String> =
-        cli.get_list("ops", vec!["barrier".to_string(), "allreduce".to_string()]);
-    let topos: Vec<String> = cli.get_list("topos", vec!["hub".to_string(), "fattree".to_string()]);
-    let modes: Vec<String> =
-        cli.get_list("modes", vec!["offload".to_string(), "host".to_string()]);
-    let len: u32 = cli.get("len", 64);
-    let iters: u32 = cli.get("iters", 4);
+    let spec = RunSpec::from_cli("collectives", &cli).unwrap_or_else(|e| {
+        eprintln!("collectives: {e}");
+        std::process::exit(2);
+    });
+    let BenchSpec::Collectives { ranks, ops, topos, modes, len, iters } = spec.bench.clone() else {
+        unreachable!()
+    };
     let tolerance: f64 = cli.get("tolerance", 10.0);
-    let seed = cli.common.seed.unwrap_or(1);
-    let threads = if cli.common.threads == 0 { 4 } else { cli.common.threads };
-    assert!(iters >= 1, "--iters must be >= 1");
+    let seed = spec.seed.unwrap_or(1);
+    let threads = if spec.threads == 0 { 4 } else { spec.threads };
 
     eprintln!(
-        "collectives: ranks {ranks_list:?}, ops {ops:?}, topos {topos:?}, modes {modes:?}, \
+        "collectives: ranks {ranks:?}, ops {ops:?}, topos {topos:?}, modes {modes:?}, \
          {iters} iters, {threads} engine threads, seed {seed}"
     );
 
-    let mut rows: Vec<Row> = Vec::new();
-    println!("ranks,op,topo,mode,sim_ns_per_op,host_completions,events,wall_ms");
-    for &ranks in &ranks_list {
-        for op_name in &ops {
-            let (op_label, op, root) = parse_op(op_name);
-            for topo_name in &topos {
-                let topo_label: &'static str = match topo_name.as_str() {
-                    "hub" => "hub",
-                    "fattree" => "fattree",
-                    other => panic!("unknown topo `{other}` (expected hub or fattree)"),
-                };
-                for mode in &modes {
-                    let (mode_label, offload): (&'static str, bool) = match mode.as_str() {
-                        "offload" => ("offload", true),
-                        "host" => ("host", false),
-                        other => panic!("unknown mode `{other}` (expected offload or host)"),
-                    };
-                    let (sim_ns_per_op, host_completions, events, wall_ms) = run_cell(
-                        ranks,
-                        op,
-                        root,
-                        len,
-                        iters,
-                        topology(topo_label, ranks),
-                        offload,
-                        threads,
-                        seed,
-                    );
-                    println!(
-                        "{ranks},{op_label},{topo_label},{mode_label},{sim_ns_per_op:.0},\
-                         {host_completions},{events},{wall_ms:.1}"
-                    );
-                    rows.push(Row {
-                        ranks,
-                        op: op_label,
-                        topo: topo_label,
-                        mode: mode_label,
-                        sim_ns_per_op,
-                        host_completions,
-                        events,
-                        wall_ms,
-                    });
-                }
-            }
-        }
-    }
-
-    // The acceptance claim, enforced on every pair that ran both modes:
-    // on the same fabric, offload must deliver fewer host completions
-    // and no more simulated time than the host-driven tree.
-    let mut claim_failures = Vec::new();
-    for off in rows.iter().filter(|r| r.mode == "offload") {
-        let Some(host) = rows
-            .iter()
-            .find(|r| r.mode == "host" && r.ranks == off.ranks && r.op == off.op && r.topo == off.topo)
-        else {
-            continue;
-        };
-        eprintln!(
-            "collectives: {} ranks {} {}: offload {:.0} ns/op / {} completions vs \
-             host {:.0} ns/op / {} completions ({:.2}x latency, {:.1}x completions)",
-            off.ranks,
-            off.op,
-            off.topo,
-            off.sim_ns_per_op,
-            off.host_completions,
-            host.sim_ns_per_op,
-            host.host_completions,
-            host.sim_ns_per_op / off.sim_ns_per_op,
-            host.host_completions as f64 / off.host_completions as f64,
-        );
-        if off.host_completions >= host.host_completions {
-            claim_failures.push(format!(
-                "{} ranks {} {}: offload host_completions {} >= host {}",
-                off.ranks, off.op, off.topo, off.host_completions, host.host_completions
-            ));
-        }
-        if off.sim_ns_per_op > host.sim_ns_per_op {
-            claim_failures.push(format!(
-                "{} ranks {} {}: offload sim_ns_per_op {:.0} > host {:.0}",
-                off.ranks, off.op, off.topo, off.sim_ns_per_op, host.sim_ns_per_op
-            ));
-        }
-    }
-    if !claim_failures.is_empty() {
-        for f in &claim_failures {
-            eprintln!("collectives: CLAIM VIOLATION: {f}");
-        }
-        std::process::exit(1);
-    }
+    // `--out` writes the tracked baseline document, not plain rows, so
+    // it is handled here instead of in `emit`.
+    let result = service::run_for_cli("collectives", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("collectives: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, None).expect("stdout");
 
     if let Some(path) = &cli.common.out {
-        let doc = render(&rows, len, iters, seed);
+        let doc = render(&result.rows, len, iters, seed);
         if let Some(dir) = std::path::Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir).expect("create output directory");
@@ -387,7 +182,7 @@ fn main() {
     if let Some(path) = cli.get_str("check") {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("collectives: cannot read baseline {path}: {e}"));
-        match check_baseline(&baseline, &rows, tolerance) {
+        match check_baseline(&baseline, &result.rows, tolerance) {
             Ok(failures) if failures.is_empty() => {
                 eprintln!("collectives: within ±{tolerance}% of baseline {path}");
             }
@@ -402,5 +197,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

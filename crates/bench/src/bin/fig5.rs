@@ -6,167 +6,55 @@
 //! cargo run --release -p mpiq-bench --bin fig5 -- [--config all|baseline|alpu128|alpu256]
 //!     [--max-queue 500] [--step 25] [--fractions 0,0.25,0.5,0.75,1.0]
 //!     [--sizes 0,1024,8192] [--plot] [--threads 0] [--sweep-threads 0]
-//!     [--out results/fig5.json]
+//!     [--out results/fig5.json] [--server 127.0.0.1:7171]
 //!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
 //!     [--trace-out trace.json] [--metrics]
 //! ```
 //!
-//! `--threads` selects the execution engine for each simulated cluster
-//! (0 = single-threaded hub engine, n >= 1 = sharded engine on n worker
-//! threads; output is identical either way). `--sweep-threads` fans the
-//! independent sweep points out across OS threads (0 = all cores).
-//!
-//! With `--faults`, every point runs under the given deterministic fault
-//! schedule and the rows carry extra injection/recovery columns; without
-//! it, the output is byte-identical to the pre-fault harness.
+//! The flags assemble a [`RunSpec`] that either executes locally
+//! ([`mpiq_bench::exec`]) or, with `--server ADDR`, is submitted to a
+//! running `simd` daemon — identical bytes on stdout either way, with
+//! server resubmissions served from the daemon's memo cache.
 //!
 //! `--trace-out PATH` re-runs one representative point (the deepest
 //! queue, full traversal, smallest message) with structured tracing
 //! enabled and writes a Chrome `chrome://tracing` JSON timeline to PATH.
 //! `--metrics` dumps the latency histograms of that instrumented run to
-//! stderr. Neither flag perturbs the CSV on stdout.
+//! stderr. Neither flag perturbs the CSV on stdout; both always run
+//! locally.
 
-use mpiq_bench::cli::{Cli, Flag};
-use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
-use mpiq_bench::{
-    preposted_latency_cfg, run_parallel, FaultCounters, NicVariant, PrepostedPoint,
-};
-
-struct Row {
-    config: String,
-    queue_len: usize,
-    fraction: f64,
-    msg_size: u32,
-    latency_us: f64,
-    sw_traversed: u64,
-    rx_l1_misses: u64,
-    faults: Option<FaultCounters>,
-}
-
-impl JsonRow for Row {
-    fn fields(&self) -> Vec<(&'static str, String)> {
-        let mut f = vec![
-            ("config", json_str(&self.config)),
-            ("queue_len", self.queue_len.to_string()),
-            ("fraction", json_f64(self.fraction)),
-            ("msg_size", self.msg_size.to_string()),
-            ("latency_us", json_f64(self.latency_us)),
-            ("sw_traversed", self.sw_traversed.to_string()),
-            ("rx_l1_misses", self.rx_l1_misses.to_string()),
-        ];
-        if let Some(fc) = &self.faults {
-            f.extend(fc.json_fields());
-        }
-        f
-    }
-}
-
-impl CsvRow for Row {
-    fn csv(&self) -> String {
-        let base = format!(
-            "{},{},{},{},{:.4},{},{}",
-            self.config,
-            self.queue_len,
-            self.fraction,
-            self.msg_size,
-            self.latency_us,
-            self.sw_traversed,
-            self.rx_l1_misses
-        );
-        match &self.faults {
-            Some(fc) => format!("{base},{}", fc.csv()),
-            None => base,
-        }
-    }
-}
-
-const FLAGS: &[Flag] = &[
-    Flag { name: "plot", value: None, help: "render an ascii projection of the curves" },
-    Flag { name: "config", value: Some("NAME"), help: "all|baseline|alpu128|alpu256 (default all)" },
-    Flag { name: "max-queue", value: Some("N"), help: "deepest posted queue (default 500)" },
-    Flag { name: "step", value: Some("N"), help: "queue-length stride (default 25)" },
-    Flag {
-        name: "fractions",
-        value: Some("LIST"),
-        help: "traversal fractions (default 0,0.25,0.5,0.75,1.0)",
-    },
-    Flag { name: "sizes", value: Some("LIST"), help: "payload bytes (default 0,1024,8192)" },
-];
+use mpiq_bench::cli::Cli;
+use mpiq_bench::spec::{flags, BenchSpec, RunSpec};
+use mpiq_bench::{service, NicVariant, PrepostedPoint};
 
 fn main() {
-    let cli = Cli::parse("fig5", "Fig. 5: latency vs. posted-receive queue depth", FLAGS);
-    let config = cli.get_str("config").unwrap_or("all").to_string();
-    let variants: Vec<NicVariant> = match config.as_str() {
-        "all" => NicVariant::ALL.to_vec(),
-        s => vec![s.parse().unwrap_or_else(|e| panic!("{e}"))],
+    let cli = Cli::parse("fig5", "Fig. 5: latency vs. posted-receive queue depth", flags("fig5"));
+    let spec = RunSpec::from_cli("fig5", &cli).unwrap_or_else(|e| {
+        eprintln!("fig5: {e}");
+        std::process::exit(2);
+    });
+    let BenchSpec::Fig5 { configs: variants, max_queue, step, fractions, sizes } =
+        spec.bench.clone()
+    else {
+        unreachable!()
     };
-    let max_queue: usize = cli.get("max-queue", 500);
-    let step: usize = cli.get("step", 25);
-    let fractions: Vec<f64> = cli.get_list("fractions", vec![0.0, 0.25, 0.5, 0.75, 1.0]);
-    let sizes: Vec<u32> = cli.get_list("sizes", vec![0, 1024, 8192]);
-    let engine_threads = cli.common.threads;
 
-    let mut points = Vec::new();
-    for &v in &variants {
-        for &size in &sizes {
-            for &f in &fractions {
-                for q in (0..=max_queue).step_by(step) {
-                    points.push((
-                        v,
-                        PrepostedPoint {
-                            queue_len: q,
-                            fraction: f,
-                            msg_size: size,
-                        },
-                    ));
-                }
-            }
-        }
-    }
+    let points = variants.len() * sizes.len() * fractions.len() * (max_queue / step.max(1) + 1);
     eprintln!(
         "fig5: {} points across {} config(s), {} sweep thread(s), engine threads {}",
-        points.len(),
+        points,
         variants.len(),
-        if cli.common.sweep_threads == 0 {
-            "auto".to_string()
-        } else {
-            cli.common.sweep_threads.to_string()
-        },
-        engine_threads
+        if spec.sweep_threads == 0 { "auto".to_string() } else { spec.sweep_threads.to_string() },
+        spec.threads
     );
 
-    let faults = cli.common.faults;
-    let rows: Vec<Row> = run_parallel(points, cli.common.sweep_threads, move |&(v, p)| {
-        let mut cfg = v.config();
-        if let Some(f) = faults {
-            cfg = cfg.with_faults(f);
-        }
-        let r = preposted_latency_cfg(cfg, p, engine_threads);
-        Row {
-            config: v.label().to_string(),
-            queue_len: p.queue_len,
-            fraction: p.fraction,
-            msg_size: p.msg_size,
-            latency_us: r.latency.as_us_f64(),
-            sw_traversed: r.sw_traversed,
-            rx_l1_misses: r.rx_l1_misses,
-            faults: faults.map(|_| r.faults),
-        }
-    });
-
-    let mut header =
-        "config,queue_len,fraction,msg_size,latency_us,sw_traversed,rx_l1_misses".to_string();
-    if faults.is_some() {
-        header = format!("{header},{}", FaultCounters::CSV_HEADER);
-    }
-    println!("{header}");
-    for r in &rows {
-        println!("{}", r.csv());
-    }
-    if let Some(path) = &cli.common.out {
-        write_json(std::path::Path::new(path), &rows).expect("write json");
-        eprintln!("fig5: wrote {path}");
-    }
+    let result = service::run_for_cli("fig5", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("fig5: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
 
     if cli.has("plot") {
         let mut series = Vec::new();
@@ -174,12 +62,15 @@ fn main() {
             series.push(mpiq_bench::ascii_plot::Series {
                 label: v.label().to_string(),
                 glyph,
-                points: rows
+                points: result
+                    .rows
                     .iter()
                     .filter(|r| {
-                        r.config == v.label() && r.fraction == 1.0 && r.msg_size == sizes[0]
+                        r.text("config").as_deref() == Some(v.label())
+                            && r.num("fraction") == Some(1.0)
+                            && r.num("msg_size") == Some(sizes[0] as f64)
                     })
-                    .map(|r| (r.queue_len as f64, r.latency_us))
+                    .map(|r| (r.num("queue_len").unwrap_or(0.0), r.num("latency_us").unwrap_or(0.0)))
                     .collect(),
             });
         }
@@ -199,52 +90,24 @@ Fig. 5 projection: latency vs posted-queue length (full traversal, {} B)
             .copied()
             .find(|v| *v != NicVariant::Baseline)
             .unwrap_or(variants[0]);
-        let point = PrepostedPoint {
-            queue_len: max_queue,
-            fraction: 1.0,
-            msg_size: sizes[0],
-        };
+        let point = PrepostedPoint { queue_len: max_queue, fraction: 1.0, msg_size: sizes[0] };
         let mut cfg = v.config();
-        if let Some(f) = faults {
+        if let Some(f) = cli.common.faults {
             cfg = cfg.with_faults(f);
         }
-        let run = mpiq_bench::traced_preposted(cfg, point, 1 << 20, engine_threads);
+        let run = mpiq_bench::traced_preposted(cfg, point, 1 << 20, spec.threads);
         if run.dropped > 0 {
             eprintln!("fig5: trace ring overflowed, {} records dropped", run.dropped);
         }
         if let Some(path) = &cli.common.trace_out {
             std::fs::write(path, &run.chrome_json).expect("write trace");
-            eprintln!(
-                "fig5: wrote {} trace records ({} config) to {path}",
-                run.records,
-                v.label()
-            );
+            eprintln!("fig5: wrote {} trace records ({} config) to {path}", run.records, v.label());
         }
         if cli.common.metrics {
             eprintln!("{}", run.metrics_text);
         }
     }
-
-    // Headline summary (paper §VI-B shape checks).
-    for &v in &variants {
-        let at = |q: usize| {
-            rows.iter()
-                .find(|r| {
-                    r.config == v.label()
-                        && r.queue_len == q
-                        && r.fraction == 1.0
-                        && r.msg_size == sizes[0]
-                })
-                .map(|r| r.latency_us)
-        };
-        if let (Some(l0), Some(lmax)) = (at(0), at(max_queue)) {
-            eprintln!(
-                "fig5[{}]: latency {:.2}us @len 0 -> {:.2}us @len {} (full traversal)",
-                v.label(),
-                l0,
-                lmax,
-                max_queue
-            );
-        }
+    if !ok {
+        std::process::exit(1);
     }
 }

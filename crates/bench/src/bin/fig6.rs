@@ -4,128 +4,42 @@
 //! ```text
 //! cargo run --release -p mpiq-bench --bin fig6 -- [--max-queue 400] [--step 20]
 //!     [--sizes 64,1024] [--plot] [--threads 0] [--sweep-threads 0]
-//!     [--out results/fig6.json]
+//!     [--out results/fig6.json] [--server 127.0.0.1:7171]
 //!     [--faults seed=N,drop=P[,dup=P,corrupt=P,flip=P,stall=P]]
 //!     [--trace-out trace.json] [--metrics]
 //! ```
 //!
-//! `--threads` selects the execution engine for each simulated cluster
-//! (0 = single-threaded hub engine, n >= 1 = sharded engine on n worker
-//! threads; output is identical either way). `--sweep-threads` fans the
-//! independent sweep points out across OS threads (0 = all cores).
-//!
-//! With `--faults`, every point runs under the given deterministic fault
-//! schedule and the rows carry extra injection/recovery columns; without
-//! it, the output is byte-identical to the pre-fault harness.
+//! The flags assemble a [`RunSpec`] that either executes locally
+//! ([`mpiq_bench::exec`]) or, with `--server ADDR`, is submitted to a
+//! running `simd` daemon — identical bytes on stdout either way.
 //!
 //! `--trace-out PATH` runs one instrumented exchange (alpu128, deepest
 //! queue) and writes a Chrome `chrome://tracing` timeline to PATH;
 //! `--metrics` dumps its latency histograms to stderr. The CSV on
-//! stdout is unaffected by either flag.
+//! stdout is unaffected by either flag; both always run locally.
 
-use mpiq_bench::cli::{Cli, Flag};
-use mpiq_bench::report::{json_f64, json_str, write_json, CsvRow, JsonRow};
-use mpiq_bench::{
-    run_parallel, unexpected_latency_cfg, FaultCounters, NicVariant, UnexpectedPoint,
-};
-
-struct Row {
-    config: String,
-    queue_len: usize,
-    msg_size: u32,
-    latency_us: f64,
-    sw_traversed: u64,
-    faults: Option<FaultCounters>,
-}
-
-impl JsonRow for Row {
-    fn fields(&self) -> Vec<(&'static str, String)> {
-        let mut f = vec![
-            ("config", json_str(&self.config)),
-            ("queue_len", self.queue_len.to_string()),
-            ("msg_size", self.msg_size.to_string()),
-            ("latency_us", json_f64(self.latency_us)),
-            ("sw_traversed", self.sw_traversed.to_string()),
-        ];
-        if let Some(fc) = &self.faults {
-            f.extend(fc.json_fields());
-        }
-        f
-    }
-}
-
-impl CsvRow for Row {
-    fn csv(&self) -> String {
-        let base = format!(
-            "{},{},{},{:.4},{}",
-            self.config, self.queue_len, self.msg_size, self.latency_us, self.sw_traversed
-        );
-        match &self.faults {
-            Some(fc) => format!("{base},{}", fc.csv()),
-            None => base,
-        }
-    }
-}
-
-const FLAGS: &[Flag] = &[
-    Flag { name: "plot", value: None, help: "render an ascii projection of the curves" },
-    Flag { name: "max-queue", value: Some("N"), help: "deepest unexpected queue (default 400)" },
-    Flag { name: "step", value: Some("N"), help: "queue-length stride (default 20)" },
-    Flag { name: "sizes", value: Some("LIST"), help: "payload bytes (default 64,1024)" },
-];
+use mpiq_bench::cli::Cli;
+use mpiq_bench::spec::{flags, BenchSpec, RunSpec};
+use mpiq_bench::{service, NicVariant, UnexpectedPoint};
 
 fn main() {
-    let cli = Cli::parse("fig6", "Fig. 6: latency vs. unexpected-queue depth", FLAGS);
-    let max_queue: usize = cli.get("max-queue", 400);
-    let step: usize = cli.get("step", 20);
-    let sizes: Vec<u32> = cli.get_list("sizes", vec![64, 1024]);
-    let engine_threads = cli.common.threads;
-    let faults = cli.common.faults;
-
-    let mut points = Vec::new();
-    for v in NicVariant::ALL {
-        for &size in &sizes {
-            for q in (0..=max_queue).step_by(step) {
-                points.push((
-                    v,
-                    UnexpectedPoint {
-                        queue_len: q,
-                        msg_size: size,
-                    },
-                ));
-            }
-        }
-    }
-    eprintln!("fig6: {} points, engine threads {}", points.len(), engine_threads);
-
-    let rows: Vec<Row> = run_parallel(points, cli.common.sweep_threads, move |&(v, p)| {
-        let mut cfg = v.config();
-        if let Some(f) = faults {
-            cfg = cfg.with_faults(f);
-        }
-        let r = unexpected_latency_cfg(cfg, p, engine_threads);
-        Row {
-            config: v.label().to_string(),
-            queue_len: p.queue_len,
-            msg_size: p.msg_size,
-            latency_us: r.latency.as_us_f64(),
-            sw_traversed: r.sw_traversed,
-            faults: faults.map(|_| r.faults),
-        }
+    let cli = Cli::parse("fig6", "Fig. 6: latency vs. unexpected-queue depth", flags("fig6"));
+    let spec = RunSpec::from_cli("fig6", &cli).unwrap_or_else(|e| {
+        eprintln!("fig6: {e}");
+        std::process::exit(2);
     });
+    let BenchSpec::Fig6 { max_queue, step, sizes } = spec.bench.clone() else { unreachable!() };
 
-    let mut header = "config,queue_len,msg_size,latency_us,sw_traversed".to_string();
-    if faults.is_some() {
-        header = format!("{header},{}", FaultCounters::CSV_HEADER);
-    }
-    println!("{header}");
-    for r in &rows {
-        println!("{}", r.csv());
-    }
-    if let Some(path) = &cli.common.out {
-        write_json(std::path::Path::new(path), &rows).expect("write json");
-        eprintln!("fig6: wrote {path}");
-    }
+    let points = NicVariant::ALL.len() * sizes.len() * (max_queue / step.max(1) + 1);
+    eprintln!("fig6: {} points, engine threads {}", points, spec.threads);
+
+    let result = service::run_for_cli("fig6", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("fig6: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
 
     if cli.has("plot") {
         let mut series = Vec::new();
@@ -133,10 +47,14 @@ fn main() {
             series.push(mpiq_bench::ascii_plot::Series {
                 label: v.label().to_string(),
                 glyph,
-                points: rows
+                points: result
+                    .rows
                     .iter()
-                    .filter(|r| r.config == v.label() && r.msg_size == sizes[0])
-                    .map(|r| (r.queue_len as f64, r.latency_us))
+                    .filter(|r| {
+                        r.text("config").as_deref() == Some(v.label())
+                            && r.num("msg_size") == Some(sizes[0] as f64)
+                    })
+                    .map(|r| (r.num("queue_len").unwrap_or(0.0), r.num("latency_us").unwrap_or(0.0)))
                     .collect(),
             });
         }
@@ -151,17 +69,14 @@ Fig. 6: latency vs unexpected-queue length ({} B messages)
 
     if cli.common.trace_out.is_some() || cli.common.metrics {
         let mut cfg = NicVariant::Alpu128.config();
-        if let Some(f) = faults {
+        if let Some(f) = cli.common.faults {
             cfg = cfg.with_faults(f);
         }
         let run = mpiq_bench::traced_unexpected(
             cfg,
-            UnexpectedPoint {
-                queue_len: max_queue,
-                msg_size: sizes[0],
-            },
+            UnexpectedPoint { queue_len: max_queue, msg_size: sizes[0] },
             1 << 20,
-            engine_threads,
+            spec.threads,
         );
         if run.dropped > 0 {
             eprintln!("fig6: trace ring overflowed, {} records dropped", run.dropped);
@@ -174,23 +89,7 @@ Fig. 6: latency vs unexpected-queue length ({} B messages)
             eprintln!("{}", run.metrics_text);
         }
     }
-
-    // Crossover summary: first queue length where the ALPU clearly wins.
-    for alpu in [NicVariant::Alpu128, NicVariant::Alpu256] {
-        let size = sizes[0];
-        let crossover = (0..=max_queue).step_by(step).find(|&q| {
-            let base = rows
-                .iter()
-                .find(|r| r.config == "baseline" && r.queue_len == q && r.msg_size == size);
-            let a = rows
-                .iter()
-                .find(|r| r.config == alpu.label() && r.queue_len == q && r.msg_size == size);
-            matches!((base, a), (Some(b), Some(a)) if a.latency_us + 0.2 < b.latency_us)
-        });
-        eprintln!(
-            "fig6[{}]: clear advantage starts at queue length {:?} (paper: ~70)",
-            alpu.label(),
-            crossover
-        );
+    if !ok {
+        std::process::exit(1);
     }
 }

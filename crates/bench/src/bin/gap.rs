@@ -3,66 +3,31 @@
 //! configurations.
 //!
 //! ```text
-//! cargo run -p mpiq-bench --bin gap -- [BURST]
+//! cargo run -p mpiq-bench --bin gap -- [BURST] [--server ADDR]
 //! ```
 
 use mpiq_bench::cli::Cli;
-use mpiq_bench::gap::{message_gap, GapPoint};
-use mpiq_bench::{run_parallel, NicVariant};
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, RunSpec};
 
 fn main() {
     let cli = Cli::parse(
         "gap",
         "receiver-side gap vs posted-queue depth (positional: BURST size)",
-        &[],
+        flags("gap"),
     );
-    let burst: usize = cli
-        .positionals()
-        .first()
-        .map(|s| s.parse().expect("BURST: usize"))
-        .unwrap_or(64);
-    let engine_threads = cli.common.threads;
-    let depths = [0usize, 50, 100, 200, 300, 400];
-    let work: Vec<(NicVariant, usize)> = depths
-        .iter()
-        .flat_map(|&q| NicVariant::ALL.map(|v| (v, q)))
-        .collect();
-    let results = run_parallel(work.clone(), cli.common.sweep_threads, move |&(v, q)| {
-        message_gap(
-            v.config(),
-            GapPoint {
-                queue_len: q,
-                burst,
-                msg_size: 0,
-            },
-            engine_threads,
-        )
+    let spec = RunSpec::from_cli("gap", &cli).unwrap_or_else(|e| {
+        eprintln!("gap: {e}");
+        std::process::exit(2);
     });
-
-    println!("queue_len,baseline_gap_ns,alpu128_gap_ns,alpu256_gap_ns,baseline_rate_msgs_per_s,alpu256_rate_msgs_per_s");
-    for &q in &depths {
-        let get = |v: NicVariant| {
-            work.iter()
-                .zip(&results)
-                .find(|((wv, wq), _)| *wv == v && *wq == q)
-                .map(|(_, r)| r.gap)
-                .expect("present")
-        };
-        let b = get(NicVariant::Baseline);
-        let a128 = get(NicVariant::Alpu128);
-        let a256 = get(NicVariant::Alpu256);
-        let rate = |g: mpiq_dessim::Time| 1e9 / g.as_ns_f64();
-        println!(
-            "{q},{:.1},{:.1},{:.1},{:.0},{:.0}",
-            b.as_ns_f64(),
-            a128.as_ns_f64(),
-            a256.as_ns_f64(),
-            rate(b),
-            rate(a256)
-        );
+    let result = service::run_for_cli("gap", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("gap: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
+    if !ok {
+        std::process::exit(1);
     }
-    eprintln!(
-        "gap: time spent traversing queues raises gap / lowers message rate (§I); \
-         the ALPU removes the queue-depth dependence within its capacity"
-    );
 }

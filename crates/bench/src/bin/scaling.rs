@@ -31,67 +31,16 @@
 //! when any current adaptive row's events/sec drops more than
 //! `--tolerance` percent below the same (scenario, threads) row of the
 //! baseline — CI runs both flags in one invocation.
+//!
+//! This bench measures *wall clock*, so its results are never memoized
+//! (`BenchSpec::cacheable`): a `--server ADDR` submission re-runs on
+//! the daemon every time, and `--check` always gates fresh timings.
 
-use mpiq_bench::cli::{Cli, Flag};
+use mpiq_bench::cli::Cli;
 use mpiq_bench::jsonlint::{self, Json};
 use mpiq_bench::report::{json_f64, json_str};
-use mpiq_bench::{run_soak, Scenario, SoakConfig};
-use mpiq_dessim::{Time, WindowPolicy};
-use mpiq_net::WireProfile;
-use std::time::Instant;
-
-struct Row {
-    scenario: &'static str,
-    policy: WindowPolicy,
-    threads: usize,
-    wall_ms: f64,
-    events: u64,
-    events_per_sec: f64,
-    speedup: f64,
-}
-
-const FLAGS: &[Flag] = &[
-    Flag { name: "senders", value: Some("N"), help: "incast fan-in; ranks = N + 1 (default 16)" },
-    Flag { name: "msgs", value: Some("N"), help: "messages per sender (default 64)" },
-    Flag { name: "size", value: Some("B"), help: "message payload bytes (default 512)" },
-    Flag {
-        name: "thread-counts",
-        value: Some("LIST"),
-        help: "worker-thread counts to time (default 1,2,4)",
-    },
-    Flag {
-        name: "scenarios",
-        value: Some("LIST"),
-        help: "wire profiles to run: incast, hetero (default both)",
-    },
-    Flag {
-        name: "check",
-        value: Some("PATH"),
-        help: "baseline BENCH_scaling.json; fail on events/sec regression",
-    },
-    Flag {
-        name: "tolerance",
-        value: Some("PCT"),
-        help: "allowed events/sec drop vs the baseline, percent (default 25)",
-    },
-];
-
-/// The soak configuration for one scenario name.
-fn scenario_cfg(scenario: &str, senders: u32, msgs: u32, size: u32, seed: u64) -> SoakConfig {
-    let mut cfg = SoakConfig::new(Scenario::Incast, seed);
-    cfg.senders = senders;
-    cfg.msgs = msgs;
-    cfg.msg_size = size;
-    match scenario {
-        "incast" => {}
-        "hetero" => {
-            cfg.net.wire_latency = Time::from_us(1);
-            cfg.net.profile = WireProfile::ShortPair { a: 1, b: 2, short: Time::from_ns(10) };
-        }
-        other => panic!("unknown scenario `{other}` (expected incast or hetero)"),
-    }
-    cfg
-}
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, BenchSpec, ResultRow, RunSpec};
 
 /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
 fn code_version() -> String {
@@ -108,7 +57,7 @@ fn code_version() -> String {
 
 /// Render the tracked document. Nested (header + rows), so the file
 /// carries its own provenance; validated by `jsonlint` before writing.
-fn render(rows: &[Row], senders: u32, msgs: u32, size: u32, seed: u64) -> String {
+fn render(rows: &[ResultRow], senders: u32, msgs: u32, size: u32, seed: u64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"scaling\",\n");
@@ -122,13 +71,13 @@ fn render(rows: &[Row], senders: u32, msgs: u32, size: u32, seed: u64) -> String
         out.push_str(&format!(
             "    {{\"scenario\": {}, \"policy\": {}, \"threads\": {}, \"wall_ms\": {}, \
              \"events\": {}, \"events_per_sec\": {}, \"speedup\": {}}}{comma}\n",
-            json_str(r.scenario),
-            json_str(r.policy.label()),
-            r.threads,
-            json_f64(r.wall_ms),
-            r.events,
-            json_f64(r.events_per_sec),
-            json_f64(r.speedup),
+            json_str(&r.text("scenario").unwrap_or_default()),
+            json_str(&r.text("policy").unwrap_or_default()),
+            r.num("threads").unwrap_or(0.0) as u64,
+            json_f64(r.num("wall_ms").unwrap_or(0.0)),
+            r.num("events").unwrap_or(0.0) as u64,
+            json_f64(r.num("events_per_sec").unwrap_or(0.0)),
+            json_f64(r.num("speedup").unwrap_or(0.0)),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -141,7 +90,11 @@ fn render(rows: &[Row], senders: u32, msgs: u32, size: u32, seed: u64) -> String
 /// current run (different thread list) are skipped; a baseline that
 /// matches nothing at all is an error, because the gate would be
 /// vacuous.
-fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Vec<String>, String> {
+fn check_baseline(
+    baseline: &str,
+    rows: &[ResultRow],
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
     let doc = jsonlint::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let base_rows = doc
         .get("rows")
@@ -150,11 +103,14 @@ fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Ve
     let base_version = doc.get("version").and_then(Json::as_str).unwrap_or("?");
     let mut failures = Vec::new();
     let mut matched = 0usize;
-    for r in rows.iter().filter(|r| r.policy == WindowPolicy::PerEdge) {
+    for r in rows.iter().filter(|r| r.text("policy").as_deref() == Some("adaptive")) {
+        let scenario = r.text("scenario").unwrap_or_default();
+        let threads = r.num("threads").unwrap_or(0.0) as u64;
+        let events_per_sec = r.num("events_per_sec").unwrap_or(0.0);
         let Some(base) = base_rows.iter().find(|b| {
-            b.get("scenario").and_then(Json::as_str) == Some(r.scenario)
-                && b.get("policy").and_then(Json::as_str) == Some(r.policy.label())
-                && b.get("threads").and_then(Json::as_u64) == Some(r.threads as u64)
+            b.get("scenario").and_then(Json::as_str) == Some(scenario.as_str())
+                && b.get("policy").and_then(Json::as_str) == r.text("policy").as_deref()
+                && b.get("threads").and_then(Json::as_u64) == Some(threads)
         }) else {
             continue;
         };
@@ -162,17 +118,17 @@ fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Ve
             .get("events_per_sec")
             .and_then(Json::as_f64)
             .ok_or_else(|| {
-                format!("baseline row ({}, {} threads) has no events_per_sec", r.scenario, r.threads)
+                format!("baseline row ({scenario}, {threads} threads) has no events_per_sec")
             })?;
         matched += 1;
         let floor = base_eps * (1.0 - tolerance_pct / 100.0);
-        if r.events_per_sec < floor {
+        if events_per_sec < floor {
             failures.push(format!(
                 "{} @ {} threads: {:.0} events/s is {:.0}% below baseline {:.0} (version {}, tolerance {}%)",
-                r.scenario,
-                r.threads,
-                r.events_per_sec,
-                (1.0 - r.events_per_sec / base_eps) * 100.0,
+                scenario,
+                threads,
+                events_per_sec,
+                (1.0 - events_per_sec / base_eps) * 100.0,
                 base_eps,
                 base_version,
                 tolerance_pct,
@@ -188,16 +144,14 @@ fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Ve
 }
 
 fn main() {
-    let cli = Cli::parse("scaling", "sharded-engine speedup vs worker threads", FLAGS);
-    let senders: u32 = cli.get("senders", 16);
-    let msgs: u32 = cli.get("msgs", 64);
-    let size: u32 = cli.get("size", 512);
-    let thread_counts: Vec<usize> = cli.get_list("thread-counts", vec![1, 2, 4]);
-    let scenarios: Vec<String> =
-        cli.get_list("scenarios", vec!["incast".to_string(), "hetero".to_string()]);
+    let cli = Cli::parse("scaling", "sharded-engine speedup vs worker threads", flags("scaling"));
+    let spec = RunSpec::from_cli("scaling", &cli).unwrap_or_else(|e| {
+        eprintln!("scaling: {e}");
+        std::process::exit(2);
+    });
+    let BenchSpec::Scaling { senders, msgs, size, .. } = spec.bench.clone() else { unreachable!() };
     let tolerance: f64 = cli.get("tolerance", 25.0);
-    let seed = cli.common.seed.unwrap_or(1);
-    assert!(senders + 1 >= 16, "scaling needs at least 16 ranks (got {} senders)", senders);
+    let seed = spec.seed.unwrap_or(1);
 
     eprintln!(
         "scaling: incast, {} ranks, {} msgs x {} B, seed {seed}, host has {} core(s)",
@@ -207,56 +161,17 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 
-    let mut rows: Vec<Row> = Vec::new();
-    println!("scenario,policy,threads,wall_ms,events,events_per_sec,speedup");
-    for scenario in &scenarios {
-        let scenario: &'static str = match scenario.as_str() {
-            "incast" => "incast",
-            "hetero" => "hetero",
-            other => panic!("unknown scenario `{other}` (expected incast or hetero)"),
-        };
-        for policy in [WindowPolicy::PerEdge, WindowPolicy::Global] {
-            let mut reference: Option<(f64, String)> = None;
-            for &threads in &thread_counts {
-                assert!(threads >= 1, "--thread-counts entries must be >= 1");
-                let mut cfg = scenario_cfg(scenario, senders, msgs, size, seed);
-                cfg.parallelism = threads;
-                cfg.window_policy = policy;
-                let start = Instant::now();
-                let out = run_soak(&cfg).unwrap_or_else(|d| panic!("scaling run stalled:\n{d}"));
-                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-                let (base_ms, base_stats) =
-                    reference.get_or_insert((wall_ms, out.stats_json.clone()));
-                assert_eq!(
-                    out.stats_json, *base_stats,
-                    "{scenario}/{}: stats diverged between {} and {} threads — \
-                     determinism contract broken",
-                    policy.label(),
-                    thread_counts[0],
-                    threads
-                );
-                let speedup = *base_ms / wall_ms;
-                let events_per_sec = out.events as f64 / (wall_ms / 1e3);
-                println!(
-                    "{scenario},{},{threads},{wall_ms:.1},{},{events_per_sec:.0},{speedup:.2}",
-                    policy.label(),
-                    out.events
-                );
-                rows.push(Row {
-                    scenario,
-                    policy,
-                    threads,
-                    wall_ms,
-                    events: out.events,
-                    events_per_sec,
-                    speedup,
-                });
-            }
-        }
-    }
+    // `--out` writes the tracked baseline document, not plain rows, so
+    // it is handled here instead of in `emit`.
+    let result = service::run_for_cli("scaling", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("scaling: {e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, None).expect("stdout");
 
     if let Some(path) = &cli.common.out {
-        let doc = render(&rows, senders, msgs, size, seed);
+        let doc = render(&result.rows, senders, msgs, size, seed);
         if let Some(dir) = std::path::Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir).expect("create output directory");
@@ -266,30 +181,10 @@ fn main() {
         eprintln!("scaling: wrote {path}");
     }
 
-    for scenario in &scenarios {
-        let best = |policy: WindowPolicy| {
-            rows.iter()
-                .filter(|r| r.scenario == *scenario && r.policy == policy)
-                .max_by_key(|r| r.threads)
-        };
-        if let (Some(adaptive), Some(global)) = (best(WindowPolicy::PerEdge), best(WindowPolicy::Global))
-        {
-            eprintln!(
-                "scaling: {scenario} @ {} threads: adaptive {:.1} ms vs global {:.1} ms ({:.2}x), \
-                 adaptive self-speedup {:.2}x",
-                adaptive.threads,
-                adaptive.wall_ms,
-                global.wall_ms,
-                global.wall_ms / adaptive.wall_ms,
-                adaptive.speedup,
-            );
-        }
-    }
-
     if let Some(path) = cli.get_str("check") {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("scaling: cannot read baseline {path}: {e}"));
-        match check_baseline(&baseline, &rows, tolerance) {
+        match check_baseline(&baseline, &result.rows, tolerance) {
             Ok(failures) if failures.is_empty() => {
                 eprintln!("scaling: within {tolerance}% of baseline {path}");
             }
@@ -304,5 +199,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

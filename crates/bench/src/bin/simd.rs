@@ -1,0 +1,87 @@
+//! `simd` — the experiment server daemon (sim-daemon).
+//!
+//! Serves the newline-delimited-JSON protocol documented in
+//! [`mpiq_bench::service`]: bench bins submit [`RunSpec`]s with
+//! `--server ADDR` and the daemon runs them across a worker pool,
+//! memoizing results on (spec, seed, engine, code-version) so identical
+//! resubmissions are byte-exact cache hits that never re-simulate
+//! (except the wall-clock benches — scaling, collectives — which
+//! re-run every time).
+//!
+//! ```text
+//! simd &                          # serve on 127.0.0.1:7171
+//! fig5 --server 127.0.0.1:7171    # cold: runs on the daemon
+//! fig5 --server 127.0.0.1:7171    # warm: byte-identical cache hit
+//! simd --query status             # run counter, cache size, telemetry
+//! simd --query shutdown           # stop the daemon
+//! ```
+
+use mpiq_bench::cli::{Cli, Flag};
+use mpiq_bench::service::{self, Server, ServiceConfig, DEFAULT_ADDR};
+
+const FLAGS: &[Flag] = &[
+    Flag { name: "addr", value: Some("ADDR"), help: "listen (or, with --query, connect) address" },
+    Flag { name: "workers", value: Some("N"), help: "worker threads handling requests (default 2)" },
+    Flag {
+        name: "code-version",
+        value: Some("TAG"),
+        help: "cache-key version stamp (default: crate version + git rev)",
+    },
+    Flag {
+        name: "query",
+        value: Some("OP"),
+        help: "client mode: send `status` or `shutdown` to a running daemon and exit",
+    },
+];
+
+fn main() {
+    let cli = Cli::parse("simd", "experiment server daemon with memoized results", FLAGS);
+    let addr = cli.get_str("addr").unwrap_or(DEFAULT_ADDR).to_string();
+
+    if let Some(op) = cli.get_str("query") {
+        match op {
+            "status" => match service::status(&addr) {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("simd: {e}");
+                    std::process::exit(1);
+                }
+            },
+            "shutdown" => match service::shutdown(&addr) {
+                Ok(()) => eprintln!("simd: server at {addr} shutting down"),
+                Err(e) => {
+                    eprintln!("simd: {e}");
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!("simd: unknown query `{other}` (want status or shutdown)");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let mut cfg = ServiceConfig { addr, ..ServiceConfig::default() };
+    cfg.workers = cli.get("workers", cfg.workers);
+    if let Some(v) = cli.get_str("code-version") {
+        cfg.code_version = v.to_string();
+    }
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simd: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    let bound = server.local_addr().expect("bound socket has an address");
+    eprintln!(
+        "simd: serving on {bound} with {} worker(s), code version {}",
+        cfg.workers, cfg.code_version
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("simd: server error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("simd: stopped");
+}

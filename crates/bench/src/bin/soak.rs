@@ -6,186 +6,55 @@
 //!          [--credits N] [--max-unexpected N] [--eager-buffer B]
 //!          [--alpu] [--faults seed=N,drop=P,...] [--deadline-ms T]
 //!          [--mtbf-us T] [--mttr-us T] [--check-determinism] [--threads N]
-//!          [--out PATH] [--curve] [--chaos-curve]
+//!          [--out PATH] [--server ADDR] [--curve] [--chaos-curve]
 //!
 //! Runs each (scenario, seed) pair under the deadlock watchdog, prints
 //! one CSV row per run, and exits nonzero with the watchdog's diagnosis
-//! on a stall. `--check-determinism` repeats every run and demands a
-//! bit-identical statistics dump. `--threads N` runs every simulation on
-//! the sharded engine with N worker threads (0 = hub engine); output is
-//! identical either way. `--curve` sweeps the incast fan-in and renders
-//! the degradation curve (runtime and backpressure vs senders).
-//! `--chaos-curve` sweeps the chaos scenario's link-flap MTBF and plots
-//! availability and goodput against it.
+//! on a stall. The flags assemble a [`RunSpec`]; with `--server ADDR`
+//! the spec runs on a `simd` daemon instead of in-process (identical
+//! bytes on stdout; resubmissions hit the daemon's memo cache).
+//! `--check-determinism` repeats every run and demands a bit-identical
+//! statistics dump. `--curve`, `--chaos-curve` and `--recovery-curve`
+//! are exploratory sweeps that always run locally, as does `--check`
+//! (the tracked-baseline gate).
 
 use mpiq_bench::ascii_plot::{render, Series};
-use mpiq_bench::cli::{Cli, Flag};
-use mpiq_bench::report::{write_csv, write_json, CsvRow, JsonRow};
-use mpiq_bench::report::{cells, json_str};
+use mpiq_bench::cli::Cli;
+use mpiq_bench::service;
+use mpiq_bench::spec::{flags, BenchSpec, ResultRow, RunSpec};
 use mpiq_bench::{run_soak, Scenario, SoakConfig};
 use mpiq_dessim::Time;
 use std::io::Write as _;
-
-struct Row {
-    scenario: &'static str,
-    seed: u64,
-    cfg: SoakConfig,
-    out: mpiq_bench::SoakOutcome,
-}
-
-const HEADER: &str = "scenario,seed,senders,msgs,runtime_ns,events,delivered,\
-                      unexpected_hw,eager_bytes_hw,admission_refused,credit_stalls,\
-                      truncated_admits,retransmits,grants_issued,ranks_crashed,\
-                      peers_failed,ops_rank_failed,links_dead,nodes_restarted,\
-                      peers_revived,epoch_fences,recovery_ns";
-
-impl CsvRow for Row {
-    fn csv(&self) -> String {
-        format!(
-            "{},{},{}",
-            self.scenario,
-            self.seed,
-            cells(&[
-                self.cfg.senders as u64,
-                self.cfg.msgs as u64,
-                self.out.runtime.ns(),
-                self.out.events,
-                self.out.delivered,
-                self.out.unexpected_highwater,
-                self.out.eager_bytes_highwater,
-                self.out.admission_refused,
-                self.out.credit_stalls,
-                self.out.truncated_admits,
-                self.out.retransmits,
-                self.out.grants_issued,
-                self.out.ranks_crashed,
-                self.out.peers_failed,
-                self.out.ops_rank_failed,
-                self.out.links_dead,
-                self.out.nodes_restarted,
-                self.out.peers_revived,
-                self.out.epoch_fences,
-                self.out.recovery_ns,
-            ])
-        )
-    }
-}
-
-impl JsonRow for Row {
-    fn fields(&self) -> Vec<(&'static str, String)> {
-        vec![
-            ("scenario", json_str(self.scenario)),
-            ("seed", self.seed.to_string()),
-            ("senders", self.cfg.senders.to_string()),
-            ("msgs", self.cfg.msgs.to_string()),
-            ("runtime_ns", self.out.runtime.ns().to_string()),
-            ("events", self.out.events.to_string()),
-            ("delivered", self.out.delivered.to_string()),
-            ("unexpected_hw", self.out.unexpected_highwater.to_string()),
-            ("eager_bytes_hw", self.out.eager_bytes_highwater.to_string()),
-            ("admission_refused", self.out.admission_refused.to_string()),
-            ("credit_stalls", self.out.credit_stalls.to_string()),
-            ("truncated_admits", self.out.truncated_admits.to_string()),
-            ("retransmits", self.out.retransmits.to_string()),
-            ("grants_issued", self.out.grants_issued.to_string()),
-            ("ranks_crashed", self.out.ranks_crashed.to_string()),
-            ("peers_failed", self.out.peers_failed.to_string()),
-            ("ops_rank_failed", self.out.ops_rank_failed.to_string()),
-            ("links_dead", self.out.links_dead.to_string()),
-            ("nodes_restarted", self.out.nodes_restarted.to_string()),
-            ("peers_revived", self.out.peers_revived.to_string()),
-            ("epoch_fences", self.out.epoch_fences.to_string()),
-            ("recovery_ns", self.out.recovery_ns.to_string()),
-        ]
-    }
-}
-
-const FLAGS: &[Flag] = &[
-    Flag {
-        name: "scenario",
-        value: Some("NAME"),
-        help: "incast|hot-receiver|credit-starve|chaos|all (default all)",
-    },
-    Flag { name: "seeds", value: Some("N"), help: "run seeds 1..=N (default 4)" },
-    Flag { name: "senders", value: Some("N"), help: "fan-in (default 16)" },
-    Flag { name: "msgs", value: Some("N"), help: "messages per sender (default 8)" },
-    Flag { name: "size", value: Some("B"), help: "message payload bytes (default 512)" },
-    Flag { name: "credits", value: Some("N"), help: "eager credits per peer (default 4)" },
-    Flag { name: "max-unexpected", value: Some("N"), help: "unexpected-queue bound (default 32)" },
-    Flag { name: "eager-buffer", value: Some("B"), help: "eager buffer bytes (default 16384)" },
-    Flag { name: "alpu", value: None, help: "enable the ALPU NIC variant" },
-    Flag { name: "deadline-ms", value: Some("T"), help: "watchdog deadline (default 500)" },
-    Flag {
-        name: "check-determinism",
-        value: None,
-        help: "re-run every point and demand bit-identical stats",
-    },
-    Flag { name: "curve", value: None, help: "sweep incast fan-in and plot the degradation curve" },
-    Flag {
-        name: "mtbf-us",
-        value: Some("T"),
-        help: "chaos: mean microseconds between link flaps (default 150)",
-    },
-    Flag {
-        name: "mttr-us",
-        value: Some("T"),
-        help: "chaos: mean microseconds a flapped link stays down (default 50)",
-    },
-    Flag {
-        name: "chaos-curve",
-        value: None,
-        help: "sweep the chaos MTBF and plot availability/goodput",
-    },
-    Flag {
-        name: "recovery-curve",
-        value: None,
-        help: "sweep the crashed node's MTTR and plot availability and \
-               crash-to-recovered time",
-    },
-    Flag {
-        name: "node-mttr-us",
-        value: Some("T"),
-        help: "chaos: restart the crashed node T microseconds after its \
-               crash and run the recovery handshake (0 = crash-stop forever, \
-               the default; must be >= 400 so the storm horizon is over)",
-    },
-    Flag {
-        name: "check",
-        value: Some("PATH"),
-        help: "baseline JSON from a previous --out; fail when any run's \
-               recovery_ns/runtime_ns drifts past --tolerance",
-    },
-    Flag {
-        name: "tolerance",
-        value: Some("PCT"),
-        help: "allowed drift in percent for --check (default 10)",
-    },
-];
 
 /// Compare current rows against a tracked baseline (a previous `--out`
 /// dump). Simulated time is deterministic, so `runtime_ns` — and
 /// `recovery_ns` where restarts ran — drifting past the band in either
 /// direction is a failure. Baseline rows without a matching
 /// (scenario, seed) run are skipped; matching nothing is an error.
-fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Vec<String>, String> {
+fn check_baseline(
+    baseline: &str,
+    rows: &[ResultRow],
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
     use mpiq_bench::jsonlint::{self, Json};
     let doc = jsonlint::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let base_rows = doc.as_array().ok_or("baseline is not a JSON array of rows")?;
     let mut failures = Vec::new();
     let mut matched = 0usize;
     for r in rows {
+        let scenario = r.text("scenario").unwrap_or_default();
+        let seed = r.num("seed").unwrap_or(-1.0) as u64;
+        let senders = r.num("senders").unwrap_or(0.0) as u64;
         let Some(base) = base_rows.iter().find(|b| {
-            b.get("scenario").and_then(Json::as_str) == Some(r.scenario)
-                && b.get("seed").and_then(Json::as_u64) == Some(r.seed)
-                && b.get("senders").and_then(Json::as_u64) == Some(r.cfg.senders as u64)
+            b.get("scenario").and_then(Json::as_str) == Some(scenario.as_str())
+                && b.get("seed").and_then(Json::as_u64) == Some(seed)
+                && b.get("senders").and_then(Json::as_u64) == Some(senders)
         }) else {
             continue;
         };
         matched += 1;
-        for (field, current) in [
-            ("runtime_ns", r.out.runtime.ns()),
-            ("recovery_ns", r.out.recovery_ns),
-        ] {
+        for field in ["runtime_ns", "recovery_ns"] {
+            let current = r.num(field).unwrap_or(0.0) as u64;
             let Some(base_v) = base.get(field).and_then(Json::as_u64) else {
                 continue;
             };
@@ -194,17 +63,15 @@ fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Ve
             }
             if base_v == 0 {
                 failures.push(format!(
-                    "{} seed {}: {field} went {current} vs baseline 0",
-                    r.scenario, r.seed
+                    "{scenario} seed {seed}: {field} went {current} vs baseline 0"
                 ));
                 continue;
             }
             let drift = (current as f64 / base_v as f64 - 1.0) * 100.0;
             if drift.abs() > tolerance_pct {
                 failures.push(format!(
-                    "{} seed {}: {field} {current} drifts {drift:+.1}% from baseline \
-                     {base_v} (tolerance ±{tolerance_pct}%)",
-                    r.scenario, r.seed
+                    "{scenario} seed {seed}: {field} {current} drifts {drift:+.1}% from baseline \
+                     {base_v} (tolerance ±{tolerance_pct}%)"
                 ));
             }
         }
@@ -218,28 +85,18 @@ fn check_baseline(baseline: &str, rows: &[Row], tolerance_pct: f64) -> Result<Ve
 }
 
 fn main() {
-    let cli = Cli::parse("soak", "overload soak scenarios under the deadlock watchdog", FLAGS);
-    let scenarios: Vec<Scenario> = match cli.get_str("scenario").unwrap_or("all") {
-        "all" => Scenario::ALL.to_vec(),
-        v => vec![Scenario::parse(v).unwrap_or_else(|| panic!("unknown scenario `{v}`"))],
+    let cli = Cli::parse("soak", "overload soak scenarios under the deadlock watchdog", flags("soak"));
+    let spec = RunSpec::from_cli("soak", &cli).unwrap_or_else(|e| {
+        eprintln!("soak: {e}");
+        std::process::exit(2);
+    });
+    let BenchSpec::Soak {
+        senders, msgs, size, credits, max_unexpected, eager_buffer, alpu, mttr_us, ..
+    } = spec.bench.clone()
+    else {
+        unreachable!()
     };
-    let seeds: Vec<u64> = match cli.common.seed {
-        Some(s) => vec![s],
-        None => (1..=cli.get::<u64>("seeds", 4)).collect(),
-    };
-    let senders: u32 = cli.get("senders", 16);
-    let msgs: u32 = cli.get("msgs", 8);
-    let size: u32 = cli.get("size", 512);
-    let credits: u32 = cli.get("credits", 4);
-    let max_unexpected: u32 = cli.get("max-unexpected", 32);
-    let eager_buffer: u64 = cli.get("eager-buffer", 16u64 << 10);
-    let alpu = cli.has("alpu");
-    let deadline_ms: u64 = cli.get("deadline-ms", 500);
-    let mtbf_us: u64 = cli.get("mtbf-us", 150);
-    let mttr_us: u64 = cli.get("mttr-us", 50);
-    let node_mttr_us: u64 = cli.get("node-mttr-us", 0);
-    let check_determinism = cli.has("check-determinism");
-    let parallelism = cli.common.threads;
+    let parallelism = spec.threads;
 
     if cli.has("curve") {
         incast_curve(msgs, size, credits, max_unexpected, eager_buffer, alpu, parallelism);
@@ -254,59 +111,19 @@ fn main() {
         return;
     }
 
-    let mut rows = Vec::new();
-    for &scenario in &scenarios {
-        for &seed in &seeds {
-            let mut cfg = SoakConfig::new(scenario, seed);
-            cfg.senders = senders;
-            cfg.msgs = msgs;
-            cfg.msg_size = size;
-            cfg.eager_credits = credits;
-            cfg.max_unexpected = max_unexpected;
-            cfg.eager_buffer_bytes = eager_buffer;
-            cfg.alpu = alpu;
-            cfg.faults = cli.common.faults;
-            cfg.deadline = Time::from_ms(deadline_ms);
-            cfg.parallelism = parallelism;
-            cfg.mtbf = Time::from_us(mtbf_us);
-            cfg.mttr = Time::from_us(mttr_us);
-            if node_mttr_us > 0 && scenario == Scenario::Chaos {
-                cfg.node_mttr = Some(Time::from_us(node_mttr_us));
-            }
-            let out = match run_soak(&cfg) {
-                Ok(out) => out,
-                Err(diag) => {
-                    eprintln!("soak STALLED: {} seed {seed}\n{diag}", scenario.name());
-                    std::process::exit(1);
-                }
-            };
-            if check_determinism {
-                let again = run_soak(&cfg).expect("determinism re-run stalled");
-                assert_eq!(
-                    out.stats_json,
-                    again.stats_json,
-                    "{} seed {seed}: same-seed runs diverged",
-                    scenario.name()
-                );
-            }
-            rows.push(Row {
-                scenario: scenario.name(),
-                seed,
-                cfg,
-                out,
-            });
-        }
-    }
+    let result = service::run_for_cli("soak", cli.common.server.as_deref(), &spec)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    let ok = service::emit(&result, cli.common.out.as_deref().map(std::path::Path::new))
+        .expect("write json");
 
-    write_csv(std::io::stdout().lock(), HEADER, &rows).expect("stdout");
-    if let Some(path) = &cli.common.out {
-        write_json(std::path::Path::new(path), &rows).expect("json out");
-    }
     if let Some(path) = cli.get_str("check") {
         let tolerance: f64 = cli.get("tolerance", 10.0);
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        match check_baseline(&baseline, &rows, tolerance) {
+        match check_baseline(&baseline, &result.rows, tolerance) {
             Ok(failures) if failures.is_empty() => {
                 eprintln!("soak: all runs within ±{tolerance}% of {path}");
             }
@@ -322,15 +139,9 @@ fn main() {
             }
         }
     }
-    eprintln!(
-        "soak: {} run(s) complete; all queues drained, all bounds held{}",
-        rows.len(),
-        if check_determinism {
-            ", determinism checked"
-        } else {
-            ""
-        }
-    );
+    if !ok {
+        std::process::exit(1);
+    }
 }
 
 /// Sweep the incast fan-in and plot how backpressure absorbs the load:

@@ -16,8 +16,12 @@
 //! | `--metrics` | dump latency histograms / counters to stderr |
 //! | `--threads N` | execution engine: `0` = single-threaded hub engine (default), `n >= 1` = sharded engine on `n` worker threads (bit-identical output for any `n >= 1`) |
 //! | `--sweep-threads N` | OS threads fanning out independent sweep *points* (`0` = all cores). Distinct from `--threads`, which parallelizes *inside* one simulation |
-//! | `--out PATH` | write result rows as a JSON array to PATH (`--json` is a deprecated alias) |
+//! | `--out PATH` | write result rows as a JSON array to PATH |
+//! | `--server ADDR` | submit the run to an experiment server (`simd`) instead of simulating locally |
 //! | `--help` | uniform, generated help |
+//!
+//! The `--json` alias for `--out` was removed; passing it is now a hard
+//! error that names the replacement.
 //!
 //! Bin-specific flags are declared as [`Flag`] specs, so the generated
 //! `--help` can never drift from what the parser accepts: both come
@@ -43,8 +47,11 @@ pub struct Common {
     /// `--sweep-threads N` — point-level fan-out for `run_parallel`
     /// (0 = one thread per core).
     pub sweep_threads: usize,
-    /// `--out PATH` (or the deprecated `--json PATH`).
+    /// `--out PATH`.
     pub out: Option<String>,
+    /// `--server ADDR` — submit the run to an experiment server instead
+    /// of simulating in-process.
+    pub server: Option<String>,
 }
 
 /// Declaration of one bin-specific flag.
@@ -84,6 +91,11 @@ const COMMON_FLAGS: &[Flag] = &[
         help: "OS threads fanning out sweep points (0 = all cores)",
     },
     Flag { name: "out", value: Some("PATH"), help: "write result rows as JSON to PATH" },
+    Flag {
+        name: "server",
+        value: Some("ADDR"),
+        help: "submit the run to an experiment server (simd) at ADDR instead of running locally",
+    },
     Flag { name: "help", value: None, help: "show this help" },
 ];
 
@@ -150,13 +162,15 @@ impl Cli {
                 cli.positionals.push(arg);
                 continue;
             };
-            // `--json` stays as a quiet alias for `--out` so existing
-            // wrapper scripts keep working.
-            let lookup = if stripped == "json" { "out" } else { stripped };
+            if stripped == "json" {
+                return Err(Error::Bad(
+                    "--json was removed; use --out PATH (same JSON rows)".to_string(),
+                ));
+            }
             let spec = COMMON_FLAGS
                 .iter()
                 .chain(cli.specs.iter())
-                .find(|f| f.name == lookup)
+                .find(|f| f.name == stripped)
                 .ok_or_else(|| Error::Bad(format!("unknown flag --{stripped}")))?;
             if spec.value.is_some() {
                 let v = it
@@ -178,8 +192,23 @@ impl Cli {
             threads: cli.parse_opt("threads")?.unwrap_or(0),
             sweep_threads: cli.parse_opt("sweep-threads")?.unwrap_or(0),
             out: cli.opts.get("out").cloned(),
+            server: cli.opts.get("server").cloned(),
         };
         Ok(cli)
+    }
+
+    /// The raw (unparsed) text of a *common* value flag, if given.
+    ///
+    /// Needed where the original spelling matters — e.g. `--faults` is
+    /// carried verbatim inside a serialized `RunSpec` because
+    /// `FaultConfig` has `FromStr` but no canonical `Display`.
+    pub fn common_raw(&self, name: &str) -> Option<&str> {
+        assert!(
+            COMMON_FLAGS.iter().any(|f| f.name == name && f.value.is_some()),
+            "{}: --{name} is not a common value flag",
+            self.name
+        );
+        self.opts.get(name).map(String::as_str)
     }
 
     fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, Error>
@@ -196,16 +225,29 @@ impl Cli {
     }
 
     /// A bin-specific value flag, parsed; `default` when absent.
+    ///
+    /// A malformed value is a user error, not a bug: it is reported as
+    /// a typed parse error naming the flag (exit 2), never a panic and
+    /// never a silent fall-back to the default.
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.try_get(name, default).unwrap_or_else(|e| self.exit_bad(e))
+    }
+
+    /// Fallible core of [`Cli::get`]: `Err` names the flag and the
+    /// offending value on a malformed parse.
+    pub fn try_get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, Error>
     where
         T::Err: std::fmt::Display,
     {
         self.require_spec(name, true);
         match self.opts.get(name) {
-            None => default,
+            None => Ok(default),
             Some(raw) => raw
                 .parse()
-                .unwrap_or_else(|e| panic!("{}: --{name} {raw}: {e}", self.name)),
+                .map_err(|e| Error::Bad(format!("invalid value for --{name}: {raw:?}: {e}"))),
         }
     }
 
@@ -215,22 +257,50 @@ impl Cli {
         self.opts.get(name).map(String::as_str)
     }
 
-    /// A comma-separated list flag; `default` when absent.
+    /// A comma-separated list flag; `default` when absent. Malformed
+    /// elements are reported like [`Cli::get`] malformed values.
     pub fn get_list<T: std::str::FromStr>(&self, name: &str, default: Vec<T>) -> Vec<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.try_get_list(name, default).unwrap_or_else(|e| self.exit_bad(e))
+    }
+
+    /// Fallible core of [`Cli::get_list`].
+    pub fn try_get_list<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, Error>
     where
         T::Err: std::fmt::Display,
     {
         self.require_spec(name, true);
         match self.opts.get(name) {
-            None => default,
+            None => Ok(default),
             Some(raw) => raw
                 .split(',')
                 .map(|s| {
-                    s.parse()
-                        .unwrap_or_else(|e| panic!("{}: --{name} {raw}: {e}", self.name))
+                    s.parse().map_err(|e| {
+                        Error::Bad(format!(
+                            "invalid value for --{name}: {raw:?}: element {s:?}: {e}"
+                        ))
+                    })
                 })
                 .collect(),
         }
+    }
+
+    /// Report a command-line error uniformly and exit 2 (the same path
+    /// [`Cli::parse`] takes for errors found during parsing).
+    fn exit_bad(&self, e: Error) -> ! {
+        match e {
+            Error::Bad(msg) => {
+                eprintln!("{}: {msg}\nrun `{} --help` for usage", self.name, self.name)
+            }
+            Error::Help(text) => println!("{text}"),
+        }
+        std::process::exit(2);
     }
 
     /// Was a bin-specific boolean switch given?
@@ -316,6 +386,7 @@ mod tests {
                 threads: 0,
                 sweep_threads: 0,
                 out: None,
+                server: None,
             }
         );
         assert!(cli.positionals().is_empty());
@@ -340,10 +411,60 @@ mod tests {
         assert!(cli.common.faults.is_some());
     }
 
+    /// The `--json` alias is gone; the error must say what replaced it.
     #[test]
-    fn json_is_an_alias_for_out() {
-        let cli = parse(&["--json", "legacy.json"], &[]).unwrap();
-        assert_eq!(cli.common.out.as_deref(), Some("legacy.json"));
+    fn json_alias_is_rejected_with_pointer_to_out() {
+        match parse(&["--json", "legacy.json"], &[]) {
+            Err(Error::Bad(msg)) => {
+                assert!(msg.contains("--json was removed"), "{msg}");
+                assert!(msg.contains("--out"), "{msg}");
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_flag_is_common() {
+        let cli = parse(&["--server", "127.0.0.1:7171"], &[]).unwrap();
+        assert_eq!(cli.common.server.as_deref(), Some("127.0.0.1:7171"));
+    }
+
+    #[test]
+    fn common_raw_preserves_fault_spec_spelling() {
+        let cli = parse(&["--faults", "seed=3,drop=0.25"], &[]).unwrap();
+        assert_eq!(cli.common_raw("faults"), Some("seed=3,drop=0.25"));
+        assert_eq!(cli.common_raw("out"), None);
+    }
+
+    /// Satellite: malformed input to a declared typed flag is a typed
+    /// parse error naming the flag — not a panic, not the default.
+    #[test]
+    fn malformed_typed_value_is_a_named_parse_error() {
+        let specs = [Flag { name: "max-queue", value: Some("N"), help: "deepest queue" }];
+        let cli = parse(&["--max-queue", "threeve"], &specs).unwrap();
+        match cli.try_get::<usize>("max-queue", 500) {
+            Err(Error::Bad(msg)) => {
+                assert!(msg.contains("--max-queue"), "must name the flag: {msg}");
+                assert!(msg.contains("threeve"), "must show the value: {msg}");
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_list_element_is_a_named_parse_error() {
+        let specs = [Flag { name: "sizes", value: Some("LIST"), help: "payload bytes" }];
+        let cli = parse(&["--sizes", "0,banana,8192"], &specs).unwrap();
+        match cli.try_get_list::<u32>("sizes", vec![64]) {
+            Err(Error::Bad(msg)) => {
+                assert!(msg.contains("--sizes"), "must name the flag: {msg}");
+                assert!(msg.contains("banana"), "must show the element: {msg}");
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+        // Well-formed lists still parse through the fallible path.
+        let cli = parse(&["--sizes", "0,8192"], &specs).unwrap();
+        assert_eq!(cli.try_get_list::<u32>("sizes", vec![64]).unwrap(), vec![0, 8192]);
     }
 
     #[test]

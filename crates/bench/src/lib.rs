@@ -15,6 +15,7 @@
 pub mod appsim;
 pub mod ascii_plot;
 pub mod cli;
+pub mod exec;
 pub mod faultstats;
 pub mod gap;
 pub mod jsonlint;
@@ -22,7 +23,9 @@ pub mod obs;
 pub mod postloop;
 pub mod preposted;
 pub mod report;
+pub mod service;
 pub mod soak;
+pub mod spec;
 pub mod sweep;
 pub mod unexpected;
 pub mod wildcard;

@@ -79,6 +79,29 @@ pub fn write_json<R: JsonRow>(path: &Path, rows: &[R]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// [`write_json`] for rows whose keys are only known at runtime —
+/// the shape a deserialized [`crate::spec::RunResult`] carries. Same
+/// pretty format, so a thin-client bin writing a server-returned
+/// result produces the same file a local run would.
+pub fn write_json_dyn(path: &Path, rows: &[Vec<(String, String)>]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, fields) in rows.iter().enumerate() {
+        writeln!(f, "  {{")?;
+        for (j, (key, value)) in fields.iter().enumerate() {
+            let comma = if j + 1 < fields.len() { "," } else { "" };
+            writeln!(f, "    {}: {value}{comma}", json_str(key))?;
+        }
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(f, "  }}{comma}")?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
 /// Join any displayable cells with commas.
 pub fn cells<D: Display>(items: &[D]) -> String {
     items

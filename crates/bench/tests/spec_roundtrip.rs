@@ -1,0 +1,121 @@
+//! The RunSpec contract: every bin's flag table parses into a spec that
+//! survives the wire (parse → serialize → parse identity), and the cache
+//! key honors the determinism contract — seed, code version, and the
+//! engine (hub vs sharded) change it; worker counts within one engine
+//! do not.
+
+use mpiq_bench::cli::Cli;
+use mpiq_bench::spec::{flags, RunSpec};
+
+/// Every bench with representative non-default arguments, as a CLI
+/// would receive them.
+const CASES: &[(&str, &[&str])] = &[
+    ("fig5", &["--config", "alpu128", "--max-queue", "100", "--step", "10", "--fractions", "0.5,1.0", "--sizes", "0,1024", "--seed", "7"]),
+    ("fig6", &["--max-queue", "200", "--step", "40", "--sizes", "64", "--threads", "2"]),
+    ("gap", &["128"]),
+    ("breakeven", &["8", "--sweep-threads", "3"]),
+    ("soak", &["--seeds", "2", "--senders", "8", "--msgs", "4", "--size", "256", "--credits", "2", "--max-unexpected", "16", "--eager-buffer", "8192", "--deadline-ms", "250", "--faults", "seed=3,drop=0.01", "--mtbf-us", "100", "--mttr-us", "20", "--node-mttr-us", "40"]),
+    ("scaling", &["--senders", "16", "--msgs", "32", "--size", "512", "--thread-counts", "1,2", "--scenarios", "incast,hetero"]),
+    ("collectives", &["--ranks", "16,32", "--ops", "barrier,bcast", "--topos", "fattree", "--modes", "offload,host", "--len", "128", "--iters", "2"]),
+    ("appstudy", &[]),
+    ("ablation_block", &[]),
+    ("ablation_hash", &["--threads", "1"]),
+    ("ablation_prefetch", &["--sweep-threads", "2"]),
+    ("ablation_threshold", &["--seed", "9"]),
+    ("ablation_wildcard", &[]),
+];
+
+fn spec_from_args(bench: &'static str, args: &[&str]) -> RunSpec {
+    let cli = Cli::try_parse_from(
+        bench,
+        "test",
+        flags(bench),
+        args.iter().map(|s| s.to_string()),
+    )
+    .unwrap_or_else(|e| panic!("{bench}: args failed to parse: {e:?}"));
+    RunSpec::from_cli(bench, &cli).unwrap_or_else(|e| panic!("{bench}: {e}"))
+}
+
+#[test]
+fn every_bench_round_trips_through_json() {
+    for &(bench, args) in CASES {
+        let spec = spec_from_args(bench, args);
+        let json = spec.to_json();
+        let back = RunSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("{bench}: serialized spec failed to parse: {e}\n{json}"));
+        assert_eq!(spec, back, "{bench}: round trip changed the spec\n{json}");
+        // Serialization is canonical: a second trip produces the same bytes.
+        assert_eq!(json, back.to_json(), "{bench}: serialization is not canonical");
+    }
+}
+
+#[test]
+fn every_bench_round_trips_with_defaults() {
+    for &(bench, _) in CASES {
+        let spec = spec_from_args(bench, &[]);
+        let back = RunSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back, "{bench}: default spec round trip changed the spec");
+    }
+}
+
+#[test]
+fn cache_key_is_stable_for_identical_submissions() {
+    let a = spec_from_args("fig5", &["--max-queue", "50", "--seed", "3"]);
+    let b = spec_from_args("fig5", &["--max-queue", "50", "--seed", "3"]);
+    assert_eq!(a.cache_key("v1"), b.cache_key("v1"));
+}
+
+#[test]
+fn cache_key_misses_on_seed_code_version_and_params() {
+    let base = spec_from_args("fig5", &["--max-queue", "50", "--seed", "3"]);
+    let reseeded = spec_from_args("fig5", &["--max-queue", "50", "--seed", "4"]);
+    let resized = spec_from_args("fig5", &["--max-queue", "75", "--seed", "3"]);
+    assert_ne!(base.cache_key("v1"), base.cache_key("v2"), "code version must shift the key");
+    assert_ne!(base.cache_key("v1"), reseeded.cache_key("v1"), "seed must shift the key");
+    assert_ne!(base.cache_key("v1"), resized.cache_key("v1"), "params must shift the key");
+}
+
+#[test]
+fn cache_key_ignores_worker_counts_within_an_engine() {
+    // The determinism contract: within one engine, results are
+    // byte-identical at any worker/sweep parallelism, so the counts
+    // must not fragment the cache.
+    let one = spec_from_args("fig6", &["--max-queue", "100", "--threads", "1"]);
+    let eight =
+        spec_from_args("fig6", &["--max-queue", "100", "--threads", "8", "--sweep-threads", "4"]);
+    assert_ne!(one, eight, "thread flags should still parse into the spec");
+    assert_eq!(
+        one.cache_key("v1"),
+        eight.cache_key("v1"),
+        "worker counts must not shift the cache key"
+    );
+}
+
+#[test]
+fn cache_key_splits_the_hub_engine_from_the_sharded_engine() {
+    // threads == 0 runs the legacy hub engine, whose output is
+    // deterministic but not bit-identical to the sharded engine's
+    // (DESIGN.md "Determinism") — the two must never share cached bytes.
+    let hub = spec_from_args("fig6", &["--max-queue", "100"]);
+    let sharded = spec_from_args("fig6", &["--max-queue", "100", "--threads", "1"]);
+    assert_eq!(hub.engine(), "hub");
+    assert_eq!(sharded.engine(), "sharded");
+    assert_ne!(
+        hub.cache_key("v1"),
+        sharded.cache_key("v1"),
+        "hub and sharded results must occupy distinct cache slots"
+    );
+    // Collectives never touches the hub engine (threads == 0 maps to 4
+    // sharded workers), so its discriminant — and key — is pinned.
+    let coll0 = spec_from_args("collectives", &["--ranks", "8"]);
+    let coll1 = spec_from_args("collectives", &["--ranks", "8", "--threads", "1"]);
+    assert_eq!(coll0.engine(), "sharded");
+    assert_eq!(coll0.cache_key("v1"), coll1.cache_key("v1"));
+}
+
+#[test]
+fn faults_shift_the_cache_key() {
+    let clean = spec_from_args("soak", &["--seeds", "1"]);
+    let faulty = spec_from_args("soak", &["--seeds", "1", "--faults", "seed=1,drop=0.01"]);
+    assert_ne!(clean.cache_key("v1"), faulty.cache_key("v1"));
+}

@@ -107,24 +107,6 @@ impl ClusterConfig {
         }
     }
 
-    /// Turn on structured tracing (ring of `capacity` records) and the
-    /// metrics registry; used by `--trace-out` / `--metrics` harnesses.
-    #[deprecated(note = "use ClusterConfig::builder(..).observability(capacity).build()")]
-    pub fn with_observability(mut self, trace_capacity: usize) -> ClusterConfig {
-        self.trace_capacity = trace_capacity;
-        self.metrics = true;
-        self
-    }
-
-    /// Arm deterministic fault injection everywhere it applies: the
-    /// fabric (drops/duplicates/corruption) and every NIC's ALPUs (bit
-    /// flips, command stalls). Network-side faults force the NICs' link
-    /// reliability layer on.
-    #[deprecated(note = "use ClusterConfig::builder(..).faults(config).build()")]
-    pub fn with_faults(mut self, faults: FaultConfig) -> ClusterConfig {
-        self.nic = self.nic.with_faults(faults);
-        self
-    }
 }
 
 /// Builder for [`ClusterConfig`]. Every method is optional; `build`
